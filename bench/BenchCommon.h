@@ -1,0 +1,65 @@
+//===- BenchCommon.h - Shared helpers for the benchmark harnesses -*- C++-*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the per-table/figure harnesses (DESIGN.md §4): corpus
+/// generation, pipeline execution, labeling, and common printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_BENCH_BENCHCOMMON_H
+#define USPEC_BENCH_BENCHCOMMON_H
+
+#include "core/USpec.h"
+#include "corpus/Generator.h"
+#include "corpus/GroundTruth.h"
+#include "corpus/Profiles.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace uspec::bench {
+
+/// A full pipeline run over one language profile.
+struct PipelineRun {
+  std::unique_ptr<StringInterner> Strings = std::make_unique<StringInterner>();
+  LanguageProfile Profile;
+  GeneratedCorpus Corpus;
+  LearnResult Result;
+  std::vector<LabeledCandidate> Labeled;
+};
+
+/// Generates a corpus for \p Profile and runs the learning pipeline.
+inline PipelineRun runPipeline(LanguageProfile Profile, size_t NumPrograms,
+                               uint64_t Seed, double Tau = 0.6) {
+  PipelineRun Run;
+  Run.Profile = std::move(Profile);
+
+  GeneratorConfig GenCfg;
+  GenCfg.NumPrograms = NumPrograms;
+  GenCfg.Seed = Seed;
+  Run.Corpus = generateCorpus(Run.Profile, GenCfg, *Run.Strings);
+
+  LearnerConfig Cfg;
+  Cfg.Tau = Tau;
+  Cfg.Seed = Seed ^ 0x5eedULL;
+  USpecLearner Learner(*Run.Strings, Cfg);
+  Run.Result = Learner.learn(Run.Corpus.Programs);
+  Run.Labeled =
+      labelCandidates(Run.Profile.Registry, *Run.Strings, Run.Result.Candidates);
+  return Run;
+}
+
+/// Prints a section banner.
+inline void banner(const std::string &Title) {
+  std::printf("\n==== %s ====\n\n", Title.c_str());
+}
+
+} // namespace uspec::bench
+
+#endif // USPEC_BENCH_BENCHCOMMON_H

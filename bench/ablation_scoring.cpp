@@ -1,0 +1,250 @@
+//===- ablation_scoring.cpp - §7.2 scoring ablations ---------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Reproduces the §7.2 ablation discussion:
+//  (a) alternative scoring functions — the paper's top-k-mean vs max, 95th
+//      percentile, match count and program count. Expected shape: the
+//      probabilistic scores dominate the frequency-based ones (match-count
+//      scoring can only gain precision by giving up recall);
+//  (b) accepting aliasing directly from edge confidences (no specification
+//      layer): the paper observed ≈ 1 in 4 accepted edges to be wrong at
+//      confidence 0.5 — we measure the false rate of candidate-induced edges
+//      accepted by confidence alone vs those explained by selected specs;
+//  (c) assuming RetSame for every API method roughly doubles the false
+//      positive rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <map>
+
+using namespace uspec;
+using namespace uspec::bench;
+
+namespace {
+
+void scoringTable(const PipelineRun &Run) {
+  banner("§7.2 — alternative scoring functions (" + Run.Profile.Name + ")");
+
+  // Rebuild candidate stats per scoring function by re-running selection at
+  // several thresholds. Scores other than TopKMean need the raw stats, so we
+  // re-run the collector-level scoring through the learner's candidates:
+  // Candidates carry Matches/Programs; confidence-based scores come from the
+  // pipeline (TopKMean was already applied). For the ablation we re-learn
+  // with each scoring kind.
+  TextTable T;
+  T.setHeader({"scoring", "tau", "precision", "recall"});
+  for (ScoreKind Kind :
+       {ScoreKind::TopKMean, ScoreKind::NameAware, ScoreKind::MaxConfidence,
+        ScoreKind::P95, ScoreKind::MatchCount, ScoreKind::ProgramCount}) {
+    const char *Name =
+        Kind == ScoreKind::TopKMean        ? "top-10 mean (paper)"
+        : Kind == ScoreKind::NameAware     ? "top-10 + naming prior (§5.3)"
+        : Kind == ScoreKind::MaxConfidence ? "max confidence"
+        : Kind == ScoreKind::P95           ? "95th percentile"
+        : Kind == ScoreKind::MatchCount    ? "#matches"
+                                           : "#programs";
+    // Re-learn (cheap) with the alternative scoring.
+    StringInterner S;
+    GeneratorConfig GenCfg;
+    GenCfg.NumPrograms = 600;
+    GenCfg.Seed = 0xAB1A;
+    LanguageProfile Profile = javaProfile();
+    GeneratedCorpus Corpus = generateCorpus(Profile, GenCfg, S);
+    LearnerConfig Cfg;
+    Cfg.Scoring = Kind;
+    USpecLearner Learner(S, Cfg);
+    LearnResult Result = Learner.learn(Corpus.Programs);
+    auto Labeled = labelCandidates(Profile.Registry, S, Result.Candidates);
+    for (double Tau : {0.4, 0.6, 0.8}) {
+      PrPoint P = prAtTau(Labeled, Tau);
+      T.addRow({Name, TextTable::formatReal(Tau, 1),
+                TextTable::formatReal(P.Precision),
+                TextTable::formatReal(P.Recall)});
+      Name = ""; // print the label once
+    }
+    T.addSeparator();
+  }
+  std::printf("%s", T.render().c_str());
+  (void)Run;
+}
+
+void edgeConfidenceOnly(const PipelineRun &Run) {
+  banner("§7.2 — accepting aliasing by edge confidence alone (" +
+         Run.Profile.Name + ")");
+
+  // For every candidate with confidences, decide by confidence alone
+  // (>= 0.5): the accepted "edges" inherit the candidate's validity. The
+  // spec layer instead aggregates per candidate and thresholds the top-k
+  // mean. Compare false rates.
+  size_t ConfAccepted = 0, ConfWrong = 0;
+  size_t SpecAccepted = 0, SpecWrong = 0;
+  for (const LabeledCandidate &L : Run.Labeled) {
+    bool Valid = L.isValid();
+    // confidence-only: every single-edge match with p >= 0.5 becomes an
+    // accepted aliasing relation. NumConfidences counts the scored matches;
+    // approximate the >=0.5 fraction with the candidate score (top-k mean
+    // tracks the high end of the distribution).
+    size_t Accepted =
+        L.C.Score >= 0.5 ? L.C.NumConfidences : L.C.NumConfidences / 4;
+    ConfAccepted += Accepted;
+    if (!Valid)
+      ConfWrong += Accepted;
+    if (L.C.Score >= 0.6) {
+      SpecAccepted += L.C.Matches;
+      if (!Valid)
+        SpecWrong += L.C.Matches;
+    }
+  }
+  TextTable T;
+  T.setHeader({"acceptance strategy", "aliasing additions", "wrong", "rate"});
+  auto Row = [&](const char *Name, size_t Acc, size_t Wrong) {
+    T.addRow({Name, std::to_string(Acc), std::to_string(Wrong),
+              Acc ? TextTable::formatReal(100.0 * Wrong / Acc, 1) + "%"
+                  : "-"});
+  };
+  Row("edge confidence >= 0.5 (no specs)", ConfAccepted, ConfWrong);
+  Row("specifications at tau = 0.6 (paper)", SpecAccepted, SpecWrong);
+  std::printf("%s", T.render().c_str());
+  std::printf("\npaper: ~1 in 4 confidence-accepted edges wrong; the spec "
+              "layer changes the distribution to one where most are right\n");
+}
+
+void retSameForAll(const PipelineRun &Run) {
+  banner("§7.2 — assuming RetSame for all API functions (" +
+         Run.Profile.Name + ")");
+  const StringInterner &S = *Run.Strings;
+
+  // All RetSame candidates (matched in the corpus), all accepted blindly.
+  size_t All = 0, AllWrong = 0, Sel = 0, SelWrong = 0;
+  for (const LabeledCandidate &L : Run.Labeled) {
+    if (L.C.S.TheKind != Spec::Kind::RetSame)
+      continue;
+    ++All;
+    AllWrong += !L.isValid();
+    if (L.C.Score >= 0.6) {
+      ++Sel;
+      SelWrong += !L.isValid();
+    }
+  }
+  (void)S;
+  TextTable T;
+  T.setHeader({"policy", "RetSame specs", "wrong", "rate"});
+  T.addRow({"RetSame for every matched method", std::to_string(All),
+            std::to_string(AllWrong),
+            All ? TextTable::formatReal(100.0 * AllWrong / All, 1) + "%"
+                : "-"});
+  T.addRow({"scored selection (tau = 0.6)", std::to_string(Sel),
+            std::to_string(SelWrong),
+            Sel ? TextTable::formatReal(100.0 * SelWrong / Sel, 1) + "%"
+                : "-"});
+  std::printf("%s", T.render().c_str());
+  std::printf("\npaper: blanket RetSame roughly doubles the false positive "
+              "rate; scoring filters specs like RetSame(SecureRandom.nextInt)\n");
+
+  // Show that the famous wrong spec is filtered.
+  for (const LabeledCandidate &L : Run.Labeled) {
+    std::string Repr = L.C.S.str(*Run.Strings);
+    if (Repr.find("nextInt") != std::string::npos &&
+        L.C.S.TheKind == Spec::Kind::RetSame) {
+      std::printf("  e.g. %s: score %.3f -> %s\n", Repr.c_str(), L.C.Score,
+                  L.C.Score >= 0.6 ? "selected (!)" : "filtered out");
+    }
+  }
+}
+
+void initialAnalysisPrecision() {
+  // §7.1: "we experimented with a less precise intraprocedural analysis and
+  // observed only a slight performance decline" — the learning pipeline is
+  // largely orthogonal to the initial points-to analysis. We compare the
+  // default (inlining depth 3) with a purely intraprocedural pass (depth 0).
+  banner("§7.1 — precision of the initial points-to analysis (Java)");
+
+  TextTable T;
+  T.setHeader({"initial analysis", "candidates", "total matches",
+               "precision@0.6", "recall@0.6"});
+  for (unsigned Depth : {3u, 1u, 0u}) {
+    StringInterner S;
+    LanguageProfile Profile = javaProfile();
+    GeneratorConfig GenCfg;
+    GenCfg.NumPrograms = 700;
+    GenCfg.Seed = 0x1217A;
+    GeneratedCorpus Corpus = generateCorpus(Profile, GenCfg, S);
+    LearnerConfig Cfg;
+    Cfg.Analysis.InlineDepth = Depth;
+    USpecLearner Learner(S, Cfg);
+    LearnResult Result = Learner.learn(Corpus.Programs);
+    auto Labeled = labelCandidates(Profile.Registry, S, Result.Candidates);
+    PrPoint P = prAtTau(Labeled, 0.6);
+    size_t TotalMatches = 0;
+    for (const ScoredCandidate &C : Result.Candidates)
+      TotalMatches += C.Matches;
+    std::string Name = Depth == 0 ? "intraprocedural (depth 0)"
+                                  : "interprocedural depth " +
+                                        std::to_string(Depth);
+    T.addRow({Name, std::to_string(Result.Candidates.size()),
+              std::to_string(TotalMatches),
+              TextTable::formatReal(P.Precision),
+              TextTable::formatReal(P.Recall)});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("\npaper: only a slight decline with the intraprocedural "
+              "initial analysis\n");
+}
+
+} // namespace
+
+void extendedPatterns() {
+  // §5.3: "We also experimented with different patterns, but the results
+  // were modest". We enable the experimental RetRecv pattern (a call may
+  // return its receiver — builder APIs) and measure its candidates.
+  banner("§5.3 — extended hypothesis class: the RetRecv pattern (Java)");
+
+  StringInterner S;
+  LanguageProfile Profile = javaProfile();
+  GeneratorConfig GenCfg;
+  GenCfg.NumPrograms = 700;
+  GenCfg.Seed = 0x3EC;
+  GeneratedCorpus Corpus = generateCorpus(Profile, GenCfg, S);
+  LearnerConfig Cfg;
+  Cfg.ExperimentalPatterns = true;
+  USpecLearner Learner(S, Cfg);
+  LearnResult Result = Learner.learn(Corpus.Programs);
+  auto Labeled = labelCandidates(Profile.Registry, S, Result.Candidates);
+
+  size_t RecvCands = 0, RecvSelected = 0, RecvValidSel = 0;
+  for (const LabeledCandidate &L : Labeled) {
+    if (L.C.S.TheKind != Spec::Kind::RetRecv)
+      continue;
+    ++RecvCands;
+    if (L.C.Score >= 0.6) {
+      ++RecvSelected;
+      RecvValidSel += L.isValid();
+    }
+  }
+  std::printf("RetRecv candidates: %zu; selected at tau=0.6: %zu "
+              "(%zu ground-truth valid)\n",
+              RecvCands, RecvSelected, RecvValidSel);
+  for (const LabeledCandidate &L : Labeled) {
+    if (L.C.S.TheKind != Spec::Kind::RetRecv || L.C.Score < 0.6)
+      continue;
+    std::printf("  %-45s score %.3f  %s\n", L.C.S.str(S).c_str(), L.C.Score,
+                L.isValid() ? "correct" : "incorrect");
+  }
+  std::printf("\nshape: the candidate space explodes (every call site "
+              "matches) while only builder APIs are valid — the \"modest "
+              "results\" the paper reports for extra patterns\n");
+}
+
+int main() {
+  std::printf("USpec reproduction — §7.2 scoring ablations\n");
+  PipelineRun Run = runPipeline(javaProfile(), 900, 0xF16A);
+  scoringTable(Run);
+  edgeConfidenceOnly(Run);
+  retSameForAll(Run);
+  initialAnalysisPrecision();
+  extendedPatterns();
+  return 0;
+}

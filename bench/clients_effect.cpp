@@ -1,0 +1,152 @@
+//===- clients_effect.cpp - Reproduces the Fig. 8 client effects (§7.4) -------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// §7.4: qualitative effects of the learned specifications on client
+// analyses. Runs the type-state client (Iterator hasNext/next, Fig. 8a) and
+// the taint client (Fig. 8b) on the scenario programs, and additionally
+// counts warnings across a generated evaluation corpus, with the unaware
+// baseline vs the API-aware analysis using *learned* specifications.
+//
+// Expected shape: the type-state false positive disappears and the taint
+// false negative becomes a finding once the learned specs are in place.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "clients/Taint.h"
+#include "clients/Typestate.h"
+
+using namespace uspec;
+using namespace uspec::bench;
+
+namespace {
+
+constexpr const char *Fig8a = R"(
+  class Main {
+    def main() {
+      var iters = new ArrayList();
+      var i = 0;
+      if (iters.get(i).hasNext()) {
+        someMethod.call(iters.get(i).next());
+      }
+    }
+  }
+)";
+
+constexpr const char *Fig8b = R"(
+  class Main {
+    def call() {
+      var kwargs = new Dict();
+      kwargs.setdefault("data-value", request.input("value"));
+      var w = kwargs.SubscriptLoad("data-value");
+      html.render(w);
+    }
+  }
+)";
+
+struct ScenarioResult {
+  size_t Unaware = 0;
+  size_t Aware = 0;
+};
+
+ScenarioResult runTypestateScenario(StringInterner &S,
+                                    const SpecSet &Learned) {
+  DiagnosticSink Diags;
+  auto P = parseAndLower(Fig8a, "fig8a", S, Diags);
+  ScenarioResult R;
+  if (!P)
+    return R;
+  TypestateProtocol Proto{"hasNext", "next"};
+  R.Unaware =
+      checkTypestate(analyzeProgram(*P, S, AnalysisOptions()), S, Proto)
+          .size();
+  AnalysisOptions Aware;
+  Aware.ApiAware = true;
+  Aware.Specs = &Learned;
+  Aware.CoverageExtension = true;
+  R.Aware = checkTypestate(analyzeProgram(*P, S, Aware), S, Proto).size();
+  return R;
+}
+
+ScenarioResult runTaintScenario(StringInterner &S, const SpecSet &Learned) {
+  DiagnosticSink Diags;
+  auto P = parseAndLower(Fig8b, "fig8b", S, Diags);
+  ScenarioResult R;
+  if (!P)
+    return R;
+  TaintConfig Config;
+  Config.Sources = {"input"};
+  Config.Sinks = {"render"};
+  Config.Sanitizers = {"escape"};
+  R.Unaware =
+      checkTaint(analyzeProgram(*P, S, AnalysisOptions()), S, Config).size();
+  AnalysisOptions Aware;
+  Aware.ApiAware = true;
+  Aware.Specs = &Learned;
+  Aware.CoverageExtension = true;
+  R.Aware = checkTaint(analyzeProgram(*P, S, Aware), S, Config).size();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("USpec reproduction — Fig. 8 / §7.4 client analyses\n");
+
+  // Learn Java and Python specs.
+  PipelineRun Java = runPipeline(javaProfile(), 900, 0xF16A);
+  PipelineRun Python = runPipeline(pythonProfile(), 900, 0xF16B);
+
+  banner("Fig. 8a — type-state client (Iterator protocol)");
+  ScenarioResult TS = runTypestateScenario(*Java.Strings, Java.Result.Selected);
+  TextTable T1;
+  T1.setHeader({"analysis", "hasNext/next warnings"});
+  T1.addRow({"API-unaware baseline", std::to_string(TS.Unaware)});
+  T1.addRow({"API-aware (learned specs)", std::to_string(TS.Aware)});
+  std::printf("%s", T1.render().c_str());
+  std::printf("-> %s\n",
+              TS.Unaware > 0 && TS.Aware == 0
+                  ? "false positive eliminated (paper Fig. 8a)"
+                  : "unexpected: check RetSame(ArrayList.get) selection");
+
+  banner("Fig. 8b — taint client (XSS flow through kwargs)");
+  ScenarioResult TA = runTaintScenario(*Python.Strings, Python.Result.Selected);
+  TextTable T2;
+  T2.setHeader({"analysis", "source->sink findings"});
+  T2.addRow({"API-unaware baseline", std::to_string(TA.Unaware)});
+  T2.addRow({"API-aware (learned specs)", std::to_string(TA.Aware)});
+  std::printf("%s", T2.render().c_str());
+  std::printf("-> %s\n",
+              TA.Unaware == 0 && TA.Aware > 0
+                  ? "false negative fixed: the vulnerability is found "
+                    "(paper Fig. 8b)"
+                  : "unexpected: check RetArg(SubscriptLoad, setdefault, 2)");
+
+  // Corpus-wide effect of aliasing on the type-state client.
+  banner("Corpus-wide type-state warnings (fresh Java corpus)");
+  GeneratorConfig EvalCfg;
+  EvalCfg.NumPrograms = 150;
+  EvalCfg.Seed = 0xC11E27;
+  GeneratedCorpus Eval = generateCorpus(Java.Profile, EvalCfg, *Java.Strings);
+  size_t WarnUnaware = 0, WarnAware = 0;
+  TypestateProtocol Proto{"hasNext", "next"};
+  AnalysisOptions Aware;
+  Aware.ApiAware = true;
+  Aware.Specs = &Java.Result.Selected;
+  Aware.CoverageExtension = true;
+  for (const IRProgram &P : Eval.Programs) {
+    WarnUnaware +=
+        checkTypestate(analyzeProgram(P, *Java.Strings, AnalysisOptions()),
+                       *Java.Strings, Proto)
+            .size();
+    WarnAware += checkTypestate(analyzeProgram(P, *Java.Strings, Aware),
+                                *Java.Strings, Proto)
+                     .size();
+  }
+  std::printf("warnings: unaware %zu vs aware %zu over %zu programs "
+              "(aware must not exceed unaware)\n",
+              WarnUnaware, WarnAware, Eval.Programs.size());
+  return 0;
+}

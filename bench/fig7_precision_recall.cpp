@@ -1,0 +1,51 @@
+//===- fig7_precision_recall.cpp - Reproduces Fig. 7 --------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Fig. 7: precision and recall of the selected specifications for different
+// thresholds τ, for the Java-flavored (7a) and Python-flavored (7b) corpora.
+//
+// Expected shape (paper): precision is already high at τ = 0 (most
+// candidates are correct) and rises toward 1 as τ grows, while recall falls;
+// the Python curve sits above the Java curve in precision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace uspec;
+using namespace uspec::bench;
+
+namespace {
+
+void runFigure(const char *Label, LanguageProfile Profile, size_t N,
+               uint64_t Seed) {
+  PipelineRun Run = runPipeline(std::move(Profile), N, Seed);
+
+  banner(std::string("Fig. 7") + Label + " — precision vs recall (" +
+         Run.Profile.Name + ", " + std::to_string(N) + " programs, " +
+         std::to_string(Run.Result.Candidates.size()) + " candidates)");
+
+  TextTable T;
+  T.setHeader({"tau", "precision", "recall", "selected", "valid"});
+  for (double Tau : {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9}) {
+    PrPoint P = prAtTau(Run.Labeled, Tau);
+    T.addRow({TextTable::formatReal(Tau, 1), TextTable::formatReal(P.Precision),
+              TextTable::formatReal(P.Recall), std::to_string(P.Selected),
+              std::to_string(P.Valid)});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("\nmodel: %zu training samples, %.3f in-sample accuracy\n",
+              Run.Result.NumTrainingSamples, Run.Result.TrainAccuracy);
+}
+
+} // namespace
+
+int main() {
+  std::printf("USpec reproduction — Fig. 7 (precision/recall vs τ)\n");
+  std::printf("Paper reference points: Java τ=0.6 → precision 0.924, recall "
+              "0.620; precision already high at τ=0.\n");
+  runFigure("a", javaProfile(), 900, 0xF16A);
+  runFigure("b", pythonProfile(), 900, 0xF16B);
+  return 0;
+}

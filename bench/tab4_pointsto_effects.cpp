@@ -1,0 +1,213 @@
+//===- tab4_pointsto_effects.cpp - Reproduces Tab. 4 --------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Tab. 4: effect of the learned specifications on the points-to analysis.
+// Specs are learned on a training corpus; a *fresh* evaluation corpus is
+// analyzed with the API-unaware baseline and with the API-aware analysis
+// (learned specs, §6.4 coverage extension on). Every ret-event pair that the
+// aware analysis aliases but the baseline does not ("increased points-to
+// coverage") is classified as:
+//
+//   (i)   precise increase   — confirmed by the concrete interpreter run or
+//                              by the ground-truth-spec analysis,
+//   (ii)  imprecise, wrong spec — an invalid learned spec for the involved
+//                              methods drives the aliasing,
+//   (iii) imprecise, §6.4    — disappears when the ⊤/⊥ coverage extension
+//                              is disabled,
+//   (iv)  imprecise, other   — remaining approximation (value-set or
+//                              context imprecision).
+//
+// Expected shape (paper): > 80 % of differing sites are precise increases;
+// wrong specs are rare (Java ≈ 1 per 6892 loc, Python 0 in the sample);
+// the Python corpus shows a denser increase rate than Java.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "runtime/Interpreter.h"
+
+#include <map>
+#include <set>
+
+using namespace uspec;
+using namespace uspec::bench;
+
+namespace {
+
+/// Ground-truth specification set of a profile (every valid RetSame/RetArg).
+SpecSet groundTruthSpecs(const LanguageProfile &P, StringInterner &S) {
+  SpecSet Specs;
+  for (const ApiClass &C : P.Registry.classes()) {
+    Symbol ClassSym = S.intern(C.Name);
+    for (const ApiMethod &M : C.Methods) {
+      MethodId Mid = {ClassSym, S.intern(M.Name),
+                      static_cast<uint8_t>(M.Arity)};
+      if (M.Semantics == MethodSemantics::Load ||
+          M.Semantics == MethodSemantics::StatelessGetter)
+        Specs.insert(Spec::retSame(Mid));
+      if (M.Semantics == MethodSemantics::Store)
+        for (const std::string &L : M.PairedLoads)
+          if (const ApiMethod *Load = C.findMethod(L, M.Arity - 1))
+            Specs.insert(Spec::retArg({ClassSym, S.intern(Load->Name),
+                                       static_cast<uint8_t>(Load->Arity)},
+                                      Mid, static_cast<uint8_t>(M.StorePos)));
+    }
+  }
+  return Specs;
+}
+
+/// Ret events per (site, ctx).
+std::map<std::pair<uint32_t, uint32_t>, EventId>
+retEventMap(const AnalysisResult &R) {
+  std::map<std::pair<uint32_t, uint32_t>, EventId> Map;
+  for (EventId E = 0; E < R.Events.size(); ++E) {
+    const Event &Ev = R.Events.get(E);
+    if (Ev.Kind == EventKind::ApiCall && Ev.Pos == PosRet)
+      Map[{Ev.Site, Ev.Ctx}] = E;
+  }
+  return Map;
+}
+
+struct Tally {
+  size_t Precise = 0, WrongSpec = 0, Coverage64 = 0, Other = 0;
+  size_t total() const { return Precise + WrongSpec + Coverage64 + Other; }
+};
+
+void runProfile(LanguageProfile ProfileIn, size_t TrainN, size_t EvalN,
+                uint64_t Seed) {
+  PipelineRun Run = runPipeline(std::move(ProfileIn), TrainN, Seed);
+  StringInterner &S = *Run.Strings;
+  const LanguageProfile &Profile = Run.Profile;
+
+  // Which learned selected specs are invalid, per method name involved?
+  std::set<uint32_t> MethodsWithWrongSpec;
+  for (const Spec &Sp : Run.Result.Selected.all()) {
+    if (Profile.Registry.judgeSpec(Sp, S) != SpecValidity::Invalid)
+      continue;
+    MethodsWithWrongSpec.insert(Sp.Target.Name.id());
+    if (Sp.TheKind == Spec::Kind::RetArg)
+      MethodsWithWrongSpec.insert(Sp.Source.Name.id());
+  }
+
+  // Fresh evaluation corpus.
+  GeneratorConfig EvalCfg;
+  EvalCfg.NumPrograms = EvalN;
+  EvalCfg.Seed = Seed ^ 0xEEEEULL;
+  GeneratedCorpus Eval = generateCorpus(Profile, EvalCfg, S);
+  SpecSet GtSpecs = groundTruthSpecs(Profile, S);
+
+  AnalysisOptions Unaware;
+  AnalysisOptions AwareCov;
+  AwareCov.ApiAware = true;
+  AwareCov.Specs = &Run.Result.Selected;
+  AwareCov.CoverageExtension = true;
+  AnalysisOptions AwareNoCov = AwareCov;
+  AwareNoCov.CoverageExtension = false;
+  AnalysisOptions GtAware;
+  GtAware.ApiAware = true;
+  GtAware.Specs = &GtSpecs;
+  GtAware.CoverageExtension = false;
+
+  Tally Counts;
+  for (const IRProgram &Program : Eval.Programs) {
+    AnalysisResult R0 = analyzeProgram(Program, S, Unaware);
+    AnalysisResult R1 = analyzeProgram(Program, S, AwareCov);
+    AnalysisResult R2 = analyzeProgram(Program, S, AwareNoCov);
+    AnalysisResult R3 = analyzeProgram(Program, S, GtAware);
+    Interpreter Interp(Program, S, Profile.Registry);
+    Interp.runAll();
+
+    auto M0 = retEventMap(R0), M1 = retEventMap(R1), M2 = retEventMap(R2),
+         M3 = retEventMap(R3);
+
+    auto ConcreteAlias = [&](uint32_t SiteA, uint32_t SiteB) {
+      const auto &Returns = Interp.returnsPerSite();
+      auto IA = Returns.find(SiteA), IB = Returns.find(SiteB);
+      if (IA == Returns.end() || IB == Returns.end())
+        return false;
+      for (const RtValue &A : IA->second)
+        for (const RtValue &B : IB->second)
+          if (A.isObj() && A == B)
+            return true;
+      return false;
+    };
+
+    for (auto ItA = M1.begin(); ItA != M1.end(); ++ItA) {
+      for (auto ItB = std::next(ItA); ItB != M1.end(); ++ItB) {
+        if (!R1.retMayAlias(ItA->second, ItB->second))
+          continue;
+        auto A0 = M0.find(ItA->first), B0 = M0.find(ItB->first);
+        if (A0 == M0.end() || B0 == M0.end() ||
+            R0.retMayAlias(A0->second, B0->second))
+          continue; // not a coverage increase
+
+        // Classification.
+        bool Confirmed = ConcreteAlias(ItA->first.first, ItB->first.first);
+        if (!Confirmed) {
+          auto A3 = M3.find(ItA->first), B3 = M3.find(ItB->first);
+          Confirmed = A3 != M3.end() && B3 != M3.end() &&
+                      R3.retMayAlias(A3->second, B3->second);
+        }
+        if (Confirmed) {
+          ++Counts.Precise;
+          continue;
+        }
+        auto A2 = M2.find(ItA->first), B2 = M2.find(ItB->first);
+        bool WithoutCov = A2 != M2.end() && B2 != M2.end() &&
+                          R2.retMayAlias(A2->second, B2->second);
+        if (!WithoutCov) {
+          ++Counts.Coverage64;
+          continue;
+        }
+        uint32_t NameA = R1.Events.get(ItA->second).Method.Name.id();
+        uint32_t NameB = R1.Events.get(ItB->second).Method.Name.id();
+        if (MethodsWithWrongSpec.count(NameA) ||
+            MethodsWithWrongSpec.count(NameB))
+          ++Counts.WrongSpec;
+        else
+          ++Counts.Other;
+      }
+    }
+  }
+
+  banner("Tab. 4 — effect on points-to analysis (" + Profile.Name + ", " +
+         std::to_string(EvalN) + " fresh programs, " +
+         std::to_string(Eval.TotalLines) + " loc)");
+
+  auto Rate = [&](size_t Count) -> std::string {
+    if (Count == 0)
+      return "-";
+    return "1 per " + std::to_string(Eval.TotalLines / Count) + " loc";
+  };
+  TextTable T;
+  T.setHeader({"category", "pairs", "share", "rate"});
+  size_t Total = Counts.total();
+  auto Share = [&](size_t C) {
+    return Total ? TextTable::formatReal(100.0 * C / Total, 1) + "%"
+                 : std::string("-");
+  };
+  T.addRow({"increased coverage, precise", std::to_string(Counts.Precise),
+            Share(Counts.Precise), Rate(Counts.Precise)});
+  T.addRow({"less precise: wrong specification",
+            std::to_string(Counts.WrongSpec), Share(Counts.WrongSpec),
+            Rate(Counts.WrongSpec)});
+  T.addRow({"less precise: coverage approach of §6.4",
+            std::to_string(Counts.Coverage64), Share(Counts.Coverage64),
+            Rate(Counts.Coverage64)});
+  T.addRow({"less precise: other", std::to_string(Counts.Other),
+            Share(Counts.Other), Rate(Counts.Other)});
+  std::printf("%s", T.render().c_str());
+  std::printf("\ntotal aliasing additions: %zu (%zu selected specs applied)\n",
+              Total, Run.Result.Selected.size());
+}
+
+} // namespace
+
+int main() {
+  std::printf("USpec reproduction — Tab. 4 (points-to coverage/precision)\n");
+  runProfile(javaProfile(), 900, 120, 0x7AB4);
+  runProfile(pythonProfile(), 900, 120, 0x7AB5);
+  return 0;
+}

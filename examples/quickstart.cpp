@@ -1,0 +1,93 @@
+//===- quickstart.cpp - USpec in 60 lines --------------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Quickstart: hand the learner a small corpus of programs, get API aliasing
+// specifications back, and use them to sharpen a may-alias query. This is
+// the whole public API surface in one file:
+//
+//   parseAndLower -> USpecLearner::learn -> AnalysisOptions{ApiAware} ->
+//   analyzeProgram -> AnalysisResult::retMayAlias
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/USpec.h"
+
+#include <cstdio>
+
+using namespace uspec;
+
+int main() {
+  StringInterner Strings;
+
+  // 1. A corpus. Real use would mine thousands of files; fifteen copies of
+  //    two idioms are enough to see the machinery work end to end.
+  std::vector<IRProgram> Corpus;
+  auto Add = [&](const char *Source) {
+    DiagnosticSink Diags;
+    auto P = parseAndLower(Source, "corpus", Strings, Diags);
+    if (P)
+      Corpus.push_back(std::move(*P));
+    else
+      std::fprintf(stderr, "parse error:\n%s", Diags.render().c_str());
+  };
+  for (int I = 0; I < 15; ++I) {
+    // Direct usage: files obtained from the database get their name read.
+    Add("class A { def f() { var x = db.getFile(\"cfg\"); x.getName(); } }");
+    // Usage through a map: the flow USpec must *learn* to connect.
+    Add("class B { def g() {"
+        "  var m = new Map();"
+        "  m.put(\"k\", db.getFile(\"cfg\"));"
+        "  var f = m.get(\"k\");"
+        "  f.getName();"
+        "} }");
+  }
+
+  // 2. Learn specifications (Fig. 1 pipeline).
+  LearnerConfig Config; // τ = 0.6, top-10-mean scoring — the paper defaults
+  USpecLearner Learner(Strings, Config);
+  LearnResult Result = Learner.learn(Corpus);
+
+  std::printf("learned %zu specifications from %zu candidates:\n",
+              Result.Selected.size(), Result.Candidates.size());
+  for (const ScoredCandidate &C : Result.Candidates)
+    std::printf("  %-50s score %.3f  (%zu matches)\n",
+                C.S.str(Strings).c_str(), C.Score, C.Matches);
+
+  // 3. Use the learned specs: an API-aware may-alias query.
+  DiagnosticSink Diags;
+  auto Client = parseAndLower(R"(
+    class Client {
+      def run() {
+        var m = new Map();
+        m.put("x", api.produce());
+        var a = m.get("x");
+        var b = api.produce();
+      }
+    }
+  )",
+                              "client", Strings, Diags);
+
+  AnalysisOptions Aware;
+  Aware.ApiAware = true;
+  Aware.Specs = &Result.Selected;
+  AnalysisResult R = analyzeProgram(*Client, Strings, Aware);
+
+  // Find the ret events of produce (first call) and get.
+  EventId ProduceRet = InvalidEvent, GetRet = InvalidEvent;
+  for (EventId E = 0; E < R.Events.size(); ++E) {
+    const Event &Ev = R.Events.get(E);
+    if (Ev.Kind != EventKind::ApiCall || Ev.Pos != PosRet)
+      continue;
+    if (Strings.str(Ev.Method.Name) == "produce" && ProduceRet == InvalidEvent)
+      ProduceRet = E;
+    if (Strings.str(Ev.Method.Name) == "get")
+      GetRet = E;
+  }
+  std::printf("\nclient query: may m.get(\"x\") alias api.produce()?  -> %s\n",
+              R.retMayAlias(GetRet, ProduceRet) ? "yes (stored value flows)"
+                                                : "no");
+  return 0;
+}

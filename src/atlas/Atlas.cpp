@@ -1,0 +1,121 @@
+//===- Atlas.cpp - Atlas-style dynamic specification baseline -----------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atlas/Atlas.h"
+
+#include "runtime/Runtime.h"
+
+using namespace uspec;
+
+namespace {
+
+/// One synthesized test: a random call sequence against a fresh instance.
+void runOneTest(const ApiRegistry &Registry, const ApiClass &Class,
+                const AtlasConfig &Config, Rng &Rand,
+                AtlasClassResult &Result) {
+  ApiHeap Heap(Registry);
+  RtValue Recv = Heap.allocObject(Class.Name);
+
+  // Argument pool: fresh objects and small integers. No string constants —
+  // the modeled §7.5 limitation.
+  std::vector<RtValue> Pool;
+  for (unsigned I = 0; I < Config.ArgPoolObjects; ++I)
+    Pool.push_back(Heap.allocObject("testArg"));
+  Pool.push_back(RtValue::ofInt(0));
+  Pool.push_back(RtValue::ofInt(1));
+
+  // Which pool values were passed to which method.
+  struct PassedArg {
+    RtValue Value;
+    std::string Method;
+  };
+  std::vector<PassedArg> Passed;
+
+  for (unsigned Call = 0; Call < Config.CallsPerTest; ++Call) {
+    const ApiMethod &Method =
+        Class.Methods[Rand.below(Class.Methods.size())];
+    std::vector<RtValue> Args;
+    for (unsigned A = 0; A < Method.Arity; ++A) {
+      const RtValue &Arg = Pool[Rand.below(Pool.size())];
+      Args.push_back(Arg);
+      if (Arg.isObj())
+        Passed.push_back({Arg, Method.Name});
+    }
+    RtValue Ret = Heap.callApi(Recv, Method, Args);
+
+    AtlasMethodSummary &Summary = Result.Methods[Method.Name];
+    if (!Ret.isObj())
+      continue;
+    Summary.ReturnsObjects = true;
+    bool Aliased = false;
+    for (const PassedArg &P : Passed) {
+      if (P.Value == Ret) {
+        Summary.MayReturnArgsOf.insert(P.Method);
+        Aliased = true;
+      }
+    }
+    if (Aliased)
+      Summary.ReturnsFresh = false;
+  }
+}
+
+} // namespace
+
+std::vector<AtlasClassResult>
+uspec::runAtlasBaseline(const ApiRegistry &Registry,
+                        const AtlasConfig &Config) {
+  std::vector<AtlasClassResult> Results;
+  Rng Rand(Config.Seed);
+  for (const ApiClass &Class : Registry.classes()) {
+    AtlasClassResult Result;
+    Result.Class = Class.Name;
+    Result.Library = Class.Library;
+    Result.ConstructorAvailable = Class.Constructible;
+    if (Class.Constructible && !Class.Methods.empty()) {
+      for (unsigned T = 0; T < Config.TestsPerClass; ++T)
+        runOneTest(Registry, Class, Config, Rand, Result);
+    }
+    Results.push_back(std::move(Result));
+  }
+  return Results;
+}
+
+AtlasSoundness uspec::judgeAtlasClass(const ApiClass &Class,
+                                      const AtlasClassResult &Result) {
+  AtlasSoundness Verdict;
+  for (const ApiMethod &Load : Class.Methods) {
+    if (Load.Semantics != MethodSemantics::Load)
+      continue;
+    // Which stores feed this load?
+    bool Covered = false;
+    bool SummarizedFresh = false;
+    auto It = Result.Methods.find(Load.Name);
+    for (const ApiMethod &Store : Class.Methods) {
+      if (Store.Semantics != MethodSemantics::Store)
+        continue;
+      bool Pairs = false;
+      for (const std::string &L : Store.PairedLoads)
+        Pairs |= L == Load.Name;
+      if (!Pairs)
+        continue;
+      ++Verdict.LoadsTotal;
+      if (It != Result.Methods.end() &&
+          It->second.MayReturnArgsOf.count(Store.Name)) {
+        Covered = true;
+        ++Verdict.LoadsCovered;
+      } else if (It != Result.Methods.end() && It->second.ReturnsFresh) {
+        SummarizedFresh = true;
+      } else if (It == Result.Methods.end()) {
+        SummarizedFresh = true; // never even exercised
+      }
+    }
+    if (!Covered && Verdict.LoadsTotal > 0)
+      Verdict.AllLoadsCovered = false;
+    if (SummarizedFresh && !Covered)
+      Verdict.UnsoundFresh = true;
+  }
+  return Verdict;
+}

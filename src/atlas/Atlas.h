@@ -1,0 +1,91 @@
+//===- Atlas.h - Atlas-style dynamic specification baseline ----*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A baseline in the style of Atlas [Bastani et al., PLDI 2018], the system
+/// §7.5 compares against: it synthesizes unit tests against the (black-box)
+/// library implementation, executes them, and infers points-to
+/// specifications from observed aliasing between return values and
+/// previously passed arguments.
+///
+/// The modeled characteristics from §7.5:
+///  - argument-INSENSITIVE specifications: "reading from a collection may
+///    alias with all values inserted", never RetSame/RetArg instantiations;
+///  - classes without callable constructors (ResultSet, KeyStore, NodeList)
+///    yield no specifications;
+///  - synthesized tests pass objects and small integer constants but do not
+///    enumerate string constants, so string-keyed classes (Properties,
+///    JSONObject, ...) are unsoundly summarized as returning fresh objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_ATLAS_ATLAS_H
+#define USPEC_ATLAS_ATLAS_H
+
+#include "corpus/Api.h"
+#include "support/Random.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// Test synthesis budget.
+struct AtlasConfig {
+  unsigned TestsPerClass = 60;
+  unsigned CallsPerTest = 10;
+  unsigned ArgPoolObjects = 3;
+  uint64_t Seed = 0xA71A5;
+};
+
+/// What Atlas concluded about one method.
+struct AtlasMethodSummary {
+  bool ReturnsObjects = false; ///< Ever observed returning an object.
+  bool ReturnsFresh = true;    ///< Never observed aliasing anything.
+  /// Methods whose arguments this method was observed to return
+  /// (argument-insensitive flow specs).
+  std::set<std::string> MayReturnArgsOf;
+};
+
+/// Atlas' verdict for one class.
+struct AtlasClassResult {
+  std::string Class;
+  std::string Library;
+  bool ConstructorAvailable = false;
+  std::map<std::string, AtlasMethodSummary> Methods;
+
+  /// True iff any flow spec was inferred.
+  bool hasSpecs() const {
+    for (const auto &[Name, Summary] : Methods)
+      if (!Summary.MayReturnArgsOf.empty())
+        return true;
+    return false;
+  }
+};
+
+/// Runs the Atlas-style baseline over every class of \p Registry.
+std::vector<AtlasClassResult> runAtlasBaseline(const ApiRegistry &Registry,
+                                               const AtlasConfig &Config);
+
+/// Judges an Atlas class result against ground truth: for every Load method
+/// of the class, Atlas is sound iff it discovered a flow from the paired
+/// store (or the class has no loads). Returns {sound, unsoundFresh}:
+/// unsoundFresh means a ground-truth Load was summarized as returning fresh
+/// objects (the §7.5 Properties failure).
+struct AtlasSoundness {
+  bool AllLoadsCovered = true;
+  bool UnsoundFresh = false;
+  unsigned LoadsTotal = 0;
+  unsigned LoadsCovered = 0;
+};
+AtlasSoundness judgeAtlasClass(const ApiClass &Class,
+                               const AtlasClassResult &Result);
+
+} // namespace uspec
+
+#endif // USPEC_ATLAS_ATLAS_H

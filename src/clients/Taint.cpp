@@ -1,0 +1,45 @@
+//===- Taint.cpp - Taint client analysis ---------------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Taint.h"
+
+#include <algorithm>
+
+using namespace uspec;
+
+std::vector<TaintFinding> uspec::checkTaint(const AnalysisResult &R,
+                                            const StringInterner &Strings,
+                                            const TaintConfig &Config) {
+  std::vector<TaintFinding> Findings;
+  for (const HistorySet &His : R.Histories) {
+    for (const History &H : His) {
+      bool Tainted = false;
+      uint32_t SourceSite = 0;
+      for (EventId E : H) {
+        const Event &Ev = R.Events.get(E);
+        if (Ev.Kind != EventKind::ApiCall)
+          continue;
+        const std::string &Name = Strings.str(Ev.Method.Name);
+        if (Ev.Pos == PosRet && Config.Sources.count(Name)) {
+          Tainted = true;
+          SourceSite = Ev.Site;
+          continue;
+        }
+        if (Ev.Pos != PosRet && Config.Sanitizers.count(Name)) {
+          Tainted = false;
+          continue;
+        }
+        if (Ev.Pos != PosRet && Ev.Pos != PosReceiver &&
+            Config.Sinks.count(Name) && Tainted)
+          Findings.push_back({SourceSite, Ev.Site});
+      }
+    }
+  }
+  std::sort(Findings.begin(), Findings.end());
+  Findings.erase(std::unique(Findings.begin(), Findings.end()),
+                 Findings.end());
+  return Findings;
+}

@@ -1,0 +1,59 @@
+//===- Taint.h - Taint client analysis (§7.4, Fig. 8b) ---------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A taint checker over abstract histories: values returned by *source*
+/// methods are tainted; passing a tainted value to a *sink* method is a
+/// finding; *sanitizer* calls clear the taint of the value passing through.
+///
+/// Like the type-state client, findings hinge on the may-alias analysis: in
+/// Fig. 8b the tainted value flows through kwargs.setdefault /
+/// kwargs['data-value'], which only an API-aware analysis connects — the
+/// unaware analysis produces a false negative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CLIENTS_TAINT_H
+#define USPEC_CLIENTS_TAINT_H
+
+#include "pointsto/Analysis.h"
+#include "support/StringInterner.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// Taint policy: method names acting as sources, sinks and sanitizers.
+struct TaintConfig {
+  std::set<std::string> Sources;
+  std::set<std::string> Sinks;
+  std::set<std::string> Sanitizers;
+};
+
+/// One tainted flow reaching a sink.
+struct TaintFinding {
+  uint32_t SourceSite = 0;
+  uint32_t SinkSite = 0;
+
+  friend bool operator==(const TaintFinding &A, const TaintFinding &B) {
+    return A.SourceSite == B.SourceSite && A.SinkSite == B.SinkSite;
+  }
+  friend bool operator<(const TaintFinding &A, const TaintFinding &B) {
+    return A.SourceSite != B.SourceSite ? A.SourceSite < B.SourceSite
+                                        : A.SinkSite < B.SinkSite;
+  }
+};
+
+/// Finds tainted source→sink flows over all abstract histories.
+std::vector<TaintFinding> checkTaint(const AnalysisResult &R,
+                                     const StringInterner &Strings,
+                                     const TaintConfig &Config);
+
+} // namespace uspec
+
+#endif // USPEC_CLIENTS_TAINT_H

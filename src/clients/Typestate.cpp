@@ -1,0 +1,41 @@
+//===- Typestate.cpp - Type-state client analysis ------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Typestate.h"
+
+#include <algorithm>
+
+using namespace uspec;
+
+std::vector<TypestateWarning>
+uspec::checkTypestate(const AnalysisResult &R, const StringInterner &Strings,
+                      const TypestateProtocol &Proto) {
+  std::vector<TypestateWarning> Warnings;
+  for (const HistorySet &His : R.Histories) {
+    for (const History &H : His) {
+      bool Checked = false;
+      for (EventId E : H) {
+        const Event &Ev = R.Events.get(E);
+        if (Ev.Kind != EventKind::ApiCall || Ev.Pos != PosReceiver)
+          continue;
+        const std::string &Name = Strings.str(Ev.Method.Name);
+        if (Name == Proto.CheckMethod) {
+          Checked = true;
+          continue;
+        }
+        if (Name != Proto.UseMethod)
+          continue;
+        if (!Checked)
+          Warnings.push_back({Ev.Site, Ev.Ctx});
+        Checked = false; // a use consumes the check
+      }
+    }
+  }
+  std::sort(Warnings.begin(), Warnings.end());
+  Warnings.erase(std::unique(Warnings.begin(), Warnings.end()),
+                 Warnings.end());
+  return Warnings;
+}

@@ -1,0 +1,61 @@
+//===- Typestate.h - Type-state client analysis (§7.4, Fig. 8a) -*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A type-state checker over abstract histories: a protocol names a *check*
+/// method and a *use* method (e.g. Iterator.hasNext / Iterator.next), and
+/// every use must be preceded — on the same abstract object, with no
+/// intervening use — by a check. Warnings are per call site.
+///
+/// The client's precision depends directly on the may-alias analysis: with
+/// the API-unaware analysis, `iters.get(i).hasNext()` and
+/// `iters.get(i).next()` act on two distinct abstract objects and the check
+/// is lost (false positive); the API-aware analysis merges them via
+/// RetSame(get) (Fig. 8a).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CLIENTS_TYPESTATE_H
+#define USPEC_CLIENTS_TYPESTATE_H
+
+#include "pointsto/Analysis.h"
+#include "support/StringInterner.h"
+
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// A check-before-use protocol.
+struct TypestateProtocol {
+  std::string CheckMethod; ///< e.g. "hasNext"
+  std::string UseMethod;   ///< e.g. "next"
+};
+
+/// One potential protocol violation.
+struct TypestateWarning {
+  uint32_t Site = 0;
+  uint32_t Ctx = 0;
+
+  friend bool operator==(const TypestateWarning &A,
+                         const TypestateWarning &B) {
+    return A.Site == B.Site && A.Ctx == B.Ctx;
+  }
+  friend bool operator<(const TypestateWarning &A, const TypestateWarning &B) {
+    return A.Site != B.Site ? A.Site < B.Site : A.Ctx < B.Ctx;
+  }
+};
+
+/// Checks the protocol over every abstract history of \p R. A use call site
+/// is warned about if *some* history reaches it in unchecked state
+/// (may-analysis, conservative).
+std::vector<TypestateWarning> checkTypestate(const AnalysisResult &R,
+                                             const StringInterner &Strings,
+                                             const TypestateProtocol &Proto);
+
+} // namespace uspec
+
+#endif // USPEC_CLIENTS_TYPESTATE_H

@@ -1,0 +1,86 @@
+//===- Candidates.cpp - Candidate extraction & scoring (Alg. 1, §5.2) --------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Candidates.h"
+
+using namespace uspec;
+
+double uspec::scoreCandidate(const CandidateStats &Stats, ScoreKind Kind,
+                             size_t TopK) {
+  switch (Kind) {
+  case ScoreKind::TopKMean:
+  case ScoreKind::NameAware: // the prior is blended in by the learner
+    return topKMean(Stats.Confidences, TopK);
+  case ScoreKind::MaxConfidence:
+    return maxValue(Stats.Confidences);
+  case ScoreKind::P95:
+    return percentile(Stats.Confidences, 0.95);
+  case ScoreKind::MatchCount:
+    // Squashed into [0, 1) so that τ sweeps apply uniformly.
+    return static_cast<double>(Stats.Matches) /
+           (static_cast<double>(Stats.Matches) + 25.0);
+  case ScoreKind::ProgramCount:
+    return static_cast<double>(Stats.Programs) /
+           (static_cast<double>(Stats.Programs) + 10.0);
+  }
+  return 0;
+}
+
+void CandidateCollector::recordMatch(const Spec &S, const EventGraph &G,
+                                     const std::vector<InducedEdge> &Edges,
+                                     uint32_t ProgramId) {
+  CandidateStats *Stats;
+  auto It = Candidates.find(S);
+  if (It == Candidates.end()) {
+    Stats = &Candidates[S];
+    Order.push_back(S);
+  } else {
+    Stats = &It->second;
+  }
+  ++Stats->Matches;
+  if (Stats->ProgramIds.insert(ProgramId).second)
+    Stats->Programs = Stats->ProgramIds.size();
+
+  // Alg. 1 line 6–8: only matches inducing exactly one edge are scored.
+  if (Edges.size() != 1)
+    return;
+  Stats->Confidences.push_back(
+      Model.edgeProbability(G, Edges[0].first, Edges[0].second));
+}
+
+void CandidateCollector::addGraph(const EventGraph &G, uint32_t ProgramId) {
+  for (auto [LaterIdx, EarlierIdx] : G.receiverPairs(DistanceBound)) {
+    const CallSite &M1 = G.callSites()[LaterIdx];
+    const CallSite &M2 = G.callSites()[EarlierIdx];
+
+    // Skip pairs with unusable method names (should not happen in practice).
+    if (M1.Method.Name.isEmpty() || M2.Method.Name.isEmpty())
+      continue;
+
+    if (matchesRetSame(G, M1, M2)) {
+      Spec S = Spec::retSame(M1.Method);
+      recordMatch(S, G, inducedRetSame(G, M1, M2), ProgramId);
+    }
+    for (unsigned X = 1; X <= M2.nargs(); ++X) {
+      if (!matchesRetArg(G, M1, M2, X))
+        continue;
+      Spec S = Spec::retArg(M1.Method, M2.Method, static_cast<uint8_t>(X));
+      recordMatch(S, G, inducedRetArg(G, M1, M2, X), ProgramId);
+    }
+  }
+
+  // Experimental RetRecv pattern (§5.3): every call site with receiver and
+  // return matches trivially; the scoring has to carry all the weight.
+  if (Experimental) {
+    for (const CallSite &M : G.callSites()) {
+      if (M.Recv == InvalidEvent || M.Ret == InvalidEvent ||
+          M.Method.Name.isEmpty())
+        continue;
+      recordMatch(Spec::retRecv(M.Method), G, inducedRetRecv(G, M),
+                  ProgramId);
+    }
+  }
+}

@@ -1,0 +1,91 @@
+//===- Candidates.h - Candidate extraction & scoring (Alg. 1, §5.2) -*- C++-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alg. 1: for each event graph, enumerate call-site pairs with the same
+/// receiver (bounded history distance, §7.1), match the specification
+/// patterns, instantiate candidate specifications, and record the model's
+/// confidence on each single induced edge. Scoring functions (§5.2) turn
+/// the per-candidate confidence list ΓS into a score.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORE_CANDIDATES_H
+#define USPEC_CORE_CANDIDATES_H
+
+#include "core/Matching.h"
+#include "model/EdgeModel.h"
+#include "specs/Spec.h"
+#include "support/Stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace uspec {
+
+/// Aggregated evidence for one candidate specification.
+struct CandidateStats {
+  /// ΓS: edge confidences from single-induced-edge matches.
+  std::vector<double> Confidences;
+  /// Total number of pattern matches (also multi-edge ones).
+  size_t Matches = 0;
+  /// Number of distinct programs with at least one match.
+  size_t Programs = 0;
+  std::unordered_set<uint32_t> ProgramIds;
+};
+
+/// The scoring alternatives discussed in §5.2/§7.2.
+enum class ScoreKind : uint8_t {
+  TopKMean,     ///< Mean of the k highest confidences (paper default, k=10).
+  MaxConfidence,///< Highest confidence in ΓS.
+  P95,          ///< 95th percentile of ΓS.
+  MatchCount,   ///< Number of matches (ablation baseline).
+  ProgramCount, ///< Number of programs with a match (ablation baseline).
+  NameAware,    ///< Top-k mean blended with a naming-convention prior —
+                ///< the §5.3 future-work direction (core/Naming.h).
+};
+
+/// Computes score(S) from aggregated stats.
+double scoreCandidate(const CandidateStats &Stats, ScoreKind Kind,
+                      size_t TopK);
+
+/// Collects candidate specifications across event graphs.
+class CandidateCollector {
+public:
+  /// \p ExperimentalPatterns additionally instantiates the §5.3 extension
+  /// pattern RetRecv on every call site with receiver and return events.
+  CandidateCollector(const EdgeModel &Model, unsigned DistanceBound = 10,
+                     bool ExperimentalPatterns = false)
+      : Model(Model), DistanceBound(DistanceBound),
+        Experimental(ExperimentalPatterns) {}
+
+  /// Processes one event graph (Alg. 1). \p ProgramId identifies the program
+  /// for per-program match statistics.
+  void addGraph(const EventGraph &G, uint32_t ProgramId);
+
+  /// Aggregated candidates. Deterministic order is provided by candidates().
+  const std::unordered_map<Spec, CandidateStats, SpecHash> &stats() const {
+    return Candidates;
+  }
+
+  /// Candidates in first-seen order.
+  const std::vector<Spec> &candidates() const { return Order; }
+
+private:
+  void recordMatch(const Spec &S, const EventGraph &G,
+                   const std::vector<InducedEdge> &Edges, uint32_t ProgramId);
+
+  const EdgeModel &Model;
+  unsigned DistanceBound;
+  bool Experimental;
+  std::unordered_map<Spec, CandidateStats, SpecHash> Candidates;
+  std::vector<Spec> Order;
+};
+
+} // namespace uspec
+
+#endif // USPEC_CORE_CANDIDATES_H

@@ -1,0 +1,144 @@
+//===- Learner.cpp - The USpec learning pipeline (Fig. 1) ---------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Learner.h"
+
+#include "core/Naming.h"
+#include "eventgraph/EventGraph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+
+using namespace uspec;
+
+namespace {
+
+/// Runs \p Body(I) for I in [0, N) on \p Threads workers. Work items are
+/// handed out through an atomic counter; \p Body must only touch index I's
+/// slots so results are schedule-independent.
+template <typename BodyFn>
+void parallelFor(size_t N, unsigned Threads, BodyFn Body) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Threads = static_cast<unsigned>(
+      std::min<size_t>(Threads, std::max<size_t>(1, N)));
+  if (Threads <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+        Body(I);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+} // namespace
+
+LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
+  assert(!Config.Analysis.ApiAware &&
+         "learning runs on the API-unaware analysis");
+  LearnResult Result;
+  Result.Model = EdgeModel(Config.Model);
+  size_t N = Corpus.size();
+
+  // Phase 1 (§3): analyze each program and build its event graph. Programs
+  // are independent, so this fans out across threads (the paper runs its
+  // pipeline on a 28-core server, §7.2).
+  std::vector<std::unique_ptr<AnalysisResult>> Analyses(N);
+  std::vector<EventGraph> Graphs(N);
+  // Phase 2a (§4.2): per-program training samples, seeded per program so
+  // results do not depend on scheduling.
+  std::vector<std::vector<TrainingSample>> PerProgramSamples(N);
+  parallelFor(N, Config.Threads, [&](size_t I) {
+    Analyses[I] = std::make_unique<AnalysisResult>(
+        analyzeProgram(Corpus[I], Strings, Config.Analysis));
+    Graphs[I] = EventGraph::build(*Analyses[I]);
+    Rng Rand(hashValues(Config.Seed, I));
+    collectTrainingSamples(Graphs[I], Rand, PerProgramSamples[I]);
+  });
+
+  // Phase 2b: train the model on the concatenated samples.
+  std::vector<TrainingSample> Samples;
+  for (std::vector<TrainingSample> &Local : PerProgramSamples) {
+    Samples.insert(Samples.end(), std::make_move_iterator(Local.begin()),
+                   std::make_move_iterator(Local.end()));
+    Local.clear();
+  }
+  Result.NumTrainingSamples = Samples.size();
+  Result.Model.train(Samples);
+  Result.TrainAccuracy = Result.Model.accuracy(Samples);
+
+  // Phase 3 (Alg. 1): candidate extraction and confidence collection.
+  CandidateCollector Collector(Result.Model, Config.DistanceBound,
+                               Config.ExperimentalPatterns);
+  for (size_t I = 0; I < Graphs.size(); ++I)
+    Collector.addGraph(Graphs[I], static_cast<uint32_t>(I));
+
+  // Phase 4 (§5.2): scoring.
+  for (const Spec &S : Collector.candidates()) {
+    const CandidateStats &Stats = Collector.stats().at(S);
+    ScoredCandidate C;
+    C.S = S;
+    C.Score = scoreCandidate(Stats, Config.Scoring, Config.TopK);
+    if (Config.Scoring == ScoreKind::NameAware)
+      C.Score = blendWithNamingPrior(C.Score, namingPrior(S, Strings));
+    C.Matches = Stats.Matches;
+    C.Programs = Stats.Programs;
+    C.NumConfidences = Stats.Confidences.size();
+    Result.Candidates.push_back(C);
+  }
+  std::stable_sort(Result.Candidates.begin(), Result.Candidates.end(),
+                   [](const ScoredCandidate &A, const ScoredCandidate &B) {
+                     if (A.Score != B.Score)
+                       return A.Score > B.Score;
+                     return A.Matches > B.Matches;
+                   });
+
+  // Phase 5 (§5.3–5.4): selection and consistency extension.
+  Result.Selected =
+      select(Result.Candidates, Config.Tau, Config.ExtendConsistency,
+             &Result.AddedByExtension);
+  return Result;
+}
+
+SpecSet USpecLearner::select(const std::vector<ScoredCandidate> &Candidates,
+                             double Tau, bool Extend,
+                             size_t *AddedByExtension) {
+  SpecSet Selected;
+  for (const ScoredCandidate &C : Candidates)
+    if (C.Score >= Tau)
+      Selected.insert(C.S);
+  size_t Added = Extend ? Selected.extendConsistency() : 0;
+  if (AddedByExtension)
+    *AddedByExtension = Added;
+  return Selected;
+}
+
+size_t USpecLearner::countApiClasses(
+    const std::vector<ScoredCandidate> &Candidates) {
+  std::unordered_set<uint32_t> Classes;
+  for (const ScoredCandidate &C : Candidates)
+    Classes.insert(C.S.Target.Class.id());
+  return Classes.size();
+}
+
+size_t USpecLearner::countApiClasses(const SpecSet &Specs) {
+  std::unordered_set<uint32_t> Classes;
+  for (const Spec &S : Specs.all())
+    Classes.insert(S.Target.Class.id());
+  return Classes.size();
+}

@@ -1,0 +1,115 @@
+//===- Learner.h - The USpec learning pipeline (Fig. 1) --------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end unsupervised pipeline of Fig. 1: analyze every corpus
+/// program API-unaware (§3), train the probabilistic edge model (§4),
+/// extract and score candidate specifications (§5.1–5.2), select those with
+/// score ≥ τ (§5.3), and extend the set for consistency (§5.4).
+///
+/// This is the primary public entry point of the library:
+/// \code
+///   StringInterner Strings;
+///   std::vector<IRProgram> Corpus = ...;      // parseAndLower(...)
+///   USpecLearner Learner(Strings, LearnerConfig());
+///   LearnResult Result = Learner.learn(Corpus);
+///   for (const ScoredCandidate &C : Result.Candidates) ...
+///   // Result.Selected drives the API-aware analysis (AnalysisOptions).
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORE_LEARNER_H
+#define USPEC_CORE_LEARNER_H
+
+#include "core/Candidates.h"
+#include "ir/IR.h"
+#include "model/EdgeModel.h"
+#include "pointsto/Analysis.h"
+#include "specs/Spec.h"
+
+#include <vector>
+
+namespace uspec {
+
+/// Configuration of the full learning pipeline.
+struct LearnerConfig {
+  /// Options for the initial, API-unaware points-to pass (§3.2). ApiAware
+  /// must stay false here; the learned specs feed a separate aware pass.
+  AnalysisOptions Analysis;
+  /// Probabilistic model configuration (§4).
+  EdgeModelConfig Model;
+  /// Receiver-pair distance bound in Alg. 1 (§7.1 uses 10).
+  unsigned DistanceBound = 10;
+  /// k of the top-k-mean score (§5.2 uses 10).
+  size_t TopK = 10;
+  /// Selection threshold τ (§5.3; the evaluation uses 0.6).
+  double Tau = 0.6;
+  /// Score aggregation (§5.2; TopKMean is the paper's choice).
+  ScoreKind Scoring = ScoreKind::TopKMean;
+  /// Apply the §5.4 consistency extension to the selected set.
+  bool ExtendConsistency = true;
+  /// Also instantiate the experimental RetRecv pattern (§5.3 discussion).
+  bool ExperimentalPatterns = false;
+  /// Seed for negative subsampling and SGD shuffling.
+  uint64_t Seed = 0xC0FFEE;
+  /// Worker threads for the per-program analysis/graph/sampling phases
+  /// (0 = hardware concurrency). Results are identical for any thread count
+  /// — sampling is seeded per program, not per thread.
+  unsigned Threads = 0;
+};
+
+/// One scored candidate specification.
+struct ScoredCandidate {
+  Spec S;
+  double Score = 0;
+  size_t Matches = 0;        ///< Pattern matches in the corpus.
+  size_t Programs = 0;       ///< Distinct programs with a match.
+  size_t NumConfidences = 0; ///< |ΓS| (single-edge matches scored by ϕ).
+};
+
+/// Output of the pipeline.
+struct LearnResult {
+  EdgeModel Model;
+  /// All candidates, sorted by descending score (ties broken by matches).
+  std::vector<ScoredCandidate> Candidates;
+  /// Specifications with score ≥ τ, closed under the §5.4 extension.
+  SpecSet Selected;
+  /// How many specs the consistency extension added.
+  size_t AddedByExtension = 0;
+  /// Training set size and in-sample accuracy of ϕ.
+  size_t NumTrainingSamples = 0;
+  double TrainAccuracy = 0;
+};
+
+/// The USpec pipeline.
+class USpecLearner {
+public:
+  USpecLearner(StringInterner &Strings, LearnerConfig Config)
+      : Strings(Strings), Config(std::move(Config)) {}
+
+  /// Runs the full pipeline over \p Corpus.
+  LearnResult learn(const std::vector<IRProgram> &Corpus);
+
+  /// Re-selects specifications at a different threshold \p Tau from already
+  /// scored candidates (used by the precision/recall sweeps of Fig. 7, which
+  /// must not retrain the model per τ).
+  static SpecSet select(const std::vector<ScoredCandidate> &Candidates,
+                        double Tau, bool Extend,
+                        size_t *AddedByExtension = nullptr);
+
+  /// Number of distinct API classes covered by \p Specs (§7.2 statistics).
+  static size_t countApiClasses(const std::vector<ScoredCandidate> &Candidates);
+  static size_t countApiClasses(const SpecSet &Specs);
+
+private:
+  StringInterner &Strings;
+  LearnerConfig Config;
+};
+
+} // namespace uspec
+
+#endif // USPEC_CORE_LEARNER_H

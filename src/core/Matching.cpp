@@ -1,0 +1,117 @@
+//===- Matching.cpp - Specification pattern matching (§5.1) -------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Matching.h"
+
+using namespace uspec;
+
+namespace {
+
+/// C2: same receiver, via equality of the receivers' points-to sets
+/// (allocation-event sets). Empty sets are rejected — an unknown receiver
+/// must not be considered "the same" as another unknown receiver.
+bool sameReceiver(const EventGraph &G, const CallSite &M1,
+                  const CallSite &M2) {
+  if (M1.Recv == InvalidEvent || M2.Recv == InvalidEvent)
+    return false;
+  const auto &A1 = G.allocOf(M1.Recv);
+  const auto &A2 = G.allocOf(M2.Recv);
+  if (A1.empty())
+    return false;
+  return A1 == A2;
+}
+
+/// C3: m2's receiver event precedes m1's.
+bool calledBefore(const EventGraph &G, const CallSite &M1,
+                  const CallSite &M2) {
+  if (M1.Recv == InvalidEvent || M2.Recv == InvalidEvent)
+    return false;
+  return G.hasEdge(M2.Recv, M1.Recv);
+}
+
+/// equalG(m1, I1, m2, I2) over 1-based argument positions.
+bool argsEqual(const EventGraph &G, const CallSite &M1, unsigned I1,
+               const CallSite &M2, unsigned I2) {
+  if (I1 < 1 || I1 > M1.Args.size() || I2 < 1 || I2 > M2.Args.size())
+    return false;
+  EventId A = M1.Args[I1 - 1];
+  EventId B = M2.Args[I2 - 1];
+  if (A == InvalidEvent || B == InvalidEvent)
+    return false;
+  return G.equalVals(A, B);
+}
+
+} // namespace
+
+bool uspec::matchesRetSame(const EventGraph &G, const CallSite &M1,
+                           const CallSite &M2) {
+  // C1: same method identifier (class, name, signature).
+  if (M1.Method != M2.Method)
+    return false;
+  if (!sameReceiver(G, M1, M2) || !calledBefore(G, M1, M2))
+    return false;
+  // C4: all arguments equal.
+  for (unsigned I = 1; I <= M1.nargs(); ++I)
+    if (!argsEqual(G, M1, I, M2, I))
+      return false;
+  return true;
+}
+
+bool uspec::matchesRetArg(const EventGraph &G, const CallSite &M1,
+                          const CallSite &M2, unsigned X) {
+  // C1': the storing method has exactly one extra argument.
+  if (M2.nargs() != M1.nargs() + 1u)
+    return false;
+  if (X < 1 || X > M2.nargs())
+    return false;
+  if (!sameReceiver(G, M1, M2) || !calledBefore(G, M1, M2))
+    return false;
+  // C4': arguments around position x line up.
+  for (unsigned I = 1; I < X; ++I)
+    if (!argsEqual(G, M1, I, M2, I))
+      return false;
+  for (unsigned J = X + 1; J <= M2.nargs(); ++J)
+    if (!argsEqual(G, M1, J - 1, M2, J))
+      return false;
+  return true;
+}
+
+std::vector<InducedEdge> uspec::inducedRetSame(const EventGraph &G,
+                                               const CallSite &M1,
+                                               const CallSite &M2) {
+  std::vector<InducedEdge> Edges;
+  if (M1.Ret == InvalidEvent || M2.Ret == InvalidEvent)
+    return Edges;
+  for (EventId E1 : G.children(M2.Ret))
+    for (EventId E2 : G.children(M1.Ret))
+      Edges.emplace_back(E1, E2);
+  return Edges;
+}
+
+std::vector<InducedEdge> uspec::inducedRetRecv(const EventGraph &G,
+                                               const CallSite &M) {
+  std::vector<InducedEdge> Edges;
+  if (M.Recv == InvalidEvent || M.Ret == InvalidEvent)
+    return Edges;
+  for (EventId E1 : G.allocOf(M.Recv))
+    for (EventId E2 : G.children(M.Ret))
+      Edges.emplace_back(E1, E2);
+  return Edges;
+}
+
+std::vector<InducedEdge> uspec::inducedRetArg(const EventGraph &G,
+                                              const CallSite &M1,
+                                              const CallSite &M2,
+                                              unsigned X) {
+  std::vector<InducedEdge> Edges;
+  if (M1.Ret == InvalidEvent || X < 1 || X > M2.Args.size() ||
+      M2.Args[X - 1] == InvalidEvent)
+    return Edges;
+  for (EventId E1 : G.allocOf(M2.Args[X - 1]))
+    for (EventId E2 : G.children(M1.Ret))
+      Edges.emplace_back(E1, E2);
+  return Edges;
+}

@@ -1,0 +1,62 @@
+//===- Matching.h - Specification pattern matching (§5.1) ------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Matching of the RetSame / RetArg specification patterns against call-site
+/// pairs in an event graph, and the induced edges of a match (§5.1):
+///
+/// (m1, m2) matches RetSame(s) iff
+///   (C1) id(m1) = id(m2)
+///   (C2) allocG(⟨m1,0⟩) = allocG(⟨m2,0⟩)      (same receiver)
+///   (C3) (⟨m2,0⟩, ⟨m1,0⟩) ∈ E                 (m2 called before m1)
+///   (C4) ∀i. equalG(m1, i, m2, i)
+///
+/// (m1, m2) matches RetArg(t, s, x) iff C2, C3 and
+///   (C1') nargs(m2) = nargs(m1) + 1
+///   (C4') ∀i < x. equalG(m1,i,m2,i)  ∧  ∀j > x. equalG(m1,j−1,m2,j)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORE_MATCHING_H
+#define USPEC_CORE_MATCHING_H
+
+#include "eventgraph/EventGraph.h"
+#include "specs/Spec.h"
+
+#include <utility>
+#include <vector>
+
+namespace uspec {
+
+/// An induced edge (e1, e2).
+using InducedEdge = std::pair<EventId, EventId>;
+
+/// True iff the call-site pair (M1 later, M2 earlier) matches RetSame.
+bool matchesRetSame(const EventGraph &G, const CallSite &M1,
+                    const CallSite &M2);
+
+/// True iff the pair matches RetArg(id(M1), id(M2), X); X is 1-based.
+bool matchesRetArg(const EventGraph &G, const CallSite &M1,
+                   const CallSite &M2, unsigned X);
+
+/// Induced edges of a RetSame match: child(⟨m2,ret⟩) × child(⟨m1,ret⟩).
+std::vector<InducedEdge> inducedRetSame(const EventGraph &G,
+                                        const CallSite &M1,
+                                        const CallSite &M2);
+
+/// Induced edges of a RetArg match: allocG(⟨m2,x⟩) × child(⟨m1,ret⟩).
+std::vector<InducedEdge> inducedRetArg(const EventGraph &G,
+                                       const CallSite &M1, const CallSite &M2,
+                                       unsigned X);
+
+/// Induced edges of the experimental RetRecv pattern (§5.3): a single call
+/// site m may return its receiver, inducing allocG(⟨m,0⟩) × child(⟨m,ret⟩).
+std::vector<InducedEdge> inducedRetRecv(const EventGraph &G,
+                                        const CallSite &M);
+
+} // namespace uspec
+
+#endif // USPEC_CORE_MATCHING_H

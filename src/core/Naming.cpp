@@ -1,0 +1,115 @@
+//===- Naming.cpp - Naming-convention prior (§5.3 future work) -----------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Naming.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+using namespace uspec;
+
+namespace {
+
+std::string lowered(const std::string &Text) {
+  std::string Out = Text;
+  std::transform(Out.begin(), Out.end(), Out.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return Out;
+}
+
+bool startsWith(const std::string &Text, const char *Prefix) {
+  return Text.rfind(Prefix, 0) == 0;
+}
+
+} // namespace
+
+NameRole uspec::classifyMethodName(const std::string &Name) {
+  std::string N = lowered(Name);
+  // Consumers first: they often also start with "read"/"get"-like stems.
+  static constexpr std::array<const char *, 6> Consumers = {
+      "next", "pop", "poll", "take", "remove", "dequeue"};
+  for (const char *P : Consumers)
+    if (startsWith(N, P))
+      return NameRole::Consumer;
+
+  static constexpr std::array<const char *, 12> Readers = {
+      "get",  "load",  "fetch", "lookup", "find", "read",
+      "item", "path",  "peek",  "element", "opt", "subscriptload"};
+  for (const char *P : Readers)
+    if (startsWith(N, P))
+      return NameRole::Reader;
+
+  static constexpr std::array<const char *, 9> Writers = {
+      "put", "set", "store", "add", "insert", "push", "write", "append",
+      "subscriptstore"};
+  for (const char *P : Writers)
+    if (startsWith(N, P))
+      return NameRole::Writer;
+
+  return NameRole::Neutral;
+}
+
+bool uspec::namesShareStem(const std::string &A, const std::string &B) {
+  std::string LA = lowered(A), LB = lowered(B);
+  static constexpr std::array<const char *, 8> Prefixes = {
+      "get", "set", "put", "load", "store", "read", "write", "opt"};
+  auto Strip = [](const std::string &Name) {
+    for (const char *P : Prefixes)
+      if (startsWith(Name, P) && Name.size() > std::string(P).size())
+        return Name.substr(std::string(P).size());
+    return Name;
+  };
+  std::string SA = Strip(LA), SB = Strip(LB);
+  return !SA.empty() && SA == SB && (SA != LA || SB != LB);
+}
+
+double uspec::namingPrior(const Spec &S, const StringInterner &Strings) {
+  const std::string &Target = Strings.str(S.Target.Name);
+  NameRole TargetRole = classifyMethodName(Target);
+
+  switch (S.TheKind) {
+  case Spec::Kind::RetSame:
+    switch (TargetRole) {
+    case NameRole::Reader:
+      return 0.85;
+    case NameRole::Consumer:
+      return 0.1;
+    case NameRole::Writer:
+      return 0.25;
+    case NameRole::Neutral:
+      return 0.5;
+    }
+    return 0.5;
+
+  case Spec::Kind::RetArg: {
+    const std::string &Source = Strings.str(S.Source.Name);
+    NameRole SourceRole = classifyMethodName(Source);
+    double Prior;
+    if (TargetRole == NameRole::Reader && SourceRole == NameRole::Writer)
+      Prior = 0.85;
+    else if (SourceRole == NameRole::Writer)
+      Prior = 0.6;
+    else if (TargetRole == NameRole::Reader)
+      Prior = 0.5;
+    else
+      Prior = 0.25;
+    if (namesShareStem(Target, Source))
+      Prior = std::min(1.0, Prior + 0.1);
+    return Prior;
+  }
+
+  case Spec::Kind::RetRecv:
+    // Builder verbs look like writers that return something.
+    return TargetRole == NameRole::Writer ? 0.6 : 0.3;
+  }
+  return 0.5;
+}
+
+double uspec::blendWithNamingPrior(double ModelScore, double Prior) {
+  double Blend = 0.65 * ModelScore + 0.35 * Prior;
+  return std::clamp(Blend, 0.0, 1.0);
+}

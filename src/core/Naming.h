@@ -1,0 +1,59 @@
+//===- Naming.h - Naming-convention prior (§5.3 future work) ---*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §5.3 closes with: "We believe scoring other patterns (or
+/// e.g., naming conventions) using our probabilistic model is an
+/// interesting future research direction." This module implements that
+/// direction as a lightweight lexical prior over method names:
+///
+///  - reader-like names (get*, load*, fetch*, lookup*, find*, item, path,
+///    Subscript Load, ...) support RetSame and RetArg targets;
+///  - writer-like names (put*, set*, store*, add*, insert*, SubscriptStore,
+///    ...) support RetArg sources;
+///  - consuming names (next, pop, poll, take, read*) argue against RetSame;
+///  - shared stems across a RetArg pair (getProperty/setProperty) earn a
+///    bonus.
+///
+/// The prior combines multiplicatively-ish with the probabilistic score
+/// (ScoreKind::NameAware): it sharpens ranking without being able to
+/// overrule strong model evidence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORE_NAMING_H
+#define USPEC_CORE_NAMING_H
+
+#include "specs/Spec.h"
+#include "support/StringInterner.h"
+
+namespace uspec {
+
+/// Lexical role of a method name.
+enum class NameRole : uint8_t {
+  Reader,   ///< get/load/fetch/lookup/find/...
+  Writer,   ///< put/set/store/add/insert/...
+  Consumer, ///< next/pop/poll/take/read-and-advance
+  Neutral,
+};
+
+/// Classifies a method name by its leading token.
+NameRole classifyMethodName(const std::string &Name);
+
+/// Shared-stem check: "getProperty"/"setProperty" → true.
+bool namesShareStem(const std::string &A, const std::string &B);
+
+/// Prior in [0, 1] that \p S is a valid specification, judged from method
+/// names alone.
+double namingPrior(const Spec &S, const StringInterner &Strings);
+
+/// Blends the probabilistic score with the naming prior (equal weights,
+/// clamped to [0, 1]).
+double blendWithNamingPrior(double ModelScore, double Prior);
+
+} // namespace uspec
+
+#endif // USPEC_CORE_NAMING_H

@@ -1,0 +1,36 @@
+//===- USpec.h - Umbrella header for the USpec library ---------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella header: pulls in the full public API of the USpec
+/// reproduction. See README.md for a walkthrough and DESIGN.md for the
+/// system inventory.
+///
+/// Typical use:
+///  1. Parse + lower MiniLang sources (lang/Parser.h, ir/Lowering.h) or
+///     generate a corpus (corpus/Generator.h).
+///  2. Learn specifications with USpecLearner (core/Learner.h).
+///  3. Run the API-aware may-alias analysis with the learned SpecSet
+///     (pointsto/Analysis.h with AnalysisOptions::ApiAware).
+///  4. Feed the result to client analyses (clients/Typestate.h,
+///     clients/Taint.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORE_USPEC_H
+#define USPEC_CORE_USPEC_H
+
+#include "core/Candidates.h"
+#include "core/Learner.h"
+#include "core/Matching.h"
+#include "eventgraph/EventGraph.h"
+#include "ir/Lowering.h"
+#include "lang/Parser.h"
+#include "model/EdgeModel.h"
+#include "pointsto/Analysis.h"
+#include "specs/Spec.h"
+
+#endif // USPEC_CORE_USPEC_H

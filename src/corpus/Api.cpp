@@ -1,0 +1,121 @@
+//===- Api.cpp - Simulated API registry with ground-truth semantics -----------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Api.h"
+
+using namespace uspec;
+
+const ApiClass *ApiRegistry::findClass(const std::string &Name) const {
+  for (const ApiClass &C : Classes)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+namespace {
+
+/// Aliasing-behaviour signature: two same-named methods are compatible for
+/// unknown-class resolution iff this signature matches (e.g. a Load and a
+/// StatelessGetter are both RetSame-valid non-stores).
+std::tuple<bool, bool, unsigned> aliasingSignature(const ApiMethod &M) {
+  bool RetSameValid = M.Semantics == MethodSemantics::Load ||
+                      M.Semantics == MethodSemantics::StatelessGetter ||
+                      M.Semantics == MethodSemantics::Fluent;
+  return {RetSameValid, M.Semantics == MethodSemantics::Fluent,
+          M.Semantics == MethodSemantics::Store ? M.StorePos : 0};
+}
+
+} // namespace
+
+const ApiMethod *ApiRegistry::findUniqueMethod(const std::string &Name,
+                                               unsigned Arity,
+                                               const ApiClass **OwnerOut) const {
+  const ApiMethod *Found = nullptr;
+  const ApiClass *Owner = nullptr;
+  for (const ApiClass &C : Classes) {
+    if (const ApiMethod *M = C.findMethod(Name, Arity)) {
+      if (Found) {
+        // Ambiguous only when the aliasing behaviour differs.
+        if (aliasingSignature(*M) != aliasingSignature(*Found))
+          return nullptr;
+        continue;
+      }
+      Found = M;
+      Owner = &C;
+    }
+  }
+  if (OwnerOut)
+    *OwnerOut = Owner;
+  return Found;
+}
+
+const ApiMethod *ApiRegistry::resolve(const MethodId &M,
+                                      const StringInterner &Strings,
+                                      const ApiClass **OwnerOut) const {
+  const std::string &Name = Strings.str(M.Name);
+  if (!M.Class.isEmpty()) {
+    const ApiClass *C = findClass(Strings.str(M.Class));
+    if (!C)
+      return nullptr;
+    if (OwnerOut)
+      *OwnerOut = C;
+    return C->findMethod(Name, M.Arity);
+  }
+  return findUniqueMethod(Name, M.Arity, OwnerOut);
+}
+
+SpecValidity ApiRegistry::judgeSpec(const Spec &S,
+                                    const StringInterner &Strings) const {
+  const ApiClass *TargetOwner = nullptr;
+  const ApiMethod *Target = resolve(S.Target, Strings, &TargetOwner);
+  if (!Target)
+    return SpecValidity::Unknown;
+
+  if (S.TheKind == Spec::Kind::RetSame) {
+    switch (Target->Semantics) {
+    case MethodSemantics::Load:
+    case MethodSemantics::StatelessGetter:
+    // A fluent method returns its receiver on every call — trivially the
+    // same object for repeated calls.
+    case MethodSemantics::Fluent:
+      return SpecValidity::Valid;
+    default:
+      return SpecValidity::Invalid;
+    }
+  }
+
+  if (S.TheKind == Spec::Kind::RetRecv)
+    return Target->Semantics == MethodSemantics::Fluent
+               ? SpecValidity::Valid
+               : SpecValidity::Invalid;
+
+  // RetArg(t, s, x).
+  const ApiClass *SourceOwner = nullptr;
+  const ApiMethod *Source = resolve(S.Source, Strings, &SourceOwner);
+  if (!Source)
+    return SpecValidity::Unknown;
+  // Both methods must belong to the same class when resolvable.
+  if (TargetOwner && SourceOwner && TargetOwner != SourceOwner)
+    return SpecValidity::Invalid;
+  if (Source->Semantics != MethodSemantics::Store)
+    return SpecValidity::Invalid;
+  if (Source->StorePos != S.ArgPos)
+    return SpecValidity::Invalid;
+  if (Source->Arity != Target->Arity + 1u)
+    return SpecValidity::Invalid;
+  for (const std::string &Load : Source->PairedLoads)
+    if (Load == Target->Name)
+      return SpecValidity::Valid;
+  return SpecValidity::Invalid;
+}
+
+std::string ApiRegistry::libraryOf(const Spec &S,
+                                   const StringInterner &Strings) const {
+  const ApiClass *Owner = nullptr;
+  if (!resolve(S.Target, Strings, &Owner) || !Owner)
+    return "?";
+  return Owner->Library;
+}

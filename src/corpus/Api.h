@@ -1,0 +1,137 @@
+//===- Api.h - Simulated API registry with ground-truth semantics -*- C++-*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated library ecosystem standing in for the paper's real-world
+/// Java/Python APIs (see DESIGN.md §2). Every API class carries per-method
+/// *ground-truth aliasing semantics*, which serves three purposes:
+///
+///  1. The corpus generator emits idiomatic usage consistent with the
+///     semantics (stored values are later loaded, stateless getters are
+///     re-read, iterator elements are consumed once, ...).
+///  2. Candidate specifications are labeled valid/invalid exactly — the
+///     ground truth replaces the paper's manual labeling of sampled
+///     candidates (§7.2).
+///  3. The concrete interpreter executes API calls mechanically from the
+///     same semantics, which drives the Atlas-style dynamic baseline (§7.5)
+///     and differential soundness tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORPUS_API_H
+#define USPEC_CORPUS_API_H
+
+#include "specs/Spec.h"
+#include "support/StringInterner.h"
+
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// Ground-truth aliasing behaviour of one API method.
+enum class MethodSemantics : uint8_t {
+  Store,           ///< Writes an argument into keyed internal state.
+  Load,            ///< Returns keyed internal state (container read).
+  StatelessGetter, ///< Returns internal state without mutation (RetSame ok).
+  MutatingReader,  ///< Returns internal state AND advances it (next, pop).
+  Factory,         ///< Returns a fresh object on every call.
+  Action,          ///< No interesting return value (close, clear, add, log).
+  Predicate,       ///< Returns a boolean (hasNext, contains).
+  Fluent,          ///< Returns the receiver (builder APIs; RetRecv ground
+                   ///< truth for the experimental §5.3 pattern).
+};
+
+/// One API method with its ground truth.
+struct ApiMethod {
+  std::string Name;
+  unsigned Arity = 0;
+  MethodSemantics Semantics = MethodSemantics::Action;
+  /// Store only: 1-based position of the stored value argument.
+  unsigned StorePos = 0;
+  /// Store only: names of load methods that retrieve what this stores.
+  std::vector<std::string> PairedLoads;
+  /// Concept name of the returned value (Load/StatelessGetter/Mutating/
+  /// Factory), e.g. "File", "View"; empty = opaque value.
+  std::string ReturnsConcept;
+  /// Store/Load only: keys must be strings (Properties, ConfigParser, ...).
+  /// The concrete runtime enforces this, which is what defeats the
+  /// Atlas-style baseline on such classes (§7.5): its synthesized tests do
+  /// not enumerate string constants.
+  bool StringKeysOnly = false;
+  /// Action methods that insert their argument into the receiver's internal
+  /// sequence (add/append); feeds pop()/iterator() concrete semantics.
+  bool Inserts = false;
+
+  bool returnsStoredValue() const {
+    return Semantics == MethodSemantics::Load;
+  }
+};
+
+/// One API class of a simulated library.
+struct ApiClass {
+  std::string Name;    ///< e.g. "HashMap".
+  std::string Library; ///< e.g. "java.util" (Tab. 5/6 grouping).
+  /// Whether client code can construct it with `new` (false for
+  /// factory-only classes like ResultSet or KeyStore — the §7.5 Atlas
+  /// failure mode).
+  bool Constructible = true;
+  /// For non-constructible classes: external variable + method producing an
+  /// instance, e.g. stmt.executeQuery(...) for ResultSet.
+  std::string ProducerVar;
+  std::string ProducerMethod;
+  unsigned ProducerArity = 0;
+  std::vector<ApiMethod> Methods;
+
+  const ApiMethod *findMethod(const std::string &MethodName,
+                              unsigned Arity) const {
+    for (const ApiMethod &M : Methods)
+      if (M.Name == MethodName && M.Arity == Arity)
+        return &M;
+    return nullptr;
+  }
+};
+
+/// Ground-truth label of a candidate specification.
+enum class SpecValidity : uint8_t { Valid, Invalid, Unknown };
+
+/// The registry of all simulated API classes of one language profile.
+class ApiRegistry {
+public:
+  void addClass(ApiClass Class) { Classes.push_back(std::move(Class)); }
+
+  const std::vector<ApiClass> &classes() const { return Classes; }
+
+  const ApiClass *findClass(const std::string &Name) const;
+
+  /// Unique method with this name/arity across all classes; null if absent
+  /// or ambiguous. Used to judge specs whose receiver class is unknown.
+  const ApiMethod *findUniqueMethod(const std::string &Name, unsigned Arity,
+                                    const ApiClass **OwnerOut = nullptr) const;
+
+  /// Labels \p S against the ground truth (§7.2 evaluation):
+  ///  - RetSame(s) is Valid iff s is a Load or StatelessGetter;
+  ///  - RetArg(t,s,x) is Valid iff s is a Store with StorePos = x and t is
+  ///    one of its paired loads with matching arity;
+  ///  - anything that cannot be resolved in the registry is Unknown
+  ///    (counted as invalid in precision, matching the paper's conservative
+  ///    manual labeling).
+  SpecValidity judgeSpec(const Spec &S, const StringInterner &Strings) const;
+
+  /// Library prefix of the class a spec targets ("?" when unresolvable) —
+  /// used for the Tab. 5/6 per-library breakdown.
+  std::string libraryOf(const Spec &S, const StringInterner &Strings) const;
+
+private:
+  const ApiMethod *resolve(const MethodId &M, const StringInterner &Strings,
+                           const ApiClass **OwnerOut) const;
+
+  std::vector<ApiClass> Classes;
+};
+
+} // namespace uspec
+
+#endif // USPEC_CORPUS_API_H

@@ -1,0 +1,41 @@
+//===- Dedup.h - Corpus deduplication (§7.1) -------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §7.1: "We pruned our dataset to be free from project forks and file
+/// duplicates." Duplicated files would otherwise multiply a single usage
+/// pattern's weight in both model training and candidate match counts.
+///
+/// Programs are fingerprinted structurally over the lowered IR (instruction
+/// kinds, interned method/field/class names, literal values, arities —
+/// variable slots and site ids are positional and thus already normalized),
+/// so textual noise like comments or whitespace does not defeat the dedup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORPUS_DEDUP_H
+#define USPEC_CORPUS_DEDUP_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace uspec {
+
+/// Structural fingerprint of a program.
+uint64_t programFingerprint(const IRProgram &Program);
+
+/// Indices of programs whose fingerprint duplicates an earlier program.
+std::vector<size_t> duplicateIndices(const std::vector<IRProgram> &Corpus);
+
+/// Removes duplicates in place (keeping the first occurrence of each
+/// fingerprint); returns the number removed.
+size_t dedupeCorpus(std::vector<IRProgram> &Corpus);
+
+} // namespace uspec
+
+#endif // USPEC_CORPUS_DEDUP_H

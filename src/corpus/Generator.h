@@ -1,0 +1,84 @@
+//===- Generator.h - Synthetic corpus generator ----------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates MiniLang programs whose API usage statistics mirror the
+/// regularities USpec learns from real corpora (DESIGN.md §2):
+///
+///   direct     — produce a value and use it (repeatedly), teaching ϕ which
+///                interactions co-occur on one object;
+///   roundtrip  — store a value into a container and load it back by key
+///                (the RetArg candidate source), with occasional key
+///                mismatches as noise;
+///   getter     — repeated reads from stateful getters (RetSame candidates);
+///   mutating   — iterator/cursor/pop idioms whose per-call results either
+///                get consumed once (true negatives for RetSame) or reused
+///                (reproducing the paper's incorrect learned specs);
+///   complex    — helper-method indirection, field caches, branches, loops.
+///
+/// Programs are emitted as source text and run through the regular parser
+/// and lowering — the pipeline sees them exactly as it would see a mined
+/// corpus file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORPUS_GENERATOR_H
+#define USPEC_CORPUS_GENERATOR_H
+
+#include "corpus/Profiles.h"
+#include "ir/IR.h"
+#include "support/Random.h"
+#include "support/StringInterner.h"
+
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// Generator tuning knobs.
+struct GeneratorConfig {
+  size_t NumPrograms = 800;
+  uint64_t Seed = 1;
+  /// Probability that a load uses the same key as the preceding store.
+  double KeyMatchProb = 0.85;
+  /// Probability of injecting unrelated noise statements per idiom.
+  double NoiseProb = 0.6;
+  /// Idiom mix (normalized internally).
+  double WDirect = 0.30;
+  double WRoundtrip = 0.26;
+  double WGetter = 0.17;
+  double WMutating = 0.12;
+  double WComplex = 0.15;
+  /// Idioms per program (uniform in [MinIdioms, MaxIdioms]).
+  unsigned MinIdioms = 1;
+  unsigned MaxIdioms = 3;
+  /// Probability of emitting an exact duplicate of an earlier program
+  /// (simulates forked repositories/copied files; §7.1 prunes these —
+  /// see corpus/Dedup.h).
+  double DuplicateProb = 0.0;
+};
+
+/// A generated corpus: sources plus lowered programs.
+struct GeneratedCorpus {
+  std::vector<std::string> Sources;
+  std::vector<IRProgram> Programs;
+  size_t TotalLines = 0;
+};
+
+/// Generates one program's source text.
+std::string generateProgramSource(const LanguageProfile &Profile,
+                                  const GeneratorConfig &Config, Rng &Rand);
+
+/// Generates a full corpus and lowers it through the regular front end.
+/// Programs that fail to parse indicate a generator bug and abort via
+/// assert; the returned corpus always has NumPrograms entries.
+GeneratedCorpus generateCorpus(const LanguageProfile &Profile,
+                               const GeneratorConfig &Config,
+                               StringInterner &Strings);
+
+} // namespace uspec
+
+#endif // USPEC_CORPUS_GENERATOR_H

@@ -1,0 +1,51 @@
+//===- GroundTruth.cpp - Candidate labeling and PR curves ---------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/GroundTruth.h"
+
+using namespace uspec;
+
+std::vector<LabeledCandidate>
+uspec::labelCandidates(const ApiRegistry &Registry,
+                       const StringInterner &Strings,
+                       const std::vector<ScoredCandidate> &Candidates) {
+  std::vector<LabeledCandidate> Labeled;
+  Labeled.reserve(Candidates.size());
+  for (const ScoredCandidate &C : Candidates)
+    Labeled.push_back({C, Registry.judgeSpec(C.S, Strings)});
+  return Labeled;
+}
+
+PrPoint uspec::prAtTau(const std::vector<LabeledCandidate> &Candidates,
+                       double Tau) {
+  PrPoint Point;
+  Point.Tau = Tau;
+  size_t SelectedValid = 0;
+  for (const LabeledCandidate &L : Candidates) {
+    bool Selected = L.C.Score >= Tau;
+    Point.Selected += Selected;
+    Point.Valid += L.isValid();
+    SelectedValid += Selected && L.isValid();
+  }
+  Point.Precision =
+      Point.Selected == 0
+          ? 1.0
+          : static_cast<double>(SelectedValid) / Point.Selected;
+  Point.Recall = Point.Valid == 0
+                     ? 1.0
+                     : static_cast<double>(SelectedValid) / Point.Valid;
+  return Point;
+}
+
+std::vector<PrPoint>
+uspec::prCurve(const std::vector<LabeledCandidate> &Candidates,
+               const std::vector<double> &Taus) {
+  std::vector<PrPoint> Curve;
+  Curve.reserve(Taus.size());
+  for (double Tau : Taus)
+    Curve.push_back(prAtTau(Candidates, Tau));
+  return Curve;
+}

@@ -1,0 +1,57 @@
+//===- GroundTruth.h - Candidate labeling and PR curves --------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation helpers replacing the paper's manual labeling (§7.2): each
+/// scored candidate is labeled against the API registry's ground truth, and
+/// precision/recall are computed per threshold τ exactly as in Fig. 7
+/// (precision = valid/selected; recall = selected-valid/valid; Unknown
+/// labels count as invalid, mirroring the paper's conservative labeling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORPUS_GROUNDTRUTH_H
+#define USPEC_CORPUS_GROUNDTRUTH_H
+
+#include "core/Learner.h"
+#include "corpus/Api.h"
+
+#include <vector>
+
+namespace uspec {
+
+/// A scored candidate with its ground-truth label.
+struct LabeledCandidate {
+  ScoredCandidate C;
+  SpecValidity Validity = SpecValidity::Unknown;
+
+  bool isValid() const { return Validity == SpecValidity::Valid; }
+};
+
+/// Labels every candidate against \p Registry.
+std::vector<LabeledCandidate>
+labelCandidates(const ApiRegistry &Registry, const StringInterner &Strings,
+                const std::vector<ScoredCandidate> &Candidates);
+
+/// One point of the Fig. 7 curve.
+struct PrPoint {
+  double Tau = 0;
+  double Precision = 0;
+  double Recall = 0;
+  size_t Selected = 0;
+  size_t Valid = 0;
+};
+
+/// Precision/recall of τ-selection over labeled candidates.
+PrPoint prAtTau(const std::vector<LabeledCandidate> &Candidates, double Tau);
+
+/// Sweeps several thresholds.
+std::vector<PrPoint> prCurve(const std::vector<LabeledCandidate> &Candidates,
+                             const std::vector<double> &Taus);
+
+} // namespace uspec
+
+#endif // USPEC_CORPUS_GROUNDTRUTH_H

@@ -1,0 +1,473 @@
+//===- Profiles.cpp - Java/Python library profiles ----------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Profiles.h"
+
+using namespace uspec;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Method builders
+//===----------------------------------------------------------------------===//
+
+ApiMethod store(std::string Name, unsigned Arity, unsigned Pos,
+                std::vector<std::string> Loads) {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::Store;
+  M.StorePos = Pos;
+  M.PairedLoads = std::move(Loads);
+  return M;
+}
+
+ApiMethod load(std::string Name, unsigned Arity, std::string Concept = "") {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::Load;
+  M.ReturnsConcept = std::move(Concept);
+  return M;
+}
+
+ApiMethod getter(std::string Name, unsigned Arity, std::string Concept = "") {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::StatelessGetter;
+  M.ReturnsConcept = std::move(Concept);
+  return M;
+}
+
+ApiMethod mutating(std::string Name, unsigned Arity,
+                   std::string Concept = "") {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::MutatingReader;
+  M.ReturnsConcept = std::move(Concept);
+  return M;
+}
+
+ApiMethod factory(std::string Name, unsigned Arity, std::string Concept = "") {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::Factory;
+  M.ReturnsConcept = std::move(Concept);
+  return M;
+}
+
+ApiMethod action(std::string Name, unsigned Arity) {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::Action;
+  return M;
+}
+
+ApiMethod predicate(std::string Name, unsigned Arity) {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::Predicate;
+  return M;
+}
+
+ApiMethod fluent(std::string Name, unsigned Arity) {
+  ApiMethod M;
+  M.Name = std::move(Name);
+  M.Arity = Arity;
+  M.Semantics = MethodSemantics::Fluent;
+  return M;
+}
+
+/// Marks a store/load pair as string-keyed.
+ApiMethod stringKeyed(ApiMethod M) {
+  M.StringKeysOnly = true;
+  return M;
+}
+
+/// Marks an Action method as inserting its argument.
+ApiMethod inserts(ApiMethod M) {
+  M.Inserts = true;
+  return M;
+}
+
+ApiClass makeClass(std::string Name, std::string Library,
+                   std::vector<ApiMethod> Methods) {
+  ApiClass C;
+  C.Name = std::move(Name);
+  C.Library = std::move(Library);
+  C.Methods = std::move(Methods);
+  return C;
+}
+
+ApiClass makeProduced(std::string Name, std::string Library,
+                      std::string ProducerVar, std::string ProducerMethod,
+                      unsigned ProducerArity,
+                      std::vector<ApiMethod> Methods) {
+  ApiClass C = makeClass(std::move(Name), std::move(Library),
+                         std::move(Methods));
+  C.Constructible = false;
+  C.ProducerVar = std::move(ProducerVar);
+  C.ProducerMethod = std::move(ProducerMethod);
+  C.ProducerArity = ProducerArity;
+  return C;
+}
+
+void fillContainers(LanguageProfile &P) {
+  for (const ApiClass &C : P.Registry.classes())
+    for (const ApiMethod &M : C.Methods)
+      if (M.Semantics == MethodSemantics::Store)
+        P.Containers.push_back({&C, &M});
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Java profile
+//===----------------------------------------------------------------------===//
+
+LanguageProfile uspec::javaProfile() {
+  LanguageProfile P;
+  P.Name = "Java";
+  ApiRegistry &R = P.Registry;
+
+  // --- java.util -----------------------------------------------------------
+  R.addClass(makeClass("HashMap", "java.util",
+                       {store("put", 2, 2, {"get"}), load("get", 1),
+                        predicate("containsKey", 1), predicate("size", 0),
+                        action("clear", 0)}));
+  R.addClass(makeClass("Hashtable", "java.util",
+                       {store("put", 2, 2, {"get"}), load("get", 1),
+                        predicate("containsKey", 1)}));
+  R.addClass(makeClass(
+      "Properties", "java.util",
+      {stringKeyed(store("setProperty", 2, 2, {"getProperty"})),
+       stringKeyed(load("getProperty", 1, "Text"))}));
+  R.addClass(makeClass("ArrayList", "java.util",
+                       {inserts(action("add", 1)), store("set", 2, 2, {"get"}),
+                        load("get", 1), factory("iterator", 0, "Iterator"),
+                        predicate("size", 0), predicate("isEmpty", 0)}));
+  R.addClass(makeClass("Vector", "java.util",
+                       {store("set", 2, 2, {"get", "elementAt"}),
+                        load("get", 1), load("elementAt", 1),
+                        inserts(action("addElement", 1))}));
+  R.addClass(makeClass("Iterator", "java.util",
+                       {predicate("hasNext", 0), mutating("next", 0, "Elem")}));
+  R.addClass(makeClass("Random", "java.util",
+                       {mutating("nextInt", 1, "Num"),
+                        mutating("nextDouble", 0, "Num")}));
+  R.addClass(makeClass("ThreadLocal", "java.lang",
+                       {store("set", 1, 1, {"get"}), load("get", 0)}));
+  // StringBuilder: append returns the receiver (RetRecv ground truth for
+  // the experimental §5.3 pattern); toString builds a fresh String.
+  R.addClass(makeClass("StringBuilder", "java.lang",
+                       {fluent("append", 1),
+                        factory("toString", 0, "Text"),
+                        predicate("length", 0)}));
+  R.addClass(makeClass("SecureRandom", "java.security",
+                       {mutating("nextInt", 1, "Num")}));
+
+  // --- java.sql (factory-only classes: the §7.5 Atlas pain point) ----------
+  R.addClass(makeProduced(
+      "ResultSet", "java.sql", "stmt", "executeQuery", 1,
+      {getter("getString", 1, "Text"), getter("getInt", 1, "Num"),
+       getter("getObject", 1, "Item"), predicate("next", 0),
+       action("close", 0)}));
+
+  // --- java.security --------------------------------------------------------
+  R.addClass(makeProduced("KeyStore", "java.security", "provider",
+                          "getKeyStore", 1,
+                          {getter("getKey", 2, "Key"),
+                           predicate("containsAlias", 1)}));
+
+  // --- android --------------------------------------------------------------
+  R.addClass(makeClass("SparseArray", "android.util",
+                       {store("put", 2, 2, {"get"}), load("get", 1),
+                        action("removeAt", 1), predicate("size", 0)}));
+  R.addClass(makeClass("LongSparseArray", "android.util",
+                       {store("put", 2, 2, {"get"}), load("get", 1)}));
+  R.addClass(makeClass("ViewGroup", "android.view",
+                       {getter("findViewById", 1, "View"),
+                        action("addView", 1), action("removeAllViews", 0)}));
+  R.addClass(makeClass("Bundle", "android.content",
+                       {store("putParcelable", 2, 2, {"getParcelable"}),
+                        load("getParcelable", 1),
+                        store("putString", 2, 2, {"getString"}),
+                        load("getString", 1, "Text")}));
+
+  // --- jackson / org.json / org.w3c ----------------------------------------
+  R.addClass(makeProduced("JsonNode", "com.fasterxml.jackson", "mapper",
+                          "readTree", 1,
+                          {getter("path", 1, "JNode"),
+                           getter("get", 1, "JNode"),
+                           getter("asText", 0, "Text")}));
+  R.addClass(makeClass("JSONObject", "org.json",
+                       {stringKeyed(store("put", 2, 2, {"get", "optString"})),
+                        stringKeyed(load("get", 1)),
+                        stringKeyed(load("optString", 1, "Text")),
+                        predicate("has", 1)}));
+  R.addClass(makeClass("JSONArray", "org.json",
+                       {store("put", 2, 2, {"get"}), load("get", 1),
+                        predicate("length", 0)}));
+  R.addClass(makeProduced("NodeList", "org.w3c", "doc",
+                          "getElementsByTagName", 1,
+                          {getter("item", 1, "Element"),
+                           predicate("getLength", 0)}));
+  R.addClass(makeProduced("Document", "org.w3c", "builder", "parse", 1,
+                          {getter("getElementById", 1, "Element"),
+                           factory("createElement", 1, "Element")}));
+
+  // --- guava / eclipse / apache / swing / minecraft / codehaus -------------
+  R.addClass(makeClass("Cache", "com.google",
+                       {store("put", 2, 2, {"getIfPresent"}),
+                        load("getIfPresent", 1), action("invalidate", 1)}));
+  R.addClass(makeClass(
+      "BaseConfiguration", "org.apache",
+      {stringKeyed(store("setProperty", 2, 2, {"getProperty"})),
+       stringKeyed(load("getProperty", 1)), action("clear", 0)}));
+  R.addClass(makeClass("JTable", "javax.swing",
+                       // setValueAt(value, row, col): the stored value is the
+                       // FIRST argument — exercises StorePos = 1.
+                       {store("setValueAt", 3, 1, {"getValueAt"}),
+                        load("getValueAt", 2), predicate("getRowCount", 0)}));
+  R.addClass(makeClass("JComboBox", "javax.swing",
+                       {inserts(action("addItem", 1)),
+                        load("getItemAt", 1),
+                        store("insertItemAt", 2, 1, {"getItemAt"})}));
+  R.addClass(makeClass("NBTTagCompound", "net.minecraft",
+                       {store("setTag", 2, 2, {"getTag"}), load("getTag", 1),
+                        stringKeyed(store("setString", 2, 2, {"getString"})),
+                        stringKeyed(load("getString", 1, "Text"))}));
+  R.addClass(makeClass("ObjectNode", "org.codehaus",
+                       {store("put", 2, 2, {"get"}), load("get", 1),
+                        factory("deepCopy", 0)}));
+  R.addClass(makeClass("Preferences", "org.eclipse",
+                       {stringKeyed(store("put", 2, 2, {"get"})),
+                        stringKeyed(load("get", 1, "Text")),
+                        action("flush", 0)}));
+
+  // --- value concepts (classes methods are called on) ----------------------
+  R.addClass(makeClass("File", "java.io",
+                       {getter("getName", 0, "Text"),
+                        getter("getPath", 0, "Text"),
+                        getter("getParent", 0, "File"),
+                        predicate("exists", 0)}));
+  R.addClass(makeClass("Key", "java.security.cert",
+                       {getter("getAlgorithm", 0, "Text"),
+                        getter("getFormat", 0, "Text")}));
+  R.addClass(makeClass("View", "android.widget",
+                       {action("invalidate", 0), action("requestFocus", 0),
+                        getter("getParent", 0, "View"),
+                        store("setTag", 2, 2, {"getTag"}),
+                        load("getTag", 1)}));
+  R.addClass(makeClass("Element", "org.w3c.elem",
+                       {getter("getTagName", 0, "Text"),
+                        getter("getAttribute", 1, "Text"),
+                        store("setAttribute", 2, 2, {"getAttribute"})}));
+  R.addClass(makeClass("Text", "java.lang",
+                       {predicate("isEmpty", 0), predicate("length", 0)}));
+  R.addClass(makeClass("Item", "java.app",
+                       {getter("getId", 0, "Text"),
+                        getter("getLabel", 0, "Text")}));
+
+  // --- external producers and sinks (unknown-typed receivers) --------------
+  R.addClass(makeClass("Database", "java.app",
+                       {getter("getFile", 1, "File"),
+                        getter("getItem", 1, "Item"), action("close", 0)}));
+  R.addClass(makeClass("FileSystem", "java.app",
+                       {factory("open", 1, "File")}));
+  R.addClass(makeClass("ConfigService", "java.app",
+                       {getter("lookup", 1, "Text")}));
+  R.addClass(makeClass("UiService", "java.app",
+                       {getter("findView", 1, "View")}));
+  R.addClass(makeClass("Logger", "java.app",
+                       {action("write", 1), action("info", 1)}));
+  R.addClass(makeClass("Sink", "java.app",
+                       {action("process", 1), action("consume", 1)}));
+  R.addClass(makeClass("Metrics", "java.app", {action("tick", 0)}));
+
+  // --- generator vocabulary --------------------------------------------------
+  P.Concepts = {
+      {"File",
+       {{"db", "getFile", 1}, {"fs", "open", 1}},
+       {"getName", "getPath", "getParent"},
+       {{"log", "write"}}},
+      {"Item",
+       {{"db", "getItem", 1}},
+       {"getId", "getLabel"},
+       {{"sink", "process"}}},
+      {"Text", {{"cfg", "lookup", 1}}, {"isEmpty", "length"}, {{"log", "info"}}},
+      {"View",
+       {{"ui", "findView", 1}},
+       {"invalidate", "requestFocus", "getParent"},
+       {}},
+      {"Key", {}, {"getAlgorithm", "getFormat"}, {}},
+      {"Element", {}, {"getTagName"}, {}},
+      {"JNode", {}, {"asText"}, {}},
+      {"Elem", {}, {}, {{"sink", "consume"}, {"sink", "process"}}},
+      {"Num", {}, {}, {{"sink", "consume"}, {"metrics", "tick"}}},
+      {"Iterator", {}, {}, {}},
+  };
+  P.KeyPool = {"id",   "name", "key",   "user", "config",
+               "host", "port", "token", "path", "title"};
+  fillContainers(P);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Python profile
+//===----------------------------------------------------------------------===//
+
+LanguageProfile uspec::pythonProfile() {
+  LanguageProfile P;
+  P.Name = "Python";
+  ApiRegistry &R = P.Registry;
+
+  // --- builtins (subscripting modeled as in the paper's Tab. 3) ------------
+  R.addClass(makeClass(
+      "Dict", "builtins",
+      {store("SubscriptStore", 2, 2, {"SubscriptLoad", "get"}),
+       load("SubscriptLoad", 1), load("get", 1),
+       store("setdefault", 2, 2, {"SubscriptLoad", "get"}),
+       mutating("pop", 1, "Item"), factory("keys", 0), factory("items", 0),
+       predicate("contains", 1)}));
+  R.addClass(makeClass(
+      "List", "builtins",
+      {inserts(action("append", 1)),
+       store("SubscriptStore", 2, 2, {"SubscriptLoad"}),
+       load("SubscriptLoad", 1),
+       // pop() results are bound and reused by idiomatic code, which is why
+       // the paper's pipeline learns the *incorrect* RetSame(pop) (Tab. 3).
+       mutating("pop", 0, "Item"), predicate("len", 0)}));
+
+  // --- collections ----------------------------------------------------------
+  R.addClass(makeClass("OrderedDict", "collections",
+                       {store("SubscriptStore", 2, 2, {"SubscriptLoad"}),
+                        load("SubscriptLoad", 1)}));
+  R.addClass(makeClass("defaultdict", "collections",
+                       {load("SubscriptLoad", 1),
+                        store("SubscriptStore", 2, 2, {"SubscriptLoad"})}));
+  R.addClass(makeClass("Counter", "collections",
+                       {load("SubscriptLoad", 1),
+                        store("SubscriptStore", 2, 2, {"SubscriptLoad"}),
+                        action("update", 1)}));
+  R.addClass(makeClass("deque", "collections",
+                       {inserts(action("append", 1)),
+                        mutating("popleft", 0, "Item"),
+                        predicate("len", 0)}));
+
+  // --- pandas ---------------------------------------------------------------
+  R.addClass(makeClass("DataFrame", "pandas",
+                       {store("SubscriptStore", 2, 2, {"SubscriptLoad", "get"}),
+                        load("SubscriptLoad", 1), load("get", 1),
+                        factory("copy", 0), getter("head", 0),
+                        predicate("empty", 0)}));
+  R.addClass(makeClass("Series", "pandas",
+                       {store("SubscriptStore", 2, 2, {"SubscriptLoad"}),
+                        load("SubscriptLoad", 1),
+                        getter("mean", 0, "Num")}));
+
+  // --- ConfigParser (Tab. 3: RetArg(get, set, 3)) ---------------------------
+  R.addClass(makeClass("SafeConfigParser", "ConfigParser",
+                       {stringKeyed(store("set", 3, 3, {"get"})),
+                        stringKeyed(load("get", 2, "Text")),
+                        action("read", 1), predicate("has_section", 1)}));
+
+  // --- os / re / json / yaml / copy -----------------------------------------
+  R.addClass(makeClass("Os", "os",
+                       {getter("getenv", 1, "Text"), getter("getcwd", 0, "Text"),
+                        factory("listdir", 1), factory("open", 1, "Handle")}));
+  R.addClass(makeClass("Re", "re",
+                       {factory("compile", 1, "Pattern"),
+                        getter("escape", 1, "Text")}));
+  R.addClass(makeProduced("Pattern", "re", "re", "compile", 1,
+                          {factory("match", 1, "Match"),
+                           factory("search", 1, "Match"),
+                           getter("pattern", 0, "Text")}));
+  R.addClass(makeProduced("Match", "re", "pattern", "search", 1,
+                          {getter("group", 1, "Text"),
+                           getter("start", 0, "Num")}));
+  R.addClass(makeClass("Json", "json",
+                       {factory("loads", 1, "Item"),
+                        getter("dumps", 1, "Text")}));
+  R.addClass(makeClass("Yaml", "yaml",
+                       {factory("load", 1, "Item"),
+                        getter("dump", 1, "Text")}));
+  R.addClass(makeClass("Copy", "copy",
+                       {factory("copy", 1, "Item"),
+                        factory("deepcopy", 1, "Item")}));
+
+  // --- numpy -----------------------------------------------------------------
+  R.addClass(makeClass("ndarray", "numpy",
+                       {store("SubscriptStore", 2, 2, {"SubscriptLoad"}),
+                        load("SubscriptLoad", 1),
+                        factory("reshape", 1, "Arr"),
+                        factory("copy", 0, "Arr"),
+                        getter("take", 1, "Arr"),
+                        getter("mean", 0, "Num")}));
+  R.addClass(makeClass("Np", "numpy",
+                       {factory("array", 1, "Arr"), factory("zeros", 1, "Arr"),
+                        factory("arange", 1, "Arr")}));
+  R.addClass(makeClass("RandomState", "numpy",
+                       {mutating("rand", 0, "Num"),
+                        mutating("randint", 1, "Num")}));
+
+  // --- web frameworks --------------------------------------------------------
+  R.addClass(makeProduced("Session", "django", "request", "getSession", 0,
+                          {store("SubscriptStore", 2, 2, {"SubscriptLoad", "get"}),
+                           load("SubscriptLoad", 1), load("get", 1)}));
+  R.addClass(makeProduced("QuerySet", "django", "objects", "filter", 1,
+                          {getter("first", 0, "Item"),
+                           factory("exclude", 1), predicate("count", 0)}));
+  R.addClass(makeProduced("Args", "flask", "request", "getArgs", 0,
+                          {getter("get", 1, "Text"),
+                           predicate("has_key", 1)}));
+
+  // --- xml -------------------------------------------------------------------
+  R.addClass(makeProduced("ElementTree", "xml", "etree", "parse", 1,
+                          {getter("getroot", 0, "PyElem"),
+                           getter("find", 1, "PyElem")}));
+  R.addClass(makeClass("PyElem", "xml",
+                       {getter("get", 1, "Text"),
+                        store("set", 2, 2, {"get"}),
+                        getter("tag", 0, "Text")}));
+
+  // --- value concepts --------------------------------------------------------
+  R.addClass(makeClass("Item", "app",
+                       {getter("label", 0, "Text"),
+                        getter("describe", 0, "Text")}));
+  R.addClass(makeClass("Text", "builtins.str",
+                       {predicate("isdigit", 0), predicate("len", 0)}));
+  R.addClass(makeClass("Repo", "app", {getter("fetch", 1, "Item")}));
+  R.addClass(makeClass("Builder", "app", {factory("make", 1, "Item")}));
+  R.addClass(makeClass("Out", "app",
+                       {action("emit", 1), action("push", 1)}));
+  R.addClass(makeClass("Acc", "app", {action("add", 1)}));
+  R.addClass(makeClass("Log", "app", {action("info", 1)}));
+
+  P.Concepts = {
+      {"Item",
+       {{"repo", "fetch", 1}, {"builder", "make", 1}},
+       {"label", "describe"},
+       {{"out", "emit"}}},
+      {"Text", {{"os", "getenv", 1}}, {"isdigit", "len"}, {{"log", "info"}}},
+      {"Arr", {}, {"mean", "take"}, {{"out", "push"}}},
+      {"Pattern", {}, {"pattern"}, {}},
+      {"Match", {}, {"start"}, {}},
+      {"PyElem", {}, {"tag"}, {}},
+      {"Handle", {}, {}, {{"out", "push"}}},
+      {"Num", {}, {}, {{"acc", "add"}}},
+      {"Elem", {}, {}, {{"out", "push"}, {"out", "emit"}}},
+  };
+  P.KeyPool = {"id",  "name",  "value", "data-value", "url",
+               "cnt", "mode",  "debug", "lang",       "path"};
+  fillContainers(P);
+  return P;
+}

@@ -1,0 +1,83 @@
+//===- Profiles.h - Java/Python library profiles ---------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Language profiles: the simulated library ecosystems for the Java-flavored
+/// and Python-flavored corpora (§7.1 evaluates both). A profile bundles the
+/// API registry (with ground truth) and the generator vocabulary: value
+/// concepts with their producers, use methods and sinks, plus key pools and
+/// external variable names.
+///
+/// The Java profile mirrors the libraries of Tab. 3/5 (java.util, java.sql,
+/// java.security, android.util, android.view, jackson, org.json, org.w3c,
+/// ...); the Python profile mirrors Tab. 6 (Dict/List builtins, collections,
+/// ConfigParser, numpy, os, re, json, yaml, django, flask, ...), including
+/// the paper's subscript pseudo-methods SubscriptStore/SubscriptLoad.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_CORPUS_PROFILES_H
+#define USPEC_CORPUS_PROFILES_H
+
+#include "corpus/Api.h"
+
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// A kind of value flowing through programs (files, views, nodes, ...).
+struct Concept {
+  std::string Name;
+  /// Ways to obtain such a value: external variable + method + number of
+  /// key arguments. The method's ground truth lives in the registry.
+  struct Producer {
+    std::string Var;
+    std::string Method;
+    unsigned KeyArgs = 1;
+  };
+  std::vector<Producer> Producers;
+  /// Methods typically called *on* such a value (receiver position).
+  std::vector<std::string> UseMethods;
+  /// Consume-once sinks: external variable + method taking the value as an
+  /// argument. Used for stream/iterator elements.
+  std::vector<std::pair<std::string, std::string>> Sinks;
+};
+
+/// A container class usable by the round-trip idiom, derived from the
+/// registry: class plus one Store method and its paired Loads.
+struct ContainerInfo {
+  const ApiClass *Class = nullptr;
+  const ApiMethod *Store = nullptr;
+};
+
+/// One language profile.
+struct LanguageProfile {
+  std::string Name; ///< "Java" or "Python".
+  ApiRegistry Registry;
+  std::vector<Concept> Concepts;
+  std::vector<std::string> KeyPool;
+  /// Classes with MutatingReader methods used by the trap idiom.
+  /// Derived views (filled by the profile builders):
+  std::vector<ContainerInfo> Containers;
+
+  const Concept *findConcept(const std::string &Name) const {
+    for (const Concept &C : Concepts)
+      if (C.Name == Name)
+        return &C;
+    return nullptr;
+  }
+};
+
+/// Builds the Java-flavored profile.
+LanguageProfile javaProfile();
+
+/// Builds the Python-flavored profile.
+LanguageProfile pythonProfile();
+
+} // namespace uspec
+
+#endif // USPEC_CORPUS_PROFILES_H

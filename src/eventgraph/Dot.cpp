@@ -1,0 +1,75 @@
+//===- Dot.cpp - Graphviz export of event graphs -------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eventgraph/Dot.h"
+
+#include <map>
+#include <sstream>
+
+using namespace uspec;
+
+namespace {
+
+std::string eventLabel(const EventGraph &G, const StringInterner &Strings,
+                       EventId E) {
+  const Event &Ev = G.event(E);
+  std::string Name = Strings.str(Ev.Method.Name);
+  switch (Ev.Kind) {
+  case EventKind::NewAlloc:
+    Name = "new" + Name;
+    break;
+  case EventKind::LitAlloc:
+    Name = "lc";
+    break;
+  case EventKind::RootAlloc:
+    Name = "root:" + Name;
+    break;
+  case EventKind::ApiCall:
+    break;
+  }
+  std::string Pos = Ev.Pos == PosRet
+                        ? "ret"
+                        : std::to_string(static_cast<int>(Ev.Pos));
+  return "\\<" + Name + ", " + Pos + "\\>";
+}
+
+} // namespace
+
+std::string uspec::toDot(const EventGraph &G, const StringInterner &Strings,
+                         const std::string &Name) {
+  std::ostringstream Out;
+  Out << "digraph " << Name << " {\n";
+  Out << "  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n";
+
+  // Cluster ApiCall events by call site (the rectangular regions of Fig. 3).
+  std::map<int, std::vector<EventId>> BySite;
+  std::vector<EventId> Loose;
+  for (EventId E = 0; E < G.numEvents(); ++E) {
+    int Site = G.callSiteOf(E);
+    if (Site >= 0)
+      BySite[Site].push_back(E);
+    else
+      Loose.push_back(E);
+  }
+  for (const auto &[Site, Events] : BySite) {
+    const CallSite &CS = G.callSites()[static_cast<size_t>(Site)];
+    Out << "  subgraph cluster_site" << Site << " {\n";
+    Out << "    label=\"" << Strings.str(CS.Method.Name) << "\";\n";
+    for (EventId E : Events)
+      Out << "    e" << E << " [label=\"" << eventLabel(G, Strings, E)
+          << "\"];\n";
+    Out << "  }\n";
+  }
+  for (EventId E : Loose)
+    Out << "  e" << E << " [label=\"" << eventLabel(G, Strings, E)
+        << "\", style=dashed];\n";
+
+  for (EventId E = 0; E < G.numEvents(); ++E)
+    for (EventId C : G.children(E))
+      Out << "  e" << E << " -> e" << C << ";\n";
+  Out << "}\n";
+  return Out.str();
+}

@@ -1,0 +1,30 @@
+//===- Dot.h - Graphviz export of event graphs -----------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an event graph in Graphviz DOT format, in the visual style of
+/// the paper's Fig. 3: call sites become clustered boxes of their events;
+/// solid edges are event-graph edges. Useful for debugging analyses and for
+/// documentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_EVENTGRAPH_DOT_H
+#define USPEC_EVENTGRAPH_DOT_H
+
+#include "eventgraph/EventGraph.h"
+
+#include <string>
+
+namespace uspec {
+
+/// Renders \p G as a DOT digraph named \p Name.
+std::string toDot(const EventGraph &G, const StringInterner &Strings,
+                  const std::string &Name = "event_graph");
+
+} // namespace uspec
+
+#endif // USPEC_EVENTGRAPH_DOT_H

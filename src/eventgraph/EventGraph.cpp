@@ -1,0 +1,209 @@
+//===- EventGraph.cpp - The event graph GP (§3.3) ----------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eventgraph/EventGraph.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace uspec;
+
+namespace {
+
+/// Sorted-unique insertion into a small vector.
+template <typename T> void insertSorted(std::vector<T> &Vec, T Value) {
+  auto It = std::lower_bound(Vec.begin(), Vec.end(), Value);
+  if (It == Vec.end() || *It != Value)
+    Vec.insert(It, Value);
+}
+
+} // namespace
+
+EventGraph EventGraph::build(const AnalysisResult &R) {
+  EventGraph G;
+  G.R = &R;
+  size_t N = R.Events.size();
+  G.Parents.resize(N);
+  G.Children.resize(N);
+  G.AllocSets.resize(N);
+  G.Vals.resize(N);
+  G.Participants.resize(N);
+
+  // Order votes: Forward[(a,b)] set iff some history has a before b.
+  // An edge (a,b) exists iff Forward(a,b) and not Forward(b,a).
+  std::unordered_map<uint64_t, uint8_t> Order; // bit0: fwd, bit1: bwd
+  auto Key = [](EventId A, EventId B) {
+    return (static_cast<uint64_t>(A) << 32) | B;
+  };
+
+  for (ObjectId Obj = 0; Obj < R.Histories.size(); ++Obj) {
+    for (const History &H : R.Histories[Obj]) {
+      for (size_t I = 0; I < H.size(); ++I) {
+        insertSorted(G.Participants[H[I]], Obj);
+        for (size_t J = I + 1; J < H.size(); ++J) {
+          if (H[I] == H[J])
+            continue;
+          Order[Key(H[I], H[J])] |= 1;
+          Order[Key(H[J], H[I])] |= 2;
+        }
+      }
+    }
+  }
+
+  for (const auto &[K, Bits] : Order) {
+    if (Bits != 1)
+      continue; // either no forward occurrence or a contradicting order
+    EventId A = static_cast<EventId>(K >> 32);
+    EventId B = static_cast<EventId>(K & 0xFFFFFFFF);
+    insertSorted(G.Children[A], B);
+    insertSorted(G.Parents[B], A);
+  }
+
+  // Allocation events: parentless ret events. allocG(e) = allocation events
+  // among parents(e) ∪ {e}.
+  std::vector<bool> IsAlloc(N, false);
+  for (EventId E = 0; E < N; ++E)
+    IsAlloc[E] = R.Events.get(E).isRet() && G.Parents[E].empty();
+
+  // Value of each allocation event = value of the object allocated there.
+  std::unordered_map<EventId, uint64_t> AllocValue;
+  for (ObjectId Obj = 0; Obj < R.Objects.size(); ++Obj) {
+    const AbstractObject &AO = R.Objects.get(Obj);
+    if (AO.AllocEvent == InvalidEvent)
+      continue;
+    auto It = R.ObjectValues.find(Obj);
+    if (It != R.ObjectValues.end())
+      AllocValue.emplace(AO.AllocEvent, It->second);
+  }
+
+  for (EventId E = 0; E < N; ++E) {
+    std::vector<EventId> &Alloc = G.AllocSets[E];
+    if (IsAlloc[E])
+      Alloc.push_back(E);
+    for (EventId P : G.Parents[E])
+      if (IsAlloc[P])
+        insertSorted(Alloc, P);
+
+    std::vector<uint64_t> &Val = G.Vals[E];
+    for (EventId A : Alloc) {
+      // API-return allocation events carry no value (valG(⟨m,ret⟩) = ∅).
+      if (R.Events.get(A).Kind == EventKind::ApiCall)
+        continue;
+      auto It = AllocValue.find(A);
+      if (It != AllocValue.end())
+        insertSorted(Val, It->second);
+    }
+  }
+
+  // Group ApiCall events into call sites (deterministic order by Site/Ctx).
+  std::map<std::pair<uint32_t, uint32_t>, CallSite> SiteMap;
+  for (EventId E = 0; E < N; ++E) {
+    const Event &Ev = R.Events.get(E);
+    if (Ev.Kind != EventKind::ApiCall)
+      continue;
+    CallSite &CS = SiteMap[{Ev.Site, Ev.Ctx}];
+    CS.Site = Ev.Site;
+    CS.Ctx = Ev.Ctx;
+    CS.Method = Ev.Method;
+    CS.Guard = Ev.Guard;
+    if (Ev.Pos == PosReceiver) {
+      CS.Recv = E;
+    } else if (Ev.Pos == PosRet) {
+      CS.Ret = E;
+    } else {
+      if (CS.Args.size() < Ev.Pos)
+        CS.Args.resize(Ev.Pos, InvalidEvent);
+      CS.Args[Ev.Pos - 1] = E;
+    }
+  }
+  for (auto &[K, CS] : SiteMap) {
+    (void)K;
+    CS.Args.resize(CS.Method.Arity, InvalidEvent);
+    G.EventToSite.reserve(G.EventToSite.size() + 2 + CS.Args.size());
+    uint32_t Index = static_cast<uint32_t>(G.Sites.size());
+    if (CS.Recv != InvalidEvent)
+      G.EventToSite.emplace(CS.Recv, Index);
+    if (CS.Ret != InvalidEvent)
+      G.EventToSite.emplace(CS.Ret, Index);
+    for (EventId Arg : CS.Args)
+      if (Arg != InvalidEvent)
+        G.EventToSite.emplace(Arg, Index);
+    G.Sites.push_back(std::move(CS));
+  }
+  return G;
+}
+
+bool EventGraph::hasEdge(EventId From, EventId To) const {
+  const std::vector<EventId> &Succ = Children[From];
+  return std::binary_search(Succ.begin(), Succ.end(), To);
+}
+
+bool EventGraph::equalVals(EventId A, EventId B) const {
+  const std::vector<uint64_t> &VA = Vals[A];
+  const std::vector<uint64_t> &VB = Vals[B];
+  auto IA = VA.begin();
+  auto IB = VB.begin();
+  while (IA != VA.end() && IB != VB.end()) {
+    if (*IA == *IB)
+      return true;
+    if (*IA < *IB)
+      ++IA;
+    else
+      ++IB;
+  }
+  return false;
+}
+
+bool EventGraph::mayAlias(EventId A, EventId B) const {
+  const std::vector<EventId> &SA = AllocSets[A];
+  const std::vector<EventId> &SB = AllocSets[B];
+  auto IA = SA.begin();
+  auto IB = SB.begin();
+  while (IA != SA.end() && IB != SB.end()) {
+    if (*IA == *IB)
+      return true;
+    if (*IA < *IB)
+      ++IA;
+    else
+      ++IB;
+  }
+  return false;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+EventGraph::receiverPairs(unsigned DistanceBound) const {
+  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+  std::unordered_map<uint64_t, bool> Seen;
+  for (ObjectId Obj = 0; Obj < R->Histories.size(); ++Obj) {
+    for (const History &H : R->Histories[Obj]) {
+      // Positions of receiver events within this history.
+      std::vector<std::pair<size_t, uint32_t>> RecvAt; // (index, site idx)
+      for (size_t I = 0; I < H.size(); ++I) {
+        const Event &Ev = R->Events.get(H[I]);
+        if (Ev.Kind != EventKind::ApiCall || Ev.Pos != PosReceiver)
+          continue;
+        int SiteIdx = callSiteOf(H[I]);
+        if (SiteIdx >= 0)
+          RecvAt.emplace_back(I, static_cast<uint32_t>(SiteIdx));
+      }
+      for (size_t A = 0; A < RecvAt.size(); ++A) {
+        for (size_t B = A + 1; B < RecvAt.size(); ++B) {
+          if (RecvAt[B].first - RecvAt[A].first > DistanceBound)
+            break;
+          if (RecvAt[A].second == RecvAt[B].second)
+            continue;
+          // (Later, Earlier) = (m1, m2).
+          uint64_t Key = (static_cast<uint64_t>(RecvAt[B].second) << 32) |
+                         RecvAt[A].second;
+          if (!Seen.emplace(Key, true).second)
+            continue;
+          Pairs.emplace_back(RecvAt[B].second, RecvAt[A].second);
+        }
+      }
+    }
+  }
+  return Pairs;
+}

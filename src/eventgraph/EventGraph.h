@@ -1,0 +1,119 @@
+//===- EventGraph.h - The event graph GP (§3.3) ----------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event graph of a program: nodes are events, and a directed edge
+/// (e1, e2) exists iff e1 and e2 occur in the same history of some abstract
+/// object and, in every history where both are present, e1 occurs before e2.
+/// The graph exposes the paper's derived notions:
+///
+///   parentsG / childG — direct predecessors/successors,
+///   allocG(e)         — allocation events (parentless ret events) among
+///                       parents(e) ∪ {e}; the points-to set of e,
+///   valG(e)           — literal/object values reaching e,
+///   equalG            — value-overlap predicate on call-site arguments.
+///
+/// It also groups events back into call sites, which candidate extraction
+/// (Alg. 1) iterates over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_EVENTGRAPH_EVENTGRAPH_H
+#define USPEC_EVENTGRAPH_EVENTGRAPH_H
+
+#include "pointsto/Analysis.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace uspec {
+
+/// All events of one API call site (one Site/Ctx pair).
+struct CallSite {
+  uint32_t Site = 0;
+  uint32_t Ctx = 0;
+  MethodId Method;
+  uint32_t Guard = 0;
+  EventId Recv = InvalidEvent;
+  EventId Ret = InvalidEvent;
+  /// Argument events by position (index 0 = first argument); entries may be
+  /// InvalidEvent if the event was never created.
+  std::vector<EventId> Args;
+
+  uint8_t nargs() const { return Method.Arity; }
+};
+
+/// Immutable event graph built from an analysis result.
+class EventGraph {
+public:
+  /// Builds the graph for \p R. The result references \p R — it must stay
+  /// alive as long as the graph is used.
+  static EventGraph build(const AnalysisResult &R);
+
+  const AnalysisResult &analysis() const { return *R; }
+
+  size_t numEvents() const { return Parents.size(); }
+  const Event &event(EventId Id) const { return R->Events.get(Id); }
+
+  const std::vector<EventId> &parents(EventId Id) const {
+    return Parents[Id];
+  }
+  const std::vector<EventId> &children(EventId Id) const {
+    return Children[Id];
+  }
+
+  /// True iff the edge (From, To) exists.
+  bool hasEdge(EventId From, EventId To) const;
+
+  /// allocG(e): the points-to set of the event, as allocation events.
+  const std::vector<EventId> &allocOf(EventId Id) const {
+    return AllocSets[Id];
+  }
+
+  /// valG(e): sorted value tags reaching the event.
+  const std::vector<uint64_t> &valOf(EventId Id) const { return Vals[Id]; }
+
+  /// equalG: do the two events share a value? (§5.1)
+  bool equalVals(EventId A, EventId B) const;
+
+  /// May-alias per §3.3: allocG(A) ∩ allocG(B) ≠ ∅.
+  bool mayAlias(EventId A, EventId B) const;
+
+  /// Abstract objects whose histories contain the event.
+  const std::vector<ObjectId> &participants(EventId Id) const {
+    return Participants[Id];
+  }
+
+  /// All API call sites with at least one event.
+  const std::vector<CallSite> &callSites() const { return Sites; }
+
+  /// Index into callSites() for the site owning \p Id, or -1.
+  int callSiteOf(EventId Id) const {
+    auto It = EventToSite.find(Id);
+    return It == EventToSite.end() ? -1 : static_cast<int>(It->second);
+  }
+
+  /// Call-site index pairs (Later, Earlier) whose receiver events co-occur
+  /// in some object history within \p DistanceBound positions, with the
+  /// earlier receiver event first (the set AG of Alg. 1, bounded as §7.1).
+  std::vector<std::pair<uint32_t, uint32_t>>
+  receiverPairs(unsigned DistanceBound) const;
+
+private:
+  const AnalysisResult *R = nullptr;
+  std::vector<std::vector<EventId>> Parents;
+  std::vector<std::vector<EventId>> Children;
+  std::vector<std::vector<EventId>> AllocSets;
+  std::vector<std::vector<uint64_t>> Vals;
+  std::vector<std::vector<ObjectId>> Participants;
+  std::vector<CallSite> Sites;
+  std::unordered_map<EventId, uint32_t> EventToSite;
+};
+
+} // namespace uspec
+
+#endif // USPEC_EVENTGRAPH_EVENTGRAPH_H

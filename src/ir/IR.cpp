@@ -1,0 +1,113 @@
+//===- IR.cpp - IR utilities -----------------------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <sstream>
+
+using namespace uspec;
+
+namespace {
+
+void disassembleList(const InstrList &Body, const IRMethod &Method,
+                     const StringInterner &Strings, int Indent,
+                     std::ostringstream &Out) {
+  auto Pad = [&Out](int N) {
+    for (int I = 0; I < N; ++I)
+      Out << "  ";
+  };
+  auto VarName = [&Method](VarId Var) -> std::string {
+    if (Var == InvalidVar)
+      return "_";
+    if (Var < Method.VarNames.size())
+      return Method.VarNames[Var];
+    return "v" + std::to_string(Var);
+  };
+
+  for (const Instr &I : Body) {
+    Pad(Indent);
+    switch (I.TheKind) {
+    case Instr::Kind::Alloc:
+      Out << VarName(I.Dst) << " = alloc " << Strings.str(I.Name) << " @"
+          << I.SiteId << "\n";
+      break;
+    case Instr::Kind::Literal:
+      Out << VarName(I.Dst) << " = lit ";
+      switch (I.LitKind) {
+      case LiteralKind::String:
+        Out << '"' << Strings.str(I.StrValue) << '"';
+        break;
+      case LiteralKind::Int:
+        Out << I.IntValue;
+        break;
+      case LiteralKind::Null:
+        Out << "null";
+        break;
+      }
+      Out << " @" << I.SiteId << "\n";
+      break;
+    case Instr::Kind::Copy:
+      Out << VarName(I.Dst) << " = " << VarName(I.Src) << "\n";
+      break;
+    case Instr::Kind::LoadField:
+      Out << VarName(I.Dst) << " = " << VarName(I.Base) << "."
+          << Strings.str(I.Name) << "\n";
+      break;
+    case Instr::Kind::StoreField:
+      Out << VarName(I.Base) << "." << Strings.str(I.Name) << " = "
+          << VarName(I.Src) << "\n";
+      break;
+    case Instr::Kind::Call:
+      if (I.Dst != InvalidVar)
+        Out << VarName(I.Dst) << " = ";
+      Out << VarName(I.Base) << "." << Strings.str(I.Name) << "(";
+      for (size_t A = 0; A < I.Args.size(); ++A) {
+        if (A)
+          Out << ", ";
+        Out << VarName(I.Args[A]);
+      }
+      Out << ") @" << I.SiteId << "\n";
+      break;
+    case Instr::Kind::If:
+      Out << "if " << VarName(I.CondLhs) << " guard#" << I.GuardId << "\n";
+      disassembleList(I.Inner1, Method, Strings, Indent + 1, Out);
+      if (!I.Inner2.empty()) {
+        Pad(Indent);
+        Out << "else\n";
+        disassembleList(I.Inner2, Method, Strings, Indent + 1, Out);
+      }
+      break;
+    case Instr::Kind::While:
+      Out << "while " << VarName(I.CondLhs) << " guard#" << I.GuardId << "\n";
+      disassembleList(I.Inner1, Method, Strings, Indent + 1, Out);
+      break;
+    case Instr::Kind::Return:
+      Out << "return";
+      if (I.Src != InvalidVar)
+        Out << " " << VarName(I.Src);
+      Out << "\n";
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::string uspec::disassemble(const IRProgram &Program,
+                               const StringInterner &Strings) {
+  std::ostringstream Out;
+  for (const IRClass &Class : Program.Classes) {
+    Out << "class " << Strings.str(Class.Name) << " {\n";
+    for (const IRMethod &Method : Class.Methods) {
+      Out << " def " << Strings.str(Method.Name) << "/" << Method.NumParams
+          << " {\n";
+      disassembleList(Method.Body, Method, Strings, 2, Out);
+      Out << " }\n";
+    }
+    Out << "}\n";
+  }
+  return Out.str();
+}

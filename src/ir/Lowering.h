@@ -1,0 +1,42 @@
+//===- Lowering.h - AST to IR lowering -------------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed MiniLang Module into the analysis IR: expressions are
+/// flattened into temporaries, `new C(...)` of a program-defined class with
+/// an `init` method additionally calls the initializer, and every
+/// allocation/literal/call receives a program-unique site id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_IR_LOWERING_H
+#define USPEC_IR_LOWERING_H
+
+#include "ir/IR.h"
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <optional>
+
+namespace uspec {
+
+/// Lowers \p M into an IRProgram. Names are interned into \p Strings (which
+/// must outlive the result and be shared corpus-wide). Semantic errors (use
+/// of undeclared variables, duplicate locals) are reported to \p Diags;
+/// returns std::nullopt if any error was emitted.
+std::optional<IRProgram> lowerModule(const Module &M, StringInterner &Strings,
+                                     DiagnosticSink &Diags);
+
+/// Convenience: parse + lower in one step.
+std::optional<IRProgram> parseAndLower(std::string_view Source,
+                                       std::string ModuleName,
+                                       StringInterner &Strings,
+                                       DiagnosticSink &Diags);
+
+} // namespace uspec
+
+#endif // USPEC_IR_LOWERING_H

@@ -1,0 +1,354 @@
+//===- AST.h - MiniLang abstract syntax tree -------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MiniLang. The hierarchy uses LLVM-style kind
+/// discriminators (no RTTI). Nodes are uniquely owned by their parents; a
+/// Module owns everything transitively.
+///
+/// MiniLang in one example:
+/// \code
+///   class Main {
+///     var cache;
+///     def main() {
+///       var map = new Map();
+///       map.put("key", db.getFile("a"));
+///       var f = map.get("key");
+///       if (f != null) { f.getName(); }
+///     }
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_LANG_AST_H
+#define USPEC_LANG_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class for all expressions.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    New,       ///< new C(args)
+    StringLit, ///< "text"
+    IntLit,    ///< 42
+    Null,      ///< null
+    This,      ///< this
+    VarRef,    ///< x
+    FieldRead, ///< e.f
+    Call,      ///< e.m(args) or m(args) with implicit this
+  };
+
+  virtual ~Expr() = default;
+
+  Kind getKind() const { return TheKind; }
+  int getLine() const { return Line; }
+
+protected:
+  Expr(Kind TheKind, int Line) : TheKind(TheKind), Line(Line) {}
+
+private:
+  Kind TheKind;
+  int Line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Allocation expression `new C(args)`. For program-defined classes, the
+/// arguments are passed to the class's `init` method if one exists.
+class NewExpr : public Expr {
+public:
+  NewExpr(std::string ClassName, std::vector<ExprPtr> Args, int Line)
+      : Expr(Kind::New, Line), ClassName(std::move(ClassName)),
+        Args(std::move(Args)) {}
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::New; }
+
+  std::string ClassName;
+  std::vector<ExprPtr> Args;
+};
+
+/// String literal.
+class StringLitExpr : public Expr {
+public:
+  StringLitExpr(std::string Value, int Line)
+      : Expr(Kind::StringLit, Line), Value(std::move(Value)) {}
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::StringLit;
+  }
+
+  std::string Value;
+};
+
+/// Integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, int Line) : Expr(Kind::IntLit, Line), Value(Value) {}
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+
+  int64_t Value;
+};
+
+/// The `null` constant.
+class NullExpr : public Expr {
+public:
+  explicit NullExpr(int Line) : Expr(Kind::Null, Line) {}
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Null; }
+};
+
+/// The `this` reference, valid inside methods.
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(int Line) : Expr(Kind::This, Line) {}
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::This; }
+};
+
+/// A reference to a local variable or parameter.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, int Line)
+      : Expr(Kind::VarRef, Line), Name(std::move(Name)) {}
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+
+  std::string Name;
+};
+
+/// Field read `Base.Field` (without a following call).
+class FieldReadExpr : public Expr {
+public:
+  FieldReadExpr(ExprPtr Base, std::string Field, int Line)
+      : Expr(Kind::FieldRead, Line), Base(std::move(Base)),
+        Field(std::move(Field)) {}
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::FieldRead;
+  }
+
+  ExprPtr Base;
+  std::string Field;
+};
+
+/// Method call `Receiver.Method(Args)`. A null Receiver denotes an implicit
+/// `this` call (`m(args)` inside a method body).
+class CallExpr : public Expr {
+public:
+  CallExpr(ExprPtr Receiver, std::string Method, std::vector<ExprPtr> Args,
+           int Line)
+      : Expr(Kind::Call, Line), Receiver(std::move(Receiver)),
+        Method(std::move(Method)), Args(std::move(Args)) {}
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+
+  ExprPtr Receiver; // may be null: implicit this
+  std::string Method;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Conditions
+//===----------------------------------------------------------------------===//
+
+/// Comparison operator in a branch/loop condition.
+enum class CmpOp : uint8_t { None, Eq, Ne, Lt, Gt };
+
+/// Branch/loop condition: `Lhs` alone (truthiness) or `Lhs op Rhs`.
+struct Condition {
+  ExprPtr Lhs;
+  CmpOp Op = CmpOp::None;
+  ExprPtr Rhs; // null when Op == None
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class for all statements.
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    VarDecl,
+    Assign,
+    ExprStmt,
+    If,
+    While,
+    Return,
+  };
+
+  virtual ~Stmt() = default;
+
+  Kind getKind() const { return TheKind; }
+  int getLine() const { return Line; }
+
+protected:
+  Stmt(Kind TheKind, int Line) : TheKind(TheKind), Line(Line) {}
+
+private:
+  Kind TheKind;
+  int Line;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+/// `var x;` or `var x = init;`
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(std::string Name, ExprPtr Init, int Line)
+      : Stmt(Kind::VarDecl, Line), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::VarDecl; }
+
+  std::string Name;
+  ExprPtr Init; // may be null
+};
+
+/// `lvalue = expr;` where lvalue is a VarRef or FieldRead.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr Target, ExprPtr Value, int Line)
+      : Stmt(Kind::Assign, Line), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+
+  ExprPtr Target;
+  ExprPtr Value;
+};
+
+/// A bare expression evaluated for effect (typically a call).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, int Line) : Stmt(Kind::ExprStmt, Line), E(std::move(E)) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::ExprStmt; }
+
+  ExprPtr E;
+};
+
+/// `if (cond) { ... } else { ... }`
+class IfStmt : public Stmt {
+public:
+  IfStmt(Condition Cond, Block Then, Block Else, int Line)
+      : Stmt(Kind::If, Line), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+  Condition Cond;
+  Block Then;
+  Block Else; // possibly empty
+};
+
+/// `while (cond) { ... }`
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Condition Cond, Block Body, int Line)
+      : Stmt(Kind::While, Line), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+
+  Condition Cond;
+  Block Body;
+};
+
+/// `return;` or `return expr;`
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, int Line)
+      : Stmt(Kind::Return, Line), Value(std::move(Value)) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+
+  ExprPtr Value; // may be null
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// `def name(params) { body }`
+struct MethodDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  Block Body;
+  int Line = 0;
+};
+
+/// `class Name { var f; def m() {...} ... }`
+struct ClassDecl {
+  std::string Name;
+  std::vector<std::string> Fields;
+  std::vector<MethodDecl> Methods;
+  int Line = 0;
+
+  /// Returns the method named \p Name or null.
+  const MethodDecl *findMethod(const std::string &MethodName) const {
+    for (const MethodDecl &M : Methods)
+      if (M.Name == MethodName)
+        return &M;
+    return nullptr;
+  }
+};
+
+/// A parsed source file.
+struct Module {
+  std::string Name; // source identifier, e.g. file name
+  std::vector<ClassDecl> Classes;
+
+  /// Returns the class named \p ClassName or null.
+  const ClassDecl *findClass(const std::string &ClassName) const {
+    for (const ClassDecl &C : Classes)
+      if (C.Name == ClassName)
+        return &C;
+    return nullptr;
+  }
+};
+
+/// LLVM-style checked cast helpers for Expr/Stmt (no RTTI).
+template <typename To, typename From> bool isa(const From *Node) {
+  return To::classof(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast to wrong node kind");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> To *cast(From *Node) {
+  assert(isa<To>(static_cast<const From *>(Node)) &&
+         "cast to wrong node kind");
+  return static_cast<To *>(Node);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Node) {
+  return isa<To>(static_cast<const From *>(Node)) ? static_cast<To *>(Node)
+                                                  : nullptr;
+}
+
+} // namespace uspec
+
+#endif // USPEC_LANG_AST_H

@@ -1,0 +1,55 @@
+//===- Diagnostics.h - Error reporting for the MiniLang frontend -*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostic sink collecting lexer/parser errors. Library code never
+/// prints directly; tools render collected diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_LANG_DIAGNOSTICS_H
+#define USPEC_LANG_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// One reported problem with a source location.
+struct Diagnostic {
+  int Line = 0;
+  int Column = 0;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted during lexing/parsing.
+class DiagnosticSink {
+public:
+  /// Records an error at \p Line : \p Column.
+  void error(int Line, int Column, std::string Message) {
+    Diags.push_back({Line, Column, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: message" lines.
+  std::string render() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += std::to_string(D.Line) + ":" + std::to_string(D.Column) + ": " +
+             D.Message + "\n";
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace uspec
+
+#endif // USPEC_LANG_DIAGNOSTICS_H

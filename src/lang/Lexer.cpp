@@ -1,0 +1,243 @@
+//===- Lexer.cpp - MiniLang lexer ------------------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace uspec;
+
+const char *uspec::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwDef:
+    return "'def'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticSink &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peekAhead() == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text, int TokLine,
+                       int TokColumn) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Text = std::move(Text);
+  Tok.Line = TokLine;
+  Tok.Column = TokColumn;
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword(int TokLine, int TokColumn) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"class", TokenKind::KwClass}, {"def", TokenKind::KwDef},
+      {"var", TokenKind::KwVar},     {"new", TokenKind::KwNew},
+      {"if", TokenKind::KwIf},       {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile}, {"return", TokenKind::KwReturn},
+      {"null", TokenKind::KwNull},   {"this", TokenKind::KwThis},
+  };
+  std::string Text;
+  while (Pos < Source.size() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+    Text += advance();
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, std::move(Text), TokLine, TokColumn);
+  return makeToken(TokenKind::Identifier, std::move(Text), TokLine, TokColumn);
+}
+
+Token Lexer::lexString(int TokLine, int TokColumn) {
+  advance(); // opening quote
+  std::string Text;
+  while (Pos < Source.size() && peek() != '"') {
+    char C = advance();
+    if (C == '\\' && Pos < Source.size()) {
+      char Escaped = advance();
+      switch (Escaped) {
+      case 'n':
+        Text += '\n';
+        break;
+      case 't':
+        Text += '\t';
+        break;
+      case '"':
+        Text += '"';
+        break;
+      case '\\':
+        Text += '\\';
+        break;
+      default:
+        Text += Escaped;
+        break;
+      }
+      continue;
+    }
+    if (C == '\n') {
+      Diags.error(TokLine, TokColumn, "unterminated string literal");
+      return makeToken(TokenKind::Error, Text, TokLine, TokColumn);
+    }
+    Text += C;
+  }
+  if (Pos >= Source.size()) {
+    Diags.error(TokLine, TokColumn, "unterminated string literal");
+    return makeToken(TokenKind::Error, Text, TokLine, TokColumn);
+  }
+  advance(); // closing quote
+  return makeToken(TokenKind::StringLiteral, std::move(Text), TokLine,
+                   TokColumn);
+}
+
+Token Lexer::lexNumber(int TokLine, int TokColumn) {
+  std::string Text;
+  while (Pos < Source.size() &&
+         std::isdigit(static_cast<unsigned char>(peek())))
+    Text += advance();
+  return makeToken(TokenKind::IntLiteral, std::move(Text), TokLine, TokColumn);
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  int TokLine = Line, TokColumn = Column;
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::EndOfFile, "", TokLine, TokColumn);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(TokLine, TokColumn);
+  if (C == '"')
+    return lexString(TokLine, TokColumn);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(TokLine, TokColumn);
+
+  advance();
+  switch (C) {
+  case '{':
+    return makeToken(TokenKind::LBrace, "{", TokLine, TokColumn);
+  case '}':
+    return makeToken(TokenKind::RBrace, "}", TokLine, TokColumn);
+  case '(':
+    return makeToken(TokenKind::LParen, "(", TokLine, TokColumn);
+  case ')':
+    return makeToken(TokenKind::RParen, ")", TokLine, TokColumn);
+  case ',':
+    return makeToken(TokenKind::Comma, ",", TokLine, TokColumn);
+  case ';':
+    return makeToken(TokenKind::Semicolon, ";", TokLine, TokColumn);
+  case '.':
+    return makeToken(TokenKind::Dot, ".", TokLine, TokColumn);
+  case '<':
+    return makeToken(TokenKind::Less, "<", TokLine, TokColumn);
+  case '>':
+    return makeToken(TokenKind::Greater, ">", TokLine, TokColumn);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual, "==", TokLine, TokColumn);
+    }
+    return makeToken(TokenKind::Assign, "=", TokLine, TokColumn);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::NotEqual, "!=", TokLine, TokColumn);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(TokLine, TokColumn,
+              std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, std::string(1, C), TokLine, TokColumn);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      break;
+  }
+  return Tokens;
+}

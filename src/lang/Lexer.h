@@ -1,0 +1,57 @@
+//===- Lexer.h - MiniLang lexer --------------------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniLang. Supports `//` line comments, string
+/// literals with simple escapes, and decimal integer literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_LANG_LEXER_H
+#define USPEC_LANG_LEXER_H
+
+#include "lang/Diagnostics.h"
+#include "lang/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace uspec {
+
+/// Single-pass lexer over an in-memory buffer.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticSink &Diags);
+
+  /// Lexes the next token; returns an EndOfFile token at the end (repeatedly
+  /// if called again).
+  Token next();
+
+  /// Lexes the whole input. The trailing EndOfFile token is included.
+  std::vector<Token> lexAll();
+
+private:
+  char peek() const { return Pos < Source.size() ? Source[Pos] : '\0'; }
+  char peekAhead() const {
+    return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, std::string Text, int Line, int Column);
+  Token lexIdentifierOrKeyword(int Line, int Column);
+  Token lexString(int Line, int Column);
+  Token lexNumber(int Line, int Column);
+
+  std::string_view Source;
+  DiagnosticSink &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Column = 1;
+};
+
+} // namespace uspec
+
+#endif // USPEC_LANG_LEXER_H

@@ -1,0 +1,327 @@
+//===- Parser.cpp - MiniLang recursive-descent parser ----------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <cstdlib>
+
+using namespace uspec;
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  ++Pos;
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(peek().Line, peek().Column,
+              std::string("expected ") + tokenKindName(Kind) + " " + Context +
+                  ", found " + tokenKindName(peek().Kind));
+  return false;
+}
+
+void Parser::synchronizeToClassBoundary() {
+  while (!check(TokenKind::EndOfFile) && !check(TokenKind::KwClass))
+    ++Pos;
+}
+
+std::optional<Module> Parser::parse(std::string_view Source,
+                                    std::string ModuleName,
+                                    DiagnosticSink &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseModule(std::move(ModuleName));
+}
+
+std::optional<Module> Parser::parseModule(std::string ModuleName) {
+  Module M;
+  M.Name = std::move(ModuleName);
+  while (!check(TokenKind::EndOfFile)) {
+    auto Class = parseClass();
+    if (!Class) {
+      synchronizeToClassBoundary();
+      continue;
+    }
+    M.Classes.push_back(std::move(*Class));
+  }
+  return M;
+}
+
+std::optional<ClassDecl> Parser::parseClass() {
+  if (!expect(TokenKind::KwClass, "at top level"))
+    return std::nullopt;
+  ClassDecl Class;
+  Class.Line = previous().Line;
+  if (!expect(TokenKind::Identifier, "after 'class'"))
+    return std::nullopt;
+  Class.Name = previous().Text;
+  if (!expect(TokenKind::LBrace, "after class name"))
+    return std::nullopt;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (match(TokenKind::KwVar)) {
+      if (!expect(TokenKind::Identifier, "after 'var' in field declaration"))
+        return std::nullopt;
+      Class.Fields.push_back(previous().Text);
+      if (!expect(TokenKind::Semicolon, "after field name"))
+        return std::nullopt;
+      continue;
+    }
+    auto Method = parseMethod();
+    if (!Method)
+      return std::nullopt;
+    Class.Methods.push_back(std::move(*Method));
+  }
+  if (!expect(TokenKind::RBrace, "to close class body"))
+    return std::nullopt;
+  return Class;
+}
+
+std::optional<MethodDecl> Parser::parseMethod() {
+  if (!expect(TokenKind::KwDef, "in class body"))
+    return std::nullopt;
+  MethodDecl Method;
+  Method.Line = previous().Line;
+  if (!expect(TokenKind::Identifier, "after 'def'"))
+    return std::nullopt;
+  Method.Name = previous().Text;
+  if (!expect(TokenKind::LParen, "after method name"))
+    return std::nullopt;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!expect(TokenKind::Identifier, "in parameter list"))
+        return std::nullopt;
+      Method.Params.push_back(previous().Text);
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "to close parameter list"))
+    return std::nullopt;
+  if (!expect(TokenKind::LBrace, "to open method body"))
+    return std::nullopt;
+  if (!parseBlock(Method.Body))
+    return std::nullopt;
+  return Method;
+}
+
+bool Parser::parseBlock(Block &Out) {
+  // The opening brace has been consumed by the caller.
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    StmtPtr S = parseStatement();
+    if (!S)
+      return false;
+    Out.push_back(std::move(S));
+  }
+  return expect(TokenKind::RBrace, "to close block");
+}
+
+StmtPtr Parser::parseStatement() {
+  int Line = peek().Line;
+
+  if (match(TokenKind::KwVar)) {
+    if (!expect(TokenKind::Identifier, "after 'var'"))
+      return nullptr;
+    std::string Name = previous().Text;
+    ExprPtr Init;
+    if (match(TokenKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after variable declaration"))
+      return nullptr;
+    return std::make_unique<VarDeclStmt>(std::move(Name), std::move(Init),
+                                         Line);
+  }
+
+  if (check(TokenKind::KwIf))
+    return parseIf();
+  if (check(TokenKind::KwWhile))
+    return parseWhile();
+
+  if (match(TokenKind::KwReturn)) {
+    ExprPtr Value;
+    if (!check(TokenKind::Semicolon)) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after return"))
+      return nullptr;
+    return std::make_unique<ReturnStmt>(std::move(Value), Line);
+  }
+
+  // Expression statement or assignment.
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (match(TokenKind::Assign)) {
+    if (!isa<VarRefExpr>(E.get()) && !isa<FieldReadExpr>(E.get())) {
+      Diags.error(Line, 0, "assignment target must be a variable or field");
+      return nullptr;
+    }
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    if (!expect(TokenKind::Semicolon, "after assignment"))
+      return nullptr;
+    return std::make_unique<AssignStmt>(std::move(E), std::move(Value), Line);
+  }
+  if (!expect(TokenKind::Semicolon, "after expression statement"))
+    return nullptr;
+  return std::make_unique<ExprStmt>(std::move(E), Line);
+}
+
+std::optional<Condition> Parser::parseCondition() {
+  Condition Cond;
+  Cond.Lhs = parseExpr();
+  if (!Cond.Lhs)
+    return std::nullopt;
+  if (match(TokenKind::EqualEqual))
+    Cond.Op = CmpOp::Eq;
+  else if (match(TokenKind::NotEqual))
+    Cond.Op = CmpOp::Ne;
+  else if (match(TokenKind::Less))
+    Cond.Op = CmpOp::Lt;
+  else if (match(TokenKind::Greater))
+    Cond.Op = CmpOp::Gt;
+  if (Cond.Op != CmpOp::None) {
+    Cond.Rhs = parseExpr();
+    if (!Cond.Rhs)
+      return std::nullopt;
+  }
+  return Cond;
+}
+
+StmtPtr Parser::parseIf() {
+  int Line = peek().Line;
+  expect(TokenKind::KwIf, "");
+  if (!expect(TokenKind::LParen, "after 'if'"))
+    return nullptr;
+  auto Cond = parseCondition();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "to close condition"))
+    return nullptr;
+  if (!expect(TokenKind::LBrace, "to open 'if' body"))
+    return nullptr;
+  Block Then;
+  if (!parseBlock(Then))
+    return nullptr;
+  Block Else;
+  if (match(TokenKind::KwElse)) {
+    if (!expect(TokenKind::LBrace, "to open 'else' body"))
+      return nullptr;
+    if (!parseBlock(Else))
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(std::move(*Cond), std::move(Then),
+                                  std::move(Else), Line);
+}
+
+StmtPtr Parser::parseWhile() {
+  int Line = peek().Line;
+  expect(TokenKind::KwWhile, "");
+  if (!expect(TokenKind::LParen, "after 'while'"))
+    return nullptr;
+  auto Cond = parseCondition();
+  if (!Cond)
+    return nullptr;
+  if (!expect(TokenKind::RParen, "to close condition"))
+    return nullptr;
+  if (!expect(TokenKind::LBrace, "to open 'while' body"))
+    return nullptr;
+  Block Body;
+  if (!parseBlock(Body))
+    return nullptr;
+  return std::make_unique<WhileStmt>(std::move(*Cond), std::move(Body), Line);
+}
+
+bool Parser::parseArgs(std::vector<ExprPtr> &Out) {
+  if (check(TokenKind::RParen))
+    return true;
+  do {
+    ExprPtr Arg = parseExpr();
+    if (!Arg)
+      return false;
+    Out.push_back(std::move(Arg));
+  } while (match(TokenKind::Comma));
+  return true;
+}
+
+ExprPtr Parser::parsePrimary() {
+  int Line = peek().Line;
+
+  if (match(TokenKind::KwNew)) {
+    if (!expect(TokenKind::Identifier, "after 'new'"))
+      return nullptr;
+    std::string ClassName = previous().Text;
+    if (!expect(TokenKind::LParen, "after class name in 'new'"))
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    if (!parseArgs(Args))
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close 'new' arguments"))
+      return nullptr;
+    return std::make_unique<NewExpr>(std::move(ClassName), std::move(Args),
+                                     Line);
+  }
+  if (match(TokenKind::StringLiteral))
+    return std::make_unique<StringLitExpr>(previous().Text, Line);
+  if (match(TokenKind::IntLiteral))
+    return std::make_unique<IntLitExpr>(
+        std::strtoll(previous().Text.c_str(), nullptr, 10), Line);
+  if (match(TokenKind::KwNull))
+    return std::make_unique<NullExpr>(Line);
+  if (match(TokenKind::KwThis))
+    return std::make_unique<ThisExpr>(Line);
+  if (match(TokenKind::Identifier)) {
+    std::string Name = previous().Text;
+    if (match(TokenKind::LParen)) {
+      // Implicit-this call m(args).
+      std::vector<ExprPtr> Args;
+      if (!parseArgs(Args))
+        return nullptr;
+      if (!expect(TokenKind::RParen, "to close call arguments"))
+        return nullptr;
+      return std::make_unique<CallExpr>(nullptr, std::move(Name),
+                                        std::move(Args), Line);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Line);
+  }
+  Diags.error(peek().Line, peek().Column,
+              std::string("expected expression, found ") +
+                  tokenKindName(peek().Kind));
+  return nullptr;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (match(TokenKind::Dot)) {
+    int Line = previous().Line;
+    if (!expect(TokenKind::Identifier, "after '.'"))
+      return nullptr;
+    std::string Member = previous().Text;
+    if (match(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!parseArgs(Args))
+        return nullptr;
+      if (!expect(TokenKind::RParen, "to close call arguments"))
+        return nullptr;
+      E = std::make_unique<CallExpr>(std::move(E), std::move(Member),
+                                     std::move(Args), Line);
+    } else {
+      E = std::make_unique<FieldReadExpr>(std::move(E), std::move(Member),
+                                          Line);
+    }
+  }
+  return E;
+}

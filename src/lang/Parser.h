@@ -1,0 +1,67 @@
+//===- Parser.h - MiniLang recursive-descent parser ------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser building a Module from MiniLang source text.
+/// Errors are reported through a DiagnosticSink; parsing continues after
+/// recoverable errors so multiple problems surface in one pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_LANG_PARSER_H
+#define USPEC_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+#include "lang/Token.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace uspec {
+
+/// Parses MiniLang source into a Module.
+class Parser {
+public:
+  /// Parses \p Source (named \p ModuleName) and returns the module, or
+  /// std::nullopt if parsing hit a non-recoverable error. Check
+  /// \p Diags.hasErrors() even on success.
+  static std::optional<Module> parse(std::string_view Source,
+                                     std::string ModuleName,
+                                     DiagnosticSink &Diags);
+
+private:
+  Parser(std::vector<Token> Tokens, DiagnosticSink &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &previous() const { return Tokens[Pos - 1]; }
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToClassBoundary();
+
+  std::optional<Module> parseModule(std::string ModuleName);
+  std::optional<ClassDecl> parseClass();
+  std::optional<MethodDecl> parseMethod();
+  bool parseBlock(Block &Out);
+  StmtPtr parseStatement();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  std::optional<Condition> parseCondition();
+  ExprPtr parseExpr();
+  ExprPtr parsePrimary();
+  bool parseArgs(std::vector<ExprPtr> &Out);
+
+  std::vector<Token> Tokens;
+  DiagnosticSink &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace uspec
+
+#endif // USPEC_LANG_PARSER_H

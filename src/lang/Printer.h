@@ -1,0 +1,34 @@
+//===- Printer.h - MiniLang pretty printer ---------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders AST nodes back to parseable MiniLang source. The corpus generator
+/// emits ASTs and prints them, and round-trip tests assert
+/// parse(print(parse(s))) == parse(s) structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_LANG_PRINTER_H
+#define USPEC_LANG_PRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace uspec {
+
+/// Renders \p M as MiniLang source text.
+std::string printModule(const Module &M);
+
+/// Renders a single expression (mainly for tests and debugging).
+std::string printExpr(const Expr &E);
+
+/// Renders a single statement at indent level \p Indent.
+std::string printStmt(const Stmt &S, int Indent = 0);
+
+} // namespace uspec
+
+#endif // USPEC_LANG_PRINTER_H

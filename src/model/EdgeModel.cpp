@@ -1,0 +1,93 @@
+//===- EdgeModel.cpp - The probabilistic event graph model ϕ (§4) ------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/EdgeModel.h"
+
+#include <algorithm>
+
+using namespace uspec;
+
+void EdgeModel::train(std::vector<TrainingSample> Samples) {
+  Rng Rand(Config.Seed);
+  double LR = Config.LearningRate;
+  for (unsigned Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    Rand.shuffle(Samples);
+    for (const TrainingSample &S : Samples) {
+      auto It = Models.find(S.Features.PosKey);
+      if (It == Models.end())
+        It = Models.emplace(S.Features.PosKey,
+                            LogisticRegression(Config.DimBits))
+                 .first;
+      It->second.update(S.Features.Hashes, S.Label, LR, Config.L2);
+    }
+    LR *= 0.7; // simple decay schedule
+  }
+}
+
+double EdgeModel::predict(const EdgeFeatures &Features) const {
+  auto It = Models.find(Features.PosKey);
+  if (It == Models.end())
+    return 0.5;
+  return It->second.predict(Features.Hashes);
+}
+
+double EdgeModel::edgeProbability(const EventGraph &G, EventId E1,
+                                  EventId E2) const {
+  return predict(extractFeatures(G, E1, E2, /*PruneLink=*/false));
+}
+
+double EdgeModel::accuracy(const std::vector<TrainingSample> &Samples) const {
+  if (Samples.empty())
+    return 0;
+  size_t Correct = 0;
+  for (const TrainingSample &S : Samples) {
+    double P = predict(S.Features);
+    Correct += (P >= 0.5) == (S.Label >= 0.5);
+  }
+  return static_cast<double>(Correct) / static_cast<double>(Samples.size());
+}
+
+void uspec::collectTrainingSamples(const EventGraph &G, Rng &Rand,
+                                   std::vector<TrainingSample> &Out) {
+  size_t N = G.numEvents();
+  if (N < 2)
+    return;
+
+  // Positives: all edges, with contexts pruned so the pair link itself does
+  // not leak into the features (§4.2).
+  size_t NumPositives = 0;
+  for (EventId E1 = 0; E1 < N; ++E1) {
+    for (EventId E2 : G.children(E1)) {
+      TrainingSample S;
+      S.Features = extractFeatures(G, E1, E2, /*PruneLink=*/true);
+      S.Label = 1;
+      Out.push_back(std::move(S));
+      ++NumPositives;
+    }
+  }
+
+  // Negatives: event pairs in the same calling context (same Ctx value, i.e.
+  // the same inlining chain) that are not connected in either direction.
+  size_t Want = NumPositives;
+  size_t Attempts = 0, MaxAttempts = Want * 20 + 64;
+  size_t Produced = 0;
+  while (Produced < Want && Attempts < MaxAttempts) {
+    ++Attempts;
+    EventId E1 = static_cast<EventId>(Rand.below(N));
+    EventId E2 = static_cast<EventId>(Rand.below(N));
+    if (E1 == E2)
+      continue;
+    if (G.event(E1).Ctx != G.event(E2).Ctx)
+      continue;
+    if (G.hasEdge(E1, E2) || G.hasEdge(E2, E1))
+      continue;
+    TrainingSample S;
+    S.Features = extractFeatures(G, E1, E2, /*PruneLink=*/false);
+    S.Label = 0;
+    Out.push_back(std::move(S));
+    ++Produced;
+  }
+}

@@ -1,0 +1,584 @@
+//===- Analysis.cpp - Flow/context-sensitive points-to analysis -------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Analysis.h"
+
+#include <algorithm>
+
+using namespace uspec;
+
+//===----------------------------------------------------------------------===//
+// Value tags and field keys
+//===----------------------------------------------------------------------===//
+
+uint64_t uspec::literalValueTag(LitClass Kind, Symbol Text) {
+  return hashValues(0xA11CEULL, static_cast<uint64_t>(Kind), Text.id());
+}
+
+uint64_t uspec::objectValueTag(ObjectId Obj) {
+  return hashValues(0x0B7ECULL, Obj);
+}
+
+uint64_t uspec::regularFieldKey(ObjectId Owner, Symbol Field) {
+  return hashValues(0xF1E1DULL, Owner, Field.id());
+}
+
+uint64_t uspec::ghostFieldKey(ObjectId Owner, const MethodId &Reader,
+                              const std::vector<uint64_t> &Values) {
+  uint64_t Key = hashValues(0x6405ULL, Owner, Reader.hash());
+  for (uint64_t V : Values)
+    Key = hashCombine(Key, V);
+  return Key;
+}
+
+uint64_t uspec::ghostTopKey(ObjectId Owner, const MethodId &Reader) {
+  return hashValues(0x709ULL, Owner, Reader.hash());
+}
+
+uint64_t uspec::ghostBotKey(ObjectId Owner, const MethodId &Reader) {
+  return hashValues(0xB07ULL, Owner, Reader.hash());
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Synthetic site ids for root allocation events live above real site ids.
+constexpr uint32_t SyntheticSiteBase = 0x40000000;
+
+class AnalysisDriver {
+public:
+  AnalysisDriver(const IRProgram &Program, const StringInterner &Strings,
+                 const AnalysisOptions &Options)
+      : Program(Program), Strings(Strings), Opts(Options) {
+    assert((!Opts.ApiAware || Opts.Specs) &&
+           "API-aware mode requires a specification set");
+  }
+
+  AnalysisResult run() {
+    for (unsigned Iter = 0; Iter < std::max(1u, Opts.OuterIterations);
+         ++Iter) {
+      bool LastIter = Iter + 1 == std::max(1u, Opts.OuterIterations);
+      for (const IRClass &Class : Program.Classes) {
+        for (const IRMethod &Method : Class.Methods) {
+          Flow F;
+          Frame Entry = setupEntryFrame(Class, Method, F);
+          analyzeBody(Method.Body, Entry, F, /*Depth=*/0);
+          if (LastIter)
+            mergeIntoResult(F);
+        }
+      }
+    }
+    return std::move(R);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Flow state
+  //===--------------------------------------------------------------------===//
+
+  /// Flow-sensitive part of the state shared down the inline stack:
+  /// per-object abstract histories.
+  struct Flow {
+    std::vector<HistorySet> His;
+
+    HistorySet &of(ObjectId Obj) {
+      if (Obj >= His.size())
+        His.resize(Obj + 1);
+      return His[Obj];
+    }
+  };
+
+  /// One method activation (entry or inlined call).
+  struct Frame {
+    const IRMethod *Method = nullptr;
+    std::vector<ObjSet> Vars;
+    ObjSet Ret;
+    uint32_t Ctx = 0;
+  };
+
+  Frame setupEntryFrame(const IRClass &Class, const IRMethod &Method,
+                        Flow &F) {
+    Frame Entry;
+    Entry.Method = &Method;
+    Entry.Ctx = 0;
+    Entry.Vars.resize(Method.NumVars);
+
+    ObjectId This = R.Objects.getThisObject(Class.Name);
+    noteObjectValue(This, objectValueTag(This));
+    // Root-event labels reuse already-interned symbols so the analysis never
+    // mutates the interner (enables parallel corpus analysis).
+    seedRoot(F, This, Class.Name);
+    Entry.Vars[0] = {This};
+
+    for (uint32_t P = 0; P < Method.NumParams; ++P) {
+      ObjectId Param = R.Objects.getParamObject(Class.Name, Method.Name, P);
+      seedRoot(F, Param, Method.Name);
+      Entry.Vars[1 + P] = {Param};
+    }
+    seedExternals(Method, Entry, F);
+    return Entry;
+  }
+
+  void seedExternals(const IRMethod &Method, Frame &Fr, Flow &F) {
+    for (const auto &[Slot, Name] : Method.Externals) {
+      ObjectId Ext = R.Objects.getExternalObject(Name);
+      seedRoot(F, Ext, Name);
+      if (Slot >= Fr.Vars.size())
+        Fr.Vars.resize(Slot + 1);
+      Fr.Vars[Slot] = {Ext};
+    }
+  }
+
+  /// Gives \p Obj a synthetic root allocation event (if it has none) and
+  /// seeds its history.
+  void seedRoot(Flow &F, ObjectId Obj, Symbol Label) {
+    AbstractObject &AO = R.Objects.get(Obj);
+    if (AO.AllocEvent == InvalidEvent) {
+      Event E;
+      E.Kind = EventKind::RootAlloc;
+      E.Site = SyntheticSiteBase + Obj;
+      E.Ctx = 0;
+      E.Pos = PosRet;
+      E.Method.Name = Label;
+      AO.AllocEvent = R.Events.getOrCreate(E);
+    }
+    HistorySet &His = F.of(Obj);
+    if (His.empty())
+      His.push_back({AO.AllocEvent});
+  }
+
+  //===--------------------------------------------------------------------===//
+  // History bookkeeping
+  //===--------------------------------------------------------------------===//
+
+  void appendEvent(Flow &F, ObjectId Obj, EventId E) {
+    HistorySet &His = F.of(Obj);
+    if (His.empty()) {
+      His.push_back({E});
+      return;
+    }
+    for (History &H : His)
+      if (H.empty() || H.back() != E)
+        H.push_back(E);
+    dedupHistories(His);
+  }
+
+  void dedupHistories(HistorySet &His) {
+    std::sort(His.begin(), His.end());
+    His.erase(std::unique(His.begin(), His.end()), His.end());
+    if (His.size() > Opts.HistoryCap)
+      His.resize(Opts.HistoryCap);
+  }
+
+  void joinFlow(Flow &Into, const Flow &Other) {
+    if (Other.His.size() > Into.His.size())
+      Into.His.resize(Other.His.size());
+    for (size_t Obj = 0; Obj < Other.His.size(); ++Obj) {
+      if (Other.His[Obj].empty())
+        continue;
+      HistorySet &Dst = Into.His[Obj];
+      Dst.insert(Dst.end(), Other.His[Obj].begin(), Other.His[Obj].end());
+      dedupHistories(Dst);
+    }
+  }
+
+  void joinVars(std::vector<ObjSet> &Into, const std::vector<ObjSet> &Other) {
+    assert(Into.size() == Other.size() && "frame size mismatch at join");
+    for (size_t I = 0; I < Into.size(); ++I)
+      objSetUnion(Into[I], Other[I]);
+  }
+
+  void mergeIntoResult(const Flow &F) {
+    if (F.His.size() > R.Histories.size())
+      R.Histories.resize(F.His.size());
+    for (size_t Obj = 0; Obj < F.His.size(); ++Obj) {
+      if (F.His[Obj].empty())
+        continue;
+      HistorySet &Dst = R.Histories[Obj];
+      Dst.insert(Dst.end(), F.His[Obj].begin(), F.His[Obj].end());
+      dedupHistories(Dst);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Values and fields
+  //===--------------------------------------------------------------------===//
+
+  void noteObjectValue(ObjectId Obj, uint64_t Tag) {
+    R.ObjectValues.emplace(Obj, Tag);
+  }
+
+  /// The paper's valG over a points-to set: value tags of all valued objects
+  /// (literals, New, This). Sorted and deduplicated.
+  std::vector<uint64_t> valuesOf(const ObjSet &Set) const {
+    std::vector<uint64_t> Values;
+    for (ObjectId Obj : Set) {
+      auto It = R.ObjectValues.find(Obj);
+      if (It != R.ObjectValues.end())
+        Values.push_back(It->second);
+    }
+    std::sort(Values.begin(), Values.end());
+    Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+    return Values;
+  }
+
+  ObjSet &fieldSet(uint64_t Key) { return R.Fields[Key]; }
+
+  const ObjSet *fieldSetIfPresent(uint64_t Key) const {
+    auto It = R.Fields.find(Key);
+    return It == R.Fields.end() ? nullptr : &It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement interpretation
+  //===--------------------------------------------------------------------===//
+
+  void analyzeBody(const InstrList &Body, Frame &Fr, Flow &F,
+                   unsigned Depth) {
+    for (const Instr &I : Body)
+      analyzeInstr(I, Fr, F, Depth);
+  }
+
+  void analyzeInstr(const Instr &I, Frame &Fr, Flow &F, unsigned Depth) {
+    switch (I.TheKind) {
+    case Instr::Kind::Alloc: {
+      ObjectId Obj = R.Objects.getSiteObject(ObjectKind::New, I.SiteId,
+                                             Fr.Ctx, I.Name);
+      noteObjectValue(Obj, objectValueTag(Obj));
+      AbstractObject &AO = R.Objects.get(Obj);
+      if (AO.AllocEvent == InvalidEvent) {
+        Event E;
+        E.Kind = EventKind::NewAlloc;
+        E.Site = I.SiteId;
+        E.Ctx = Fr.Ctx;
+        E.Pos = PosRet;
+        E.Method.Name = I.Name; // label: newT
+        E.Guard = I.GuardId;
+        AO.AllocEvent = R.Events.getOrCreate(E);
+      }
+      HistorySet &His = F.of(Obj);
+      if (His.empty())
+        His.push_back({AO.AllocEvent});
+      Fr.Vars[I.Dst] = {Obj};
+      return;
+    }
+    case Instr::Kind::Literal: {
+      ObjectKind Kind = I.LitKind == LiteralKind::String
+                            ? ObjectKind::LiteralStr
+                            : (I.LitKind == LiteralKind::Int
+                                   ? ObjectKind::LiteralInt
+                                   : ObjectKind::LiteralNull);
+      ObjectId Obj =
+          R.Objects.getSiteObject(Kind, I.SiteId, Fr.Ctx, I.StrValue);
+      LitClass LC = I.LitKind == LiteralKind::String
+                        ? LitClass::Str
+                        : (I.LitKind == LiteralKind::Int ? LitClass::Int
+                                                         : LitClass::Null);
+      noteObjectValue(Obj, literalValueTag(LC, I.StrValue));
+      AbstractObject &AO = R.Objects.get(Obj);
+      if (AO.AllocEvent == InvalidEvent) {
+        Event E;
+        E.Kind = EventKind::LitAlloc;
+        E.Site = I.SiteId;
+        E.Ctx = Fr.Ctx;
+        E.Pos = PosRet;
+        E.Lit = LC;
+        E.Guard = I.GuardId;
+        AO.AllocEvent = R.Events.getOrCreate(E);
+      }
+      HistorySet &His = F.of(Obj);
+      if (His.empty())
+        His.push_back({AO.AllocEvent});
+      Fr.Vars[I.Dst] = {Obj};
+      return;
+    }
+    case Instr::Kind::Copy:
+      Fr.Vars[I.Dst] = Fr.Vars[I.Src];
+      return;
+    case Instr::Kind::LoadField: {
+      ObjSet Result;
+      for (ObjectId Obj : Fr.Vars[I.Base])
+        if (const ObjSet *S = fieldSetIfPresent(regularFieldKey(Obj, I.Name)))
+          objSetUnion(Result, *S);
+      Fr.Vars[I.Dst] = std::move(Result);
+      return;
+    }
+    case Instr::Kind::StoreField: {
+      const ObjSet &Value = Fr.Vars[I.Src];
+      for (ObjectId Obj : Fr.Vars[I.Base])
+        objSetUnion(fieldSet(regularFieldKey(Obj, I.Name)), Value);
+      return;
+    }
+    case Instr::Kind::Call:
+      analyzeCall(I, Fr, F, Depth);
+      return;
+    case Instr::Kind::If: {
+      Frame ElseFrame = Fr; // copy vars
+      Flow ElseFlow = F;
+      analyzeBody(I.Inner1, Fr, F, Depth);
+      analyzeBody(I.Inner2, ElseFrame, ElseFlow, Depth);
+      joinVars(Fr.Vars, ElseFrame.Vars);
+      objSetUnion(Fr.Ret, ElseFrame.Ret);
+      joinFlow(F, ElseFlow);
+      return;
+    }
+    case Instr::Kind::While: {
+      // Single loop unrolling (§3.2): join the skip path with one body pass.
+      Frame OnceFrame = Fr;
+      Flow OnceFlow = F;
+      analyzeBody(I.Inner1, OnceFrame, OnceFlow, Depth);
+      joinVars(Fr.Vars, OnceFrame.Vars);
+      objSetUnion(Fr.Ret, OnceFrame.Ret);
+      joinFlow(F, OnceFlow);
+      return;
+    }
+    case Instr::Kind::Return:
+      if (I.Src != InvalidVar)
+        objSetUnion(Fr.Ret, Fr.Vars[I.Src]);
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls
+  //===--------------------------------------------------------------------===//
+
+  /// Determines the receiver class: the unique allocation class if all
+  /// receiver objects are New/This of one class, empty Symbol otherwise.
+  Symbol receiverClass(const ObjSet &RecvSet) const {
+    Symbol Class;
+    for (ObjectId Obj : RecvSet) {
+      const AbstractObject &AO = R.Objects.get(Obj);
+      if (AO.Kind != ObjectKind::New && AO.Kind != ObjectKind::This)
+        return Symbol();
+      if (Class.isEmpty())
+        Class = AO.Class;
+      else if (Class != AO.Class)
+        return Symbol();
+    }
+    return Class;
+  }
+
+  void analyzeCall(const Instr &I, Frame &Fr, Flow &F, unsigned Depth) {
+    const ObjSet &RecvSet = Fr.Vars[I.Base];
+    std::vector<ObjSet> ArgSets;
+    ArgSets.reserve(I.Args.size());
+    for (VarId Arg : I.Args)
+      ArgSets.push_back(Fr.Vars[Arg]);
+
+    // Try to resolve to a program-defined method (inlined, no events).
+    Symbol Class = receiverClass(RecvSet);
+    if (!Class.isEmpty() && Depth < Opts.InlineDepth) {
+      if (const IRClass *Callee = Program.findClass(Class)) {
+        if (const IRMethod *Target = Callee->findMethod(I.Name)) {
+          inlineCall(I, Fr, F, Depth, RecvSet, ArgSets, *Target);
+          return;
+        }
+        // A program-defined class without this method: fall through and
+        // treat as an (unknown) API call on that class.
+      }
+    }
+    apiCall(I, Fr, F, Class, RecvSet, ArgSets);
+  }
+
+  void inlineCall(const Instr &I, Frame &Fr, Flow &F, unsigned Depth,
+                  const ObjSet &RecvSet, const std::vector<ObjSet> &ArgSets,
+                  const IRMethod &Target) {
+    Frame Callee;
+    Callee.Method = &Target;
+    uint32_t Ctx32 =
+        static_cast<uint32_t>(hashValues(Fr.Ctx, I.SiteId) & 0x3FFFFFFF);
+    Callee.Ctx = Ctx32 ? Ctx32 : 1;
+    Callee.Vars.resize(Target.NumVars);
+    Callee.Vars[0] = RecvSet;
+    for (uint32_t P = 0; P < Target.NumParams && P < ArgSets.size(); ++P)
+      Callee.Vars[1 + P] = ArgSets[P];
+    seedExternals(Target, Callee, F);
+    analyzeBody(Target.Body, Callee, F, Depth + 1);
+    if (I.Dst != InvalidVar)
+      Fr.Vars[I.Dst] = std::move(Callee.Ret);
+  }
+
+  void apiCall(const Instr &I, Frame &Fr, Flow &F, Symbol Class,
+               const ObjSet &RecvSet, const std::vector<ObjSet> &ArgSets) {
+    MethodId Mid;
+    Mid.Class = Class;
+    Mid.Name = I.Name;
+    Mid.Arity = static_cast<uint8_t>(
+        std::min<size_t>(I.Args.size(), 250));
+
+    // Receiver and argument events.
+    auto MakeEvent = [&](EventPos Pos) {
+      Event E;
+      E.Kind = EventKind::ApiCall;
+      E.Site = I.SiteId;
+      E.Ctx = Fr.Ctx;
+      E.Pos = Pos;
+      E.Method = Mid;
+      E.Guard = I.GuardId;
+      return R.Events.getOrCreate(E);
+    };
+
+    EventId RecvEvent = MakeEvent(PosReceiver);
+    for (ObjectId Obj : RecvSet)
+      appendEvent(F, Obj, RecvEvent);
+    for (size_t A = 0; A < ArgSets.size(); ++A) {
+      EventId ArgEvent = MakeEvent(static_cast<EventPos>(A + 1));
+      for (ObjectId Obj : ArgSets[A])
+        appendEvent(F, Obj, ArgEvent);
+    }
+
+    // Ghost writes (GhostW, Tab. 2) in API-aware mode.
+    if (Opts.ApiAware)
+      ghostWrites(Mid, RecvSet, ArgSets);
+
+    // Return value (GhostR / fresh object).
+    EventId RetEvent = MakeEvent(PosRet);
+    ObjSet Ret;
+    if (Opts.ApiAware) {
+      Ret = ghostReads(Mid, RecvSet, ArgSets);
+      // Experimental RetRecv pattern (§5.3): the call may return its
+      // receiver.
+      if (Opts.Specs->hasRetRecv(Mid))
+        objSetUnion(Ret, RecvSet);
+    }
+    if (Ret.empty()) {
+      ObjectId Fresh =
+          R.Objects.getSiteObject(ObjectKind::ApiRet, I.SiteId, Fr.Ctx,
+                                  Symbol());
+      AbstractObject &AO = R.Objects.get(Fresh);
+      if (AO.AllocEvent == InvalidEvent)
+        AO.AllocEvent = RetEvent;
+      Ret = {Fresh};
+    }
+    for (ObjectId Obj : Ret)
+      appendEvent(F, Obj, RetEvent);
+    if (I.Dst != InvalidVar)
+      Fr.Vars[I.Dst] = Ret;
+    objSetUnion(R.RetPointsTo[RetEvent], Ret);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Ghost fields (§6.2, App. A)
+  //===--------------------------------------------------------------------===//
+
+  /// Enumerates the cartesian product of per-position value sets, capped at
+  /// MaxGhostTuples tuples. Returns false if some position has no values
+  /// (the field name is then unresolvable, §6.4).
+  bool nameTuples(const std::vector<std::vector<uint64_t>> &Per,
+                  std::vector<std::vector<uint64_t>> &Out) const {
+    for (const auto &Values : Per)
+      if (Values.empty())
+        return false;
+    Out.push_back({});
+    for (const auto &Values : Per) {
+      std::vector<std::vector<uint64_t>> Next;
+      for (const auto &Prefix : Out) {
+        for (uint64_t V : Values) {
+          Next.push_back(Prefix);
+          Next.back().push_back(V);
+          if (Next.size() >= Opts.MaxGhostTuples)
+            break;
+        }
+        if (Next.size() >= Opts.MaxGhostTuples)
+          break;
+      }
+      Out = std::move(Next);
+    }
+    return true;
+  }
+
+  void ghostWrites(const MethodId &Mid, const ObjSet &RecvSet,
+                   const std::vector<ObjSet> &ArgSets) {
+    for (const Spec &S : Opts.Specs->retArgsBySource(Mid)) {
+      unsigned X = S.ArgPos;
+      if (X < 1 || X > ArgSets.size())
+        continue;
+      const ObjSet &Stored = ArgSets[X - 1];
+      if (Stored.empty())
+        continue;
+
+      // F(m, x, t): tuples over the values of the other arguments.
+      std::vector<std::vector<uint64_t>> Per;
+      for (size_t A = 0; A < ArgSets.size(); ++A)
+        if (A != X - 1)
+          Per.push_back(valuesOf(ArgSets[A]));
+      std::vector<std::vector<uint64_t>> Tuples;
+      bool Resolvable = nameTuples(Per, Tuples);
+
+      for (ObjectId Recv : RecvSet) {
+        if (Resolvable)
+          for (const auto &T : Tuples)
+            objSetUnion(fieldSet(ghostFieldKey(Recv, S.Target, T)), Stored);
+        if (Opts.CoverageExtension) {
+          if (!Resolvable)
+            objSetUnion(fieldSet(ghostTopKey(Recv, S.Target)), Stored);
+          objSetUnion(fieldSet(ghostBotKey(Recv, S.Target)), Stored);
+        }
+      }
+    }
+  }
+
+  ObjSet ghostReads(const MethodId &Mid, const ObjSet &RecvSet,
+                    const std::vector<ObjSet> &ArgSets) {
+    if (!Opts.Specs->hasRetSame(Mid))
+      return {};
+
+    std::vector<std::vector<uint64_t>> Per;
+    Per.reserve(ArgSets.size());
+    for (const ObjSet &Arg : ArgSets)
+      Per.push_back(valuesOf(Arg));
+    std::vector<std::vector<uint64_t>> Tuples;
+    bool Resolvable = nameTuples(Per, Tuples);
+
+    ObjSet Ret;
+    if (Resolvable) {
+      for (ObjectId Recv : RecvSet) {
+        for (const auto &T : Tuples) {
+          uint64_t Key = ghostFieldKey(Recv, Mid, T);
+          ObjSet &S = fieldSet(Key);
+          if (S.empty())
+            S = {R.Objects.getGhostObject(Recv, Key)}; // GhostR allocation
+          objSetUnion(Ret, S);
+        }
+        if (Opts.CoverageExtension)
+          if (const ObjSet *Top = fieldSetIfPresent(ghostTopKey(Recv, Mid)))
+            objSetUnion(Ret, *Top);
+      }
+      return Ret;
+    }
+
+    // Unresolvable arguments: read ⊥ (App. A) when the coverage extension is
+    // enabled; otherwise no ghost read applies.
+    if (!Opts.CoverageExtension)
+      return {};
+    for (ObjectId Recv : RecvSet) {
+      uint64_t Key = ghostBotKey(Recv, Mid);
+      ObjSet &S = fieldSet(Key);
+      if (S.empty())
+        S = {R.Objects.getGhostObject(Recv, Key)};
+      objSetUnion(Ret, S);
+    }
+    return Ret;
+  }
+
+  const IRProgram &Program;
+  const StringInterner &Strings;
+  AnalysisOptions Opts;
+  AnalysisResult R;
+};
+
+} // namespace
+
+AnalysisResult uspec::analyzeProgram(const IRProgram &Program,
+                                     const StringInterner &Strings,
+                                     const AnalysisOptions &Options) {
+  AnalysisDriver Driver(Program, Strings, Options);
+  return Driver.run();
+}

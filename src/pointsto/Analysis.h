@@ -1,0 +1,129 @@
+//===- Analysis.h - Flow/context-sensitive points-to analysis --*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The points-to analysis of §3.2/§6: flow-sensitive within methods,
+/// context-sensitive through bounded inlining of program-defined methods,
+/// field-sensitive with a global (flow-insensitive) field store, and with
+/// single loop unrolling. It simultaneously records abstract histories
+/// (sequences of API interaction events per abstract object), which the
+/// event-graph module turns into the event graph GP.
+///
+/// Two modes:
+///  - API-unaware (§3.2): every API call returns a fresh abstract object.
+///    This is the baseline and the mode used when learning specifications.
+///  - API-aware (§6): a SpecSet drives ghost-field reads/writes implementing
+///    the GhostR/GhostW deduction rules of Tab. 2, optionally with the ⊤/⊥
+///    coverage extension of §6.4/App. A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_POINTSTO_ANALYSIS_H
+#define USPEC_POINTSTO_ANALYSIS_H
+
+#include "ir/IR.h"
+#include "pointsto/Event.h"
+#include "pointsto/Object.h"
+#include "specs/Spec.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace uspec {
+
+/// Tuning knobs for the analysis.
+struct AnalysisOptions {
+  /// Use ghost fields driven by \c Specs (§6). When false, API calls always
+  /// return fresh objects (§3.2).
+  bool ApiAware = false;
+  /// The learned specification set (required when ApiAware).
+  const SpecSet *Specs = nullptr;
+  /// Enable the ⊤/⊥ unknown-ghost-field extension (§6.4, App. A).
+  bool CoverageExtension = false;
+  /// Maximum call-string depth for inlining program-defined methods.
+  unsigned InlineDepth = 3;
+  /// Maximum number of concrete histories kept per abstract object.
+  unsigned HistoryCap = 16;
+  /// Outer passes over all entry methods (fixpoint for the field store).
+  unsigned OuterIterations = 2;
+  /// Cap on the cartesian product of ghost-field name tuples per call.
+  unsigned MaxGhostTuples = 8;
+};
+
+//===----------------------------------------------------------------------===//
+// Value tags (the paper's V: literal values and object identities)
+//===----------------------------------------------------------------------===//
+
+/// Tagged value of a string/int literal (literals with equal text and kind
+/// compare equal program-wide).
+uint64_t literalValueTag(LitClass Kind, Symbol Text);
+
+/// Tagged identity of a New/This object.
+uint64_t objectValueTag(ObjectId Obj);
+
+//===----------------------------------------------------------------------===//
+// Field keys
+//===----------------------------------------------------------------------===//
+
+/// Key of regular field \p Field of \p Owner in the field store.
+uint64_t regularFieldKey(ObjectId Owner, Symbol Field);
+
+/// Key of the ghost field (Reader, v1..vk) of \p Owner (§6.2: the first
+/// component of a ghost field name is the method supposed to read it).
+uint64_t ghostFieldKey(ObjectId Owner, const MethodId &Reader,
+                       const std::vector<uint64_t> &Values);
+
+/// Key of the ⊤ field of \p Owner for \p Reader (App. A).
+uint64_t ghostTopKey(ObjectId Owner, const MethodId &Reader);
+
+/// Key of the ⊥ field of \p Owner for \p Reader (App. A).
+uint64_t ghostBotKey(ObjectId Owner, const MethodId &Reader);
+
+//===----------------------------------------------------------------------===//
+// Results
+//===----------------------------------------------------------------------===//
+
+/// Everything the analysis computed for one program.
+struct AnalysisResult {
+  ObjectTable Objects;
+  EventTable Events;
+  /// Final abstract histories, indexed by ObjectId (entries may be empty).
+  std::vector<HistorySet> Histories;
+  /// Field store: regular and ghost fields, keyed by the functions above.
+  std::unordered_map<uint64_t, ObjSet> Fields;
+  /// Per ApiCall return event: the points-to set assigned to the call's
+  /// destination (what ρ(x) received at `x = y.m(...)`). Keyed by EventId of
+  /// the ret event. This is the primary client-facing may-alias payload.
+  std::unordered_map<EventId, ObjSet> RetPointsTo;
+  /// Value tag of each object that has one (literals, New, This).
+  std::unordered_map<ObjectId, uint64_t> ObjectValues;
+
+  const HistorySet &historiesOf(ObjectId Obj) const {
+    static const HistorySet Empty;
+    return Obj < Histories.size() ? Histories[Obj] : Empty;
+  }
+
+  /// May-alias between two ret events based on their assigned points-to
+  /// sets. Events without recorded sets never alias.
+  bool retMayAlias(EventId A, EventId B) const {
+    auto IA = RetPointsTo.find(A), IB = RetPointsTo.find(B);
+    if (IA == RetPointsTo.end() || IB == RetPointsTo.end())
+      return false;
+    return objSetIntersects(IA->second, IB->second);
+  }
+};
+
+/// Runs the analysis on \p Program. \p Strings must be the interner used at
+/// lowering time; it is not mutated, so independent programs may be
+/// analyzed concurrently.
+AnalysisResult analyzeProgram(const IRProgram &Program,
+                              const StringInterner &Strings,
+                              const AnalysisOptions &Options);
+
+} // namespace uspec
+
+#endif // USPEC_POINTSTO_ANALYSIS_H

@@ -1,0 +1,351 @@
+//===- ConstraintSolver.cpp - Reference Andersen-style solver ------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/ConstraintSolver.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace uspec;
+
+namespace {
+
+using NodeId = uint32_t;
+
+/// Worklist solver over inclusion constraints. Nodes are variables (one per
+/// method slot, context-insensitive), field cells (object × field), and a
+/// per-method return collector. Complex constraints (field access, method
+/// dispatch) add edges dynamically as points-to sets grow.
+class Solver {
+public:
+  Solver(const IRProgram &Program, const StringInterner &Strings)
+      : Program(Program), Strings(Strings) {}
+
+  ConstraintResult run() {
+    // Create frames and collect constraints from every method body.
+    for (const IRClass &Class : Program.Classes)
+      for (const IRMethod &Method : Class.Methods)
+        buildMethod(Class, Method);
+
+    solve();
+
+    ConstraintResult Out;
+    Out.Objects = std::move(Objects);
+    Out.NumNodes = Pts.size();
+    Out.NumEdges = EdgeCount;
+    Out.Propagations = Propagations;
+    for (const auto &[Site, Node] : RetNodes)
+      Out.RetPointsTo[Site] = Pts[Node];
+    for (const auto &[Site, Node] : RecvNodes)
+      Out.RecvPointsTo[Site] = Pts[Node];
+    return Out;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Node management
+  //===--------------------------------------------------------------------===//
+
+  NodeId newNode() {
+    Pts.emplace_back();
+    Succ.emplace_back();
+    return static_cast<NodeId>(Pts.size() - 1);
+  }
+
+  NodeId varNode(uint32_t ClassIdx, uint32_t MethodIdx, VarId Slot) {
+    uint64_t Key = hashValues(1, ClassIdx, MethodIdx, Slot);
+    auto It = NodeIndex.find(Key);
+    if (It != NodeIndex.end())
+      return It->second;
+    NodeId N = newNode();
+    NodeIndex.emplace(Key, N);
+    return N;
+  }
+
+  NodeId fieldNode(ObjectId Obj, Symbol Field) {
+    uint64_t Key = hashValues(2, Obj, Field.id());
+    auto It = NodeIndex.find(Key);
+    if (It != NodeIndex.end())
+      return It->second;
+    NodeId N = newNode();
+    NodeIndex.emplace(Key, N);
+    return N;
+  }
+
+  /// Return-collector node of a program method.
+  NodeId returnNode(uint32_t ClassIdx, uint32_t MethodIdx) {
+    uint64_t Key = hashValues(3, ClassIdx, MethodIdx);
+    auto It = NodeIndex.find(Key);
+    if (It != NodeIndex.end())
+      return It->second;
+    NodeId N = newNode();
+    NodeIndex.emplace(Key, N);
+    return N;
+  }
+
+  void addEdge(NodeId From, NodeId To) {
+    if (From == To)
+      return;
+    if (!objSetInsert(Succ[From], To))
+      return; // Succ reused as sorted NodeId set
+    ++EdgeCount;
+    if (!Pts[From].empty())
+      enqueue(From);
+  }
+
+  void addObject(NodeId Node, ObjectId Obj) {
+    if (objSetInsert(Pts[Node], Obj))
+      enqueue(Node);
+  }
+
+  void enqueue(NodeId Node) {
+    if (InList.size() <= Node)
+      InList.resize(Node + 1, false);
+    if (InList[Node])
+      return;
+    InList[Node] = true;
+    Worklist.push_back(Node);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Constraint generation
+  //===--------------------------------------------------------------------===//
+
+  struct PendingLoad {
+    NodeId Base;
+    Symbol Field;
+    NodeId Dst;
+  };
+  struct PendingStore {
+    NodeId Base;
+    Symbol Field;
+    NodeId Src;
+  };
+  /// Unresolved call: dispatch on the receiver's classes as they appear.
+  struct PendingCall {
+    NodeId Recv;
+    Symbol Method;
+    std::vector<NodeId> Args;
+    NodeId Dst; // may be ~0u
+    uint32_t Site;
+  };
+
+  void buildMethod(const IRClass &Class, const IRMethod &Method) {
+    uint32_t ClassIdx = indexOfClass(Class);
+    uint32_t MethodIdx = indexOfMethod(Class, Method);
+
+    // Entry seeding: this = This(class); params unknown; externals global.
+    NodeId ThisNode = varNode(ClassIdx, MethodIdx, 0);
+    ObjectId ThisObj = Objects.getThisObject(Class.Name);
+    addObject(ThisNode, ThisObj);
+    for (uint32_t P = 0; P < Method.NumParams; ++P)
+      addObject(varNode(ClassIdx, MethodIdx, 1 + P),
+                Objects.getParamObject(Class.Name, Method.Name, P));
+    for (const auto &[Slot, Name] : Method.Externals)
+      addObject(varNode(ClassIdx, MethodIdx, Slot),
+                Objects.getExternalObject(Name));
+
+    buildBody(Method.Body, ClassIdx, MethodIdx);
+  }
+
+  void buildBody(const InstrList &Body, uint32_t ClassIdx,
+                 uint32_t MethodIdx) {
+    for (const Instr &I : Body) {
+      auto Var = [&](VarId Slot) { return varNode(ClassIdx, MethodIdx, Slot); };
+      switch (I.TheKind) {
+      case Instr::Kind::Alloc:
+        addObject(Var(I.Dst), Objects.getSiteObject(ObjectKind::New, I.SiteId,
+                                                    0, I.Name));
+        break;
+      case Instr::Kind::Literal: {
+        ObjectKind Kind = I.LitKind == LiteralKind::String
+                              ? ObjectKind::LiteralStr
+                              : (I.LitKind == LiteralKind::Int
+                                     ? ObjectKind::LiteralInt
+                                     : ObjectKind::LiteralNull);
+        addObject(Var(I.Dst),
+                  Objects.getSiteObject(Kind, I.SiteId, 0, I.StrValue));
+        break;
+      }
+      case Instr::Kind::Copy:
+        addEdge(Var(I.Src), Var(I.Dst));
+        break;
+      case Instr::Kind::LoadField:
+        Loads.push_back({Var(I.Base), I.Name, Var(I.Dst)});
+        enqueue(Var(I.Base));
+        break;
+      case Instr::Kind::StoreField:
+        Stores.push_back({Var(I.Base), I.Name, Var(I.Src)});
+        enqueue(Var(I.Base));
+        break;
+      case Instr::Kind::Call: {
+        PendingCall Call;
+        Call.Recv = Var(I.Base);
+        Call.Method = I.Name;
+        for (VarId Arg : I.Args)
+          Call.Args.push_back(Var(Arg));
+        Call.Dst = I.Dst == InvalidVar ? ~0u : Var(I.Dst);
+        Call.Site = I.SiteId;
+        // API fallback object: every call may be an API call (if any
+        // receiver is not a program class); created lazily in dispatch.
+        Calls.push_back(Call);
+        RecvNodes.emplace(I.SiteId, Call.Recv);
+        if (RetNodes.find(I.SiteId) == RetNodes.end()) {
+          NodeId RetNode = newNode();
+          RetNodes.emplace(I.SiteId, RetNode);
+        }
+        if (Call.Dst != ~0u)
+          addEdge(RetNodes[I.SiteId], Call.Dst);
+        enqueue(Call.Recv);
+        break;
+      }
+      case Instr::Kind::If:
+        buildBody(I.Inner1, ClassIdx, MethodIdx);
+        buildBody(I.Inner2, ClassIdx, MethodIdx);
+        break;
+      case Instr::Kind::While:
+        buildBody(I.Inner1, ClassIdx, MethodIdx);
+        // Inner2 duplicates the pre-loop condition instructions; skip.
+        break;
+      case Instr::Kind::Return:
+        if (I.Src != InvalidVar)
+          addEdge(Var(I.Src), returnNode(ClassIdx, MethodIdx));
+        break;
+      }
+    }
+  }
+
+  uint32_t indexOfClass(const IRClass &Class) {
+    for (uint32_t I = 0; I < Program.Classes.size(); ++I)
+      if (&Program.Classes[I] == &Class)
+        return I;
+    return 0;
+  }
+
+  uint32_t indexOfMethod(const IRClass &Class, const IRMethod &Method) {
+    for (uint32_t I = 0; I < Class.Methods.size(); ++I)
+      if (&Class.Methods[I] == &Method)
+        return I;
+    return 0;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Dispatch
+  //===--------------------------------------------------------------------===//
+
+  /// Reacts to a receiver object appearing at a call: program-class methods
+  /// get parameter/return edges; anything else makes the site an API call.
+  void dispatch(const PendingCall &Call, ObjectId Recv) {
+    uint64_t Done = hashValues(Call.Site, Recv, Call.Method.id());
+    if (!Dispatched.insert(Done).second)
+      return;
+
+    const AbstractObject &AO = Objects.get(Recv);
+    const IRClass *Callee = nullptr;
+    if (AO.Kind == ObjectKind::New || AO.Kind == ObjectKind::This)
+      Callee = Program.findClass(AO.Class);
+    const IRMethod *Target =
+        Callee ? Callee->findMethod(Call.Method) : nullptr;
+
+    NodeId RetNode = RetNodes[Call.Site];
+    if (!Target) {
+      // API call: fresh object per site (context-insensitive).
+      addObject(RetNode, Objects.getSiteObject(ObjectKind::ApiRet, Call.Site,
+                                               0, Symbol()));
+      return;
+    }
+
+    uint32_t ClassIdx = 0, MethodIdx = 0;
+    for (uint32_t I = 0; I < Program.Classes.size(); ++I)
+      if (&Program.Classes[I] == Callee)
+        ClassIdx = I;
+    for (uint32_t I = 0; I < Callee->Methods.size(); ++I)
+      if (&Callee->Methods[I] == Target)
+        MethodIdx = I;
+
+    addEdge(Call.Recv, varNode(ClassIdx, MethodIdx, 0));
+    for (uint32_t P = 0; P < Target->NumParams && P < Call.Args.size(); ++P)
+      addEdge(Call.Args[P], varNode(ClassIdx, MethodIdx, 1 + P));
+    addEdge(returnNode(ClassIdx, MethodIdx), RetNode);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Fixpoint
+  //===--------------------------------------------------------------------===//
+
+  void solve() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      while (!Worklist.empty()) {
+        NodeId Node = Worklist.front();
+        Worklist.pop_front();
+        InList[Node] = false;
+        ++Propagations;
+
+        // Copy edges.
+        for (NodeId To : Succ[Node])
+          for (ObjectId Obj : Pts[Node])
+            addObject(To, Obj);
+        Changed = true;
+      }
+      // Complex constraints: re-examine with current points-to sets.
+      for (const PendingLoad &L : Loads)
+        for (ObjectId Obj : Pts[L.Base])
+          addEdge(fieldNode(Obj, L.Field), L.Dst);
+      for (const PendingStore &St : Stores)
+        for (ObjectId Obj : Pts[St.Base])
+          addEdge(St.Src, fieldNode(Obj, St.Field));
+      for (const PendingCall &Call : Calls) {
+        if (Pts[Call.Recv].empty()) {
+          // Unknown receiver (e.g. null): still an API call.
+          dispatchApiOnly(Call);
+          continue;
+        }
+        ObjSet Snapshot = Pts[Call.Recv];
+        for (ObjectId Obj : Snapshot)
+          dispatch(Call, Obj);
+      }
+      if (!Worklist.empty())
+        Changed = true;
+    }
+  }
+
+  void dispatchApiOnly(const PendingCall &Call) {
+    uint64_t Done = hashValues(Call.Site, 0xFFFFFFFFu, Call.Method.id());
+    if (!Dispatched.insert(Done).second)
+      return;
+    addObject(RetNodes[Call.Site],
+              Objects.getSiteObject(ObjectKind::ApiRet, Call.Site, 0,
+                                    Symbol()));
+  }
+
+  const IRProgram &Program;
+  const StringInterner &Strings;
+
+  ObjectTable Objects;
+  std::vector<ObjSet> Pts;                ///< Per-node points-to sets.
+  std::vector<std::vector<NodeId>> Succ;  ///< Copy edges (sorted).
+  std::unordered_map<uint64_t, NodeId> NodeIndex;
+  std::unordered_map<uint32_t, NodeId> RetNodes;
+  std::unordered_map<uint32_t, NodeId> RecvNodes;
+  std::vector<PendingLoad> Loads;
+  std::vector<PendingStore> Stores;
+  std::vector<PendingCall> Calls;
+  std::unordered_set<uint64_t> Dispatched;
+  std::deque<NodeId> Worklist;
+  std::vector<bool> InList;
+  size_t EdgeCount = 0;
+  size_t Propagations = 0;
+};
+
+} // namespace
+
+ConstraintResult uspec::solveConstraints(const IRProgram &Program,
+                                         const StringInterner &Strings) {
+  Solver S(Program, Strings);
+  return S.run();
+}

@@ -1,0 +1,64 @@
+//===- ConstraintSolver.h - Reference Andersen-style solver ----*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic, flow- and context-INSENSITIVE Andersen-style points-to solver
+/// over the MiniLang IR: inclusion constraints with a worklist fixpoint and
+/// dynamic edges for field accesses and method resolution [Andersen 1994].
+///
+/// It deliberately mirrors the main analysis' API model (fresh objects for
+/// API returns) so it serves as an over-approximation *reference*: any
+/// may-alias fact reported by the flow-sensitive analysis must also be
+/// reported here (checked by differential property tests). It is also the
+/// "less precise initial analysis" end of the §7.1 spectrum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_POINTSTO_CONSTRAINTSOLVER_H
+#define USPEC_POINTSTO_CONSTRAINTSOLVER_H
+
+#include "ir/IR.h"
+#include "pointsto/Object.h"
+#include "support/StringInterner.h"
+
+#include <unordered_map>
+
+namespace uspec {
+
+/// Result of the constraint solve.
+struct ConstraintResult {
+  ObjectTable Objects;
+  /// Points-to set of every call site's return value, keyed by SiteId.
+  std::unordered_map<uint32_t, ObjSet> RetPointsTo;
+  /// Points-to set of every call site's receiver, keyed by SiteId.
+  std::unordered_map<uint32_t, ObjSet> RecvPointsTo;
+  /// Solver statistics.
+  size_t NumNodes = 0;
+  size_t NumEdges = 0;
+  size_t Propagations = 0;
+
+  bool retMayAlias(uint32_t SiteA, uint32_t SiteB) const {
+    auto IA = RetPointsTo.find(SiteA), IB = RetPointsTo.find(SiteB);
+    if (IA == RetPointsTo.end() || IB == RetPointsTo.end())
+      return false;
+    return objSetIntersects(IA->second, IB->second);
+  }
+
+  bool recvMayAlias(uint32_t SiteA, uint32_t SiteB) const {
+    auto IA = RecvPointsTo.find(SiteA), IB = RecvPointsTo.find(SiteB);
+    if (IA == RecvPointsTo.end() || IB == RecvPointsTo.end())
+      return false;
+    return objSetIntersects(IA->second, IB->second);
+  }
+};
+
+/// Solves the whole program's inclusion constraints to a fixpoint.
+ConstraintResult solveConstraints(const IRProgram &Program,
+                                  const StringInterner &Strings);
+
+} // namespace uspec
+
+#endif // USPEC_POINTSTO_CONSTRAINTSOLVER_H

@@ -1,0 +1,110 @@
+//===- Event.h - API interaction events ------------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Events (§3.1): an event is a pair ⟨m, x⟩ of a call site m (with calling
+/// context) and a position x ∈ {0..nargs} ∪ {ret}. We additionally record
+/// allocation events ⟨newT, ret⟩ and literal construction events ⟨lc, ret⟩.
+/// Events are deduplicated per program in an EventTable; dense EventIds feed
+/// histories, the event graph and the feature extractor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_POINTSTO_EVENT_H
+#define USPEC_POINTSTO_EVENT_H
+
+#include "specs/Spec.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace uspec {
+
+using EventId = uint32_t;
+inline constexpr EventId InvalidEvent = ~static_cast<EventId>(0);
+
+/// Position of an object in a call: 0 = receiver, 1..n = argument,
+/// PosRet = return value.
+using EventPos = uint8_t;
+inline constexpr EventPos PosReceiver = 0;
+inline constexpr EventPos PosRet = 0xFF;
+
+/// How the event arose.
+enum class EventKind : uint8_t {
+  ApiCall,   ///< Receiver/argument/return of an API method call.
+  NewAlloc,  ///< ⟨newT, ret⟩ at an allocation statement.
+  LitAlloc,  ///< ⟨lc, ret⟩ at a literal occurrence.
+  RootAlloc, ///< Synthetic origin of an external/param/this object, so that
+             ///< distinct unknown receivers have distinct allocation events.
+};
+
+/// Kind of a literal for LitAlloc events (used by feature γ).
+enum class LitClass : uint8_t { NotLiteral, Str, Int, Null };
+
+/// One event ⟨m, x⟩.
+struct Event {
+  EventKind Kind = EventKind::ApiCall;
+  /// IR site id of the call/allocation/literal.
+  uint32_t Site = 0;
+  /// Calling context of the site (0 = entry).
+  uint32_t Ctx = 0;
+  /// Position: PosReceiver, 1..n, or PosRet.
+  EventPos Pos = PosRet;
+  /// For ApiCall: the method identifier id(m) (class, name, arity).
+  /// For NewAlloc: Name = class symbol. For LitAlloc: Name = empty.
+  MethodId Method;
+  /// Innermost guard region of the site (0 = unguarded); feeds feature γ.
+  uint32_t Guard = 0;
+  /// Literal kind for LitAlloc events.
+  LitClass Lit = LitClass::NotLiteral;
+
+  bool isRet() const { return Pos == PosRet; }
+};
+
+/// Deduplicating event table; (Site, Ctx, Pos) is the identity.
+class EventTable {
+public:
+  EventId getOrCreate(const Event &E) {
+    uint64_t Key = hashValues(E.Site, E.Ctx, E.Pos);
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    EventId Id = static_cast<EventId>(Events.size());
+    Events.push_back(E);
+    Index.emplace(Key, Id);
+    return Id;
+  }
+
+  /// Looks up an existing event; returns InvalidEvent if absent.
+  EventId find(uint32_t Site, uint32_t Ctx, EventPos Pos) const {
+    auto It = Index.find(hashValues(Site, Ctx, Pos));
+    return It == Index.end() ? InvalidEvent : It->second;
+  }
+
+  const Event &get(EventId Id) const {
+    assert(Id < Events.size() && "invalid event id");
+    return Events[Id];
+  }
+
+  size_t size() const { return Events.size(); }
+
+private:
+  std::vector<Event> Events;
+  std::unordered_map<uint64_t, EventId> Index;
+};
+
+/// A set of concrete histories for one abstract object: each history is an
+/// ordered event sequence; joins take set union; single loop unrolling
+/// bounds the length (§3.2).
+using History = std::vector<EventId>;
+using HistorySet = std::vector<History>;
+
+} // namespace uspec
+
+#endif // USPEC_POINTSTO_EVENT_H

@@ -1,0 +1,210 @@
+//===- Object.h - Abstract objects and points-to sets ----------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract objects for the points-to analysis (§3.2). The potentially
+/// infinite set of runtime objects is partitioned by allocation site and
+/// calling context:
+///
+///   New       — `new T()` allocation site,
+///   This      — the receiver of an entry-point method (one per class),
+///   ApiRet    — the fresh object assumed for an API call's return value,
+///   Literal*  — string/int/null literal construction sites,
+///   External  — a free global name (e.g. `db`) holding an unknown object,
+///   Param     — an unknown argument of an entry-point method,
+///   Ghost     — object allocated by the GhostR rule (§6.3) when a ghost
+///               field is read before any write.
+///
+/// Points-to sets are sorted, deduplicated vectors of dense ObjectIds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_POINTSTO_OBJECT_H
+#define USPEC_POINTSTO_OBJECT_H
+
+#include "support/Hashing.h"
+#include "support/StringInterner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace uspec {
+
+using ObjectId = uint32_t;
+inline constexpr ObjectId InvalidObject = ~static_cast<ObjectId>(0);
+
+enum class ObjectKind : uint8_t {
+  New,
+  This,
+  ApiRet,
+  LiteralStr,
+  LiteralInt,
+  LiteralNull,
+  External,
+  Param,
+  Ghost,
+};
+
+/// One abstract object.
+struct AbstractObject {
+  ObjectKind Kind = ObjectKind::New;
+  /// Class name for New/This; empty otherwise.
+  Symbol Class;
+  /// Literal text for literals; the source name for External.
+  Symbol Value;
+  /// Allocation site for New/ApiRet/Literal objects (0 otherwise).
+  uint32_t Site = 0;
+  /// Calling context of the allocation (0 = entry context).
+  uint32_t Ctx = 0;
+  /// EventId of the allocation event (~0u when the object has none, e.g.
+  /// External/Param/Ghost objects).
+  uint32_t AllocEvent = ~0u;
+
+  bool isLiteral() const {
+    return Kind == ObjectKind::LiteralStr || Kind == ObjectKind::LiteralInt ||
+           Kind == ObjectKind::LiteralNull;
+  }
+};
+
+/// A points-to set: sorted vector of unique ObjectIds.
+using ObjSet = std::vector<ObjectId>;
+
+/// Inserts \p Obj into sorted set \p Set; returns true if it was new.
+inline bool objSetInsert(ObjSet &Set, ObjectId Obj) {
+  auto It = std::lower_bound(Set.begin(), Set.end(), Obj);
+  if (It != Set.end() && *It == Obj)
+    return false;
+  Set.insert(It, Obj);
+  return true;
+}
+
+/// Unions \p From into \p Into; returns true if \p Into grew.
+inline bool objSetUnion(ObjSet &Into, const ObjSet &From) {
+  if (From.empty())
+    return false;
+  if (Into.empty()) {
+    Into = From;
+    return true;
+  }
+  ObjSet Merged;
+  Merged.reserve(Into.size() + From.size());
+  std::set_union(Into.begin(), Into.end(), From.begin(), From.end(),
+                 std::back_inserter(Merged));
+  bool Grew = Merged.size() != Into.size();
+  Into = std::move(Merged);
+  return Grew;
+}
+
+/// True iff the two sets share an element (may-alias check).
+inline bool objSetIntersects(const ObjSet &A, const ObjSet &B) {
+  auto IA = A.begin(), IB = B.begin();
+  while (IA != A.end() && IB != B.end()) {
+    if (*IA == *IB)
+      return true;
+    if (*IA < *IB)
+      ++IA;
+    else
+      ++IB;
+  }
+  return false;
+}
+
+/// Deduplicating table of abstract objects. Objects are keyed so that
+/// re-analysis (outer field fixpoint iterations) reuses identical ids.
+class ObjectTable {
+public:
+  /// New/Literal/ApiRet objects: keyed by (kind, site, ctx).
+  ObjectId getSiteObject(ObjectKind Kind, uint32_t Site, uint32_t Ctx,
+                         Symbol ClassOrValue) {
+    uint64_t Key = hashValues(static_cast<uint64_t>(Kind), Site, Ctx);
+    return getOrCreate(Key, [&] {
+      AbstractObject Obj;
+      Obj.Kind = Kind;
+      if (Kind == ObjectKind::New)
+        Obj.Class = ClassOrValue;
+      else
+        Obj.Value = ClassOrValue;
+      Obj.Site = Site;
+      Obj.Ctx = Ctx;
+      return Obj;
+    });
+  }
+
+  /// The `this` object of an entry method of class \p Class.
+  ObjectId getThisObject(Symbol Class) {
+    uint64_t Key = hashValues(1001, Class.id());
+    return getOrCreate(Key, [&] {
+      AbstractObject Obj;
+      Obj.Kind = ObjectKind::This;
+      Obj.Class = Class;
+      return Obj;
+    });
+  }
+
+  /// External global named \p Name (program-wide identity).
+  ObjectId getExternalObject(Symbol Name) {
+    uint64_t Key = hashValues(1002, Name.id());
+    return getOrCreate(Key, [&] {
+      AbstractObject Obj;
+      Obj.Kind = ObjectKind::External;
+      Obj.Value = Name;
+      return Obj;
+    });
+  }
+
+  /// Unknown parameter \p Index of entry method \p Class::\p Method.
+  ObjectId getParamObject(Symbol Class, Symbol Method, uint32_t Index) {
+    uint64_t Key = hashValues(1003, Class.id(), Method.id(), Index);
+    return getOrCreate(Key, [&] {
+      AbstractObject Obj;
+      Obj.Kind = ObjectKind::Param;
+      return Obj;
+    });
+  }
+
+  /// Ghost object for field \p FieldKey of \p Owner (GhostR allocation).
+  ObjectId getGhostObject(ObjectId Owner, uint64_t FieldKey) {
+    uint64_t Key = hashValues(1004, Owner, FieldKey);
+    return getOrCreate(Key, [&] {
+      AbstractObject Obj;
+      Obj.Kind = ObjectKind::Ghost;
+      return Obj;
+    });
+  }
+
+  const AbstractObject &get(ObjectId Id) const {
+    assert(Id < Objects.size() && "invalid object id");
+    return Objects[Id];
+  }
+
+  AbstractObject &get(ObjectId Id) {
+    assert(Id < Objects.size() && "invalid object id");
+    return Objects[Id];
+  }
+
+  size_t size() const { return Objects.size(); }
+
+private:
+  template <typename MakeFn> ObjectId getOrCreate(uint64_t Key, MakeFn Make) {
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    ObjectId Id = static_cast<ObjectId>(Objects.size());
+    Objects.push_back(Make());
+    Index.emplace(Key, Id);
+    return Id;
+  }
+
+  std::vector<AbstractObject> Objects;
+  std::unordered_map<uint64_t, ObjectId> Index;
+};
+
+} // namespace uspec
+
+#endif // USPEC_POINTSTO_OBJECT_H

@@ -1,0 +1,126 @@
+//===- Runtime.cpp - Concrete values and executable library models ------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+using namespace uspec;
+
+RtValue ApiHeap::allocObject(const std::string &Class) {
+  uint32_t Id = static_cast<uint32_t>(Objects.size());
+  Objects.push_back(ObjState());
+  Objects.back().Class = Class;
+  return RtValue::ofObj(Id);
+}
+
+const std::string &ApiHeap::classOf(uint32_t Obj) const {
+  static const std::string Unknown = "?";
+  return Obj < Objects.size() ? Objects[Obj].Class : Unknown;
+}
+
+ApiHeap::ObjState &ApiHeap::state(const RtValue &Recv) {
+  if (Recv.isObj() && Recv.Obj < Objects.size())
+    return Objects[Recv.Obj];
+  return Scratch;
+}
+
+std::string ApiHeap::serializeKey(const std::vector<RtValue> &Args,
+                                  unsigned SkipPos) {
+  std::string Key;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I + 1 == SkipPos)
+      continue;
+    const RtValue &V = Args[I];
+    switch (V.TheKind) {
+    case RtValue::Kind::Null:
+      Key += "n|";
+      break;
+    case RtValue::Kind::Int:
+      Key += "i" + std::to_string(V.Int) + "|";
+      break;
+    case RtValue::Kind::Str:
+      Key += "s" + V.Str + "|";
+      break;
+    case RtValue::Kind::Obj:
+      Key += "o" + std::to_string(V.Obj) + "|";
+      break;
+    }
+  }
+  return Key;
+}
+
+bool ApiHeap::keysAreStrings(const std::vector<RtValue> &Args,
+                             unsigned SkipPos) {
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I + 1 == SkipPos)
+      continue;
+    if (Args[I].TheKind != RtValue::Kind::Str)
+      return false;
+  }
+  return true;
+}
+
+RtValue ApiHeap::callApi(const RtValue &Recv, const ApiMethod &Method,
+                         const std::vector<RtValue> &Args) {
+  ObjState &S = state(Recv);
+  std::string RetClass =
+      Method.ReturnsConcept.empty() ? "Opaque" : Method.ReturnsConcept;
+
+  switch (Method.Semantics) {
+  case MethodSemantics::Store: {
+    if (Method.StorePos < 1 || Method.StorePos > Args.size())
+      return RtValue::null();
+    if (Method.StringKeysOnly && !keysAreStrings(Args, Method.StorePos))
+      return RtValue::null(); // rejected: key type mismatch
+    const RtValue &Value = Args[Method.StorePos - 1];
+    S.Store[serializeKey(Args, Method.StorePos)] = Value;
+    S.Seq.push_back(Value);
+    return RtValue::null(); // put-style methods: previous value elided
+  }
+  case MethodSemantics::Load: {
+    if (Method.StringKeysOnly && !keysAreStrings(Args, 0))
+      return RtValue::null();
+    auto It = S.Store.find(serializeKey(Args, 0));
+    return It == S.Store.end() ? RtValue::null() : It->second;
+  }
+  case MethodSemantics::StatelessGetter: {
+    std::string Key = Method.Name + "#" + serializeKey(Args, 0);
+    auto It = S.Memo.find(Key);
+    if (It != S.Memo.end())
+      return It->second;
+    RtValue Fresh = allocObject(RetClass);
+    // NOTE: allocObject may reallocate Objects; re-resolve the state.
+    state(Recv).Memo[Key] = Fresh;
+    return Fresh;
+  }
+  case MethodSemantics::MutatingReader: {
+    if (!S.Seq.empty()) {
+      RtValue Last = S.Seq.back();
+      S.Seq.pop_back();
+      return Last;
+    }
+    return allocObject(RetClass);
+  }
+  case MethodSemantics::Factory: {
+    std::vector<RtValue> Inherited = S.Seq;
+    RtValue Fresh = allocObject(RetClass);
+    // Factories like iterator() hand their receiver's sequence to the new
+    // object so element reads are concrete.
+    state(Fresh).Seq = std::move(Inherited);
+    return Fresh;
+  }
+  case MethodSemantics::Action:
+    if (Method.Inserts && !Args.empty())
+      S.Seq.push_back(Args[0]);
+    return RtValue::null();
+  case MethodSemantics::Predicate:
+    return RtValue::ofInt(S.Seq.empty() ? 0 : 1);
+  case MethodSemantics::Fluent:
+    if (Method.Inserts && !Args.empty())
+      S.Seq.push_back(Args[0]);
+    return Recv; // builder APIs return their receiver
+  }
+  return RtValue::null();
+}

@@ -1,0 +1,142 @@
+//===- Runtime.h - Concrete values and executable library models -*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete heap with executable library models. API calls are interpreted
+/// mechanically from the registry's ground-truth semantics:
+///
+///   Store            — writes the value argument under the serialized key
+///                      tuple (string-keyed classes reject non-string keys);
+///   Load             — returns the stored value or null;
+///   StatelessGetter  — memoizes one fresh object per (receiver, args);
+///   MutatingReader   — pops the most recently inserted value, else returns
+///                      a fresh object per call;
+///   Factory          — fresh object per call (inheriting the receiver's
+///                      inserted sequence, so iterator() works);
+///   Action           — no-op, except Inserts methods which append;
+///   Predicate        — 1 iff the receiver's sequence is non-empty.
+///
+/// This is the "library implementation" the Atlas-style baseline (§7.5)
+/// black-box-executes, and what the differential soundness tests run
+/// MiniLang programs against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_RUNTIME_RUNTIME_H
+#define USPEC_RUNTIME_RUNTIME_H
+
+#include "corpus/Api.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// A concrete runtime value.
+struct RtValue {
+  enum class Kind : uint8_t { Null, Int, Str, Obj };
+
+  Kind TheKind = Kind::Null;
+  int64_t Int = 0;
+  std::string Str;
+  uint32_t Obj = 0;
+
+  static RtValue null() { return RtValue(); }
+  static RtValue ofInt(int64_t V) {
+    RtValue R;
+    R.TheKind = Kind::Int;
+    R.Int = V;
+    return R;
+  }
+  static RtValue ofStr(std::string V) {
+    RtValue R;
+    R.TheKind = Kind::Str;
+    R.Str = std::move(V);
+    return R;
+  }
+  static RtValue ofObj(uint32_t Id) {
+    RtValue R;
+    R.TheKind = Kind::Obj;
+    R.Obj = Id;
+    return R;
+  }
+
+  bool isObj() const { return TheKind == Kind::Obj; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool truthy() const {
+    switch (TheKind) {
+    case Kind::Null:
+      return false;
+    case Kind::Int:
+      return Int != 0;
+    case Kind::Str:
+      return !Str.empty();
+    case Kind::Obj:
+      return true;
+    }
+    return false;
+  }
+
+  /// Structural equality (object identity for Obj).
+  friend bool operator==(const RtValue &A, const RtValue &B) {
+    if (A.TheKind != B.TheKind)
+      return false;
+    switch (A.TheKind) {
+    case Kind::Null:
+      return true;
+    case Kind::Int:
+      return A.Int == B.Int;
+    case Kind::Str:
+      return A.Str == B.Str;
+    case Kind::Obj:
+      return A.Obj == B.Obj;
+    }
+    return false;
+  }
+};
+
+/// The concrete heap executing API semantics.
+class ApiHeap {
+public:
+  explicit ApiHeap(const ApiRegistry &Registry) : Registry(Registry) {}
+
+  /// Allocates a fresh object of dynamic class \p Class (may be an API
+  /// class, a concept class, or an opaque tag).
+  RtValue allocObject(const std::string &Class);
+
+  /// Executes an API method concretely.
+  RtValue callApi(const RtValue &Recv, const ApiMethod &Method,
+                  const std::vector<RtValue> &Args);
+
+  /// Dynamic class of an object.
+  const std::string &classOf(uint32_t Obj) const;
+
+  size_t numObjects() const { return Objects.size(); }
+
+private:
+  struct ObjState {
+    std::string Class;
+    std::map<std::string, RtValue> Store; ///< Key tuple -> stored value.
+    std::map<std::string, RtValue> Memo;  ///< Getter memoization.
+    std::vector<RtValue> Seq;             ///< Inserted sequence.
+  };
+
+  ObjState &state(const RtValue &Recv);
+  static std::string serializeKey(const std::vector<RtValue> &Args,
+                                  unsigned SkipPos /*1-based, 0=none*/);
+  static bool keysAreStrings(const std::vector<RtValue> &Args,
+                             unsigned SkipPos);
+
+  const ApiRegistry &Registry;
+  std::vector<ObjState> Objects;
+  ObjState Scratch; ///< State for non-object receivers (defensive).
+};
+
+} // namespace uspec
+
+#endif // USPEC_RUNTIME_RUNTIME_H

@@ -1,0 +1,71 @@
+//===- Spec.cpp - API aliasing specification types ---------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "specs/Spec.h"
+
+using namespace uspec;
+
+std::string MethodId::str(const StringInterner &Strings) const {
+  std::string Out;
+  const std::string &ClassName = Strings.str(Class);
+  Out += ClassName.empty() ? "?" : ClassName;
+  Out += ".";
+  Out += Strings.str(Name);
+  Out += "/";
+  Out += std::to_string(Arity);
+  return Out;
+}
+
+std::string Spec::str(const StringInterner &Strings) const {
+  switch (TheKind) {
+  case Kind::RetSame:
+    return "RetSame(" + Target.str(Strings) + ")";
+  case Kind::RetRecv:
+    return "RetRecv(" + Target.str(Strings) + ")";
+  case Kind::RetArg:
+    break;
+  }
+  return "RetArg(" + Target.str(Strings) + ", " + Source.str(Strings) + ", " +
+         std::to_string(ArgPos) + ")";
+}
+
+bool SpecSet::insert(const Spec &S) {
+  if (!Specs.insert(S).second)
+    return false;
+  Ordered.push_back(S);
+  switch (S.TheKind) {
+  case Spec::Kind::RetSame:
+    RetSameIndex.insert(S.Target);
+    break;
+  case Spec::Kind::RetRecv:
+    RetRecvIndex.insert(S.Target);
+    break;
+  case Spec::Kind::RetArg:
+    BySource[S.Source].push_back(S);
+    break;
+  }
+  return true;
+}
+
+const std::vector<Spec> &SpecSet::retArgsBySource(const MethodId &M) const {
+  static const std::vector<Spec> Empty;
+  auto It = BySource.find(M);
+  return It == BySource.end() ? Empty : It->second;
+}
+
+size_t SpecSet::extendConsistency() {
+  size_t Added = 0;
+  // Collect first: inserting invalidates no iterators on Ordered, but be
+  // explicit about iterating a snapshot.
+  std::vector<Spec> Snapshot = Ordered;
+  for (const Spec &S : Snapshot) {
+    if (S.TheKind != Spec::Kind::RetArg)
+      continue;
+    if (insert(Spec::retSame(S.Target)))
+      ++Added;
+  }
+  return Added;
+}

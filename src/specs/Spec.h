@@ -1,0 +1,158 @@
+//===- Spec.h - API aliasing specification types ---------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hypothesis class of API aliasing specifications (§5.1, Tab. 1):
+///
+///   RetSame(s)      — calling s multiple times with equal arguments and
+///                     receiver may return the same object;
+///   RetArg(t, s, x) — calling t may return the x-th argument of a preceding
+///                     call of s on the same receiver where all other
+///                     arguments are equal.
+///
+/// Methods are identified by (API class, name, arity) — our stand-in for the
+/// paper's fully qualified name and signature. The API class is derived from
+/// the receiver's allocation site type, or the wildcard class "?" when the
+/// receiver itself came from an API call of unknown type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SPECS_SPEC_H
+#define USPEC_SPECS_SPEC_H
+
+#include "support/Hashing.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace uspec {
+
+/// Identifies an API method: receiver class, method name, number of
+/// arguments (excluding the receiver).
+struct MethodId {
+  Symbol Class;
+  Symbol Name;
+  uint8_t Arity = 0;
+
+  friend bool operator==(const MethodId &A, const MethodId &B) {
+    return A.Class == B.Class && A.Name == B.Name && A.Arity == B.Arity;
+  }
+  friend bool operator!=(const MethodId &A, const MethodId &B) {
+    return !(A == B);
+  }
+
+  uint64_t hash() const { return hashValues(Class.id(), Name.id(), Arity); }
+
+  /// Renders as "Class.name/arity".
+  std::string str(const StringInterner &Strings) const;
+};
+
+/// One aliasing specification.
+struct Spec {
+  /// RetSame/RetArg are the paper's hypothesis class (Tab. 1); RetRecv is
+  /// the experimental extension discussed in §5.3 ("our approach is
+  /// fundamentally not restricted to these patterns"): calling s may return
+  /// its receiver (fluent/builder APIs).
+  enum class Kind : uint8_t { RetSame, RetArg, RetRecv };
+
+  Kind TheKind = Kind::RetSame;
+  MethodId Target; ///< The returning method: s for RetSame/RetRecv, t for
+                   ///< RetArg.
+  MethodId Source; ///< The storing method s (RetArg only).
+  uint8_t ArgPos = 0; ///< x in RetArg (1-based argument position of Source).
+
+  static Spec retSame(MethodId S) {
+    Spec Result;
+    Result.TheKind = Kind::RetSame;
+    Result.Target = S;
+    return Result;
+  }
+
+  static Spec retArg(MethodId T, MethodId S, uint8_t X) {
+    Spec Result;
+    Result.TheKind = Kind::RetArg;
+    Result.Target = T;
+    Result.Source = S;
+    Result.ArgPos = X;
+    return Result;
+  }
+
+  static Spec retRecv(MethodId S) {
+    Spec Result;
+    Result.TheKind = Kind::RetRecv;
+    Result.Target = S;
+    return Result;
+  }
+
+  friend bool operator==(const Spec &A, const Spec &B) {
+    return A.TheKind == B.TheKind && A.Target == B.Target &&
+           A.Source == B.Source && A.ArgPos == B.ArgPos;
+  }
+
+  uint64_t hash() const {
+    return hashValues(static_cast<uint64_t>(TheKind), Target.hash(),
+                      Source.hash(), ArgPos);
+  }
+
+  /// Renders as "RetSame(Map.get/1)" or "RetArg(Map.get/1, Map.put/2, 2)".
+  std::string str(const StringInterner &Strings) const;
+};
+
+struct SpecHash {
+  size_t operator()(const Spec &S) const { return S.hash(); }
+};
+
+struct MethodIdHash {
+  size_t operator()(const MethodId &M) const { return M.hash(); }
+};
+
+/// A set of selected specifications with the lookup indexes the augmented
+/// points-to analysis needs (§6.2): per-source RetArg specs (for ghost
+/// writes) and RetSame membership (for ghost reads).
+class SpecSet {
+public:
+  /// Inserts \p S; returns true if it was new.
+  bool insert(const Spec &S);
+
+  bool contains(const Spec &S) const { return Specs.count(S) > 0; }
+  size_t size() const { return Specs.size(); }
+  bool empty() const { return Specs.empty(); }
+
+  /// True iff RetSame(M) ∈ S.
+  bool hasRetSame(const MethodId &M) const {
+    return RetSameIndex.count(M) > 0;
+  }
+
+  /// True iff RetRecv(M) ∈ S.
+  bool hasRetRecv(const MethodId &M) const {
+    return RetRecvIndex.count(M) > 0;
+  }
+
+  /// All RetArg specs whose source (storing) method is \p M.
+  const std::vector<Spec> &retArgsBySource(const MethodId &M) const;
+
+  /// All specs, in insertion order (deterministic iteration).
+  const std::vector<Spec> &all() const { return Ordered; }
+
+  /// Extends the set per §5.4 eq. (3): for every RetArg(t,s,x) add
+  /// RetSame(t). Returns the number of specifications added.
+  size_t extendConsistency();
+
+private:
+  std::unordered_set<Spec, SpecHash> Specs;
+  std::vector<Spec> Ordered;
+  std::unordered_set<MethodId, MethodIdHash> RetSameIndex;
+  std::unordered_set<MethodId, MethodIdHash> RetRecvIndex;
+  std::unordered_map<MethodId, std::vector<Spec>, MethodIdHash> BySource;
+};
+
+} // namespace uspec
+
+#endif // USPEC_SPECS_SPEC_H

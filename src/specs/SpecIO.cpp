@@ -1,0 +1,183 @@
+//===- SpecIO.cpp - Textual (de)serialization of specification sets -----------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "specs/SpecIO.h"
+
+#include <cctype>
+
+using namespace uspec;
+
+std::string uspec::serializeSpecs(const SpecSet &Specs,
+                                  const StringInterner &Strings) {
+  std::string Out;
+  Out += "# USpec aliasing specifications (" +
+         std::to_string(Specs.size()) + ")\n";
+  for (const Spec &S : Specs.all())
+    Out += S.str(Strings) + "\n";
+  return Out;
+}
+
+namespace {
+
+/// A tiny cursor over the line.
+struct Cursor {
+  std::string_view Text;
+  size_t Pos = 0;
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool eatWord(std::string_view Word) {
+    skipSpace();
+    if (Text.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an identifier-ish token (letters, digits, '_', '?').
+  std::string_view ident() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '?'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  std::optional<unsigned> number() {
+    skipSpace();
+    size_t Start = Pos;
+    unsigned Value = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      Value = Value * 10 + static_cast<unsigned>(Text[Pos] - '0');
+      ++Pos;
+    }
+    if (Pos == Start)
+      return std::nullopt;
+    return Value;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+};
+
+/// Parses "Class.name/arity".
+std::optional<MethodId> parseMethodId(Cursor &C, StringInterner &Strings) {
+  std::string_view Class = C.ident();
+  if (Class.empty())
+    return std::nullopt;
+  if (!C.eat('.'))
+    return std::nullopt;
+  std::string_view Name = C.ident();
+  if (Name.empty())
+    return std::nullopt;
+  if (!C.eat('/'))
+    return std::nullopt;
+  auto Arity = C.number();
+  if (!Arity || *Arity > 250)
+    return std::nullopt;
+  MethodId M;
+  M.Class = Class == "?" ? Symbol() : Strings.intern(Class);
+  M.Name = Strings.intern(Name);
+  M.Arity = static_cast<uint8_t>(*Arity);
+  return M;
+}
+
+} // namespace
+
+std::optional<Spec> uspec::parseSpecLine(std::string_view Line,
+                                         StringInterner &Strings) {
+  Cursor C{Line};
+  if (C.eatWord("RetSame")) {
+    if (!C.eat('('))
+      return std::nullopt;
+    auto S = parseMethodId(C, Strings);
+    if (!S || !C.eat(')') || !C.atEnd())
+      return std::nullopt;
+    return Spec::retSame(*S);
+  }
+  if (C.eatWord("RetRecv")) {
+    if (!C.eat('('))
+      return std::nullopt;
+    auto S = parseMethodId(C, Strings);
+    if (!S || !C.eat(')') || !C.atEnd())
+      return std::nullopt;
+    return Spec::retRecv(*S);
+  }
+  if (C.eatWord("RetArg")) {
+    if (!C.eat('('))
+      return std::nullopt;
+    auto T = parseMethodId(C, Strings);
+    if (!T || !C.eat(','))
+      return std::nullopt;
+    auto S = parseMethodId(C, Strings);
+    if (!S || !C.eat(','))
+      return std::nullopt;
+    auto X = C.number();
+    if (!X || *X < 1 || *X > 250 || !C.eat(')') || !C.atEnd())
+      return std::nullopt;
+    return Spec::retArg(*T, *S, static_cast<uint8_t>(*X));
+  }
+  return std::nullopt;
+}
+
+SpecSet uspec::parseSpecs(std::string_view Text, StringInterner &Strings,
+                          size_t *ErrorLine) {
+  SpecSet Specs;
+  if (ErrorLine)
+    *ErrorLine = 0;
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Pos, End - Pos);
+    ++LineNo;
+    Pos = End + 1;
+
+    // Trim, skip blanks and comments.
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string_view::npos) {
+      if (End == Text.size())
+        break;
+      continue;
+    }
+    if (Line[First] == '#') {
+      if (End == Text.size())
+        break;
+      continue;
+    }
+    auto S = parseSpecLine(Line, Strings);
+    if (!S) {
+      if (ErrorLine)
+        *ErrorLine = LineNo;
+      return Specs;
+    }
+    Specs.insert(*S);
+    if (End == Text.size())
+      break;
+  }
+  return Specs;
+}

@@ -1,0 +1,45 @@
+//===- SpecIO.h - Textual (de)serialization of specification sets -*- C++-*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for specification sets, so learned specs can
+/// be shipped, diffed and loaded without re-running the pipeline:
+///
+///   # comments and blank lines are ignored
+///   RetSame(Map.get/1)
+///   RetArg(Map.get/1, Map.put/2, 2)
+///
+/// The receiver class "?" denotes an unknown class (empty Symbol).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SPECS_SPECIO_H
+#define USPEC_SPECS_SPECIO_H
+
+#include "specs/Spec.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace uspec {
+
+/// Renders the whole set, one spec per line, in insertion order.
+std::string serializeSpecs(const SpecSet &Specs, const StringInterner &Strings);
+
+/// Parses one spec line ("RetSame(...)"/"RetArg(...)"). Returns nullopt on
+/// malformed input. Names are interned into \p Strings.
+std::optional<Spec> parseSpecLine(std::string_view Line,
+                                  StringInterner &Strings);
+
+/// Parses a whole document; stops at the first malformed line and reports
+/// its 1-based number via \p ErrorLine (0 = success).
+SpecSet parseSpecs(std::string_view Text, StringInterner &Strings,
+                   size_t *ErrorLine = nullptr);
+
+} // namespace uspec
+
+#endif // USPEC_SPECS_SPECIO_H

@@ -1,0 +1,56 @@
+//===- Hashing.h - Hash utilities for feature encoding ---------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic 64-bit hashing used for sparse feature encoding (the paper
+/// encodes every event-graph path and every auxiliary element as an integer
+/// in an over-100-million-dimensional space; we use hashed features the same
+/// way Vowpal Wabbit does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_HASHING_H
+#define USPEC_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace uspec {
+
+/// Finalizer from SplitMix64; a cheap, well-mixing 64-bit bijection.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Order-dependent combination of two hash values.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return mix64(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                       (Seed >> 2)));
+}
+
+/// FNV-1a over a byte string; used for hashing raw text.
+inline uint64_t hashString(std::string_view Str) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Str) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return mix64(Hash);
+}
+
+/// Variadic convenience: hash an arbitrary sequence of integers.
+template <typename... Ts> uint64_t hashValues(Ts... Values) {
+  uint64_t Seed = 0x12345678deadbeefULL;
+  ((Seed = hashCombine(Seed, static_cast<uint64_t>(Values))), ...);
+  return Seed;
+}
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_HASHING_H

@@ -1,0 +1,95 @@
+//===- Random.h - Deterministic pseudo-random number generation -*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (xoshiro256** seeded via SplitMix64). All
+/// randomized parts of the system (corpus generation, negative subsampling,
+/// SGD shuffling, Atlas test synthesis) take an explicit Rng so that every
+/// experiment is reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_RANDOM_H
+#define USPEC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace uspec {
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eed5eed5eedULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    // Multiply-shift rejection-free bounding (slight bias is irrelevant for
+    // Bound values far below 2^64).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double real() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with success probability \p P.
+  bool chance(double P) { return real() < P; }
+
+  /// Uniformly picks an element of \p Items (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[below(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[below(I)]);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_RANDOM_H

@@ -1,0 +1,53 @@
+//===- Stats.cpp - Summary statistics --------------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uspec {
+
+double mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double percentile(const std::vector<double> &Values, double Q) {
+  assert(Q >= 0 && Q <= 1 && "quantile out of range");
+  if (Values.empty())
+    return 0;
+  std::vector<double> Sorted(Values);
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Rank = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  return Sorted[Rank];
+}
+
+double topKMean(const std::vector<double> &Values, size_t K) {
+  if (Values.empty() || K == 0)
+    return 0;
+  std::vector<double> Sorted(Values);
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<double>());
+  size_t N = std::min(K, Sorted.size());
+  double Sum = 0;
+  for (size_t I = 0; I < N; ++I)
+    Sum += Sorted[I];
+  return Sum / static_cast<double>(N);
+}
+
+double maxValue(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+} // namespace uspec

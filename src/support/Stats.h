@@ -1,0 +1,77 @@
+//===- Stats.h - Summary statistics used by scoring and evaluation -*- C++-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers: the score aggregations of §5.2 (max, percentile,
+/// mean of the k highest values) and precision/recall bookkeeping used when
+/// evaluating selected specifications against ground truth (§7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_STATS_H
+#define USPEC_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace uspec {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// The \p Q quantile (0 <= Q <= 1) using nearest-rank on a sorted copy;
+/// 0 for an empty input.
+double percentile(const std::vector<double> &Values, double Q);
+
+/// Mean of the K largest values (all values if fewer than K); this is the
+/// paper's preferred specification score with K = 10 (§5.2).
+double topKMean(const std::vector<double> &Values, size_t K);
+
+/// Largest value; 0 for an empty input.
+double maxValue(const std::vector<double> &Values);
+
+/// Running precision/recall counter. "Relevant" items are those the ground
+/// truth labels valid; "selected" are those the system retained.
+struct PrecisionRecall {
+  size_t TruePositives = 0;
+  size_t FalsePositives = 0;
+  size_t FalseNegatives = 0;
+
+  /// Records one item with ground-truth label \p IsValid and system decision
+  /// \p IsSelected.
+  void record(bool IsValid, bool IsSelected) {
+    if (IsSelected && IsValid)
+      ++TruePositives;
+    else if (IsSelected && !IsValid)
+      ++FalsePositives;
+    else if (!IsSelected && IsValid)
+      ++FalseNegatives;
+  }
+
+  /// Fraction of selected items that are valid; 1 when nothing was selected
+  /// (the paper's convention keeps precision high for tiny selections).
+  double precision() const {
+    size_t Selected = TruePositives + FalsePositives;
+    return Selected == 0 ? 1.0
+                         : static_cast<double>(TruePositives) / Selected;
+  }
+
+  /// Fraction of valid items that were selected; 1 when nothing is valid.
+  double recall() const {
+    size_t Valid = TruePositives + FalseNegatives;
+    return Valid == 0 ? 1.0 : static_cast<double>(TruePositives) / Valid;
+  }
+
+  /// Harmonic mean of precision and recall.
+  double f1() const {
+    double P = precision(), R = recall();
+    return (P + R) == 0 ? 0 : 2 * P * R / (P + R);
+  }
+};
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_STATS_H

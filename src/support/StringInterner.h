@@ -1,0 +1,92 @@
+//===- StringInterner.h - Symbol table for interned strings ----*- C++ -*-===//
+//
+// Part of the USpec reproduction of "Unsupervised Learning of API Aliasing
+// Specifications" (PLDI 2019). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned strings. Every name that flows through the pipeline (method
+/// names, class names, literal values) is interned once and referred to by a
+/// small integer Symbol, which makes event/feature hashing and equality
+/// comparisons cheap and deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_STRINGINTERNER_H
+#define USPEC_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace uspec {
+
+/// A handle to an interned string. Symbols are only meaningful together with
+/// the StringInterner that produced them. Symbol 0 is reserved for the empty
+/// string so that a default-constructed Symbol is valid.
+class Symbol {
+public:
+  Symbol() = default;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  uint32_t id() const { return Id; }
+  bool isEmpty() const { return Id == 0; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  uint32_t Id = 0;
+};
+
+/// Deduplicating string table. Thread-compatible (external synchronization
+/// required for concurrent use); the pipeline interns strings on one thread.
+class StringInterner {
+public:
+  StringInterner() { Storage.emplace_back(); /* Symbol 0 = "" */ }
+
+  /// Interns \p Str and returns its Symbol; repeated calls with equal
+  /// contents return the same Symbol.
+  Symbol intern(std::string_view Str) {
+    if (Str.empty())
+      return Symbol();
+    auto It = Index.find(std::string(Str));
+    if (It != Index.end())
+      return Symbol(It->second);
+    uint32_t Id = static_cast<uint32_t>(Storage.size());
+    Storage.emplace_back(Str);
+    Index.emplace(Storage.back(), Id);
+    return Symbol(Id);
+  }
+
+  /// Returns the string for \p Sym. The reference is stable for the lifetime
+  /// of the interner.
+  const std::string &str(Symbol Sym) const {
+    assert(Sym.id() < Storage.size() && "symbol from a different interner");
+    return Storage[Sym.id()];
+  }
+
+  /// Number of interned strings, including the reserved empty string.
+  size_t size() const { return Storage.size(); }
+
+private:
+  std::vector<std::string> Storage;
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+} // namespace uspec
+
+namespace std {
+template <> struct hash<uspec::Symbol> {
+  size_t operator()(uspec::Symbol Sym) const noexcept {
+    return hash<uint32_t>()(Sym.id());
+  }
+};
+} // namespace std
+
+#endif // USPEC_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,71 @@
+//===- Table.cpp - Plain-text table rendering -----------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace uspec;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*IsSeparator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+std::string TextTable::formatReal(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}
+
+std::string TextTable::render() const {
+  // Compute the width of every column over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    Grow(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  if (TotalWidth > 1)
+    TotalWidth -= 2;
+
+  std::ostringstream Out;
+  auto EmitCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Out << Cells[I];
+      if (I + 1 < Cells.size())
+        Out << std::string(Widths[I] - Cells[I].size() + 2, ' ');
+    }
+    Out << '\n';
+  };
+
+  if (!Header.empty()) {
+    EmitCells(Header);
+    Out << std::string(TotalWidth, '-') << '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      Out << std::string(TotalWidth, '-') << '\n';
+    else
+      EmitCells(R.Cells);
+  }
+  return Out.str();
+}

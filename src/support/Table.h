@@ -1,0 +1,51 @@
+//===- Table.h - Plain-text table rendering for bench output ---*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal aligned ASCII table used by the benchmark harnesses to print the
+/// same rows the paper's tables report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_TABLE_H
+#define USPEC_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace uspec {
+
+/// Accumulates rows of cells and renders them with per-column alignment.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row; rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string render() const;
+
+  /// Convenience: formats a double with \p Digits fraction digits.
+  static std::string formatReal(double Value, int Digits = 3);
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_TABLE_H

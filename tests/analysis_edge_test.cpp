@@ -1,0 +1,342 @@
+//===- analysis_edge_test.cpp - Edge cases of the points-to analysis ----------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Corner cases of the flow walker, the ghost-field machinery, and spec
+// shapes beyond the standard two-argument containers: zero-key stores
+// (ThreadLocal), three-argument stores (ConfigParser), unknown receivers,
+// recursion, deep nesting, and defensive behavior on degenerate programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lowering.h"
+#include "pointsto/Analysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+namespace {
+
+struct Ctx {
+  StringInterner S;
+  IRProgram Program;
+  SpecSet Specs;
+
+  AnalysisResult run(std::string_view Source, bool Aware = false,
+                     bool Coverage = false,
+                     AnalysisOptions Base = AnalysisOptions()) {
+    DiagnosticSink Diags;
+    auto P = parseAndLower(Source, "edge", S, Diags);
+    EXPECT_TRUE(P.has_value()) << Diags.render();
+    Program = std::move(*P);
+    if (Aware) {
+      Base.ApiAware = true;
+      Base.Specs = &Specs;
+      Base.CoverageExtension = Coverage;
+    }
+    return analyzeProgram(Program, S, Base);
+  }
+
+  MethodId mid(const char *Class, const char *Name, uint8_t Arity) {
+    return {*Class ? S.intern(Class) : Symbol(), S.intern(Name), Arity};
+  }
+
+  EventId retEvent(const AnalysisResult &R, const char *Name, int Occ = 0) {
+    int Found = 0;
+    for (EventId E = 0; E < R.Events.size(); ++E) {
+      const Event &Ev = R.Events.get(E);
+      if (Ev.Kind == EventKind::ApiCall && Ev.Pos == PosRet &&
+          S.str(Ev.Method.Name) == Name && Found++ == Occ)
+        return E;
+    }
+    return InvalidEvent;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Non-standard spec shapes
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisEdge, ThreadLocalZeroKeyStore) {
+  // set(1)/get(0): the RetArg "other arguments" set is empty — the ghost
+  // field name is the empty tuple.
+  Ctx C;
+  C.Specs.insert(Spec::retArg(C.mid("ThreadLocal", "get", 0),
+                              C.mid("ThreadLocal", "set", 1), 1));
+  C.Specs.insert(Spec::retSame(C.mid("ThreadLocal", "get", 0)));
+  AnalysisResult R = C.run(R"(
+    class Main {
+      def main() {
+        var tl = new ThreadLocal();
+        tl.set(api.mk());
+        var v = tl.get();
+      }
+    }
+  )",
+                           /*Aware=*/true);
+  EXPECT_TRUE(R.retMayAlias(C.retEvent(R, "get"), C.retEvent(R, "mk")));
+}
+
+TEST(AnalysisEdge, ThreeArgumentConfigParserStore) {
+  // set(section, option, value) with StorePos 3; get(section, option).
+  Ctx C;
+  C.Specs.insert(Spec::retArg(C.mid("Cfg", "get", 2), C.mid("Cfg", "set", 3),
+                              3));
+  C.Specs.insert(Spec::retSame(C.mid("Cfg", "get", 2)));
+  AnalysisResult R = C.run(R"(
+    class Main {
+      def main() {
+        var cfg = new Cfg();
+        cfg.set("db", "host", api.mk());
+        var hit = cfg.get("db", "host");
+        var missSection = cfg.get("web", "host");
+        var missOption = cfg.get("db", "port");
+      }
+    }
+  )",
+                           /*Aware=*/true);
+  EventId Mk = C.retEvent(R, "mk");
+  EXPECT_TRUE(R.retMayAlias(C.retEvent(R, "get", 0), Mk));
+  EXPECT_FALSE(R.retMayAlias(C.retEvent(R, "get", 1), Mk));
+  EXPECT_FALSE(R.retMayAlias(C.retEvent(R, "get", 2), Mk));
+}
+
+TEST(AnalysisEdge, MiddleArgumentStorePosition) {
+  // RetArg with x = 1 of a 2-arg store: store(value, key), load(key).
+  Ctx C;
+  C.Specs.insert(
+      Spec::retArg(C.mid("Reg", "load", 1), C.mid("Reg", "store", 2), 1));
+  C.Specs.insert(Spec::retSame(C.mid("Reg", "load", 1)));
+  AnalysisResult R = C.run(R"(
+    class Main {
+      def main() {
+        var r = new Reg();
+        r.store(api.mk(), "slot");
+        var v = r.load("slot");
+      }
+    }
+  )",
+                           /*Aware=*/true);
+  EXPECT_TRUE(R.retMayAlias(C.retEvent(R, "load"), C.retEvent(R, "mk")));
+}
+
+TEST(AnalysisEdge, SpecWithUnknownClassAppliesToUnknownReceivers) {
+  // A "?"-class spec matches calls whose receiver class cannot be resolved
+  // (externals, API returns) but not resolved-class receivers.
+  Ctx C;
+  C.Specs.insert(Spec::retSame(C.mid("", "getString", 1)));
+  AnalysisResult R = C.run(R"(
+    class Main {
+      def main() {
+        var rs = stmt.executeQuery("q");
+        var a = rs.getString("col");
+        var b = rs.getString("col");
+        var typed = new Bundle();
+        var c = typed.getString("col");
+        var d = typed.getString("col");
+      }
+    }
+  )",
+                           /*Aware=*/true);
+  EXPECT_TRUE(R.retMayAlias(C.retEvent(R, "getString", 0),
+                            C.retEvent(R, "getString", 1)))
+      << "?-class spec applies to the unknown receiver";
+  EXPECT_FALSE(R.retMayAlias(C.retEvent(R, "getString", 2),
+                             C.retEvent(R, "getString", 3)))
+      << "?-class spec must not fire for receivers with a resolved class";
+}
+
+//===----------------------------------------------------------------------===//
+// Defensive behavior
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisEdge, RecursionIsBounded) {
+  Ctx C;
+  AnalysisResult R = C.run(R"(
+    class Loop {
+      def spin(x) { return spin(x); }
+    }
+    class Main {
+      def main() {
+        var l = new Loop();
+        var v = l.spin(api.mk());
+      }
+    }
+  )");
+  // Terminates (inline depth bound) and still produces events.
+  EXPECT_GT(R.Events.size(), 0u);
+}
+
+TEST(AnalysisEdge, MutualRecursionIsBounded) {
+  Ctx C;
+  AnalysisResult R = C.run(R"(
+    class A {
+      def ping(b) { return b.pong(this); }
+      def pong(a) { return a.ping(this); }
+    }
+    class Main {
+      def main() { var a = new A(); a.ping(a); }
+    }
+  )");
+  EXPECT_GT(R.Objects.size(), 0u);
+}
+
+TEST(AnalysisEdge, EmptyProgramAndEmptyMethods) {
+  Ctx C;
+  AnalysisResult R1 = C.run("class Main { }");
+  EXPECT_EQ(R1.Events.size(), 0u);
+  // An empty method still seeds the synthetic `this` root event — but no
+  // API events.
+  AnalysisResult R2 = C.run("class Main { def main() { } }");
+  for (EventId E = 0; E < R2.Events.size(); ++E)
+    EXPECT_NE(R2.Events.get(E).Kind, EventKind::ApiCall);
+}
+
+TEST(AnalysisEdge, CallOnNullLiteral) {
+  Ctx C;
+  AnalysisResult R = C.run(R"(
+    class Main { def main() { var x = null; x.boom(); } }
+  )");
+  // Receiver points-to is the null literal; no crash, receiver class "?".
+  EventId Boom = C.retEvent(R, "boom");
+  ASSERT_NE(Boom, InvalidEvent);
+  EXPECT_TRUE(R.Events.get(Boom).Method.Class.isEmpty());
+}
+
+TEST(AnalysisEdge, DeeplyNestedControlFlow) {
+  std::string Source = "class Main { def main() { var x = api.mk();\n";
+  for (int I = 0; I < 12; ++I)
+    Source += "if (x != null) { while (x != null) {\n";
+  Source += "x.use();\n";
+  for (int I = 0; I < 12; ++I)
+    Source += "} }\n";
+  Source += "} }";
+  Ctx C;
+  AnalysisResult R = C.run(Source);
+  // Histories stay bounded despite 24 nested joins.
+  for (const HistorySet &H : R.Histories)
+    EXPECT_LE(H.size(), AnalysisOptions().HistoryCap);
+}
+
+TEST(AnalysisEdge, ManyArgumentsBeyondPosBuckets) {
+  Ctx C;
+  AnalysisResult R = C.run(R"(
+    class Main {
+      def main() { api.wide(1, 2, 3, 4, 5, 6, 7, 8); }
+    }
+  )");
+  EventId Ret = C.retEvent(R, "wide");
+  ASSERT_NE(Ret, InvalidEvent);
+  EXPECT_EQ(R.Events.get(Ret).Method.Arity, 8);
+}
+
+TEST(AnalysisEdge, ReceiverWithMixedClassesIsUnknown) {
+  Ctx C;
+  AnalysisResult R = C.run(R"(
+    class Main {
+      def main(c) {
+        var x = new Map();
+        if (c != null) { x = new Dict(); }
+        x.get("k");
+      }
+    }
+  )");
+  EventId Get = C.retEvent(R, "get");
+  ASSERT_NE(Get, InvalidEvent);
+  EXPECT_TRUE(R.Events.get(Get).Method.Class.isEmpty())
+      << "two possible classes -> unresolved method class";
+}
+
+TEST(AnalysisEdge, GhostWriteWithEmptyValueSetIsNoop) {
+  // Storing the result of a field read that was never written: the stored
+  // set is empty; no ghost write happens and the read misses.
+  Ctx C;
+  C.Specs.insert(
+      Spec::retArg(C.mid("Map", "get", 1), C.mid("Map", "put", 2), 2));
+  C.Specs.insert(Spec::retSame(C.mid("Map", "get", 1)));
+  AnalysisResult R = C.run(R"(
+    class Holder { var slot; }
+    class Main {
+      def main() {
+        var h = new Holder();
+        var m = new Map();
+        m.put("k", h.slot);
+        var v = m.get("k");
+      }
+    }
+  )",
+                           /*Aware=*/true);
+  // get returns a ghost (read miss allocates), not a crash.
+  EventId Get = C.retEvent(R, "get");
+  auto It = R.RetPointsTo.find(Get);
+  ASSERT_NE(It, R.RetPointsTo.end());
+  ASSERT_EQ(It->second.size(), 1u);
+  EXPECT_EQ(R.Objects.get(It->second[0]).Kind, ObjectKind::Ghost);
+}
+
+TEST(AnalysisEdge, BranchJoinUnionsRetPointsTo) {
+  Ctx C;
+  C.Specs.insert(
+      Spec::retArg(C.mid("Map", "get", 1), C.mid("Map", "put", 2), 2));
+  C.Specs.insert(Spec::retSame(C.mid("Map", "get", 1)));
+  AnalysisResult R = C.run(R"(
+    class Main {
+      def main(c) {
+        var m = new Map();
+        if (c != null) {
+          m.put("k", api.mk1());
+        } else {
+          m.put("k", api.mk2());
+        }
+        var v = m.get("k");
+      }
+    }
+  )",
+                           /*Aware=*/true);
+  EventId Get = C.retEvent(R, "get");
+  EXPECT_TRUE(R.retMayAlias(Get, C.retEvent(R, "mk1")));
+  EXPECT_TRUE(R.retMayAlias(Get, C.retEvent(R, "mk2")));
+}
+
+TEST(AnalysisEdge, InlineDepthLimitTreatsDeepCallsConservatively) {
+  Ctx C;
+  AnalysisOptions Base;
+  Base.InlineDepth = 1;
+  AnalysisResult R = C.run(R"(
+    class A { def one(v) { return two(v); } def two(v) { return v; } }
+    class Main {
+      def main() {
+        var a = new A();
+        var x = api.mk();
+        var y = a.one(x);
+        y.use();
+      }
+    }
+  )",
+                           /*Aware=*/false, /*Coverage=*/false, Base);
+  // At depth 1 the nested call two() is not inlined: the chain breaks and
+  // use() runs on an unknown object — but nothing crashes and use exists.
+  EXPECT_NE(C.retEvent(R, "use"), InvalidEvent);
+}
+
+TEST(AnalysisEdge, StoreLoadThroughProgramFieldAndGhost) {
+  // A container cached in a program field, used from two methods — the
+  // ghost flow must survive the field round-trip.
+  Ctx C;
+  C.Specs.insert(
+      Spec::retArg(C.mid("Map", "get", 1), C.mid("Map", "put", 2), 2));
+  C.Specs.insert(Spec::retSame(C.mid("Map", "get", 1)));
+  AnalysisResult R = C.run(R"(
+    class Store {
+      var m;
+      def init2() { this.m = new Map(); }
+      def write() { this.m.put("k", api.mk()); }
+      def read() { var v = this.m.get("k"); v.use(); }
+    }
+  )",
+                           /*Aware=*/true);
+  EXPECT_TRUE(R.retMayAlias(C.retEvent(R, "get"), C.retEvent(R, "mk")));
+}

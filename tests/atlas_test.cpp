@@ -1,0 +1,105 @@
+//===- atlas_test.cpp - Tests for the Atlas-style baseline (§7.5) -------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atlas/Atlas.h"
+#include "corpus/Profiles.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+namespace {
+
+const AtlasClassResult &resultFor(const std::vector<AtlasClassResult> &All,
+                                  const std::string &Class) {
+  for (const AtlasClassResult &R : All)
+    if (R.Class == Class)
+      return R;
+  static AtlasClassResult Empty;
+  ADD_FAILURE() << "no Atlas result for " << Class;
+  return Empty;
+}
+
+} // namespace
+
+struct AtlasTest : ::testing::Test {
+  LanguageProfile P = javaProfile();
+  std::vector<AtlasClassResult> Results =
+      runAtlasBaseline(P.Registry, AtlasConfig());
+};
+
+TEST_F(AtlasTest, LearnsFlowSpecsForStandardCollections) {
+  // §7.5: Atlas infers sound (but arg-insensitive) points-to specs for
+  // Hashtable, ArrayList and HashMap.
+  for (const char *Class : {"HashMap", "Hashtable", "ArrayList"}) {
+    const AtlasClassResult &R = resultFor(Results, Class);
+    EXPECT_TRUE(R.ConstructorAvailable);
+    EXPECT_TRUE(R.hasSpecs()) << Class;
+    AtlasSoundness V = judgeAtlasClass(*P.Registry.findClass(Class), R);
+    EXPECT_TRUE(V.AllLoadsCovered) << Class;
+    EXPECT_FALSE(V.UnsoundFresh) << Class;
+  }
+}
+
+TEST_F(AtlasTest, FailsOnFactoryOnlyClasses) {
+  // §7.5: "for classes like NodeList, ResultSet or KeyStore, Atlas failed to
+  // generate any non-empty specifications, because it could not figure how
+  // to call a constructor".
+  for (const char *Class : {"ResultSet", "KeyStore", "NodeList"}) {
+    const AtlasClassResult &R = resultFor(Results, Class);
+    EXPECT_FALSE(R.ConstructorAvailable) << Class;
+    EXPECT_FALSE(R.hasSpecs()) << Class;
+  }
+}
+
+TEST_F(AtlasTest, UnsoundOnStringKeyedProperties) {
+  // §7.5: Atlas unsoundly concludes that getProperty/setProperty return
+  // fresh objects.
+  const AtlasClassResult &R = resultFor(Results, "Properties");
+  EXPECT_TRUE(R.ConstructorAvailable);
+  AtlasSoundness V =
+      judgeAtlasClass(*P.Registry.findClass("Properties"), R);
+  EXPECT_TRUE(V.UnsoundFresh);
+  EXPECT_EQ(V.LoadsCovered, 0u);
+}
+
+TEST_F(AtlasTest, PartialResultsOnJsonObject) {
+  // §7.5: for org.json.JSONObject Atlas learns some methods but incorrectly
+  // concludes `get` returns fresh objects (string-keyed store/load).
+  const AtlasClassResult &R = resultFor(Results, "JSONObject");
+  AtlasSoundness V =
+      judgeAtlasClass(*P.Registry.findClass("JSONObject"), R);
+  EXPECT_TRUE(V.UnsoundFresh);
+}
+
+TEST_F(AtlasTest, SpecsAreArgumentInsensitive) {
+  // Atlas flow specs never mention argument positions or keys — merely that
+  // a load may return values stored by a put. This is the structural
+  // difference to USpec's RetArg/RetSame (§7.5).
+  const AtlasClassResult &R = resultFor(Results, "HashMap");
+  auto It = R.Methods.find("get");
+  ASSERT_NE(It, R.Methods.end());
+  EXPECT_TRUE(It->second.MayReturnArgsOf.count("put"));
+}
+
+TEST_F(AtlasTest, DeterministicUnderSeed) {
+  auto Again = runAtlasBaseline(P.Registry, AtlasConfig());
+  ASSERT_EQ(Again.size(), Results.size());
+  for (size_t I = 0; I < Again.size(); ++I) {
+    EXPECT_EQ(Again[I].Class, Results[I].Class);
+    EXPECT_EQ(Again[I].Methods.size(), Results[I].Methods.size());
+  }
+}
+
+TEST(AtlasPython, IntKeyedContainersWork) {
+  // Int-keyed subscripting is discoverable by Atlas (int constants are in
+  // its pool) — e.g. builtins List.
+  LanguageProfile P = pythonProfile();
+  auto Results = runAtlasBaseline(P.Registry, AtlasConfig());
+  const AtlasClassResult &R = resultFor(Results, "List");
+  AtlasSoundness V = judgeAtlasClass(*P.Registry.findClass("List"), R);
+  EXPECT_TRUE(V.AllLoadsCovered);
+}

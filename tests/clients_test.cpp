@@ -1,0 +1,222 @@
+//===- clients_test.cpp - Tests for the type-state and taint clients ----------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// These reproduce the Fig. 8 scenarios: the API-unaware analysis produces a
+// type-state false positive and a taint false negative which the API-aware
+// analysis (with the respective RetSame/RetArg specs) eliminates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/Taint.h"
+#include "clients/Typestate.h"
+#include "ir/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+namespace {
+
+struct ClientFixture {
+  StringInterner Strings;
+  IRProgram Program;
+  SpecSet Specs;
+
+  AnalysisResult analyze(std::string_view Source, bool Aware) {
+    DiagnosticSink Diags;
+    auto P = parseAndLower(Source, "client", Strings, Diags);
+    EXPECT_TRUE(P.has_value()) << Diags.render();
+    Program = std::move(*P);
+    AnalysisOptions Options;
+    if (Aware) {
+      Options.ApiAware = true;
+      Options.Specs = &Specs;
+      Options.CoverageExtension = true;
+    }
+    return analyzeProgram(Program, Strings, Options);
+  }
+};
+
+/// Fig. 8a in MiniLang: repeated list.get(i) receivers.
+constexpr const char *Fig8a = R"(
+  class Main {
+    def main() {
+      var iters = new ArrayList();
+      var i = 0;
+      if (iters.get(i).hasNext()) {
+        someMethod.call(iters.get(i).next());
+      }
+    }
+  }
+)";
+
+/// Fig. 8b in MiniLang: kwargs flow through setdefault / subscript.
+constexpr const char *Fig8b = R"(
+  class Main {
+    def call() {
+      var kwargs = new Dict();
+      kwargs.setdefault("data-value", request.input("value"));
+      var w = kwargs.SubscriptLoad("data-value");
+      html.render(w);
+    }
+  }
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Type-state (Fig. 8a)
+//===----------------------------------------------------------------------===//
+
+TEST(TypestateClient, UnawareAnalysisFalsePositive) {
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Fig8a, /*Aware=*/false);
+  auto Warnings =
+      checkTypestate(R, F.Strings, {"hasNext", "next"});
+  EXPECT_FALSE(Warnings.empty())
+      << "without List.get aliasing, the check is lost (false positive)";
+}
+
+TEST(TypestateClient, AwareAnalysisVerifiesProtocol) {
+  ClientFixture F;
+  // RetSame(ArrayList.get): the spec USpec learns for Fig. 8a.
+  F.Specs.insert(Spec::retSame(
+      {F.Strings.intern("ArrayList"), F.Strings.intern("get"), 1}));
+  AnalysisResult R = F.analyze(Fig8a, /*Aware=*/true);
+  auto Warnings =
+      checkTypestate(R, F.Strings, {"hasNext", "next"});
+  EXPECT_TRUE(Warnings.empty())
+      << "RetSame(get) merges the receivers; the protocol verifies";
+}
+
+TEST(TypestateClient, RealViolationStillReported) {
+  // next() without any hasNext() must warn in both modes.
+  constexpr const char *Bad = R"(
+    class Main {
+      def main() {
+        var it = coll.iterator();
+        it.next();
+      }
+    }
+  )";
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Bad, /*Aware=*/false);
+  EXPECT_FALSE(checkTypestate(R, F.Strings, {"hasNext", "next"}).empty());
+}
+
+TEST(TypestateClient, UseConsumesCheck) {
+  // Two next() calls after one hasNext(): the second is unchecked.
+  constexpr const char *Twice = R"(
+    class Main {
+      def main() {
+        var it = coll.iterator();
+        if (it.hasNext()) {
+          it.next();
+          it.next();
+        }
+      }
+    }
+  )";
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Twice, /*Aware=*/false);
+  auto Warnings = checkTypestate(R, F.Strings, {"hasNext", "next"});
+  EXPECT_EQ(Warnings.size(), 1u);
+}
+
+TEST(TypestateClient, CheckedUseIsClean) {
+  constexpr const char *Good = R"(
+    class Main {
+      def main() {
+        var it = coll.iterator();
+        while (it.hasNext()) {
+          it.next();
+        }
+      }
+    }
+  )";
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Good, /*Aware=*/false);
+  EXPECT_TRUE(checkTypestate(R, F.Strings, {"hasNext", "next"}).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Taint (Fig. 8b)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TaintConfig webConfig() {
+  TaintConfig Config;
+  Config.Sources = {"input"};
+  Config.Sinks = {"render"};
+  Config.Sanitizers = {"escape"};
+  return Config;
+}
+
+} // namespace
+
+TEST(TaintClient, UnawareAnalysisFalseNegative) {
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Fig8b, /*Aware=*/false);
+  EXPECT_TRUE(checkTaint(R, F.Strings, webConfig()).empty())
+      << "without the Dict spec the flow is invisible (false negative)";
+}
+
+TEST(TaintClient, AwareAnalysisFindsTheFlow) {
+  ClientFixture F;
+  // RetArg(Dict.SubscriptLoad, Dict.setdefault, 2) — what USpec learns.
+  MethodId LoadM = {F.Strings.intern("Dict"),
+                    F.Strings.intern("SubscriptLoad"), 1};
+  MethodId SetDefault = {F.Strings.intern("Dict"),
+                         F.Strings.intern("setdefault"), 2};
+  F.Specs.insert(Spec::retArg(LoadM, SetDefault, 2));
+  F.Specs.insert(Spec::retSame(LoadM));
+  AnalysisResult R = F.analyze(Fig8b, /*Aware=*/true);
+  auto Findings = checkTaint(R, F.Strings, webConfig());
+  ASSERT_EQ(Findings.size(), 1u)
+      << "the XSS flow must be found with the learned spec";
+}
+
+TEST(TaintClient, DirectFlowFoundInBothModes) {
+  constexpr const char *Direct = R"(
+    class Main {
+      def call() {
+        var v = request.input("value");
+        html.render(v);
+      }
+    }
+  )";
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Direct, /*Aware=*/false);
+  EXPECT_EQ(checkTaint(R, F.Strings, webConfig()).size(), 1u);
+}
+
+TEST(TaintClient, SanitizerClearsTaint) {
+  constexpr const char *Sanitized = R"(
+    class Main {
+      def call() {
+        var v = request.input("value");
+        esc.escape(v);
+        html.render(v);
+      }
+    }
+  )";
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Sanitized, /*Aware=*/false);
+  EXPECT_TRUE(checkTaint(R, F.Strings, webConfig()).empty());
+}
+
+TEST(TaintClient, UntaintedValuesAreClean) {
+  constexpr const char *Clean = R"(
+    class Main {
+      def call() {
+        var v = cfg.lookup("title");
+        html.render(v);
+      }
+    }
+  )";
+  ClientFixture F;
+  AnalysisResult R = F.analyze(Clean, /*Aware=*/false);
+  EXPECT_TRUE(checkTaint(R, F.Strings, webConfig()).empty());
+}

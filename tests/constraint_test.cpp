@@ -1,0 +1,270 @@
+//===- constraint_test.cpp - Tests for the reference Andersen solver ----------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generator.h"
+#include "corpus/Profiles.h"
+#include "ir/Lowering.h"
+#include "pointsto/Analysis.h"
+#include "pointsto/ConstraintSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+namespace {
+
+struct Fixture {
+  StringInterner S;
+  IRProgram Program;
+
+  ConstraintResult solve(std::string_view Source) {
+    DiagnosticSink Diags;
+    auto P = parseAndLower(Source, "cs", S, Diags);
+    EXPECT_TRUE(P.has_value()) << Diags.render();
+    Program = std::move(*P);
+    return solveConstraints(Program, S);
+  }
+
+  /// Site id of the Nth call named \p Name.
+  uint32_t siteOf(const char *Name, int Occurrence = 0) {
+    int Found = 0;
+    uint32_t Result = 0;
+    std::function<void(const InstrList &)> Walk = [&](const InstrList &Body) {
+      for (const Instr &I : Body) {
+        if (I.TheKind == Instr::Kind::Call && S.str(I.Name) == Name &&
+            Found++ == Occurrence)
+          Result = I.SiteId;
+        Walk(I.Inner1);
+        if (I.TheKind == Instr::Kind::If)
+          Walk(I.Inner2);
+      }
+    };
+    for (const IRClass &C : Program.Classes)
+      for (const IRMethod &M : C.Methods)
+        Walk(M.Body);
+    EXPECT_GT(Found, Occurrence) << Name;
+    return Result;
+  }
+};
+
+} // namespace
+
+TEST(ConstraintSolver, DirectCopyFlow) {
+  Fixture F;
+  ConstraintResult R = F.solve(R"(
+    class Main {
+      def main() {
+        var a = api.mk();
+        var b = a;
+        b.use();
+        var c = api.other();
+      }
+    }
+  )");
+  // use's receiver is mk's return — both sites' ret sets share the object.
+  EXPECT_FALSE(R.retMayAlias(F.siteOf("mk"), F.siteOf("other")));
+  auto It = R.RetPointsTo.find(F.siteOf("mk"));
+  ASSERT_NE(It, R.RetPointsTo.end());
+  EXPECT_EQ(It->second.size(), 1u);
+}
+
+TEST(ConstraintSolver, FieldFlow) {
+  Fixture F;
+  ConstraintResult R = F.solve(R"(
+    class Box { var v; }
+    class Main {
+      def main() {
+        var b = new Box();
+        b.v = api.mk();
+        var x = b.v;
+        x.use();
+      }
+    }
+  )");
+  uint32_t Use = F.siteOf("use");
+  uint32_t Mk = F.siteOf("mk");
+  // The receiver of use aliases mk's return through the field; compare via
+  // the use receiver's... we only expose ret sets, so check a load-driven
+  // aliasing shape instead: mk's ret object must flow into the field cell,
+  // visible as non-empty ret pts and solver stats.
+  EXPECT_GT(R.NumEdges, 0u);
+  EXPECT_NE(R.RetPointsTo.find(Mk), R.RetPointsTo.end());
+  (void)Use;
+}
+
+TEST(ConstraintSolver, ProgramMethodReturnFlow) {
+  Fixture F;
+  ConstraintResult R = F.solve(R"(
+    class Helper { def pass(v) { return v; } }
+    class Main {
+      def main() {
+        var h = new Helper();
+        var a = api.mk();
+        var b = h.pass(a);
+        var c = h2.passthru(a);
+      }
+    }
+  )");
+  // pass is a program method: its call site's ret includes mk's object.
+  uint32_t Pass = F.siteOf("pass");
+  uint32_t Mk = F.siteOf("mk");
+  EXPECT_TRUE(R.retMayAlias(Pass, Mk));
+  // passthru is an unknown API: fresh object, no alias.
+  EXPECT_FALSE(R.retMayAlias(F.siteOf("passthru"), Mk));
+}
+
+TEST(ConstraintSolver, RecursionConvergesWithoutDepthLimit) {
+  Fixture F;
+  ConstraintResult R = F.solve(R"(
+    class Rec {
+      def spin(v, n) {
+        if (n > 0) { return spin(v, n); }
+        return v;
+      }
+    }
+    class Main {
+      def main() {
+        var r = new Rec();
+        var x = api.mk();
+        var y = r.spin(x, 3);
+      }
+    }
+  )");
+  // Unlike the bounded-inlining analysis, the constraint solver handles
+  // recursion exactly: spin's return flows v through the base case and the
+  // recursive case alike.
+  EXPECT_TRUE(R.retMayAlias(F.siteOf("spin"), F.siteOf("mk")));
+
+  // A truly bottom recursion returns nothing — no spurious objects.
+  Fixture F2;
+  ConstraintResult R2 = F2.solve(R"(
+    class Bot { def loop(v) { return loop(v); } }
+    class Main {
+      def main() { var b = new Bot(); var x = b.loop(api.mk()); }
+    }
+  )");
+  EXPECT_FALSE(R2.retMayAlias(F2.siteOf("loop"), F2.siteOf("mk")))
+      << "non-terminating recursion yields no return value";
+}
+
+TEST(ConstraintSolver, ContextInsensitivityMergesCallers) {
+  // The price of the coarser abstraction: two distinct values passed through
+  // one helper are conflated (the flow-sensitive inlining analysis keeps
+  // them apart).
+  Fixture F;
+  const char *Src = R"(
+    class Id { def same(v) { return v; } }
+    class Main {
+      def main() {
+        var id = new Id();
+        var a = id.same(api.mk1());
+        var b = id.same(api.mk2());
+      }
+    }
+  )";
+  ConstraintResult R = F.solve(Src);
+  EXPECT_TRUE(R.retMayAlias(F.siteOf("same", 0), F.siteOf("mk2")))
+      << "context-insensitive: both callers merge";
+
+  // Reference point: the flow-sensitive analysis keeps them apart.
+  StringInterner S2;
+  DiagnosticSink Diags;
+  auto P = parseAndLower(Src, "fs", S2, Diags);
+  ASSERT_TRUE(P.has_value());
+  AnalysisResult FS = analyzeProgram(*P, S2, AnalysisOptions());
+  // Collect per-site ret alias via events.
+  auto SiteRetAlias = [&](uint32_t SiteA, uint32_t SiteB) {
+    for (EventId EA = 0; EA < FS.Events.size(); ++EA) {
+      const Event &A = FS.Events.get(EA);
+      if (A.Kind != EventKind::ApiCall || A.Pos != PosRet || A.Site != SiteA)
+        continue;
+      for (EventId EB = 0; EB < FS.Events.size(); ++EB) {
+        const Event &B = FS.Events.get(EB);
+        if (B.Kind != EventKind::ApiCall || B.Pos != PosRet ||
+            B.Site != SiteB)
+          continue;
+        if (FS.retMayAlias(EA, EB))
+          return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(SiteRetAlias(F.siteOf("same", 0), F.siteOf("mk2")))
+      << "inlining keeps the two calls separate";
+}
+
+TEST(ConstraintSolver, BranchesAreFlowInsensitive) {
+  // A load before the store still sees the stored object (no ordering).
+  Fixture F;
+  ConstraintResult R = F.solve(R"(
+    class Box { var v; }
+    class Main {
+      def main() {
+        var b = new Box();
+        var early = b.v;
+        early.use();
+        b.v = api.mk();
+      }
+    }
+  )");
+  // use's receiver includes mk's object: check mk flowed into field node by
+  // confirming the solve did not drop it (structural smoke check).
+  EXPECT_GE(R.Propagations, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential property: the constraint solver over-approximates the
+// flow-sensitive analysis on ret-value aliasing.
+//===----------------------------------------------------------------------===//
+
+class ConstraintOverApprox : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConstraintOverApprox, FlowSensitiveRecvAliasImpliesConstraintAlias) {
+  // In API-unaware mode return values are always fresh, so the comparable
+  // aliasing facts live at call-site RECEIVERS: whenever two call sites'
+  // receivers may alias under the precise flow-sensitive analysis, the
+  // coarse constraint solver must agree.
+  uint64_t Seed = GetParam();
+  LanguageProfile P = javaProfile();
+  GeneratorConfig Cfg;
+  Cfg.NumPrograms = 40;
+  Cfg.Seed = Seed;
+  StringInterner S;
+  GeneratedCorpus Corpus = generateCorpus(P, Cfg, S);
+
+  size_t CheckedPairs = 0, Violations = 0;
+  for (const IRProgram &Program : Corpus.Programs) {
+    AnalysisResult FS = analyzeProgram(Program, S, AnalysisOptions());
+    ConstraintResult CS = solveConstraints(Program, S);
+
+    // Per-site receiver participant sets of the flow-sensitive analysis:
+    // objects whose histories contain the site's receiver event.
+    std::map<uint32_t, ObjSet> FsRecv;
+    for (ObjectId Obj = 0; Obj < FS.Histories.size(); ++Obj)
+      for (const History &H : FS.Histories[Obj])
+        for (EventId E : H) {
+          const Event &Ev = FS.Events.get(E);
+          if (Ev.Kind == EventKind::ApiCall && Ev.Pos == PosReceiver)
+            objSetInsert(FsRecv[Ev.Site], Obj);
+        }
+
+    for (auto IA = FsRecv.begin(); IA != FsRecv.end(); ++IA) {
+      for (auto IB = std::next(IA); IB != FsRecv.end(); ++IB) {
+        if (!objSetIntersects(IA->second, IB->second))
+          continue;
+        ++CheckedPairs;
+        if (!CS.recvMayAlias(IA->first, IB->first))
+          ++Violations;
+      }
+    }
+  }
+  EXPECT_GT(CheckedPairs, 10u);
+  EXPECT_EQ(Violations, 0u)
+      << "the reference solver must over-approximate the precise analysis";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintOverApprox,
+                         ::testing::Values(101, 202, 303, 404, 505));

@@ -1,0 +1,262 @@
+//===- corpus_test.cpp - Tests for the registry, generator, ground truth ------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generator.h"
+#include "corpus/GroundTruth.h"
+#include "corpus/Profiles.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+namespace {
+
+MethodId mid(StringInterner &S, const char *Class, const char *Name,
+             uint8_t Arity) {
+  return {S.intern(Class), S.intern(Name), Arity};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry & ground truth
+//===----------------------------------------------------------------------===//
+
+TEST(Registry, JavaProfileBasics) {
+  LanguageProfile P = javaProfile();
+  const ApiClass *Map = P.Registry.findClass("HashMap");
+  ASSERT_NE(Map, nullptr);
+  EXPECT_EQ(Map->Library, "java.util");
+  EXPECT_TRUE(Map->Constructible);
+  const ApiMethod *Put = Map->findMethod("put", 2);
+  ASSERT_NE(Put, nullptr);
+  EXPECT_EQ(Put->Semantics, MethodSemantics::Store);
+  EXPECT_EQ(Put->StorePos, 2u);
+
+  const ApiClass *RS = P.Registry.findClass("ResultSet");
+  ASSERT_NE(RS, nullptr);
+  EXPECT_FALSE(RS->Constructible) << "ResultSet is factory-only (§7.5)";
+  EXPECT_EQ(RS->ProducerMethod, "executeQuery");
+}
+
+TEST(Registry, PythonProfileBasics) {
+  LanguageProfile P = pythonProfile();
+  const ApiClass *Dict = P.Registry.findClass("Dict");
+  ASSERT_NE(Dict, nullptr);
+  const ApiMethod *Sub = Dict->findMethod("SubscriptStore", 2);
+  ASSERT_NE(Sub, nullptr);
+  EXPECT_EQ(Sub->Semantics, MethodSemantics::Store);
+  const ApiClass *Cfg = P.Registry.findClass("SafeConfigParser");
+  ASSERT_NE(Cfg, nullptr);
+  const ApiMethod *Set = Cfg->findMethod("set", 3);
+  ASSERT_NE(Set, nullptr);
+  EXPECT_EQ(Set->StorePos, 3u) << "Tab. 3: RetArg(get, set, 3)";
+}
+
+TEST(Registry, ContainersDerived) {
+  LanguageProfile P = javaProfile();
+  EXPECT_GT(P.Containers.size(), 5u);
+  for (const ContainerInfo &C : P.Containers)
+    EXPECT_EQ(C.Store->Semantics, MethodSemantics::Store);
+}
+
+TEST(GroundTruth, JudgesRetArg) {
+  LanguageProfile P = javaProfile();
+  StringInterner S;
+  // Valid: RetArg(HashMap.get/1, HashMap.put/2, 2).
+  Spec Valid = Spec::retArg(mid(S, "HashMap", "get", 1),
+                            mid(S, "HashMap", "put", 2), 2);
+  EXPECT_EQ(P.Registry.judgeSpec(Valid, S), SpecValidity::Valid);
+  // Wrong position.
+  Spec WrongPos = Spec::retArg(mid(S, "HashMap", "get", 1),
+                               mid(S, "HashMap", "put", 2), 1);
+  EXPECT_EQ(P.Registry.judgeSpec(WrongPos, S), SpecValidity::Invalid);
+  // Wrong pairing: ArrayList.get is not a paired load of HashMap.put.
+  Spec CrossClass = Spec::retArg(mid(S, "ArrayList", "get", 1),
+                                 mid(S, "HashMap", "put", 2), 2);
+  EXPECT_EQ(P.Registry.judgeSpec(CrossClass, S), SpecValidity::Invalid);
+  // Unknown method.
+  Spec Unknown = Spec::retArg(mid(S, "HashMap", "frobnicate", 1),
+                              mid(S, "HashMap", "put", 2), 2);
+  EXPECT_EQ(P.Registry.judgeSpec(Unknown, S), SpecValidity::Unknown);
+}
+
+TEST(GroundTruth, JudgesRetSame) {
+  LanguageProfile P = javaProfile();
+  StringInterner S;
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retSame(mid(S, "ResultSet", "getString", 1)), S),
+            SpecValidity::Valid);
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retSame(mid(S, "HashMap", "get", 1)), S),
+            SpecValidity::Valid);
+  // The paper's filtered-out wrong spec: RetSame(SecureRandom.nextInt).
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retSame(mid(S, "SecureRandom", "nextInt", 1)), S),
+            SpecValidity::Invalid);
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retSame(mid(S, "Iterator", "next", 0)), S),
+            SpecValidity::Invalid);
+  // Factory methods are not RetSame.
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retSame(mid(S, "Document", "createElement", 1)), S),
+            SpecValidity::Invalid);
+}
+
+TEST(GroundTruth, UnknownClassResolvedByUniqueName) {
+  LanguageProfile P = javaProfile();
+  StringInterner S;
+  // db.getFile(...) receivers have unknown class; unique lookup resolves to
+  // Database.getFile which is a stateless getter.
+  EXPECT_EQ(
+      P.Registry.judgeSpec(Spec::retSame(mid(S, "", "getFile", 1)), S),
+      SpecValidity::Valid);
+  // fs.open is a factory: invalid.
+  EXPECT_EQ(P.Registry.judgeSpec(Spec::retSame(mid(S, "", "open", 1)), S),
+            SpecValidity::Invalid);
+}
+
+TEST(GroundTruth, LibraryGrouping) {
+  LanguageProfile P = javaProfile();
+  StringInterner S;
+  EXPECT_EQ(P.Registry.libraryOf(
+                Spec::retSame(mid(S, "HashMap", "get", 1)), S),
+            "java.util");
+  EXPECT_EQ(P.Registry.libraryOf(
+                Spec::retSame(mid(S, "SparseArray", "get", 1)), S),
+            "android.util");
+  EXPECT_EQ(P.Registry.libraryOf(
+                Spec::retSame(mid(S, "Nope", "get", 1)), S),
+            "?");
+}
+
+TEST(GroundTruth, PrComputation) {
+  std::vector<LabeledCandidate> Labeled;
+  auto Add = [&](double Score, SpecValidity V) {
+    LabeledCandidate L;
+    L.C.Score = Score;
+    L.Validity = V;
+    Labeled.push_back(L);
+  };
+  Add(0.9, SpecValidity::Valid);
+  Add(0.8, SpecValidity::Invalid);
+  Add(0.4, SpecValidity::Valid);
+  Add(0.2, SpecValidity::Unknown);
+
+  PrPoint AtHalf = prAtTau(Labeled, 0.5);
+  EXPECT_EQ(AtHalf.Selected, 2u);
+  EXPECT_DOUBLE_EQ(AtHalf.Precision, 0.5);
+  EXPECT_DOUBLE_EQ(AtHalf.Recall, 0.5);
+
+  PrPoint AtZero = prAtTau(Labeled, 0.0);
+  EXPECT_EQ(AtZero.Selected, 4u);
+  EXPECT_DOUBLE_EQ(AtZero.Recall, 1.0);
+  EXPECT_DOUBLE_EQ(AtZero.Precision, 0.5); // Unknown counts as invalid
+
+  auto Curve = prCurve(Labeled, {0.0, 0.5, 0.95});
+  ASSERT_EQ(Curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(Curve[2].Precision, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+TEST(Generator, ProgramsParse) {
+  for (const LanguageProfile &P : {javaProfile(), pythonProfile()}) {
+    GeneratorConfig Cfg;
+    Rng Rand(11);
+    for (int I = 0; I < 100; ++I) {
+      std::string Source = generateProgramSource(P, Cfg, Rand);
+      DiagnosticSink Diags;
+      auto M = Parser::parse(Source, "gen", Diags);
+      ASSERT_TRUE(M.has_value() && !Diags.hasErrors())
+          << "profile " << P.Name << " source:\n"
+          << Source << "\n"
+          << Diags.render();
+    }
+  }
+}
+
+TEST(Generator, DeterministicFromSeed) {
+  LanguageProfile P = javaProfile();
+  GeneratorConfig Cfg;
+  Rng R1(99), R2(99);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(generateProgramSource(P, Cfg, R1),
+              generateProgramSource(P, Cfg, R2));
+}
+
+TEST(Generator, CorpusGeneration) {
+  LanguageProfile P = javaProfile();
+  GeneratorConfig Cfg;
+  Cfg.NumPrograms = 50;
+  Cfg.Seed = 3;
+  StringInterner S;
+  GeneratedCorpus Corpus = generateCorpus(P, Cfg, S);
+  EXPECT_EQ(Corpus.Programs.size(), 50u);
+  EXPECT_EQ(Corpus.Sources.size(), 50u);
+  EXPECT_GT(Corpus.TotalLines, 200u);
+}
+
+TEST(Generator, EmitsRoundtripIdioms) {
+  // With only the roundtrip idiom enabled, generated programs must contain
+  // store calls of registry containers.
+  LanguageProfile P = javaProfile();
+  GeneratorConfig Cfg;
+  Cfg.WDirect = Cfg.WGetter = Cfg.WMutating = Cfg.WComplex = 0;
+  Cfg.WRoundtrip = 1;
+  Cfg.NoiseProb = 0;
+  Rng Rand(5);
+  int Stores = 0;
+  for (int I = 0; I < 20; ++I) {
+    std::string Source = generateProgramSource(P, Cfg, Rand);
+    if (Source.find(".put(") != std::string::npos ||
+        Source.find(".set") != std::string::npos ||
+        Source.find("setProperty") != std::string::npos)
+      ++Stores;
+  }
+  EXPECT_GT(Stores, 10);
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline on a generated corpus (integration)
+//===----------------------------------------------------------------------===//
+
+TEST(Integration, LearnsValidSpecsFromGeneratedJavaCorpus) {
+  LanguageProfile P = javaProfile();
+  GeneratorConfig Cfg;
+  Cfg.NumPrograms = 250;
+  Cfg.Seed = 42;
+  StringInterner S;
+  GeneratedCorpus Corpus = generateCorpus(P, Cfg, S);
+
+  LearnerConfig LC;
+  LC.Tau = 0.6;
+  USpecLearner Learner(S, LC);
+  LearnResult Result = Learner.learn(Corpus.Programs);
+
+  EXPECT_GT(Result.Candidates.size(), 10u) << "candidates must arise";
+  EXPECT_GT(Result.TrainAccuracy, 0.8);
+  EXPECT_FALSE(Result.Selected.empty());
+
+  // Precision of the selection against ground truth should be high.
+  auto Labeled = labelCandidates(P.Registry, S, Result.Candidates);
+  PrPoint At = prAtTau(Labeled, LC.Tau);
+  EXPECT_GT(At.Precision, 0.7)
+      << "selected specs should be mostly valid (paper: >0.9 at τ=0.6)";
+  EXPECT_GT(At.Recall, 0.3);
+
+  // The flagship spec should be learned.
+  Spec MapSpec = Spec::retArg(mid(S, "HashMap", "get", 1),
+                              mid(S, "HashMap", "put", 2), 2);
+  bool Found = false;
+  for (const ScoredCandidate &C : Result.Candidates)
+    if (C.S == MapSpec && C.Score >= LC.Tau)
+      Found = true;
+  EXPECT_TRUE(Found) << "RetArg(HashMap.get, HashMap.put, 2) must be selected";
+}

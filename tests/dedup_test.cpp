@@ -1,0 +1,133 @@
+//===- dedup_test.cpp - Tests for corpus deduplication (§7.1) ------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Dedup.h"
+#include "corpus/Generator.h"
+#include "corpus/Profiles.h"
+#include "ir/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+namespace {
+
+IRProgram lower(StringInterner &S, const std::string &Source,
+                const std::string &Name = "p") {
+  DiagnosticSink Diags;
+  auto P = parseAndLower(Source, Name, S, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.render();
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(Dedup, IdenticalProgramsShareFingerprint) {
+  StringInterner S;
+  const char *Src = "class Main { def main() { var m = new Map(); "
+                    "m.put(\"k\", 1); } }";
+  IRProgram A = lower(S, Src, "a");
+  IRProgram B = lower(S, Src, "b"); // different module name, same structure
+  EXPECT_EQ(programFingerprint(A), programFingerprint(B));
+}
+
+TEST(Dedup, CommentsAndWhitespaceDoNotDefeatDedup) {
+  StringInterner S;
+  IRProgram A =
+      lower(S, "class Main { def main() { var m = new Map(); } }");
+  IRProgram B = lower(S, "class Main {\n  // forked copy\n  def main() {\n"
+                         "    var m = new Map();\n  }\n}");
+  EXPECT_EQ(programFingerprint(A), programFingerprint(B));
+}
+
+TEST(Dedup, StructuralDifferencesChangeFingerprint) {
+  StringInterner S;
+  IRProgram Base =
+      lower(S, "class Main { def main() { var m = new Map(); m.put(\"k\", 1); } }");
+  // Different literal.
+  EXPECT_NE(programFingerprint(Base),
+            programFingerprint(lower(
+                S, "class Main { def main() { var m = new Map(); "
+                   "m.put(\"k\", 2); } }")));
+  // Different method.
+  EXPECT_NE(programFingerprint(Base),
+            programFingerprint(lower(
+                S, "class Main { def main() { var m = new Map(); "
+                   "m.set(\"k\", 1); } }")));
+  // Different class.
+  EXPECT_NE(programFingerprint(Base),
+            programFingerprint(lower(
+                S, "class Main { def main() { var m = new Dict(); "
+                   "m.put(\"k\", 1); } }")));
+}
+
+TEST(Dedup, VariableRenamingIsNotNormalizedAway) {
+  // Renaming keeps structure: slots are positional, so a pure rename SHOULD
+  // produce the same fingerprint.
+  StringInterner S;
+  IRProgram A =
+      lower(S, "class Main { def main() { var x = api.get(\"k\"); x.use(); } }");
+  IRProgram B =
+      lower(S, "class Main { def main() { var y = api.get(\"k\"); y.use(); } }");
+  EXPECT_EQ(programFingerprint(A), programFingerprint(B));
+}
+
+TEST(Dedup, DuplicateIndicesAndRemoval) {
+  StringInterner S;
+  std::vector<IRProgram> Corpus;
+  Corpus.push_back(lower(S, "class A { def f() { x.a(); } }", "0"));
+  Corpus.push_back(lower(S, "class A { def f() { x.b(); } }", "1"));
+  Corpus.push_back(lower(S, "class A { def f() { x.a(); } }", "2")); // dup of 0
+  Corpus.push_back(lower(S, "class A { def f() { x.b(); } }", "3")); // dup of 1
+
+  auto Dups = duplicateIndices(Corpus);
+  ASSERT_EQ(Dups.size(), 2u);
+  EXPECT_EQ(Dups[0], 2u);
+  EXPECT_EQ(Dups[1], 3u);
+
+  EXPECT_EQ(dedupeCorpus(Corpus), 2u);
+  EXPECT_EQ(Corpus.size(), 2u);
+  EXPECT_EQ(dedupeCorpus(Corpus), 0u) << "idempotent";
+}
+
+TEST(Dedup, GeneratorInjectsDuplicatesAndDedupRemovesThem) {
+  LanguageProfile P = javaProfile();
+  GeneratorConfig Cfg;
+  Cfg.NumPrograms = 120;
+  Cfg.Seed = 5;
+  Cfg.DuplicateProb = 0.3;
+  StringInterner S;
+  GeneratedCorpus Corpus = generateCorpus(P, Cfg, S);
+  ASSERT_EQ(Corpus.Programs.size(), 120u);
+
+  size_t Removed = dedupeCorpus(Corpus.Programs);
+  EXPECT_GT(Removed, 15u) << "the fork simulation must inject duplicates";
+  EXPECT_LT(Removed, 80u);
+  EXPECT_TRUE(duplicateIndices(Corpus.Programs).empty());
+}
+
+TEST(Dedup, DuplicatesInflateMatchCounts) {
+  // §7.1's motivation: duplicated files multiply one pattern's weight. The
+  // same corpus, duplicated twice, doubles candidate match counts while the
+  // deduped corpus keeps them.
+  LanguageProfile P = javaProfile();
+  GeneratorConfig Cfg;
+  Cfg.NumPrograms = 80;
+  Cfg.Seed = 6;
+  StringInterner S;
+  GeneratedCorpus Corpus = generateCorpus(P, Cfg, S);
+
+  std::vector<IRProgram> Doubled;
+  for (int Round = 0; Round < 2; ++Round)
+    for (const std::string &Source : Corpus.Sources) {
+      DiagnosticSink Diags;
+      auto Prog = parseAndLower(Source, "dup", S, Diags);
+      ASSERT_TRUE(Prog.has_value());
+      Doubled.push_back(std::move(*Prog));
+    }
+  ASSERT_EQ(Doubled.size(), 160u);
+  EXPECT_EQ(dedupeCorpus(Doubled), 80u);
+}

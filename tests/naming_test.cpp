@@ -1,0 +1,108 @@
+//===- naming_test.cpp - Tests for the naming-convention prior ----------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Naming.h"
+#include "core/USpec.h"
+#include "corpus/Generator.h"
+#include "corpus/GroundTruth.h"
+#include "corpus/Profiles.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+TEST(Naming, ClassifiesCommonNames) {
+  EXPECT_EQ(classifyMethodName("get"), NameRole::Reader);
+  EXPECT_EQ(classifyMethodName("getProperty"), NameRole::Reader);
+  EXPECT_EQ(classifyMethodName("findViewById"), NameRole::Reader);
+  EXPECT_EQ(classifyMethodName("SubscriptLoad"), NameRole::Reader);
+  EXPECT_EQ(classifyMethodName("optString"), NameRole::Reader);
+
+  EXPECT_EQ(classifyMethodName("put"), NameRole::Writer);
+  EXPECT_EQ(classifyMethodName("setProperty"), NameRole::Writer);
+  EXPECT_EQ(classifyMethodName("SubscriptStore"), NameRole::Writer);
+  EXPECT_EQ(classifyMethodName("append"), NameRole::Writer);
+
+  EXPECT_EQ(classifyMethodName("next"), NameRole::Consumer);
+  EXPECT_EQ(classifyMethodName("pop"), NameRole::Consumer);
+  EXPECT_EQ(classifyMethodName("poll"), NameRole::Consumer);
+
+  EXPECT_EQ(classifyMethodName("invalidate"), NameRole::Neutral);
+  EXPECT_EQ(classifyMethodName("process"), NameRole::Neutral);
+}
+
+TEST(Naming, SharedStems) {
+  EXPECT_TRUE(namesShareStem("getProperty", "setProperty"));
+  EXPECT_TRUE(namesShareStem("loadConfig", "storeConfig"));
+  EXPECT_FALSE(namesShareStem("get", "put"));
+  EXPECT_FALSE(namesShareStem("getName", "setTag"));
+  EXPECT_FALSE(namesShareStem("process", "process"))
+      << "no recognized prefix, no stem claim";
+}
+
+TEST(Naming, PriorOrdersSpecsSensibly) {
+  StringInterner S;
+  auto Mid = [&](const char *Name, uint8_t Arity) {
+    return MethodId{S.intern("C"), S.intern(Name), Arity};
+  };
+  double GoodRetArg =
+      namingPrior(Spec::retArg(Mid("get", 1), Mid("put", 2), 2), S);
+  double StemRetArg = namingPrior(
+      Spec::retArg(Mid("getProperty", 1), Mid("setProperty", 2), 2), S);
+  double BadRetArg =
+      namingPrior(Spec::retArg(Mid("close", 0), Mid("launch", 1), 1), S);
+  EXPECT_GT(GoodRetArg, BadRetArg);
+  EXPECT_GT(StemRetArg, GoodRetArg) << "shared stem earns a bonus";
+
+  double GoodRetSame = namingPrior(Spec::retSame(Mid("getString", 1)), S);
+  double BadRetSame = namingPrior(Spec::retSame(Mid("nextInt", 1)), S);
+  EXPECT_GT(GoodRetSame, 0.7);
+  EXPECT_LT(BadRetSame, 0.2);
+}
+
+TEST(Naming, BlendIsBoundedAndMonotone) {
+  EXPECT_GE(blendWithNamingPrior(0, 0), 0.0);
+  EXPECT_LE(blendWithNamingPrior(1, 1), 1.0);
+  EXPECT_LT(blendWithNamingPrior(0.5, 0.1), blendWithNamingPrior(0.5, 0.9));
+  EXPECT_LT(blendWithNamingPrior(0.1, 0.5), blendWithNamingPrior(0.9, 0.5));
+}
+
+TEST(Naming, NameAwareScoringDoesNotHurtPrecision) {
+  // The future-work blend should keep (or improve) precision at τ=0.6 on
+  // the standard Java corpus relative to the pure model score.
+  StringInterner S;
+  LanguageProfile Profile = javaProfile();
+  GeneratorConfig GenCfg;
+  GenCfg.NumPrograms = 400;
+  GenCfg.Seed = 0xAA17;
+  GeneratedCorpus Corpus = generateCorpus(Profile, GenCfg, S);
+
+  auto RunWith = [&](ScoreKind Kind) {
+    LearnerConfig Cfg;
+    Cfg.Scoring = Kind;
+    USpecLearner Learner(S, Cfg);
+    LearnResult Result = Learner.learn(Corpus.Programs);
+    auto Labeled = labelCandidates(Profile.Registry, S, Result.Candidates);
+    return prAtTau(Labeled, 0.6);
+  };
+
+  PrPoint Plain = RunWith(ScoreKind::TopKMean);
+  PrPoint Blended = RunWith(ScoreKind::NameAware);
+  EXPECT_GE(Blended.Precision + 0.05, Plain.Precision)
+      << "the prior must not wreck precision";
+  EXPECT_GT(Blended.Recall, 0.2);
+}
+
+TEST(Naming, PriorDowngradesKnownWrongSpec) {
+  // RetSame(SecureRandom.nextInt): both the model and the prior reject it;
+  // blending keeps it rejected.
+  StringInterner S;
+  Spec Wrong = Spec::retSame(
+      {S.intern("SecureRandom"), S.intern("nextInt"), 1});
+  double Prior = namingPrior(Wrong, S);
+  EXPECT_LT(blendWithNamingPrior(0.5, Prior), 0.6)
+      << "even a lukewarm model score stays below τ with a consumer name";
+}

@@ -1,0 +1,219 @@
+//===- retrecv_test.cpp - Tests for the experimental RetRecv pattern -----------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// §5.3 discusses extending the hypothesis class beyond RetSame/RetArg; this
+// repository implements RetRecv ("a call may return its receiver" — builder
+// APIs) end to end: spec type, matching, candidate collection, ghost
+// semantics, ground truth, concrete runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/USpec.h"
+#include "corpus/Generator.h"
+#include "corpus/Profiles.h"
+#include "runtime/Runtime.h"
+#include "specs/SpecIO.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+TEST(RetRecv, SpecBasics) {
+  StringInterner S;
+  MethodId Append = {S.intern("StringBuilder"), S.intern("append"), 1};
+  Spec Sp = Spec::retRecv(Append);
+  EXPECT_EQ(Sp.str(S), "RetRecv(StringBuilder.append/1)");
+
+  SpecSet Set;
+  EXPECT_FALSE(Set.hasRetRecv(Append));
+  Set.insert(Sp);
+  EXPECT_TRUE(Set.hasRetRecv(Append));
+  EXPECT_FALSE(Set.hasRetSame(Append));
+  // RetRecv is not touched by the §5.4 closure.
+  EXPECT_EQ(Set.extendConsistency(), 0u);
+}
+
+TEST(RetRecv, SerializationRoundTrip) {
+  StringInterner S;
+  SpecSet Set;
+  Set.insert(Spec::retRecv({S.intern("StringBuilder"), S.intern("append"), 1}));
+  std::string Text = serializeSpecs(Set, S);
+  EXPECT_NE(Text.find("RetRecv(StringBuilder.append/1)"), std::string::npos);
+
+  StringInterner S2;
+  size_t ErrorLine = 0;
+  SpecSet Parsed = parseSpecs(Text, S2, &ErrorLine);
+  EXPECT_EQ(ErrorLine, 0u);
+  EXPECT_TRUE(Parsed.hasRetRecv(
+      {S2.intern("StringBuilder"), S2.intern("append"), 1}));
+}
+
+TEST(RetRecv, GroundTruth) {
+  LanguageProfile P = javaProfile();
+  StringInterner S;
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retRecv(
+                    {S.intern("StringBuilder"), S.intern("append"), 1}),
+                S),
+            SpecValidity::Valid);
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retRecv({S.intern("HashMap"), S.intern("get"), 1}), S),
+            SpecValidity::Invalid);
+  // Fluent methods are also trivially RetSame-valid.
+  EXPECT_EQ(P.Registry.judgeSpec(
+                Spec::retSame(
+                    {S.intern("StringBuilder"), S.intern("append"), 1}),
+                S),
+            SpecValidity::Valid);
+}
+
+TEST(RetRecv, ConcreteRuntimeReturnsReceiver) {
+  LanguageProfile P = javaProfile();
+  ApiHeap Heap(P.Registry);
+  RtValue SB = Heap.allocObject("StringBuilder");
+  const ApiMethod *Append =
+      P.Registry.findClass("StringBuilder")->findMethod("append", 1);
+  ASSERT_NE(Append, nullptr);
+  RtValue Ret = Heap.callApi(SB, *Append, {RtValue::ofStr("x")});
+  EXPECT_TRUE(Ret == SB);
+}
+
+TEST(RetRecv, AwareAnalysisChainsThroughBuilder) {
+  // With RetRecv(append), a chained builder keeps one abstract object.
+  constexpr const char *Src = R"(
+    class Main {
+      def main() {
+        var sb = new StringBuilder();
+        var x = sb.append("a");
+        var y = x.append("b");
+      }
+    }
+  )";
+  StringInterner S;
+  DiagnosticSink Diags;
+  auto P = parseAndLower(Src, "t", S, Diags);
+  ASSERT_TRUE(P.has_value());
+
+  auto RetOf = [&](const AnalysisResult &R, const char *Name, int Occ) {
+    int Found = 0;
+    for (EventId E = 0; E < R.Events.size(); ++E) {
+      const Event &Ev = R.Events.get(E);
+      if (Ev.Kind == EventKind::ApiCall && Ev.Pos == PosRet &&
+          S.str(Ev.Method.Name) == Name && Found++ == Occ)
+        return E;
+    }
+    return InvalidEvent;
+  };
+
+  // Unaware: the two appends return distinct fresh objects.
+  AnalysisResult R0 = analyzeProgram(*P, S, AnalysisOptions());
+  EXPECT_FALSE(R0.retMayAlias(RetOf(R0, "append", 0), RetOf(R0, "append", 1)));
+
+  // Aware with RetRecv(append): both return the builder.
+  SpecSet Specs;
+  Specs.insert(
+      Spec::retRecv({S.intern("StringBuilder"), S.intern("append"), 1}));
+  AnalysisOptions Aware;
+  Aware.ApiAware = true;
+  Aware.Specs = &Specs;
+  AnalysisResult R1 = analyzeProgram(*P, S, Aware);
+  EXPECT_TRUE(R1.retMayAlias(RetOf(R1, "append", 0), RetOf(R1, "append", 1)));
+}
+
+TEST(RetRecv, MatchingInducesRootToContinuationEdge) {
+  constexpr const char *Src = R"(
+    class Main {
+      def main() {
+        var sb = new StringBuilder();
+        sb.append("a").append("b");
+      }
+    }
+  )";
+  StringInterner S;
+  DiagnosticSink Diags;
+  auto P = parseAndLower(Src, "t", S, Diags);
+  ASSERT_TRUE(P.has_value());
+  AnalysisResult R = analyzeProgram(*P, S, AnalysisOptions());
+  EventGraph G = EventGraph::build(R);
+
+  // First append: induced edge newStringBuilder -> second append's recv.
+  const CallSite *First = nullptr;
+  for (const CallSite &CS : G.callSites())
+    if (S.str(CS.Method.Name) == "append" && !First)
+      First = &CS;
+  ASSERT_NE(First, nullptr);
+  auto Edges = inducedRetRecv(G, *First);
+  ASSERT_EQ(Edges.size(), 1u);
+  EXPECT_EQ(G.event(Edges[0].first).Kind, EventKind::NewAlloc);
+  const Event &To = G.event(Edges[0].second);
+  EXPECT_EQ(S.str(To.Method.Name), "append");
+  EXPECT_EQ(To.Pos, PosReceiver);
+}
+
+TEST(RetRecv, PipelineShowsModestResults) {
+  // End-to-end reproduction of the §5.3 observation that additional
+  // patterns give "modest results": RetRecv matches at *every* call site,
+  // so its candidate pool is large and its selected precision falls well
+  // below the RetSame/RetArg precision at the same threshold, while the
+  // genuine builder spec does arise as a candidate.
+  StringInterner S;
+  LanguageProfile Profile = javaProfile();
+  GeneratorConfig GenCfg;
+  GenCfg.NumPrograms = 500;
+  GenCfg.Seed = 0xF1;
+  GeneratedCorpus Corpus = generateCorpus(Profile, GenCfg, S);
+  LearnerConfig Cfg;
+  Cfg.ExperimentalPatterns = true;
+  USpecLearner Learner(S, Cfg);
+  LearnResult Result = Learner.learn(Corpus.Programs);
+
+  const ScoredCandidate *Append = nullptr;
+  size_t RecvCandidates = 0, RecvSelected = 0, RecvSelectedValid = 0;
+  size_t CoreSelected = 0, CoreSelectedValid = 0;
+  for (const ScoredCandidate &C : Result.Candidates) {
+    bool Valid =
+        Profile.Registry.judgeSpec(C.S, S) == SpecValidity::Valid;
+    bool Selected = C.Score >= 0.6;
+    if (C.S.TheKind == Spec::Kind::RetRecv) {
+      ++RecvCandidates;
+      RecvSelected += Selected;
+      RecvSelectedValid += Selected && Valid;
+      if (C.S.str(S).find("append") != std::string::npos)
+        Append = &C;
+    } else {
+      CoreSelected += Selected;
+      CoreSelectedValid += Selected && Valid;
+    }
+  }
+  ASSERT_NE(Append, nullptr) << "RetRecv(append) candidate must arise";
+  EXPECT_GE(Append->Score, 0.25)
+      << "the genuine builder pattern should carry some signal";
+  // RetRecv candidates vastly outnumber valid builder APIs...
+  EXPECT_GT(RecvCandidates, 20u);
+  // ...and their selected precision is "modest" compared to the core
+  // patterns at the same τ (or the pattern contributes nothing at all).
+  ASSERT_GT(CoreSelected, 0u);
+  double CorePrecision =
+      static_cast<double>(CoreSelectedValid) / CoreSelected;
+  if (RecvSelected > 0) {
+    double RecvPrecision =
+        static_cast<double>(RecvSelectedValid) / RecvSelected;
+    EXPECT_LT(RecvPrecision, CorePrecision);
+  }
+}
+
+TEST(RetRecv, DisabledByDefault) {
+  StringInterner S;
+  LanguageProfile Profile = javaProfile();
+  GeneratorConfig GenCfg;
+  GenCfg.NumPrograms = 120;
+  GenCfg.Seed = 0xF2;
+  GeneratedCorpus Corpus = generateCorpus(Profile, GenCfg, S);
+  LearnerConfig Cfg; // ExperimentalPatterns defaults to false
+  USpecLearner Learner(S, Cfg);
+  LearnResult Result = Learner.learn(Corpus.Programs);
+  for (const ScoredCandidate &C : Result.Candidates)
+    EXPECT_NE(C.S.TheKind, Spec::Kind::RetRecv)
+        << "RetRecv must not arise unless explicitly enabled";
+}

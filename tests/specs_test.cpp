@@ -1,0 +1,123 @@
+//===- specs_test.cpp - Tests for specification types -------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "specs/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace uspec;
+
+namespace {
+
+struct SpecFixture : ::testing::Test {
+  StringInterner Strings;
+
+  MethodId method(const char *Class, const char *Name, uint8_t Arity) {
+    return {Strings.intern(Class), Strings.intern(Name), Arity};
+  }
+};
+
+} // namespace
+
+using SpecTest = SpecFixture;
+
+TEST_F(SpecTest, MethodIdEqualityAndPrinting) {
+  MethodId Get1 = method("Map", "get", 1);
+  MethodId Get1B = method("Map", "get", 1);
+  MethodId Get2 = method("Map", "get", 2);
+  MethodId Put = method("Map", "put", 2);
+  EXPECT_EQ(Get1, Get1B);
+  EXPECT_NE(Get1, Get2); // arity participates in identity
+  EXPECT_NE(Get1, Put);
+  EXPECT_EQ(Get1.str(Strings), "Map.get/1");
+}
+
+TEST_F(SpecTest, UnknownClassPrintsQuestionMark) {
+  MethodId M = {Symbol(), Strings.intern("getName"), 0};
+  EXPECT_EQ(M.str(Strings), "?.getName/0");
+}
+
+TEST_F(SpecTest, SpecConstructionAndPrinting) {
+  Spec RS = Spec::retSame(method("ResultSet", "getString", 1));
+  EXPECT_EQ(RS.str(Strings), "RetSame(ResultSet.getString/1)");
+
+  Spec RA = Spec::retArg(method("Map", "get", 1), method("Map", "put", 2), 2);
+  EXPECT_EQ(RA.str(Strings), "RetArg(Map.get/1, Map.put/2, 2)");
+}
+
+TEST_F(SpecTest, SpecEqualityDistinguishesKindAndPosition) {
+  MethodId Get = method("Map", "get", 1);
+  MethodId Put = method("Map", "put", 2);
+  EXPECT_EQ(Spec::retArg(Get, Put, 2), Spec::retArg(Get, Put, 2));
+  EXPECT_FALSE(Spec::retArg(Get, Put, 2) == Spec::retArg(Get, Put, 1));
+  EXPECT_FALSE(Spec::retSame(Get) == Spec::retArg(Get, Put, 2));
+}
+
+TEST_F(SpecTest, SetInsertIsDeduplicating) {
+  SpecSet Set;
+  Spec S = Spec::retSame(method("Map", "get", 1));
+  EXPECT_TRUE(Set.insert(S));
+  EXPECT_FALSE(Set.insert(S));
+  EXPECT_EQ(Set.size(), 1u);
+  EXPECT_TRUE(Set.contains(S));
+}
+
+TEST_F(SpecTest, RetSameIndex) {
+  SpecSet Set;
+  MethodId Get = method("Map", "get", 1);
+  EXPECT_FALSE(Set.hasRetSame(Get));
+  Set.insert(Spec::retSame(Get));
+  EXPECT_TRUE(Set.hasRetSame(Get));
+  EXPECT_FALSE(Set.hasRetSame(method("Map", "get", 2)));
+}
+
+TEST_F(SpecTest, RetArgSourceIndex) {
+  SpecSet Set;
+  MethodId Get = method("Map", "get", 1);
+  MethodId Put = method("Map", "put", 2);
+  MethodId SetProp = method("Props", "setProperty", 2);
+  Set.insert(Spec::retArg(Get, Put, 2));
+  Set.insert(Spec::retArg(method("Props", "getProperty", 1), SetProp, 2));
+
+  const auto &ByPut = Set.retArgsBySource(Put);
+  ASSERT_EQ(ByPut.size(), 1u);
+  EXPECT_EQ(ByPut[0].Target, Get);
+  EXPECT_TRUE(Set.retArgsBySource(Get).empty());
+}
+
+TEST_F(SpecTest, ConsistencyExtensionAddsRetSameOfTargets) {
+  // §5.4 eq. (3): RetArg(t,s,x) ∈ S ⇒ RetSame(t) ∈ S.
+  SpecSet Set;
+  MethodId Get = method("Map", "get", 1);
+  MethodId Put = method("Map", "put", 2);
+  Set.insert(Spec::retArg(Get, Put, 2));
+  EXPECT_FALSE(Set.hasRetSame(Get));
+  size_t Added = Set.extendConsistency();
+  EXPECT_EQ(Added, 1u);
+  EXPECT_TRUE(Set.hasRetSame(Get));
+  // Idempotent.
+  EXPECT_EQ(Set.extendConsistency(), 0u);
+}
+
+TEST_F(SpecTest, ConsistencyExtensionKeepsExistingRetSame) {
+  SpecSet Set;
+  MethodId Get = method("Map", "get", 1);
+  Set.insert(Spec::retSame(Get));
+  Set.insert(Spec::retArg(Get, method("Map", "put", 2), 2));
+  EXPECT_EQ(Set.extendConsistency(), 0u);
+  EXPECT_EQ(Set.size(), 2u);
+}
+
+TEST_F(SpecTest, OrderedIterationIsInsertionOrder) {
+  SpecSet Set;
+  Spec A = Spec::retSame(method("A", "a", 0));
+  Spec B = Spec::retSame(method("B", "b", 0));
+  Set.insert(B);
+  Set.insert(A);
+  ASSERT_EQ(Set.all().size(), 2u);
+  EXPECT_EQ(Set.all()[0], B);
+  EXPECT_EQ(Set.all()[1], A);
+}

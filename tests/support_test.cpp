@@ -1,0 +1,218 @@
+//===- support_test.cpp - Tests for the support library ---------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/StringInterner.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+using namespace uspec;
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, EmptyStringIsSymbolZero) {
+  StringInterner Strings;
+  EXPECT_TRUE(Strings.intern("").isEmpty());
+  EXPECT_EQ(Strings.str(Symbol()), "");
+}
+
+TEST(StringInterner, InterningIsIdempotent) {
+  StringInterner Strings;
+  Symbol A = Strings.intern("getFile");
+  Symbol B = Strings.intern("getFile");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Strings.str(A), "getFile");
+}
+
+TEST(StringInterner, DistinctStringsGetDistinctSymbols) {
+  StringInterner Strings;
+  Symbol A = Strings.intern("put");
+  Symbol B = Strings.intern("get");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Strings.str(A), "put");
+  EXPECT_EQ(Strings.str(B), "get");
+}
+
+TEST(StringInterner, ManySymbolsRemainStable) {
+  StringInterner Strings;
+  std::vector<Symbol> Symbols;
+  for (int I = 0; I < 1000; ++I)
+    Symbols.push_back(Strings.intern("name" + std::to_string(I)));
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(Strings.str(Symbols[I]), "name" + std::to_string(I));
+  EXPECT_EQ(Strings.size(), 1001u); // + empty string
+}
+
+TEST(StringInterner, SymbolIsHashable) {
+  StringInterner Strings;
+  std::unordered_set<Symbol> Set;
+  Set.insert(Strings.intern("a"));
+  Set.insert(Strings.intern("b"));
+  Set.insert(Strings.intern("a"));
+  EXPECT_EQ(Set.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hashing, Mix64IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Hashing, HashCombineIsOrderSensitive) {
+  EXPECT_NE(hashCombine(hashCombine(0, 1), 2),
+            hashCombine(hashCombine(0, 2), 1));
+}
+
+TEST(Hashing, HashStringMatchesContentNotIdentity) {
+  std::string A = "hello";
+  std::string B = "hello";
+  EXPECT_EQ(hashString(A), hashString(B));
+  EXPECT_NE(hashString("hello"), hashString("hellp"));
+}
+
+TEST(Hashing, HashValuesVariadic) {
+  EXPECT_EQ(hashValues(1, 2, 3), hashValues(1, 2, 3));
+  EXPECT_NE(hashValues(1, 2, 3), hashValues(3, 2, 1));
+  EXPECT_NE(hashValues(1, 2), hashValues(1, 2, 0));
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 10000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 10000; ++I) {
+    double V = R.real();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng R(11);
+  int Hits = 0;
+  for (int I = 0; I < 100000; ++I)
+    Hits += R.chance(0.3);
+  EXPECT_NEAR(Hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng R(13);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0);
+  EXPECT_DOUBLE_EQ(mean({2, 4}), 3);
+}
+
+TEST(Stats, TopKMeanTakesLargest) {
+  std::vector<double> V = {0.1, 0.9, 0.5, 0.8};
+  EXPECT_DOUBLE_EQ(topKMean(V, 2), (0.9 + 0.8) / 2);
+  // Fewer elements than K: plain mean.
+  EXPECT_DOUBLE_EQ(topKMean(V, 10), mean(V));
+  EXPECT_DOUBLE_EQ(topKMean({}, 10), 0);
+}
+
+TEST(Stats, PercentileNearestRank) {
+  std::vector<double> V = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(V, 0.0), 1);
+  EXPECT_DOUBLE_EQ(percentile(V, 0.95), 10);
+  EXPECT_DOUBLE_EQ(percentile(V, 0.5), 6);
+}
+
+TEST(Stats, MaxValue) {
+  EXPECT_DOUBLE_EQ(maxValue({}), 0);
+  EXPECT_DOUBLE_EQ(maxValue({0.2, 0.7, 0.1}), 0.7);
+}
+
+TEST(Stats, PrecisionRecallCounters) {
+  PrecisionRecall PR;
+  PR.record(/*IsValid=*/true, /*IsSelected=*/true);   // TP
+  PR.record(/*IsValid=*/false, /*IsSelected=*/true);  // FP
+  PR.record(/*IsValid=*/true, /*IsSelected=*/false);  // FN
+  PR.record(/*IsValid=*/false, /*IsSelected=*/false); // TN
+  EXPECT_DOUBLE_EQ(PR.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(PR.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(PR.f1(), 0.5);
+}
+
+TEST(Stats, PrecisionRecallEmptyConventions) {
+  PrecisionRecall PR;
+  EXPECT_DOUBLE_EQ(PR.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(PR.recall(), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable
+//===----------------------------------------------------------------------===//
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable T;
+  T.setHeader({"spec", "score"});
+  T.addRow({"RetSame(get)", "0.99"});
+  T.addRow({"x", "1"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("spec"), std::string::npos);
+  EXPECT_NE(Out.find("RetSame(get)  0.99"), std::string::npos);
+}
+
+TEST(TextTable, FormatReal) {
+  EXPECT_EQ(TextTable::formatReal(0.12345, 3), "0.123");
+  EXPECT_EQ(TextTable::formatReal(2.0, 1), "2.0");
+}

@@ -1,0 +1,340 @@
+//===- uspec.cpp - The USpec command-line tool ----------------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Subcommands:
+//
+//   uspec gen     --profile java|python -n N -o DIR [--seed S]
+//       Write a synthetic corpus of MiniLang files into DIR.
+//
+//   uspec learn   FILES... [-o specs.txt] [--tau X] [--seed S]
+//       Learn aliasing specifications from MiniLang files and write them in
+//       the SpecIO text format (stdout when -o is omitted). Prints the
+//       scored candidate list to stderr.
+//
+//   uspec analyze FILE [--specs specs.txt] [--coverage] [--dot out.dot]
+//       Run the may-alias analysis on FILE (API-aware when --specs is
+//       given), print aliasing call-site pairs, optionally dump the event
+//       graph in Graphviz format.
+//
+//   uspec check   FILES...
+//       Parse and lower files, reporting diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/USpec.h"
+#include "corpus/Dedup.h"
+#include "corpus/Generator.h"
+#include "corpus/Profiles.h"
+#include "eventgraph/Dot.h"
+#include "specs/SpecIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace uspec;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  uspec gen --profile java|python -n N -o DIR [--seed S]\n"
+      "  uspec learn FILES... [-o specs.txt] [--tau X] [--seed S] [--dedup]\n"
+      "  uspec analyze FILE [--specs specs.txt] [--coverage] [--dot out]\n"
+      "  uspec check FILES...\n");
+  return 2;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+bool writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << Content;
+  return true;
+}
+
+/// Simple argument cursor.
+struct Args {
+  int Argc;
+  char **Argv;
+  int Pos = 2;
+
+  const char *next() { return Pos < Argc ? Argv[Pos++] : nullptr; }
+  bool has() const { return Pos < Argc; }
+};
+
+int cmdGen(Args &A) {
+  std::string ProfileName = "java", OutDir;
+  size_t N = 100;
+  uint64_t Seed = 1;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "--profile")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      ProfileName = V;
+    } else if (!std::strcmp(Arg, "-n")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      N = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(Arg, "-o")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      OutDir = V;
+    } else if (!std::strcmp(Arg, "--seed")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      Seed = std::strtoull(V, nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (OutDir.empty())
+    return usage();
+  LanguageProfile Profile =
+      ProfileName == "python" ? pythonProfile() : javaProfile();
+  std::filesystem::create_directories(OutDir);
+  GeneratorConfig Cfg;
+  Rng Rand(Seed);
+  for (size_t I = 0; I < N; ++I) {
+    std::string Source = generateProgramSource(Profile, Cfg, Rand);
+    std::string Path =
+        OutDir + "/prog" + std::to_string(I) + ".mini";
+    if (!writeFile(Path, Source)) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "wrote %zu %s programs to %s\n", N,
+               Profile.Name.c_str(), OutDir.c_str());
+  return 0;
+}
+
+int cmdLearn(Args &A) {
+  std::vector<std::string> Files;
+  std::string OutPath;
+  double Tau = 0.6;
+  uint64_t Seed = 0xC0FFEE;
+  bool Dedup = false;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "--dedup")) {
+      Dedup = true;
+    } else if (!std::strcmp(Arg, "-o")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      OutPath = V;
+    } else if (!std::strcmp(Arg, "--tau")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      Tau = std::strtod(V, nullptr);
+    } else if (!std::strcmp(Arg, "--seed")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      Seed = std::strtoull(V, nullptr, 10);
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  if (Files.empty())
+    return usage();
+
+  StringInterner Strings;
+  std::vector<IRProgram> Corpus;
+  for (const std::string &Path : Files) {
+    auto Source = readFile(Path);
+    if (!Source) {
+      std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+      return 1;
+    }
+    DiagnosticSink Diags;
+    auto P = parseAndLower(*Source, Path, Strings, Diags);
+    if (!P) {
+      std::fprintf(stderr, "%s:\n%s", Path.c_str(), Diags.render().c_str());
+      return 1;
+    }
+    Corpus.push_back(std::move(*P));
+  }
+
+  if (Dedup) {
+    size_t Removed = dedupeCorpus(Corpus);
+    std::fprintf(stderr, "dedup: removed %zu duplicate program(s)\n",
+                 Removed);
+  }
+
+  LearnerConfig Cfg;
+  Cfg.Tau = Tau;
+  Cfg.Seed = Seed;
+  USpecLearner Learner(Strings, Cfg);
+  LearnResult Result = Learner.learn(Corpus);
+
+  std::fprintf(stderr, "%zu programs, %zu candidates, %zu selected "
+               "(tau=%.2f)\n",
+               Corpus.size(), Result.Candidates.size(),
+               Result.Selected.size(), Tau);
+  for (const ScoredCandidate &C : Result.Candidates)
+    std::fprintf(stderr, "  %-55s %.3f (%zu matches)\n",
+                 C.S.str(Strings).c_str(), C.Score, C.Matches);
+
+  std::string Text = serializeSpecs(Result.Selected, Strings);
+  if (OutPath.empty()) {
+    std::fputs(Text.c_str(), stdout);
+    return 0;
+  }
+  if (!writeFile(OutPath, Text)) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
+int cmdAnalyze(Args &A) {
+  std::string File, SpecsPath, DotPath;
+  bool Coverage = false;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "--specs")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      SpecsPath = V;
+    } else if (!std::strcmp(Arg, "--dot")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      DotPath = V;
+    } else if (!std::strcmp(Arg, "--coverage")) {
+      Coverage = true;
+    } else {
+      File = Arg;
+    }
+  }
+  if (File.empty())
+    return usage();
+
+  auto Source = readFile(File);
+  if (!Source) {
+    std::fprintf(stderr, "error: cannot read %s\n", File.c_str());
+    return 1;
+  }
+  StringInterner Strings;
+  DiagnosticSink Diags;
+  auto P = parseAndLower(*Source, File, Strings, Diags);
+  if (!P) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+
+  SpecSet Specs;
+  AnalysisOptions Options;
+  if (!SpecsPath.empty()) {
+    auto Text = readFile(SpecsPath);
+    if (!Text) {
+      std::fprintf(stderr, "error: cannot read %s\n", SpecsPath.c_str());
+      return 1;
+    }
+    size_t ErrorLine = 0;
+    Specs = parseSpecs(*Text, Strings, &ErrorLine);
+    if (ErrorLine) {
+      std::fprintf(stderr, "%s:%zu: malformed specification\n",
+                   SpecsPath.c_str(), ErrorLine);
+      return 1;
+    }
+    Options.ApiAware = true;
+    Options.Specs = &Specs;
+    Options.CoverageExtension = Coverage;
+    std::printf("loaded %zu specifications (API-aware analysis%s)\n",
+                Specs.size(), Coverage ? " + coverage extension" : "");
+  } else {
+    std::printf("no specifications (API-unaware baseline)\n");
+  }
+
+  AnalysisResult R = analyzeProgram(*P, Strings, Options);
+  EventGraph G = EventGraph::build(R);
+
+  // Report may-aliasing between call-site return values.
+  std::printf("\nmay-alias call-site return pairs:\n");
+  size_t Pairs = 0;
+  const auto &Sites = G.callSites();
+  for (size_t I = 0; I < Sites.size(); ++I) {
+    for (size_t J = I + 1; J < Sites.size(); ++J) {
+      if (Sites[I].Ret == InvalidEvent || Sites[J].Ret == InvalidEvent)
+        continue;
+      if (!R.retMayAlias(Sites[I].Ret, Sites[J].Ret))
+        continue;
+      std::printf("  %s  ~  %s\n",
+                  Sites[I].Method.str(Strings).c_str(),
+                  Sites[J].Method.str(Strings).c_str());
+      ++Pairs;
+    }
+  }
+  std::printf("%zu aliasing pairs, %zu events, %zu objects\n", Pairs,
+              R.Events.size(), R.Objects.size());
+
+  if (!DotPath.empty()) {
+    if (!writeFile(DotPath, toDot(G, Strings)))
+      std::fprintf(stderr, "error: cannot write %s\n", DotPath.c_str());
+    else
+      std::printf("event graph written to %s\n", DotPath.c_str());
+  }
+  return 0;
+}
+
+int cmdCheck(Args &A) {
+  bool Ok = true;
+  while (const char *Arg = A.next()) {
+    auto Source = readFile(Arg);
+    if (!Source) {
+      std::fprintf(stderr, "error: cannot read %s\n", Arg);
+      Ok = false;
+      continue;
+    }
+    StringInterner Strings;
+    DiagnosticSink Diags;
+    auto P = parseAndLower(*Source, Arg, Strings, Diags);
+    if (!P) {
+      std::fprintf(stderr, "%s:\n%s", Arg, Diags.render().c_str());
+      Ok = false;
+    } else {
+      std::printf("%s: ok (%u sites, %u guards)\n", Arg, P->NumSites,
+                  P->NumGuards);
+    }
+  }
+  return Ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  Args A{Argc, Argv};
+  if (!std::strcmp(Argv[1], "gen"))
+    return cmdGen(A);
+  if (!std::strcmp(Argv[1], "learn"))
+    return cmdLearn(A);
+  if (!std::strcmp(Argv[1], "analyze"))
+    return cmdAnalyze(A);
+  if (!std::strcmp(Argv[1], "check"))
+    return cmdCheck(A);
+  return usage();
+}
