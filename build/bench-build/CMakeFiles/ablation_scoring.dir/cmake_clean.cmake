@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scoring"
+  "../bench/ablation_scoring.pdb"
+  "CMakeFiles/ablation_scoring.dir/ablation_scoring.cpp.o"
+  "CMakeFiles/ablation_scoring.dir/ablation_scoring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

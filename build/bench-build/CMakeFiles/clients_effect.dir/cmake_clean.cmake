@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/clients_effect"
+  "../bench/clients_effect.pdb"
+  "CMakeFiles/clients_effect.dir/clients_effect.cpp.o"
+  "CMakeFiles/clients_effect.dir/clients_effect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clients_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clients_effect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for clients_effect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_precision_recall"
+  "../bench/fig7_precision_recall.pdb"
+  "CMakeFiles/fig7_precision_recall.dir/fig7_precision_recall.cpp.o"
+  "CMakeFiles/fig7_precision_recall.dir/fig7_precision_recall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_example_specs"
+  "../bench/tab3_example_specs.pdb"
+  "CMakeFiles/tab3_example_specs.dir/tab3_example_specs.cpp.o"
+  "CMakeFiles/tab3_example_specs.dir/tab3_example_specs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_example_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab4_pointsto_effects"
+  "../bench/tab4_pointsto_effects.pdb"
+  "CMakeFiles/tab4_pointsto_effects.dir/tab4_pointsto_effects.cpp.o"
+  "CMakeFiles/tab4_pointsto_effects.dir/tab4_pointsto_effects.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_pointsto_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

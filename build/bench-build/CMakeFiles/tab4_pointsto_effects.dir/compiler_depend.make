@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab4_pointsto_effects.
+# This may be replaced when dependencies are built.

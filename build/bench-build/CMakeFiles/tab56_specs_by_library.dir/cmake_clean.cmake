@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab56_specs_by_library"
+  "../bench/tab56_specs_by_library.pdb"
+  "CMakeFiles/tab56_specs_by_library.dir/tab56_specs_by_library.cpp.o"
+  "CMakeFiles/tab56_specs_by_library.dir/tab56_specs_by_library.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab56_specs_by_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab56_specs_by_library.
+# This may be replaced when dependencies are built.

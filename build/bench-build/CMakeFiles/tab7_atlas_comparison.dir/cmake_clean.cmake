@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab7_atlas_comparison"
+  "../bench/tab7_atlas_comparison.pdb"
+  "CMakeFiles/tab7_atlas_comparison.dir/tab7_atlas_comparison.cpp.o"
+  "CMakeFiles/tab7_atlas_comparison.dir/tab7_atlas_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_atlas_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_vs_uspec.dir/atlas_vs_uspec.cpp.o"
+  "CMakeFiles/atlas_vs_uspec.dir/atlas_vs_uspec.cpp.o.d"
+  "atlas_vs_uspec"
+  "atlas_vs_uspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_vs_uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

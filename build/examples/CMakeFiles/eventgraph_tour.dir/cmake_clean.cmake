@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventgraph_tour.dir/eventgraph_tour.cpp.o"
+  "CMakeFiles/eventgraph_tour.dir/eventgraph_tour.cpp.o.d"
+  "eventgraph_tour"
+  "eventgraph_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventgraph_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_client.dir/taint_client.cpp.o"
+  "CMakeFiles/taint_client.dir/taint_client.cpp.o.d"
+  "taint_client"
+  "taint_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

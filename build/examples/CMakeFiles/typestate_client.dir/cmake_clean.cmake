@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typestate_client.dir/typestate_client.cpp.o"
+  "CMakeFiles/typestate_client.dir/typestate_client.cpp.o.d"
+  "typestate_client"
+  "typestate_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typestate_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

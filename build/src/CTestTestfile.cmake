@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lang")
+subdirs("ir")
+subdirs("specs")
+subdirs("pointsto")
+subdirs("eventgraph")
+subdirs("model")
+subdirs("core")
+subdirs("corpus")
+subdirs("runtime")
+subdirs("atlas")
+subdirs("clients")

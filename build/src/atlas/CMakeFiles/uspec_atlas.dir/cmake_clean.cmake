@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_atlas.dir/Atlas.cpp.o"
+  "CMakeFiles/uspec_atlas.dir/Atlas.cpp.o.d"
+  "libuspec_atlas.a"
+  "libuspec_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

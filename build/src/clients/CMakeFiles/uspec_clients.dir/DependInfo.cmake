@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clients/Taint.cpp" "src/clients/CMakeFiles/uspec_clients.dir/Taint.cpp.o" "gcc" "src/clients/CMakeFiles/uspec_clients.dir/Taint.cpp.o.d"
+  "/root/repo/src/clients/Typestate.cpp" "src/clients/CMakeFiles/uspec_clients.dir/Typestate.cpp.o" "gcc" "src/clients/CMakeFiles/uspec_clients.dir/Typestate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pointsto/CMakeFiles/uspec_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/uspec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/uspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/uspec_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

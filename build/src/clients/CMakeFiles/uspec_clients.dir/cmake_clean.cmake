@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_clients.dir/Taint.cpp.o"
+  "CMakeFiles/uspec_clients.dir/Taint.cpp.o.d"
+  "CMakeFiles/uspec_clients.dir/Typestate.cpp.o"
+  "CMakeFiles/uspec_clients.dir/Typestate.cpp.o.d"
+  "libuspec_clients.a"
+  "libuspec_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

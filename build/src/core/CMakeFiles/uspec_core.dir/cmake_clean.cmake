@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_core.dir/Candidates.cpp.o"
+  "CMakeFiles/uspec_core.dir/Candidates.cpp.o.d"
+  "CMakeFiles/uspec_core.dir/Learner.cpp.o"
+  "CMakeFiles/uspec_core.dir/Learner.cpp.o.d"
+  "CMakeFiles/uspec_core.dir/Matching.cpp.o"
+  "CMakeFiles/uspec_core.dir/Matching.cpp.o.d"
+  "CMakeFiles/uspec_core.dir/Naming.cpp.o"
+  "CMakeFiles/uspec_core.dir/Naming.cpp.o.d"
+  "libuspec_core.a"
+  "libuspec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuspec_core.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_corpus.dir/Api.cpp.o"
+  "CMakeFiles/uspec_corpus.dir/Api.cpp.o.d"
+  "CMakeFiles/uspec_corpus.dir/Dedup.cpp.o"
+  "CMakeFiles/uspec_corpus.dir/Dedup.cpp.o.d"
+  "CMakeFiles/uspec_corpus.dir/Generator.cpp.o"
+  "CMakeFiles/uspec_corpus.dir/Generator.cpp.o.d"
+  "CMakeFiles/uspec_corpus.dir/GroundTruth.cpp.o"
+  "CMakeFiles/uspec_corpus.dir/GroundTruth.cpp.o.d"
+  "CMakeFiles/uspec_corpus.dir/Profiles.cpp.o"
+  "CMakeFiles/uspec_corpus.dir/Profiles.cpp.o.d"
+  "libuspec_corpus.a"
+  "libuspec_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

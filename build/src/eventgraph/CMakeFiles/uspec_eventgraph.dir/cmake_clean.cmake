@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_eventgraph.dir/Dot.cpp.o"
+  "CMakeFiles/uspec_eventgraph.dir/Dot.cpp.o.d"
+  "CMakeFiles/uspec_eventgraph.dir/EventGraph.cpp.o"
+  "CMakeFiles/uspec_eventgraph.dir/EventGraph.cpp.o.d"
+  "libuspec_eventgraph.a"
+  "libuspec_eventgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_eventgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

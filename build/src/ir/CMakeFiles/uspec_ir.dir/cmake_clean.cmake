@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_ir.dir/IR.cpp.o"
+  "CMakeFiles/uspec_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/uspec_ir.dir/Lowering.cpp.o"
+  "CMakeFiles/uspec_ir.dir/Lowering.cpp.o.d"
+  "libuspec_ir.a"
+  "libuspec_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/uspec_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/uspec_lang.dir/Parser.cpp.o"
+  "CMakeFiles/uspec_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/uspec_lang.dir/Printer.cpp.o"
+  "CMakeFiles/uspec_lang.dir/Printer.cpp.o.d"
+  "libuspec_lang.a"
+  "libuspec_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

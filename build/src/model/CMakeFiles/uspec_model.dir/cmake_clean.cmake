@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_model.dir/EdgeModel.cpp.o"
+  "CMakeFiles/uspec_model.dir/EdgeModel.cpp.o.d"
+  "CMakeFiles/uspec_model.dir/Features.cpp.o"
+  "CMakeFiles/uspec_model.dir/Features.cpp.o.d"
+  "libuspec_model.a"
+  "libuspec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_pointsto.dir/Analysis.cpp.o"
+  "CMakeFiles/uspec_pointsto.dir/Analysis.cpp.o.d"
+  "CMakeFiles/uspec_pointsto.dir/ConstraintSolver.cpp.o"
+  "CMakeFiles/uspec_pointsto.dir/ConstraintSolver.cpp.o.d"
+  "libuspec_pointsto.a"
+  "libuspec_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_runtime.dir/Interpreter.cpp.o"
+  "CMakeFiles/uspec_runtime.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/uspec_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/uspec_runtime.dir/Runtime.cpp.o.d"
+  "libuspec_runtime.a"
+  "libuspec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_specs.dir/Spec.cpp.o"
+  "CMakeFiles/uspec_specs.dir/Spec.cpp.o.d"
+  "CMakeFiles/uspec_specs.dir/SpecIO.cpp.o"
+  "CMakeFiles/uspec_specs.dir/SpecIO.cpp.o.d"
+  "libuspec_specs.a"
+  "libuspec_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_support.dir/Stats.cpp.o"
+  "CMakeFiles/uspec_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/uspec_support.dir/Table.cpp.o"
+  "CMakeFiles/uspec_support.dir/Table.cpp.o.d"
+  "libuspec_support.a"
+  "libuspec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_edge_test.dir/analysis_edge_test.cpp.o"
+  "CMakeFiles/analysis_edge_test.dir/analysis_edge_test.cpp.o.d"
+  "analysis_edge_test"
+  "analysis_edge_test.pdb"
+  "analysis_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

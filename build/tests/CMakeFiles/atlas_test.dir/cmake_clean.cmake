@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_test.dir/atlas_test.cpp.o"
+  "CMakeFiles/atlas_test.dir/atlas_test.cpp.o.d"
+  "atlas_test"
+  "atlas_test.pdb"
+  "atlas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

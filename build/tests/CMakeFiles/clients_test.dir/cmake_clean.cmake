@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clients_test.dir/clients_test.cpp.o"
+  "CMakeFiles/clients_test.dir/clients_test.cpp.o.d"
+  "clients_test"
+  "clients_test.pdb"
+  "clients_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

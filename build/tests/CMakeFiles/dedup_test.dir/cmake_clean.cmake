@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_test.dir/dedup_test.cpp.o"
+  "CMakeFiles/dedup_test.dir/dedup_test.cpp.o.d"
+  "dedup_test"
+  "dedup_test.pdb"
+  "dedup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventgraph_test.dir/eventgraph_test.cpp.o"
+  "CMakeFiles/eventgraph_test.dir/eventgraph_test.cpp.o.d"
+  "eventgraph_test"
+  "eventgraph_test.pdb"
+  "eventgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

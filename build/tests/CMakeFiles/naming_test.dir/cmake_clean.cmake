@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_test.dir/naming_test.cpp.o"
+  "CMakeFiles/naming_test.dir/naming_test.cpp.o.d"
+  "naming_test"
+  "naming_test.pdb"
+  "naming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paperclaims_test.dir/paperclaims_test.cpp.o"
+  "CMakeFiles/paperclaims_test.dir/paperclaims_test.cpp.o.d"
+  "paperclaims_test"
+  "paperclaims_test.pdb"
+  "paperclaims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paperclaims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

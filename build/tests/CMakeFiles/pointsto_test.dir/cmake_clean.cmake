@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointsto_test.dir/pointsto_test.cpp.o"
+  "CMakeFiles/pointsto_test.dir/pointsto_test.cpp.o.d"
+  "pointsto_test"
+  "pointsto_test.pdb"
+  "pointsto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointsto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/retrecv_test.cpp" "tests/CMakeFiles/retrecv_test.dir/retrecv_test.cpp.o" "gcc" "tests/CMakeFiles/retrecv_test.dir/retrecv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/uspec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/uspec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uspec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/uspec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventgraph/CMakeFiles/uspec_eventgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointsto/CMakeFiles/uspec_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/uspec_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/uspec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/uspec_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uspec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

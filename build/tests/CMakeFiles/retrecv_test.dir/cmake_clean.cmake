@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrecv_test.dir/retrecv_test.cpp.o"
+  "CMakeFiles/retrecv_test.dir/retrecv_test.cpp.o.d"
+  "retrecv_test"
+  "retrecv_test.pdb"
+  "retrecv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrecv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

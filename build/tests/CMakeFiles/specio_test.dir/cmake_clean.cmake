@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specio_test.dir/specio_test.cpp.o"
+  "CMakeFiles/specio_test.dir/specio_test.cpp.o.d"
+  "specio_test"
+  "specio_test.pdb"
+  "specio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

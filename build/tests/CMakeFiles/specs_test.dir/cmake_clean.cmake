@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specs_test.dir/specs_test.cpp.o"
+  "CMakeFiles/specs_test.dir/specs_test.cpp.o.d"
+  "specs_test"
+  "specs_test.pdb"
+  "specs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/specs_test[1]_include.cmake")
+include("/root/repo/build/tests/pointsto_test[1]_include.cmake")
+include("/root/repo/build/tests/eventgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/atlas_test[1]_include.cmake")
+include("/root/repo/build/tests/clients_test[1]_include.cmake")
+include("/root/repo/build/tests/specio_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/retrecv_test[1]_include.cmake")
+include("/root/repo/build/tests/dedup_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/constraint_test[1]_include.cmake")
+include("/root/repo/build/tests/naming_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/paperclaims_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")

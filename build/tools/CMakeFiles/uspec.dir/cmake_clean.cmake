@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec.dir/uspec.cpp.o"
+  "CMakeFiles/uspec.dir/uspec.cpp.o.d"
+  "uspec"
+  "uspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
