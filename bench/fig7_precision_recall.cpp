@@ -5,6 +5,11 @@
 // Fig. 7: precision and recall of the selected specifications for different
 // thresholds τ, for the Java-flavored (7a) and Python-flavored (7b) corpora.
 //
+// The sweep is artifact-backed: ϕ is trained exactly once per corpus, the
+// run is checkpointed as a USPB artifact, and every τ point re-selects from
+// the *loaded* candidate table — the "train once, serve many" path the
+// artifact store exists for (DESIGN.md §7).
+//
 // Expected shape (paper): precision is already high at τ = 0 (most
 // candidates are correct) and rises toward 1 as τ grows, while recall falls;
 // the Python curve sits above the Java curve in precision.
@@ -22,21 +27,40 @@ void runFigure(const char *Label, LanguageProfile Profile, size_t N,
                uint64_t Seed) {
   PipelineRun Run = runPipeline(std::move(Profile), N, Seed);
 
+  // Checkpoint the run and reload it into a fresh interner; the τ sweep
+  // below reads only the loaded artifact, never the in-memory result.
+  std::string Artifact =
+      saveLearnArtifacts(Run.Result, Run.Config, *Run.Strings, Run.Manifest);
+  StringInterner LoadedStrings;
+  ArtifactError Err;
+  auto Loaded = loadLearnArtifacts(Artifact, LoadedStrings, &Err);
+  if (!Loaded) {
+    std::fprintf(stderr, "fatal: artifact round trip failed: %s\n",
+                 Err.str().c_str());
+    std::exit(1);
+  }
+  std::vector<LabeledCandidate> Labeled = labelCandidates(
+      Run.Profile.Registry, LoadedStrings, Loaded->Result.Candidates);
+
   banner(std::string("Fig. 7") + Label + " — precision vs recall (" +
          Run.Profile.Name + ", " + std::to_string(N) + " programs, " +
-         std::to_string(Run.Result.Candidates.size()) + " candidates)");
+         std::to_string(Loaded->Result.Candidates.size()) +
+         " candidates, artifact " + std::to_string(Artifact.size()) +
+         " bytes" + (Run.FromCache ? ", cached model" : "") + ")");
 
   TextTable T;
   T.setHeader({"tau", "precision", "recall", "selected", "valid"});
   for (double Tau : {0.0, 0.2, 0.4, 0.6, 0.7, 0.8, 0.9}) {
-    PrPoint P = prAtTau(Run.Labeled, Tau);
+    PrPoint P = prAtTau(Labeled, Tau);
     T.addRow({TextTable::formatReal(Tau, 1), TextTable::formatReal(P.Precision),
               TextTable::formatReal(P.Recall), std::to_string(P.Selected),
               std::to_string(P.Valid)});
   }
   std::printf("%s", T.render().c_str());
-  std::printf("\nmodel: %zu training samples, %.3f in-sample accuracy\n",
-              Run.Result.NumTrainingSamples, Run.Result.TrainAccuracy);
+  std::printf("\nmodel: %zu training samples, %.3f in-sample accuracy "
+              "(loaded from artifact, trained once)\n",
+              Loaded->Result.NumTrainingSamples,
+              Loaded->Result.TrainAccuracy);
 }
 
 } // namespace

@@ -1,0 +1,60 @@
+//===- Checkpoint.h - Checkpointed train/select pipeline -------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Train once, serve many": persists everything the pipeline computes up
+/// to τ-selection — the trained model ϕ, the full scored candidate table,
+/// the selected SpecSet and the corpus manifest — as one USPB artifact, so
+/// τ-sweeps (Fig. 7), client benches and the `uspec select` subcommand can
+/// re-select at any threshold without retraining.
+///
+/// Round-trip guarantee: loading an artifact and calling
+/// USpecLearner::select(Artifacts.Result.Candidates, Tau, ...) yields a
+/// SpecSet identical (including insertion order, hence serialized text) to
+/// running the in-memory pipeline at that τ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_ARTIFACT_CHECKPOINT_H
+#define USPEC_ARTIFACT_CHECKPOINT_H
+
+#include "artifact/ArtifactIO.h"
+#include "core/Learner.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace uspec {
+
+/// Everything loaded back from a pipeline checkpoint.
+struct LearnArtifacts {
+  /// The configuration the pipeline was trained with. Analysis options are
+  /// not persisted (learning always runs API-unaware) and are left default.
+  LearnerConfig Config;
+  /// Model, candidate table, selected set (at Config.Tau), statistics.
+  LearnResult Result;
+  /// Fingerprints of the corpus the artifact was trained on.
+  CorpusManifest Manifest;
+};
+
+/// Serializes \p Result (trained with \p Config over the corpus described
+/// by \p Manifest) as a USPB artifact.
+std::string saveLearnArtifacts(const LearnResult &Result,
+                               const LearnerConfig &Config,
+                               const StringInterner &Strings,
+                               const CorpusManifest &Manifest);
+
+/// Parses, validates and decodes an artifact produced by
+/// saveLearnArtifacts. Names are interned into \p Strings. On failure
+/// returns nullopt and reports the section/offset/cause via \p Err.
+std::optional<LearnArtifacts> loadLearnArtifacts(std::string_view Bytes,
+                                                 StringInterner &Strings,
+                                                 ArtifactError *Err = nullptr);
+
+} // namespace uspec
+
+#endif // USPEC_ARTIFACT_CHECKPOINT_H

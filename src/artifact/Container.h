@@ -1,0 +1,90 @@
+//===- Container.h - The USPB artifact container ---------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned USPB container (DESIGN.md §7): a fixed header, a section
+/// table, and a payload of named, individually checksummed sections.
+///
+///   magic "USPB" | u16 format version | u16 flags (0)
+///   varint section count
+///   per section: name (varint-length string), varint payload offset,
+///                varint size, u64 checksum (support/Hashing.h hashString)
+///   payload bytes (sections back to back)
+///
+/// Integrity is validated at open() time: magic, version, table sanity
+/// (offsets/sizes inside the payload) and every section checksum. Readers
+/// of individual sections can therefore trust the bytes they are handed —
+/// any corruption is reported before with the section name and offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_ARTIFACT_CONTAINER_H
+#define USPEC_ARTIFACT_CONTAINER_H
+
+#include "artifact/Binary.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uspec {
+
+/// The 4-byte magic that opens every USPB artifact.
+inline constexpr std::string_view ArtifactMagic = "USPB";
+
+/// Bumped on every incompatible layout change. Readers reject any other
+/// version with a diagnostic (no forward/backward compatibility shims yet;
+/// see DESIGN.md §7 for the compatibility policy).
+inline constexpr uint16_t ArtifactFormatVersion = 1;
+
+/// Assembles a USPB container from named sections.
+class ArtifactWriter {
+public:
+  /// Appends a section. Names must be unique; insertion order is preserved.
+  void addSection(std::string Name, std::string Bytes);
+
+  /// Renders header + table + payload. The writer is left empty.
+  std::string finish();
+
+private:
+  struct Section {
+    std::string Name;
+    std::string Bytes;
+  };
+  std::vector<Section> Sections;
+};
+
+/// Read-side view of a USPB container. Holds views into the caller's
+/// buffer, which must outlive the reader.
+class ArtifactReader {
+public:
+  struct Section {
+    std::string_view Name;
+    std::string_view Bytes;
+  };
+
+  /// Parses and validates \p Data. On failure returns nullopt and, when
+  /// \p Err is non-null, the section/offset/message of the failure.
+  static std::optional<ArtifactReader> open(std::string_view Data,
+                                            ArtifactError *Err = nullptr);
+
+  uint16_t version() const { return Version; }
+  const std::vector<Section> &sections() const { return Sections; }
+
+  bool hasSection(std::string_view Name) const;
+
+  /// The payload of section \p Name; nullopt when absent.
+  std::optional<std::string_view> section(std::string_view Name) const;
+
+private:
+  uint16_t Version = 0;
+  std::vector<Section> Sections;
+};
+
+} // namespace uspec
+
+#endif // USPEC_ARTIFACT_CONTAINER_H

@@ -63,6 +63,25 @@ public:
   /// Number of per-position-pair models instantiated.
   size_t numModels() const { return Models.size(); }
 
+  //===--------------------------------------------------------------------===//
+  // Serialization hooks (artifact/ModelIO)
+  //===--------------------------------------------------------------------===//
+
+  const EdgeModelConfig &config() const { return Config; }
+
+  /// The per-position-pair model bank, keyed by posKey(x1, x2).
+  const std::map<uint16_t, LogisticRegression> &models() const {
+    return Models;
+  }
+
+  /// Rebuilds a trained bank from its serialized state.
+  static EdgeModel restore(EdgeModelConfig Config,
+                           std::map<uint16_t, LogisticRegression> Models) {
+    EdgeModel M(Config);
+    M.Models = std::move(Models);
+    return M;
+  }
+
 private:
   EdgeModelConfig Config;
   std::map<uint16_t, LogisticRegression> Models;

@@ -64,6 +64,26 @@ public:
     return E / (1.0 + E);
   }
 
+  //===--------------------------------------------------------------------===//
+  // Serialization hooks (artifact/ModelIO). Weight tables are always a
+  // power of two; restore() rebuilds the mask from the table size.
+  //===--------------------------------------------------------------------===//
+
+  float bias() const { return Bias; }
+  const std::vector<float> &weights() const { return Weights; }
+
+  /// Rebuilds a trained model from its serialized state. \p Weights must
+  /// have power-of-two size.
+  static LogisticRegression restore(float Bias, std::vector<float> Weights) {
+    assert(!Weights.empty() && (Weights.size() & (Weights.size() - 1)) == 0 &&
+           "weight table size must be a power of two");
+    LogisticRegression M(0);
+    M.Bias = Bias;
+    M.Mask = static_cast<uint32_t>(Weights.size() - 1);
+    M.Weights = std::move(Weights);
+    return M;
+  }
+
 private:
   uint32_t Mask;
   float Bias = 0;

@@ -40,6 +40,40 @@ TEST(SpecIO, SerializeRoundTrip) {
   EXPECT_EQ(serializeSpecs(Parsed, S2), Text);
 }
 
+TEST(SpecIO, UnknownReceiverClassRoundTripIsFixedPoint) {
+  // The "?" unknown-receiver class (empty Symbol) must survive
+  // serialize → parse → serialize unchanged: the second serialization is a
+  // fixed point of the first, in every spec position.
+  StringInterner S;
+  SpecSet Specs;
+  Specs.insert(Spec::retSame(mid(S, "?", "getString", 1)));
+  Specs.insert(Spec::retArg(mid(S, "?", "get", 1), mid(S, "?", "put", 2), 2));
+  Specs.insert(
+      Spec::retArg(mid(S, "Map", "get", 1), mid(S, "?", "wrap", 1), 1));
+  Specs.insert(Spec::retRecv(mid(S, "?", "append", 1)));
+
+  std::string Once = serializeSpecs(Specs, S);
+  EXPECT_NE(Once.find("RetSame(?.getString/1)"), std::string::npos);
+
+  StringInterner S2;
+  size_t ErrorLine = 1;
+  SpecSet Parsed = parseSpecs(Once, S2, &ErrorLine);
+  ASSERT_EQ(ErrorLine, 0u);
+  std::string Twice = serializeSpecs(Parsed, S2);
+  EXPECT_EQ(Twice, Once);
+
+  // And the parsed set resolves "?" back to the empty Symbol.
+  for (const Spec &Sp : Parsed.all()) {
+    if (Sp.TheKind == Spec::Kind::RetRecv) {
+      EXPECT_TRUE(Sp.Target.Class.isEmpty());
+    }
+  }
+
+  // One more cycle for good measure: already at the fixed point.
+  StringInterner S3;
+  EXPECT_EQ(serializeSpecs(parseSpecs(Twice, S3), S3), Twice);
+}
+
 TEST(SpecIO, ParseSingleLines) {
   StringInterner S;
   auto RS = parseSpecLine("RetSame(Map.get/1)", S);

@@ -12,16 +12,32 @@
 //       the SpecIO text format (stdout when -o is omitted). Prints the
 //       scored candidate list to stderr.
 //
-//   uspec analyze FILE [--specs specs.txt] [--coverage] [--dot out.dot]
-//       Run the may-alias analysis on FILE (API-aware when --specs is
-//       given), print aliasing call-site pairs, optionally dump the event
-//       graph in Graphviz format.
+//   uspec train   FILES... -o run.uspb [--tau X] [--seed S]
+//       Run the same pipeline but checkpoint everything up to τ-selection
+//       (model ϕ, scored candidates, selected set, corpus manifest) into a
+//       USPB artifact for `uspec select` / `uspec analyze --model`.
+//
+//   uspec select  run.uspb [--tau X] [-o specs.txt]
+//       Re-select specifications from a training artifact at threshold τ
+//       (the training τ when omitted) without retraining. Emits exactly the
+//       text `uspec learn --tau X` would emit for the same corpus and seed.
+//
+//   uspec info    run.uspb
+//       Show an artifact's sections, sizes and training statistics.
+//
+//   uspec analyze FILE [--specs specs.txt | --model run.uspb] [--coverage]
+//                 [--dot out.dot]
+//       Run the may-alias analysis on FILE (API-aware when --specs or
+//       --model is given), print aliasing call-site pairs, optionally dump
+//       the event graph in Graphviz format.
 //
 //   uspec check   FILES...
 //       Parse and lower files, reporting diagnostics.
 //
 //===----------------------------------------------------------------------===//
 
+#include "artifact/Checkpoint.h"
+#include "artifact/Container.h"
 #include "core/USpec.h"
 #include "corpus/Dedup.h"
 #include "corpus/Generator.h"
@@ -29,6 +45,7 @@
 #include "eventgraph/Dot.h"
 #include "specs/SpecIO.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -45,25 +62,73 @@ int usage() {
       "usage:\n"
       "  uspec gen --profile java|python -n N -o DIR [--seed S]\n"
       "  uspec learn FILES... [-o specs.txt] [--tau X] [--seed S] [--dedup]\n"
-      "  uspec analyze FILE [--specs specs.txt] [--coverage] [--dot out]\n"
+      "  uspec train FILES... -o run.uspb [--tau X] [--seed S] [--dedup]\n"
+      "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
+      "  uspec info run.uspb\n"
+      "  uspec analyze FILE [--specs specs.txt | --model run.uspb]\n"
+      "               [--coverage] [--dot out]\n"
       "  uspec check FILES...\n");
   return 2;
 }
 
+/// Reads a whole file (binary-safe); on failure prints the path and the OS
+/// error and returns nullopt.
 std::optional<std::string> readFile(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
+  errno = 0;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", Path.c_str(),
+                 errno ? std::strerror(errno) : "unknown error");
     return std::nullopt;
+  }
   std::ostringstream Out;
   Out << In.rdbuf();
+  if (In.bad()) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", Path.c_str(),
+                 errno ? std::strerror(errno) : "I/O error");
+    return std::nullopt;
+  }
   return Out.str();
 }
 
+/// Writes a whole file (binary-safe); on failure prints the path and the OS
+/// error.
 bool writeFile(const std::string &Path, const std::string &Content) {
-  std::ofstream Out(Path);
-  if (!Out)
+  errno = 0;
+  std::ofstream Out(Path, std::ios::binary);
+  if (Out)
+    Out << Content;
+  if (Out)
+    Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s: %s\n", Path.c_str(),
+                 errno ? std::strerror(errno) : "I/O error");
     return false;
-  Out << Content;
+  }
+  return true;
+}
+
+/// Parses a floating-point option value; rejects empty or partial parses so
+/// `--tau banana` errors instead of silently becoming 0.
+bool parseDouble(const char *Opt, const char *V, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(V, &End);
+  if (End == V || *End) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", Opt, V);
+    return false;
+  }
+  return true;
+}
+
+/// Same for unsigned integer option values (-n, --seed).
+bool parseUInt(const char *Opt, const char *V, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(V, &End, 10);
+  if (End == V || *End) {
+    std::fprintf(stderr, "error: %s expects an unsigned integer, got '%s'\n",
+                 Opt, V);
+    return false;
+  }
   return true;
 }
 
@@ -91,7 +156,10 @@ int cmdGen(Args &A) {
       const char *V = A.next();
       if (!V)
         return usage();
-      N = std::strtoull(V, nullptr, 10);
+      uint64_t Val = 0;
+      if (!parseUInt("-n", V, Val))
+        return 2;
+      N = Val;
     } else if (!std::strcmp(Arg, "-o")) {
       const char *V = A.next();
       if (!V)
@@ -101,7 +169,8 @@ int cmdGen(Args &A) {
       const char *V = A.next();
       if (!V)
         return usage();
-      Seed = std::strtoull(V, nullptr, 10);
+      if (!parseUInt("--seed", V, Seed))
+        return 2;
     } else {
       return usage();
     }
@@ -117,17 +186,49 @@ int cmdGen(Args &A) {
     std::string Source = generateProgramSource(Profile, Cfg, Rand);
     std::string Path =
         OutDir + "/prog" + std::to_string(I) + ".mini";
-    if (!writeFile(Path, Source)) {
-      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    if (!writeFile(Path, Source))
       return 1;
-    }
   }
   std::fprintf(stderr, "wrote %zu %s programs to %s\n", N,
                Profile.Name.c_str(), OutDir.c_str());
   return 0;
 }
 
-int cmdLearn(Args &A) {
+/// Parses + lowers \p Files; also records one manifest entry per program.
+bool loadCorpus(const std::vector<std::string> &Files, StringInterner &Strings,
+                std::vector<IRProgram> &Corpus, CorpusManifest &Manifest) {
+  for (const std::string &Path : Files) {
+    auto Source = readFile(Path);
+    if (!Source)
+      return false;
+    DiagnosticSink Diags;
+    auto P = parseAndLower(*Source, Path, Strings, Diags);
+    if (!P) {
+      std::fprintf(stderr, "%s:\n%s", Path.c_str(), Diags.render().c_str());
+      return false;
+    }
+    Manifest.Entries.push_back({Path, programFingerprint(*P)});
+    Corpus.push_back(std::move(*P));
+  }
+  return true;
+}
+
+/// Prints the per-run summary + candidate table to stderr (shared by
+/// learn/train/select so their diagnostics line up).
+void printCandidates(const StringInterner &Strings, size_t NumPrograms,
+                     const std::vector<ScoredCandidate> &Candidates,
+                     size_t NumSelected, double Tau) {
+  std::fprintf(stderr, "%zu programs, %zu candidates, %zu selected "
+               "(tau=%.2f)\n",
+               NumPrograms, Candidates.size(), NumSelected, Tau);
+  for (const ScoredCandidate &C : Candidates)
+    std::fprintf(stderr, "  %-55s %.3f (%zu matches)\n",
+                 C.S.str(Strings).c_str(), C.Score, C.Matches);
+}
+
+/// Shared implementation of `learn` (text specs out) and `train` (USPB
+/// artifact out).
+int cmdLearnOrTrain(Args &A, bool Train) {
   std::vector<std::string> Files;
   std::string OutPath;
   double Tau = 0.6;
@@ -145,37 +246,36 @@ int cmdLearn(Args &A) {
       const char *V = A.next();
       if (!V)
         return usage();
-      Tau = std::strtod(V, nullptr);
+      if (!parseDouble("--tau", V, Tau))
+        return 2;
     } else if (!std::strcmp(Arg, "--seed")) {
       const char *V = A.next();
       if (!V)
         return usage();
-      Seed = std::strtoull(V, nullptr, 10);
+      if (!parseUInt("--seed", V, Seed))
+        return 2;
     } else {
       Files.push_back(Arg);
     }
   }
   if (Files.empty())
     return usage();
+  if (Train && OutPath.empty()) {
+    std::fprintf(stderr, "error: train requires -o ARTIFACT\n");
+    return usage();
+  }
 
   StringInterner Strings;
   std::vector<IRProgram> Corpus;
-  for (const std::string &Path : Files) {
-    auto Source = readFile(Path);
-    if (!Source) {
-      std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
-      return 1;
-    }
-    DiagnosticSink Diags;
-    auto P = parseAndLower(*Source, Path, Strings, Diags);
-    if (!P) {
-      std::fprintf(stderr, "%s:\n%s", Path.c_str(), Diags.render().c_str());
-      return 1;
-    }
-    Corpus.push_back(std::move(*P));
-  }
+  CorpusManifest Manifest;
+  if (!loadCorpus(Files, Strings, Corpus, Manifest))
+    return 1;
 
   if (Dedup) {
+    std::vector<size_t> Dups = duplicateIndices(Corpus);
+    for (size_t I = Dups.size(); I-- > 0;)
+      Manifest.Entries.erase(Manifest.Entries.begin() +
+                             static_cast<long>(Dups[I]));
     size_t Removed = dedupeCorpus(Corpus);
     std::fprintf(stderr, "dedup: removed %zu duplicate program(s)\n",
                  Removed);
@@ -186,30 +286,129 @@ int cmdLearn(Args &A) {
   Cfg.Seed = Seed;
   USpecLearner Learner(Strings, Cfg);
   LearnResult Result = Learner.learn(Corpus);
+  printCandidates(Strings, Corpus.size(), Result.Candidates,
+                  Result.Selected.size(), Tau);
 
-  std::fprintf(stderr, "%zu programs, %zu candidates, %zu selected "
-               "(tau=%.2f)\n",
-               Corpus.size(), Result.Candidates.size(),
-               Result.Selected.size(), Tau);
-  for (const ScoredCandidate &C : Result.Candidates)
-    std::fprintf(stderr, "  %-55s %.3f (%zu matches)\n",
-                 C.S.str(Strings).c_str(), C.Score, C.Matches);
+  if (Train) {
+    if (!writeFile(OutPath, Learner.saveArtifacts(Result, &Manifest)))
+      return 1;
+    std::fprintf(stderr, "wrote artifact %s (%zu programs, %zu candidates)\n",
+                 OutPath.c_str(), Manifest.Entries.size(),
+                 Result.Candidates.size());
+    return 0;
+  }
 
   std::string Text = serializeSpecs(Result.Selected, Strings);
   if (OutPath.empty()) {
     std::fputs(Text.c_str(), stdout);
     return 0;
   }
-  if (!writeFile(OutPath, Text)) {
-    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+  if (!writeFile(OutPath, Text))
     return 1;
-  }
   std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
   return 0;
 }
 
+int cmdSelect(Args &A) {
+  std::string ArtifactPath, OutPath;
+  std::optional<double> Tau;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "-o")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      OutPath = V;
+    } else if (!std::strcmp(Arg, "--tau")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      double Val = 0;
+      if (!parseDouble("--tau", V, Val))
+        return 2;
+      Tau = Val;
+    } else if (ArtifactPath.empty()) {
+      ArtifactPath = Arg;
+    } else {
+      return usage();
+    }
+  }
+  if (ArtifactPath.empty())
+    return usage();
+
+  auto Bytes = readFile(ArtifactPath);
+  if (!Bytes)
+    return 1;
+  StringInterner Strings;
+  ArtifactError Err;
+  auto Artifacts = USpecLearner::loadArtifacts(*Bytes, Strings, &Err);
+  if (!Artifacts) {
+    std::fprintf(stderr, "error: %s: %s\n", ArtifactPath.c_str(),
+                 Err.str().c_str());
+    return 1;
+  }
+
+  const LearnResult &R = Artifacts->Result;
+  double UseTau = Tau.value_or(Artifacts->Config.Tau);
+  SpecSet Selected;
+  if (Tau && *Tau != Artifacts->Config.Tau)
+    Selected = USpecLearner::select(R.Candidates, UseTau,
+                                    Artifacts->Config.ExtendConsistency);
+  else
+    Selected = R.Selected;
+  printCandidates(Strings, Artifacts->Manifest.Entries.size(), R.Candidates,
+                  Selected.size(), UseTau);
+
+  std::string Text = serializeSpecs(Selected, Strings);
+  if (OutPath.empty()) {
+    std::fputs(Text.c_str(), stdout);
+    return 0;
+  }
+  if (!writeFile(OutPath, Text))
+    return 1;
+  std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
+int cmdInfo(Args &A) {
+  const char *Path = A.next();
+  if (!Path || A.has())
+    return usage();
+  auto Bytes = readFile(Path);
+  if (!Bytes)
+    return 1;
+
+  ArtifactError Err;
+  auto Container = ArtifactReader::open(*Bytes, &Err);
+  if (!Container) {
+    std::fprintf(stderr, "error: %s: %s\n", Path, Err.str().c_str());
+    return 1;
+  }
+  std::printf("%s: USPB artifact, format version %u, %zu bytes\n", Path,
+              Container->version(), Bytes->size());
+  for (const ArtifactReader::Section &S : Container->sections())
+    std::printf("  section %-6s %8zu bytes (checksum ok)\n",
+                std::string(S.Name).c_str(), S.Bytes.size());
+
+  StringInterner Strings;
+  auto Artifacts = USpecLearner::loadArtifacts(*Bytes, Strings, &Err);
+  if (!Artifacts) {
+    std::fprintf(stderr, "error: %s: %s\n", Path, Err.str().c_str());
+    return 1;
+  }
+  const LearnResult &R = Artifacts->Result;
+  std::printf("trained on %zu programs (tau=%.2f, seed=%llu)\n",
+              Artifacts->Manifest.Entries.size(), Artifacts->Config.Tau,
+              static_cast<unsigned long long>(Artifacts->Config.Seed));
+  std::printf("%zu candidates, %zu selected (+%zu by extension), "
+              "%zu position-pair models, %zu training samples, "
+              "%.3f in-sample accuracy\n",
+              R.Candidates.size(), R.Selected.size(), R.AddedByExtension,
+              R.Model.numModels(), R.NumTrainingSamples, R.TrainAccuracy);
+  return 0;
+}
+
 int cmdAnalyze(Args &A) {
-  std::string File, SpecsPath, DotPath;
+  std::string File, SpecsPath, ModelPath, DotPath;
   bool Coverage = false;
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--specs")) {
@@ -217,6 +416,11 @@ int cmdAnalyze(Args &A) {
       if (!V)
         return usage();
       SpecsPath = V;
+    } else if (!std::strcmp(Arg, "--model")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      ModelPath = V;
     } else if (!std::strcmp(Arg, "--dot")) {
       const char *V = A.next();
       if (!V)
@@ -228,14 +432,12 @@ int cmdAnalyze(Args &A) {
       File = Arg;
     }
   }
-  if (File.empty())
+  if (File.empty() || (!SpecsPath.empty() && !ModelPath.empty()))
     return usage();
 
   auto Source = readFile(File);
-  if (!Source) {
-    std::fprintf(stderr, "error: cannot read %s\n", File.c_str());
+  if (!Source)
     return 1;
-  }
   StringInterner Strings;
   DiagnosticSink Diags;
   auto P = parseAndLower(*Source, File, Strings, Diags);
@@ -248,10 +450,8 @@ int cmdAnalyze(Args &A) {
   AnalysisOptions Options;
   if (!SpecsPath.empty()) {
     auto Text = readFile(SpecsPath);
-    if (!Text) {
-      std::fprintf(stderr, "error: cannot read %s\n", SpecsPath.c_str());
+    if (!Text)
       return 1;
-    }
     size_t ErrorLine = 0;
     Specs = parseSpecs(*Text, Strings, &ErrorLine);
     if (ErrorLine) {
@@ -264,6 +464,25 @@ int cmdAnalyze(Args &A) {
     Options.CoverageExtension = Coverage;
     std::printf("loaded %zu specifications (API-aware analysis%s)\n",
                 Specs.size(), Coverage ? " + coverage extension" : "");
+  } else if (!ModelPath.empty()) {
+    auto Bytes = readFile(ModelPath);
+    if (!Bytes)
+      return 1;
+    ArtifactError Err;
+    auto Artifacts = USpecLearner::loadArtifacts(*Bytes, Strings, &Err);
+    if (!Artifacts) {
+      std::fprintf(stderr, "error: %s: %s\n", ModelPath.c_str(),
+                   Err.str().c_str());
+      return 1;
+    }
+    Specs = std::move(Artifacts->Result.Selected);
+    Options.ApiAware = true;
+    Options.Specs = &Specs;
+    Options.CoverageExtension = Coverage;
+    std::printf("loaded %zu specifications from artifact %s (API-aware "
+                "analysis%s)\n",
+                Specs.size(), ModelPath.c_str(),
+                Coverage ? " + coverage extension" : "");
   } else {
     std::printf("no specifications (API-unaware baseline)\n");
   }
@@ -291,9 +510,7 @@ int cmdAnalyze(Args &A) {
               R.Events.size(), R.Objects.size());
 
   if (!DotPath.empty()) {
-    if (!writeFile(DotPath, toDot(G, Strings)))
-      std::fprintf(stderr, "error: cannot write %s\n", DotPath.c_str());
-    else
+    if (writeFile(DotPath, toDot(G, Strings)))
       std::printf("event graph written to %s\n", DotPath.c_str());
   }
   return 0;
@@ -304,7 +521,6 @@ int cmdCheck(Args &A) {
   while (const char *Arg = A.next()) {
     auto Source = readFile(Arg);
     if (!Source) {
-      std::fprintf(stderr, "error: cannot read %s\n", Arg);
       Ok = false;
       continue;
     }
@@ -331,7 +547,13 @@ int main(int Argc, char **Argv) {
   if (!std::strcmp(Argv[1], "gen"))
     return cmdGen(A);
   if (!std::strcmp(Argv[1], "learn"))
-    return cmdLearn(A);
+    return cmdLearnOrTrain(A, /*Train=*/false);
+  if (!std::strcmp(Argv[1], "train"))
+    return cmdLearnOrTrain(A, /*Train=*/true);
+  if (!std::strcmp(Argv[1], "select"))
+    return cmdSelect(A);
+  if (!std::strcmp(Argv[1], "info"))
+    return cmdInfo(A);
   if (!std::strcmp(Argv[1], "analyze"))
     return cmdAnalyze(A);
   if (!std::strcmp(Argv[1], "check"))
