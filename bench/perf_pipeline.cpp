@@ -16,6 +16,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 using namespace uspec;
 using namespace uspec::bench;
 
@@ -147,6 +149,78 @@ void BM_FullPipeline(benchmark::State &State) {
 }
 BENCHMARK(BM_FullPipeline)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
 
+// §7.2 thread scaling: the same corpus learned at increasing thread counts.
+// The corpus is generated once; only learn() is measured. Output is
+// bit-identical across the Args (tested in parallel_test), so this isolates
+// the wall-clock effect of the sharded phases.
+void BM_FullPipelineThreads(benchmark::State &State) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  static StringInterner S; // shared: interning happens before learn()
+  GeneratedCorpus &Corpus = corpusOf(200, S);
+  LearnerConfig Cfg;
+  Cfg.Threads = Threads;
+  for (auto _ : State) {
+    USpecLearner Learner(S, Cfg);
+    benchmark::DoNotOptimize(Learner.learn(Corpus.Programs));
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.Programs.size());
+  State.SetLabel(std::to_string(Threads) + " threads");
+}
+BENCHMARK(BM_FullPipelineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// --uspec_phase_json[=N]: instead of google-benchmark, run the full
+/// pipeline over the default corpus profile (N programs, default 400) once
+/// per thread count in {1, 2, 4, 8} and print one JSON document with the
+/// per-phase PipelineStats of each run plus end-to-end speedups vs 1
+/// thread. This is the repo's BENCH trajectory format: one machine-readable
+/// line block per commit.
+int runPhaseStatsJson(size_t NumPrograms) {
+  StringInterner S;
+  LanguageProfile Profile = javaProfile();
+  GeneratorConfig GenCfg;
+  GenCfg.NumPrograms = NumPrograms;
+  GenCfg.Seed = 0xBE7C4;
+  GeneratedCorpus Corpus = generateCorpus(Profile, GenCfg, S);
+
+  const unsigned ThreadCounts[] = {1, 2, 4, 8};
+  double BaselineSec = 0;
+  std::printf("{\n  \"bench\": \"perf_pipeline.phase_stats\",\n"
+              "  \"profile\": \"%s\",\n  \"programs\": %zu,\n"
+              "  \"runs\": [\n",
+              Profile.Name.c_str(), Corpus.Programs.size());
+  for (size_t I = 0; I < std::size(ThreadCounts); ++I) {
+    LearnerConfig Cfg;
+    Cfg.Threads = ThreadCounts[I];
+    USpecLearner Learner(S, Cfg);
+    LearnResult Result = Learner.learn(Corpus.Programs);
+    if (I == 0)
+      BaselineSec = Result.Stats.TotalSeconds;
+    double Speedup = Result.Stats.TotalSeconds > 0
+                         ? BaselineSec / Result.Stats.TotalSeconds
+                         : 0;
+    std::printf("    {\"stats\": %s, \"speedup_vs_1\": %.3f}%s\n",
+                Result.Stats.json().c_str(), Speedup,
+                I + 1 < std::size(ThreadCounts) ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strncmp(argv[I], "--uspec_phase_json", 18)) {
+      size_t N = 400;
+      if (argv[I][18] == '=')
+        N = static_cast<size_t>(std::strtoull(argv[I] + 19, nullptr, 10));
+      return runPhaseStatsJson(N ? N : 400);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

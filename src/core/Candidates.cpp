@@ -6,6 +6,8 @@
 
 #include "core/Candidates.h"
 
+#include <cassert>
+
 using namespace uspec;
 
 double uspec::scoreCandidate(const CandidateStats &Stats, ScoreKind Kind,
@@ -41,6 +43,7 @@ void CandidateCollector::recordMatch(const Spec &S, const EventGraph &G,
     Stats = &It->second;
   }
   ++Stats->Matches;
+  ++TotalMatches;
   if (Stats->ProgramIds.insert(ProgramId).second)
     Stats->Programs = Stats->ProgramIds.size();
 
@@ -51,8 +54,43 @@ void CandidateCollector::recordMatch(const Spec &S, const EventGraph &G,
       Model.edgeProbability(G, Edges[0].first, Edges[0].second));
 }
 
+void CandidateCollector::merge(CandidateCollector &&Other) {
+  assert(&Model == &Other.Model && DistanceBound == Other.DistanceBound &&
+         Experimental == Other.Experimental &&
+         "merging collectors with different extraction settings");
+  for (Spec &S : Other.Order) {
+    auto OtherIt = Other.Candidates.find(S);
+    assert(OtherIt != Other.Candidates.end());
+    CandidateStats &Incoming = OtherIt->second;
+    auto It = Candidates.find(S);
+    if (It == Candidates.end()) {
+      // First sighting across all shards so far: the candidate keeps the
+      // consuming shard's stats wholesale and appends to the global order,
+      // exactly where a serial run would have first created it.
+      Candidates.emplace(S, std::move(Incoming));
+      Order.push_back(std::move(S));
+      continue;
+    }
+    CandidateStats &Mine = It->second;
+    // Other covers later graphs, so its confidences go after ours — the
+    // concatenation reproduces the serial graph-order ΓS.
+    Mine.Confidences.insert(Mine.Confidences.end(),
+                            Incoming.Confidences.begin(),
+                            Incoming.Confidences.end());
+    Mine.Matches += Incoming.Matches;
+    Mine.ProgramIds.insert(Incoming.ProgramIds.begin(),
+                           Incoming.ProgramIds.end());
+    Mine.Programs = Mine.ProgramIds.size();
+  }
+  ReceiverPairsSeen += Other.ReceiverPairsSeen;
+  TotalMatches += Other.TotalMatches;
+  Other.Candidates.clear();
+  Other.Order.clear();
+}
+
 void CandidateCollector::addGraph(const EventGraph &G, uint32_t ProgramId) {
   for (auto [LaterIdx, EarlierIdx] : G.receiverPairs(DistanceBound)) {
+    ++ReceiverPairsSeen;
     const CallSite &M1 = G.callSites()[LaterIdx];
     const CallSite &M2 = G.callSites()[EarlierIdx];
 

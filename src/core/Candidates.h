@@ -54,6 +54,13 @@ double scoreCandidate(const CandidateStats &Stats, ScoreKind Kind,
                       size_t TopK);
 
 /// Collects candidate specifications across event graphs.
+///
+/// The collector is mergeable for sharded extraction: give each worker its
+/// own collector over a contiguous range of graphs, then merge the shards
+/// left-to-right (lowest graph range first) with merge(). The merged
+/// collector is bit-identical — candidate order, per-candidate confidence
+/// order, match/program counts — to one collector fed every graph serially
+/// in the same overall order.
 class CandidateCollector {
 public:
   /// \p ExperimentalPatterns additionally instantiates the §5.3 extension
@@ -67,6 +74,13 @@ public:
   /// for per-program match statistics.
   void addGraph(const EventGraph &G, uint32_t ProgramId);
 
+  /// Folds \p Other (a shard covering strictly later graphs) into this
+  /// collector deterministically: first-seen candidate order is preserved
+  /// (this shard's candidates keep their slots, Other's new ones append in
+  /// Other's order), confidences concatenate in graph order, matches sum and
+  /// program-id sets union. \p Other is consumed.
+  void merge(CandidateCollector &&Other);
+
   /// Aggregated candidates. Deterministic order is provided by candidates().
   const std::unordered_map<Spec, CandidateStats, SpecHash> &stats() const {
     return Candidates;
@@ -74,6 +88,11 @@ public:
 
   /// Candidates in first-seen order.
   const std::vector<Spec> &candidates() const { return Order; }
+
+  /// Receiver pairs enumerated / pattern matches recorded so far (Alg. 1
+  /// workload counters; both are invariant under sharding + merge).
+  size_t numReceiverPairs() const { return ReceiverPairsSeen; }
+  size_t numMatches() const { return TotalMatches; }
 
 private:
   void recordMatch(const Spec &S, const EventGraph &G,
@@ -84,6 +103,8 @@ private:
   bool Experimental;
   std::unordered_map<Spec, CandidateStats, SpecHash> Candidates;
   std::vector<Spec> Order;
+  size_t ReceiverPairsSeen = 0;
+  size_t TotalMatches = 0;
 };
 
 } // namespace uspec

@@ -8,45 +8,13 @@
 
 #include "core/Naming.h"
 #include "eventgraph/EventGraph.h"
+#include "support/ParallelFor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
-#include <thread>
 #include <unordered_set>
 
 using namespace uspec;
-
-namespace {
-
-/// Runs \p Body(I) for I in [0, N) on \p Threads workers. Work items are
-/// handed out through an atomic counter; \p Body must only touch index I's
-/// slots so results are schedule-independent.
-template <typename BodyFn>
-void parallelFor(size_t N, unsigned Threads, BodyFn Body) {
-  if (Threads == 0)
-    Threads = std::max(1u, std::thread::hardware_concurrency());
-  Threads = static_cast<unsigned>(
-      std::min<size_t>(Threads, std::max<size_t>(1, N)));
-  if (Threads <= 1 || N <= 1) {
-    for (size_t I = 0; I < N; ++I)
-      Body(I);
-    return;
-  }
-  std::atomic<size_t> Next{0};
-  std::vector<std::thread> Workers;
-  Workers.reserve(Threads);
-  for (unsigned T = 0; T < Threads; ++T) {
-    Workers.emplace_back([&] {
-      for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
-        Body(I);
-    });
-  }
-  for (std::thread &W : Workers)
-    W.join();
-}
-
-} // namespace
 
 LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   assert(!Config.Analysis.ApiAware &&
@@ -54,6 +22,11 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   LearnResult Result;
   Result.Model = EdgeModel(Config.Model);
   size_t N = Corpus.size();
+
+  unsigned Workers = effectiveThreads(std::max<size_t>(1, N), Config.Threads);
+  Result.Stats.ThreadsUsed = Workers;
+  Result.Stats.Programs = N;
+  PhaseTimer Total, Phase;
 
   // Phase 1 (§3): analyze each program and build its event graph. Programs
   // are independent, so this fans out across threads (the paper runs its
@@ -70,6 +43,10 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
     Rng Rand(hashValues(Config.Seed, I));
     collectTrainingSamples(Graphs[I], Rand, PerProgramSamples[I]);
   });
+  for (const EventGraph &G : Graphs)
+    if (!G.callSites().empty())
+      ++Result.Stats.Graphs;
+  Result.Stats.AnalyzeSeconds = Phase.lap();
 
   // Phase 2b: train the model on the concatenated samples.
   std::vector<TrainingSample> Samples;
@@ -81,15 +58,43 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   Result.NumTrainingSamples = Samples.size();
   Result.Model.train(Samples);
   Result.TrainAccuracy = Result.Model.accuracy(Samples);
+  Result.Stats.TrainingSamples = Samples.size();
+  Result.Stats.TrainSeconds = Phase.lap();
 
-  // Phase 3 (Alg. 1): candidate extraction and confidence collection.
-  CandidateCollector Collector(Result.Model, Config.DistanceBound,
-                               Config.ExperimentalPatterns);
-  for (size_t I = 0; I < Graphs.size(); ++I)
-    Collector.addGraph(Graphs[I], static_cast<uint32_t>(I));
+  // Phase 3 (Alg. 1): candidate extraction and confidence collection,
+  // sharded. Each worker runs Alg. 1 over its own contiguous range of
+  // graphs into a private collector (ϕ queries are read-only), then the
+  // shards fold left-to-right into shard 0. The merge preserves first-seen
+  // candidate order and graph-order ΓS, so the merged table is bit-identical
+  // to a serial pass at any shard count.
+  unsigned NumShards = effectiveThreads(N, Config.Threads);
+  std::vector<CandidateCollector> Shards;
+  Shards.reserve(std::max(1u, NumShards));
+  for (unsigned S = 0; S < std::max(1u, NumShards); ++S)
+    Shards.emplace_back(Result.Model, Config.DistanceBound,
+                        Config.ExperimentalPatterns);
+  parallelFor(NumShards, Config.Threads, [&](size_t S) {
+    auto [Lo, Hi] = shardRange(N, static_cast<unsigned>(S), NumShards);
+    for (size_t I = Lo; I < Hi; ++I)
+      Shards[S].addGraph(Graphs[I], static_cast<uint32_t>(I));
+  });
+  for (const CandidateCollector &Shard : Shards)
+    Result.Stats.PeakCandidates += Shard.candidates().size();
+  for (size_t S = 1; S < Shards.size(); ++S)
+    Shards[0].merge(std::move(Shards[S]));
+  const CandidateCollector &Collector = Shards[0];
+  Result.Stats.ReceiverPairs = Collector.numReceiverPairs();
+  Result.Stats.Matches = Collector.numMatches();
+  Result.Stats.Candidates = Collector.candidates().size();
+  Result.Stats.ExtractSeconds = Phase.lap();
 
-  // Phase 4 (§5.2): scoring.
-  for (const Spec &S : Collector.candidates()) {
+  // Phase 4 (§5.2): scoring, parallel over the merged candidate table. Each
+  // worker writes only its candidate's slot; the stable sort then sees the
+  // same sequence as a serial run.
+  const std::vector<Spec> &Order = Collector.candidates();
+  Result.Candidates.resize(Order.size());
+  parallelFor(Order.size(), Config.Threads, [&](size_t I) {
+    const Spec &S = Order[I];
     const CandidateStats &Stats = Collector.stats().at(S);
     ScoredCandidate C;
     C.S = S;
@@ -99,19 +104,22 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
     C.Matches = Stats.Matches;
     C.Programs = Stats.Programs;
     C.NumConfidences = Stats.Confidences.size();
-    Result.Candidates.push_back(C);
-  }
+    Result.Candidates[I] = std::move(C);
+  });
   std::stable_sort(Result.Candidates.begin(), Result.Candidates.end(),
                    [](const ScoredCandidate &A, const ScoredCandidate &B) {
                      if (A.Score != B.Score)
                        return A.Score > B.Score;
                      return A.Matches > B.Matches;
                    });
+  Result.Stats.ScoreSeconds = Phase.lap();
 
   // Phase 5 (§5.3–5.4): selection and consistency extension.
   Result.Selected =
       select(Result.Candidates, Config.Tau, Config.ExtendConsistency,
              &Result.AddedByExtension);
+  Result.Stats.SelectSeconds = Phase.lap();
+  Result.Stats.TotalSeconds = Total.lap();
   return Result;
 }
 

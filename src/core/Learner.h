@@ -26,6 +26,7 @@
 #define USPEC_CORE_LEARNER_H
 
 #include "core/Candidates.h"
+#include "core/PipelineStats.h"
 #include "ir/IR.h"
 #include "model/EdgeModel.h"
 #include "pointsto/Analysis.h"
@@ -64,9 +65,12 @@ struct LearnerConfig {
   bool ExperimentalPatterns = false;
   /// Seed for negative subsampling and SGD shuffling.
   uint64_t Seed = 0xC0FFEE;
-  /// Worker threads for the per-program analysis/graph/sampling phases
-  /// (0 = hardware concurrency). Results are identical for any thread count
-  /// — sampling is seeded per program, not per thread.
+  /// Worker threads for the parallel pipeline phases: per-program
+  /// analysis/graph/sampling (Phase 1–2a), sharded candidate extraction
+  /// (Phase 3) and per-candidate scoring (Phase 4). 0 = hardware
+  /// concurrency. Results are bit-identical for any thread count — sampling
+  /// is seeded per program, extraction shards merge deterministically, and
+  /// scoring writes per-candidate slots.
   unsigned Threads = 0;
 };
 
@@ -91,6 +95,10 @@ struct LearnResult {
   /// Training set size and in-sample accuracy of ϕ.
   size_t NumTrainingSamples = 0;
   double TrainAccuracy = 0;
+  /// Per-phase wall times and workload counters of this run. Observational
+  /// only — never serialized into USPB artifacts (select(τ) byte-identity
+  /// is independent of where or how fast a model was trained).
+  PipelineStats Stats;
 };
 
 /// The USpec pipeline.

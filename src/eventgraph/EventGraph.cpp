@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 using namespace uspec;
 
@@ -176,7 +177,12 @@ bool EventGraph::mayAlias(EventId A, EventId B) const {
 std::vector<std::pair<uint32_t, uint32_t>>
 EventGraph::receiverPairs(unsigned DistanceBound) const {
   std::vector<std::pair<uint32_t, uint32_t>> Pairs;
-  std::unordered_map<uint64_t, bool> Seen;
+  // A true set (not map<u64,bool>), sized up front: each site pairs with at
+  // most DistanceBound predecessors, so Sites·Bound bounds the distinct
+  // (later, earlier) keys and one reserve avoids rehashing during growth.
+  std::unordered_set<uint64_t> Seen;
+  Seen.reserve(std::min<size_t>(Sites.size() * DistanceBound,
+                                Sites.size() * Sites.size()));
   for (ObjectId Obj = 0; Obj < R->Histories.size(); ++Obj) {
     for (const History &H : R->Histories[Obj]) {
       // Positions of receiver events within this history.
@@ -198,7 +204,7 @@ EventGraph::receiverPairs(unsigned DistanceBound) const {
           // (Later, Earlier) = (m1, m2).
           uint64_t Key = (static_cast<uint64_t>(RecvAt[B].second) << 32) |
                          RecvAt[A].second;
-          if (!Seen.emplace(Key, true).second)
+          if (!Seen.insert(Key).second)
             continue;
           Pairs.emplace_back(RecvAt[B].second, RecvAt[A].second);
         }

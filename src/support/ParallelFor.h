@@ -1,0 +1,100 @@
+//===- ParallelFor.h - Deterministic parallel loops ------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-pool-free parallel loops for the pipeline phases. Two shapes:
+///
+///   parallelFor(N, Threads, Body)    — Body(I) for I in [0, N), work items
+///                                      handed out via an atomic counter;
+///   shardRange(N, Shard, NumShards)  — the contiguous [begin, end) range of
+///                                      shard Shard, for phases that keep
+///                                      per-worker state and merge it
+///                                      afterwards (candidate extraction).
+///
+/// Both are deterministic as long as Body(I) only touches index I's slots:
+/// the schedule varies, the result does not. Exceptions thrown by workers
+/// are captured (first one wins), all workers are joined, and the exception
+/// is rethrown on the calling thread — a throwing Body no longer reaches
+/// std::terminate via an unhandled exception on a std::thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_PARALLELFOR_H
+#define USPEC_SUPPORT_PARALLELFOR_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace uspec {
+
+/// Resolves a user-facing thread-count setting (0 = hardware concurrency)
+/// to the number of workers actually used for \p N work items.
+inline unsigned effectiveThreads(size_t N, unsigned Threads) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<size_t>(Threads, std::max<size_t>(1, N)));
+}
+
+/// The contiguous index range [first, second) owned by \p Shard of
+/// \p NumShards over N work items. Ranges cover [0, N) without overlap and
+/// differ in size by at most one.
+inline std::pair<size_t, size_t> shardRange(size_t N, unsigned Shard,
+                                            unsigned NumShards) {
+  size_t Lo = N * Shard / NumShards;
+  size_t Hi = N * (Shard + 1) / NumShards;
+  return {Lo, Hi};
+}
+
+/// Runs \p Body(I) for I in [0, N) on up to \p Threads workers (0 = hardware
+/// concurrency). Work items are handed out through an atomic counter; \p Body
+/// must only touch index I's slots so results are schedule-independent.
+/// If any Body throws, the first exception is rethrown on the caller after
+/// all workers have been joined; remaining work items may be skipped.
+template <typename BodyFn>
+void parallelFor(size_t N, unsigned Threads, BodyFn Body) {
+  Threads = effectiveThreads(N, Threads);
+  if (Threads <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> Failed{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorMutex;
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&] {
+      try {
+        for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1)) {
+          if (Failed.load(std::memory_order_relaxed))
+            return;
+          Body(I);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!FirstError)
+          FirstError = std::current_exception();
+        Failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_PARALLELFOR_H

@@ -18,10 +18,10 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace uspec {
 
@@ -44,28 +44,44 @@ private:
   uint32_t Id = 0;
 };
 
-/// Deduplicating string table. Thread-compatible (external synchronization
-/// required for concurrent use); the pipeline interns strings on one thread.
+/// Deduplicating string table. Mutation (intern of a new string) requires
+/// external synchronization, but concurrent const access — str(), size(),
+/// intern() of an already-present string — is safe while no writer runs.
+/// The parallel pipeline phases rely on this read-only contract: all names
+/// are interned during parsing/lowering, before learn() fans out.
 class StringInterner {
 public:
   StringInterner() { Storage.emplace_back(); /* Symbol 0 = "" */ }
 
+  // Copying would leave the copy's Index keys viewing the original's
+  // Storage. Moving is fine: deque/unordered_map moves steal the chunks, so
+  // element addresses (and thus views and str() references) survive.
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+  StringInterner(StringInterner &&) = default;
+  StringInterner &operator=(StringInterner &&) = default;
+
   /// Interns \p Str and returns its Symbol; repeated calls with equal
-  /// contents return the same Symbol.
+  /// contents return the same Symbol. Lookup is heterogeneous — a probe for
+  /// an already-interned string allocates nothing.
   Symbol intern(std::string_view Str) {
     if (Str.empty())
       return Symbol();
-    auto It = Index.find(std::string(Str));
+    auto It = Index.find(Str);
     if (It != Index.end())
       return Symbol(It->second);
     uint32_t Id = static_cast<uint32_t>(Storage.size());
+    // Deque storage never relocates existing elements, so both the Index
+    // keys and every reference handed out by str() stay valid across
+    // arbitrary later intern() calls.
     Storage.emplace_back(Str);
-    Index.emplace(Storage.back(), Id);
+    Index.emplace(std::string_view(Storage.back()), Id);
     return Symbol(Id);
   }
 
   /// Returns the string for \p Sym. The reference is stable for the lifetime
-  /// of the interner.
+  /// of the interner — storage is chunked (std::deque), so growth never
+  /// invalidates previously returned references.
   const std::string &str(Symbol Sym) const {
     assert(Sym.id() < Storage.size() && "symbol from a different interner");
     return Storage[Sym.id()];
@@ -75,8 +91,9 @@ public:
   size_t size() const { return Storage.size(); }
 
 private:
-  std::vector<std::string> Storage;
-  std::unordered_map<std::string, uint32_t> Index;
+  std::deque<std::string> Storage;
+  /// Keys view into Storage (stable addresses); probes never allocate.
+  std::unordered_map<std::string_view, uint32_t> Index;
 };
 
 } // namespace uspec

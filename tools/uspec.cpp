@@ -62,7 +62,9 @@ int usage() {
       "usage:\n"
       "  uspec gen --profile java|python -n N -o DIR [--seed S]\n"
       "  uspec learn FILES... [-o specs.txt] [--tau X] [--seed S] [--dedup]\n"
+      "              [--threads N] [--stats]\n"
       "  uspec train FILES... -o run.uspb [--tau X] [--seed S] [--dedup]\n"
+      "              [--threads N] [--stats]\n"
       "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
       "  uspec info run.uspb\n"
       "  uspec analyze FILE [--specs specs.txt | --model run.uspb]\n"
@@ -233,10 +235,19 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   std::string OutPath;
   double Tau = 0.6;
   uint64_t Seed = 0xC0FFEE;
-  bool Dedup = false;
+  uint64_t Threads = 0; // 0 = hardware concurrency
+  bool Dedup = false, Stats = false;
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--dedup")) {
       Dedup = true;
+    } else if (!std::strcmp(Arg, "--stats")) {
+      Stats = true;
+    } else if (!std::strcmp(Arg, "--threads")) {
+      const char *V = A.next();
+      if (!V)
+        return usage();
+      if (!parseUInt("--threads", V, Threads))
+        return 2;
     } else if (!std::strcmp(Arg, "-o")) {
       const char *V = A.next();
       if (!V)
@@ -284,10 +295,15 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   LearnerConfig Cfg;
   Cfg.Tau = Tau;
   Cfg.Seed = Seed;
+  Cfg.Threads = static_cast<unsigned>(Threads);
   USpecLearner Learner(Strings, Cfg);
   LearnResult Result = Learner.learn(Corpus);
   printCandidates(Strings, Corpus.size(), Result.Candidates,
                   Result.Selected.size(), Tau);
+  // Specs/artifacts go to stdout or -o; stats stay on stderr so pipelines
+  // that consume the primary output are unaffected.
+  if (Stats)
+    std::fprintf(stderr, "%s\n", Result.Stats.json().c_str());
 
   if (Train) {
     if (!writeFile(OutPath, Learner.saveArtifacts(Result, &Manifest)))
