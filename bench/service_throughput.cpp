@@ -1,0 +1,206 @@
+//===- service_throughput.cpp - Query-service throughput ----------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Measures the resident alias-query service (src/service/, DESIGN.md §9):
+// cold-cache vs warm-cache throughput, scaling over worker counts, and the
+// request-level cache hit rate. The interesting shape: a warm cache answers
+// from the fingerprint-keyed LRU without parse/lower/points-to, so warm QPS
+// should sit well above cold QPS at every worker count, and cold QPS should
+// scale with workers (each request analyzes on private state, no shared
+// locks on the hot path).
+//
+// Two modes, mirroring perf_pipeline.cpp:
+//  - default: google-benchmark micro harnesses;
+//  - --uspec_service_json[=N]: one JSON trajectory document over worker
+//    counts {1, 2, 4, 8} with cold/warm QPS, hit rates, and p50 latency —
+//    the repo's machine-readable BENCH format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "service/Server.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <map>
+
+using namespace uspec;
+using namespace uspec::bench;
+using namespace uspec::service;
+
+namespace {
+
+/// Deterministic request corpus: MiniLang sources, their ready-made analyze
+/// request lines, and a spec set learned from the same sources.
+struct RequestCorpus {
+  std::vector<std::string> Sources;
+  std::vector<std::string> Requests;
+  ServiceSpecs Specs;
+};
+
+RequestCorpus &requestCorpus(size_t N) {
+  static std::map<size_t, std::unique_ptr<RequestCorpus>> Cache;
+  auto It = Cache.find(N);
+  if (It != Cache.end())
+    return *It->second;
+
+  auto RC = std::make_unique<RequestCorpus>();
+  LanguageProfile Profile = javaProfile();
+  GeneratorConfig Cfg;
+  Rng Rand(0x5E21CE);
+  StringInterner Strings;
+  std::vector<IRProgram> Corpus;
+  for (size_t I = 0; I < N; ++I) {
+    std::string Source = generateProgramSource(Profile, Cfg, Rand);
+    DiagnosticSink Diags;
+    auto P =
+        parseAndLower(Source, "p" + std::to_string(I), Strings, Diags);
+    if (!P)
+      continue; // generator output always parses; belt and braces
+    Corpus.push_back(std::move(*P));
+    std::string Request = "{\"id\":" + std::to_string(I) +
+                          ",\"verb\":\"analyze\",\"program\":";
+    appendJsonString(Request, Source);
+    Request += "}";
+    RC->Sources.push_back(std::move(Source));
+    RC->Requests.push_back(std::move(Request));
+  }
+  USpecLearner Learner(Strings, LearnerConfig());
+  LearnResult Result = Learner.learn(Corpus);
+  RC->Specs = ServiceSpecs::fromSpecSet(Result.Selected, Strings);
+  return *Cache.emplace(N, std::move(RC)).first->second;
+}
+
+/// Submits every request once and waits for all responses; the queue is
+/// sized to hold the whole batch, so nothing is rejected and the measured
+/// number is pure service time.
+void submitAll(Server &S, const std::vector<std::string> &Requests) {
+  std::vector<std::future<std::string>> Futures;
+  Futures.reserve(Requests.size());
+  for (const std::string &R : Requests)
+    Futures.push_back(S.submit(R));
+  for (auto &F : Futures)
+    benchmark::DoNotOptimize(F.get());
+}
+
+ServerConfig configFor(unsigned Workers, size_t Batch) {
+  ServerConfig Cfg;
+  Cfg.Workers = Workers;
+  Cfg.QueueCapacity = Batch + 16;
+  Cfg.CacheCapacity = 2 * Batch + 16;
+  return Cfg;
+}
+
+//===----------------------------------------------------------------------===//
+// google-benchmark harnesses
+//===----------------------------------------------------------------------===//
+
+/// Cold path: a fresh server per iteration, every request misses the cache
+/// and runs parse/lower/points-to.
+void BM_ServiceCold(benchmark::State &State) {
+  const unsigned Workers = static_cast<unsigned>(State.range(0));
+  RequestCorpus &RC = requestCorpus(64);
+  for (auto _ : State) {
+    Server S(configFor(Workers, RC.Requests.size()), RC.Specs);
+    submitAll(S, RC.Requests);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(RC.Requests.size()));
+}
+BENCHMARK(BM_ServiceCold)->Arg(1)->Arg(4)->UseRealTime();
+
+/// Warm path: one long-lived server, first batch primes the cache, every
+/// measured request is a hit.
+void BM_ServiceWarm(benchmark::State &State) {
+  const unsigned Workers = static_cast<unsigned>(State.range(0));
+  RequestCorpus &RC = requestCorpus(64);
+  Server S(configFor(Workers, RC.Requests.size()), RC.Specs);
+  submitAll(S, RC.Requests); // prime
+  for (auto _ : State)
+    submitAll(S, RC.Requests);
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(RC.Requests.size()));
+}
+BENCHMARK(BM_ServiceWarm)->Arg(1)->Arg(4)->UseRealTime();
+
+/// Protocol floor: stats requests only — no analysis, no cache; bounds the
+/// fixed per-request cost (parse + dispatch + envelope).
+void BM_ServiceStatsVerb(benchmark::State &State) {
+  Server S(configFor(2, 64), ServiceSpecs());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.handle("{\"verb\":\"stats\"}"));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ServiceStatsVerb);
+
+//===----------------------------------------------------------------------===//
+// --uspec_service_json: the BENCH trajectory document
+//===----------------------------------------------------------------------===//
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// One JSON document: for each worker count, cold-pass QPS (fresh server,
+/// all misses), warm-pass QPS (same server, all hits), hit rate and p50.
+int runServiceJson(size_t NumPrograms) {
+  RequestCorpus &RC = requestCorpus(NumPrograms);
+
+  const unsigned WorkerCounts[] = {1, 2, 4, 8};
+  std::printf("{\n  \"bench\": \"service_throughput\",\n"
+              "  \"programs\": %zu,\n  \"specs\": %zu,\n  \"runs\": [\n",
+              RC.Requests.size(), RC.Specs.Lines.size());
+  for (size_t I = 0; I < std::size(WorkerCounts); ++I) {
+    unsigned Workers = WorkerCounts[I];
+    Server S(configFor(Workers, RC.Requests.size()), RC.Specs);
+
+    auto ColdStart = std::chrono::steady_clock::now();
+    submitAll(S, RC.Requests);
+    double ColdSec = secondsSince(ColdStart);
+
+    auto WarmStart = std::chrono::steady_clock::now();
+    submitAll(S, RC.Requests);
+    double WarmSec = secondsSince(WarmStart);
+
+    uint64_t Hits = S.metrics().cacheHitCount();
+    uint64_t Misses = S.metrics().cacheMissCount();
+    double HitRate =
+        Hits + Misses ? static_cast<double>(Hits) / (Hits + Misses) : 0;
+    double N = static_cast<double>(RC.Requests.size());
+    std::printf("    {\"workers\": %u, \"cold_qps\": %.1f, "
+                "\"warm_qps\": %.1f, \"warm_speedup\": %.2f, "
+                "\"hit_rate\": %.4f, \"p50_ms\": %.3f}%s\n",
+                Workers, ColdSec > 0 ? N / ColdSec : 0,
+                WarmSec > 0 ? N / WarmSec : 0,
+                WarmSec > 0 ? ColdSec / WarmSec : 0, HitRate,
+                S.metrics().p50LatencySeconds() * 1e3,
+                I + 1 < std::size(WorkerCounts) ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strncmp(argv[I], "--uspec_service_json", 20)) {
+      size_t N = 128;
+      if (argv[I][20] == '=')
+        N = static_cast<size_t>(std::strtoull(argv[I] + 21, nullptr, 10));
+      return runServiceJson(N ? N : 128);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+#===- service_smoke.sh - End-to-end smoke test of the query service ------===#
+#
+# Part of the USpec reproduction (PLDI 2019). MIT license.
+#
+# Trains an artifact, starts `uspec serve` on a Unix socket, hits it with
+# concurrent `uspec query` clients, and asserts that every response is
+# byte-identical to the one-shot `uspec analyze --json` output for the same
+# (program, artifact) pair — the service determinism contract, exercised
+# through the real binary and the real transport. Finishes with a `shutdown`
+# and verifies the server drains cleanly (exit 0).
+#
+# Usage: scripts/service_smoke.sh [path/to/uspec]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+USPEC=${1:-build/tools/uspec}
+NPROGS=8
+NCLIENTS=4
+
+WORK=$(mktemp -d)
+SERVER=
+cleanup() {
+  [ -n "$SERVER" ] && kill "$SERVER" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== train"
+"$USPEC" gen --profile java -n 30 -o "$WORK/corpus" --seed 11
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/run.uspb" --seed 11
+
+echo "== reference: one-shot analyze --json"
+for i in $(seq 0 $((NPROGS - 1))); do
+  "$USPEC" analyze "$WORK/corpus/prog$i.mini" --model "$WORK/run.uspb" \
+    --json > "$WORK/expected.$i.json"
+done
+
+echo "== serve"
+"$USPEC" serve --model "$WORK/run.uspb" --socket "$WORK/uspec.sock" \
+  --workers 4 &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/uspec.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/uspec.sock" ] || {
+  echo "FAIL: server socket never appeared" >&2
+  exit 1
+}
+
+echo "== $NCLIENTS concurrent clients x $NPROGS programs"
+pids=()
+for c in $(seq 1 "$NCLIENTS"); do
+  (
+    for i in $(seq 0 $((NPROGS - 1))); do
+      "$USPEC" query --socket "$WORK/uspec.sock" \
+        analyze "$WORK/corpus/prog$i.mini" > "$WORK/client$c.$i.json"
+    done
+  ) &
+  pids+=("$!")
+done
+for p in "${pids[@]}"; do
+  wait "$p"
+done
+
+fail=0
+for c in $(seq 1 "$NCLIENTS"); do
+  for i in $(seq 0 $((NPROGS - 1))); do
+    if ! cmp -s "$WORK/expected.$i.json" "$WORK/client$c.$i.json"; then
+      echo "FAIL: client $c / program $i differs from analyze --json:" >&2
+      diff "$WORK/expected.$i.json" "$WORK/client$c.$i.json" >&2 || true
+      fail=1
+    fi
+  done
+done
+[ "$fail" -eq 0 ] && echo "all $((NCLIENTS * NPROGS)) responses byte-identical"
+
+echo "== stats"
+stats=$("$USPEC" query --socket "$WORK/uspec.sock" stats)
+echo "$stats"
+echo "$stats" | grep -q '"hit_rate":' || {
+  echo "FAIL: stats payload missing hit_rate" >&2
+  fail=1
+}
+
+echo "== shutdown + clean drain"
+"$USPEC" query --socket "$WORK/uspec.sock" shutdown
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: server exited with status $rc after shutdown" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "service smoke: OK"
+else
+  echo "service smoke: FAILED" >&2
+fi
+exit "$fail"

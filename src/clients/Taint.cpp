@@ -10,9 +10,25 @@
 
 using namespace uspec;
 
+ResolvedTaintConfig
+ResolvedTaintConfig::resolve(const TaintConfig &Config,
+                             const StringInterner &Strings) {
+  auto ResolveSet = [&Strings](const std::set<std::string> &Names) {
+    std::set<Symbol> Out;
+    for (const std::string &Name : Names)
+      if (auto Sym = Strings.lookup(Name); Sym && !Sym->isEmpty())
+        Out.insert(*Sym);
+    return Out;
+  };
+  ResolvedTaintConfig Out;
+  Out.Sources = ResolveSet(Config.Sources);
+  Out.Sinks = ResolveSet(Config.Sinks);
+  Out.Sanitizers = ResolveSet(Config.Sanitizers);
+  return Out;
+}
+
 std::vector<TaintFinding> uspec::checkTaint(const AnalysisResult &R,
-                                            const StringInterner &Strings,
-                                            const TaintConfig &Config) {
+                                            const ResolvedTaintConfig &Config) {
   std::vector<TaintFinding> Findings;
   for (const HistorySet &His : R.Histories) {
     for (const History &H : His) {
@@ -22,7 +38,7 @@ std::vector<TaintFinding> uspec::checkTaint(const AnalysisResult &R,
         const Event &Ev = R.Events.get(E);
         if (Ev.Kind != EventKind::ApiCall)
           continue;
-        const std::string &Name = Strings.str(Ev.Method.Name);
+        Symbol Name = Ev.Method.Name;
         if (Ev.Pos == PosRet && Config.Sources.count(Name)) {
           Tainted = true;
           SourceSite = Ev.Site;
@@ -42,4 +58,10 @@ std::vector<TaintFinding> uspec::checkTaint(const AnalysisResult &R,
   Findings.erase(std::unique(Findings.begin(), Findings.end()),
                  Findings.end());
   return Findings;
+}
+
+std::vector<TaintFinding> uspec::checkTaint(const AnalysisResult &R,
+                                            const StringInterner &Strings,
+                                            const TaintConfig &Config) {
+  return checkTaint(R, ResolvedTaintConfig::resolve(Config, Strings));
 }

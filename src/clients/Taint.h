@@ -49,10 +49,30 @@ struct TaintFinding {
   }
 };
 
+/// A TaintConfig resolved to method-name symbols of one interner. Names
+/// that were never interned are dropped at resolution time (they cannot
+/// match any event), so the check itself touches only symbols.
+struct ResolvedTaintConfig {
+  std::set<Symbol> Sources;
+  std::set<Symbol> Sinks;
+  std::set<Symbol> Sanitizers;
+
+  /// Resolves \p Config against \p Strings via the const lookup() probe —
+  /// never interns, so concurrent resolutions over a frozen interner are
+  /// safe (one per service request).
+  static ResolvedTaintConfig resolve(const TaintConfig &Config,
+                                     const StringInterner &Strings);
+};
+
 /// Finds tainted source→sink flows over all abstract histories.
 std::vector<TaintFinding> checkTaint(const AnalysisResult &R,
                                      const StringInterner &Strings,
                                      const TaintConfig &Config);
+
+/// Symbol-resolved core; entirely const over its inputs (see
+/// ResolvedTaintConfig::resolve).
+std::vector<TaintFinding> checkTaint(const AnalysisResult &R,
+                                     const ResolvedTaintConfig &Config);
 
 } // namespace uspec
 

@@ -10,10 +10,11 @@
 
 using namespace uspec;
 
-std::vector<TypestateWarning>
-uspec::checkTypestate(const AnalysisResult &R, const StringInterner &Strings,
-                      const TypestateProtocol &Proto) {
+std::vector<TypestateWarning> uspec::checkTypestate(const AnalysisResult &R,
+                                                    Symbol Check, Symbol Use) {
   std::vector<TypestateWarning> Warnings;
+  if (Use.isEmpty())
+    return Warnings; // the use method does not occur anywhere
   for (const HistorySet &His : R.Histories) {
     for (const History &H : His) {
       bool Checked = false;
@@ -21,12 +22,11 @@ uspec::checkTypestate(const AnalysisResult &R, const StringInterner &Strings,
         const Event &Ev = R.Events.get(E);
         if (Ev.Kind != EventKind::ApiCall || Ev.Pos != PosReceiver)
           continue;
-        const std::string &Name = Strings.str(Ev.Method.Name);
-        if (Name == Proto.CheckMethod) {
+        if (Ev.Method.Name == Check) {
           Checked = true;
           continue;
         }
-        if (Name != Proto.UseMethod)
+        if (Ev.Method.Name != Use)
           continue;
         if (!Checked)
           Warnings.push_back({Ev.Site, Ev.Ctx});
@@ -38,4 +38,16 @@ uspec::checkTypestate(const AnalysisResult &R, const StringInterner &Strings,
   Warnings.erase(std::unique(Warnings.begin(), Warnings.end()),
                  Warnings.end());
   return Warnings;
+}
+
+std::vector<TypestateWarning>
+uspec::checkTypestate(const AnalysisResult &R, const StringInterner &Strings,
+                      const TypestateProtocol &Proto) {
+  // Names never interned cannot match any event; Symbol() (the empty
+  // string) is equally unmatchable because method names are non-empty.
+  std::optional<Symbol> Check = Strings.lookup(Proto.CheckMethod);
+  std::optional<Symbol> Use = Strings.lookup(Proto.UseMethod);
+  if (!Use || Use->isEmpty())
+    return {};
+  return checkTypestate(R, Check.value_or(Symbol()), *Use);
 }

@@ -56,6 +56,16 @@ std::vector<TypestateWarning> checkTypestate(const AnalysisResult &R,
                                              const StringInterner &Strings,
                                              const TypestateProtocol &Proto);
 
+/// Symbol-resolved core: \p Check / \p Use are method-name symbols of the
+/// interner \p R was analyzed under. Entirely const over its inputs and
+/// allocates no interner state, so concurrent callers (one per service
+/// request) may share one frozen analysis. Resolve names with
+/// StringInterner::lookup — a name that was never interned cannot match any
+/// event, so passing Symbol() for an absent check is equivalent to "no
+/// check method exists".
+std::vector<TypestateWarning> checkTypestate(const AnalysisResult &R,
+                                             Symbol Check, Symbol Use);
+
 } // namespace uspec
 
 #endif // USPEC_CLIENTS_TYPESTATE_H

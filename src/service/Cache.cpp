@@ -1,0 +1,101 @@
+//===- Cache.cpp - Sharded LRU cache of analyzed programs -----------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Cache.h"
+
+#include <algorithm>
+
+using namespace uspec;
+using namespace uspec::service;
+
+AnalysisCache::AnalysisCache(size_t Capacity, unsigned NumShards) {
+  NumShards = std::clamp(NumShards, 1u, 64u);
+  // Never hand a shard a zero budget — a cache of capacity 1 still caches.
+  PerShardCapacity = std::max<size_t>(1, Capacity / NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+std::shared_ptr<const ProgramAnalysis>
+AnalysisCache::findBySource(uint64_t SourceKey) {
+  uint64_t FpKey = 0;
+  {
+    Shard &S = shardOf(SourceKey);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.SourceToFp.find(SourceKey);
+    if (It == S.SourceToFp.end()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    FpKey = It->second;
+  }
+  // The fingerprint may live in a different shard; findByFingerprint does
+  // its own hit/miss accounting (a stale memo counts as a miss).
+  return findByFingerprint(FpKey);
+}
+
+std::shared_ptr<const ProgramAnalysis>
+AnalysisCache::findByFingerprint(uint64_t FpKey) {
+  Shard &S = shardOf(FpKey);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.ByFingerprint.find(FpKey);
+  if (It == S.ByFingerprint.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruPos);
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second.Entry;
+}
+
+std::shared_ptr<const ProgramAnalysis>
+AnalysisCache::insert(uint64_t SourceKey, uint64_t FpKey,
+                      std::shared_ptr<const ProgramAnalysis> Entry) {
+  {
+    Shard &S = shardOf(FpKey);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.ByFingerprint.find(FpKey);
+    if (It != S.ByFingerprint.end()) {
+      // Lost a race on the same miss: keep the incumbent so every caller
+      // serves one canonical object.
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruPos);
+      Entry = It->second.Entry;
+    } else {
+      S.Lru.push_front(FpKey);
+      S.ByFingerprint.emplace(FpKey, Shard::Slot{Entry, S.Lru.begin()});
+      while (S.ByFingerprint.size() > PerShardCapacity) {
+        uint64_t Victim = S.Lru.back();
+        S.Lru.pop_back();
+        S.ByFingerprint.erase(Victim);
+        Evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  aliasSource(SourceKey, FpKey);
+  return Entry;
+}
+
+void AnalysisCache::aliasSource(uint64_t SourceKey, uint64_t FpKey) {
+  Shard &S = shardOf(SourceKey);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.SourceToFp.size() >= 4 * PerShardCapacity)
+    S.SourceToFp.clear();
+  S.SourceToFp[SourceKey] = FpKey;
+}
+
+AnalysisCache::Stats AnalysisCache::stats() const {
+  Stats Out;
+  Out.Hits = Hits.load(std::memory_order_relaxed);
+  Out.Misses = Misses.load(std::memory_order_relaxed);
+  Out.Evictions = Evictions.load(std::memory_order_relaxed);
+  Out.Capacity = PerShardCapacity * Shards.size();
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Out.Entries += S->ByFingerprint.size();
+  }
+  return Out;
+}

@@ -1,0 +1,106 @@
+//===- Cache.h - Sharded LRU cache of analyzed programs --------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service's result cache. Two maps per shard, both bounded:
+///
+///  - fingerprint → ProgramAnalysis: the real cache, keyed by the
+///    *structural* fingerprint of corpus/Dedup.h (mixed with the analysis
+///    options), LRU-evicted at the configured capacity. Everything the
+///    fingerprint does not pin (variable names, whitespace, comments) also
+///    cannot appear in any response payload, so serving a hit for a
+///    textually different but structurally identical program is
+///    byte-exact.
+///  - source-hash → fingerprint: a memo so a byte-identical resubmission
+///    skips parse/lower too, not just points-to. A stale memo entry (its
+///    fingerprint was evicted) is harmless — the probe misses and the
+///    program is re-analyzed.
+///
+/// Shards are independently locked; the shard of a key is derived from its
+/// high bits so both maps spread evenly. Entries are immutable
+/// shared_ptr<const ProgramAnalysis>, so a hit handed to one worker stays
+/// valid even if another worker evicts it a microsecond later.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SERVICE_CACHE_H
+#define USPEC_SERVICE_CACHE_H
+
+#include "service/Protocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace uspec {
+namespace service {
+
+class AnalysisCache {
+public:
+  /// \p Capacity is the total entry budget across all shards (min 1 per
+  /// shard); \p Shards is clamped to [1, 64].
+  AnalysisCache(size_t Capacity, unsigned Shards);
+
+  /// Probe by source-hash key (hash of the raw request program text mixed
+  /// with the analysis options). Returns the entry and bumps LRU recency.
+  std::shared_ptr<const ProgramAnalysis> findBySource(uint64_t SourceKey);
+
+  /// Probe by fingerprint key.
+  std::shared_ptr<const ProgramAnalysis> findByFingerprint(uint64_t FpKey);
+
+  /// Inserts a fresh analysis under \p FpKey and memoizes \p SourceKey →
+  /// \p FpKey. If \p FpKey is already present (two workers raced on the
+  /// same miss) the existing entry wins and is returned, so all callers
+  /// serve one canonical object.
+  std::shared_ptr<const ProgramAnalysis>
+  insert(uint64_t SourceKey, uint64_t FpKey,
+         std::shared_ptr<const ProgramAnalysis> Entry);
+
+  /// Adds only the source-hash memo (used when a parse revealed a
+  /// fingerprint that was already cached).
+  void aliasSource(uint64_t SourceKey, uint64_t FpKey);
+
+  struct Stats {
+    uint64_t Hits = 0;      ///< findBySource/findByFingerprint successes.
+    uint64_t Misses = 0;    ///< Probes that found nothing.
+    uint64_t Evictions = 0; ///< Entries LRU-evicted.
+    size_t Entries = 0;     ///< Currently resident analyses.
+    size_t Capacity = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Shard {
+    std::mutex Mutex;
+    /// LRU order, most recent first; values are fingerprint keys.
+    std::list<uint64_t> Lru;
+    struct Slot {
+      std::shared_ptr<const ProgramAnalysis> Entry;
+      std::list<uint64_t>::iterator LruPos;
+    };
+    std::unordered_map<uint64_t, Slot> ByFingerprint;
+    /// Bounded memo; cleared wholesale when it outgrows 4× the shard
+    /// capacity (stale entries are harmless, unbounded growth is not).
+    std::unordered_map<uint64_t, uint64_t> SourceToFp;
+  };
+
+  Shard &shardOf(uint64_t Key) {
+    return *Shards[(Key >> 56) % Shards.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  size_t PerShardCapacity = 1;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
+};
+
+} // namespace service
+} // namespace uspec
+
+#endif // USPEC_SERVICE_CACHE_H

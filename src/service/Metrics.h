@@ -1,0 +1,157 @@
+//===- Metrics.h - Service request metrics ---------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregate request metrics surfaced by the `stats` verb: counters are
+/// lock-free atomics bumped on every request; latencies go into a fixed
+/// ring of the most recent samples (bounded memory at any traffic level)
+/// from which p50/p95 are computed on demand via support/Stats.h. Cache
+/// hit/miss here is *request-level* (did this request skip analysis?),
+/// independent of the cache's internal probe counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SERVICE_METRICS_H
+#define USPEC_SERVICE_METRICS_H
+
+#include "service/Cache.h"
+#include "support/Stats.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace uspec {
+namespace service {
+
+class ServiceMetrics {
+public:
+  static constexpr size_t LatencyRingSize = 4096;
+
+  ServiceMetrics() : Start(std::chrono::steady_clock::now()) {
+    Ring.resize(LatencyRingSize, 0.0);
+  }
+
+  void recordAdmitted() { Received.fetch_add(1, std::memory_order_relaxed); }
+  void recordOverloaded() {
+    Overloaded.fetch_add(1, std::memory_order_relaxed);
+  }
+  void recordRejectedDraining() {
+    RejectedDraining.fetch_add(1, std::memory_order_relaxed);
+  }
+  void recordCacheHit() { CacheHits.fetch_add(1, std::memory_order_relaxed); }
+  void recordCacheMiss() {
+    CacheMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Called once per completed request with its wall time.
+  void recordCompleted(double Seconds, bool Ok) {
+    (Ok ? Completed : Errored).fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(RingMutex);
+    Ring[RingNext % LatencyRingSize] = Seconds;
+    ++RingNext;
+  }
+
+  double uptimeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  /// One JSON object; \p Workers / \p QueueDepth / \p Cache describe the
+  /// server's current shape.
+  std::string json(unsigned Workers, size_t QueueDepth, size_t QueueCapacity,
+                   const AnalysisCache::Stats &Cache) const {
+    uint64_t Done = Completed.load(std::memory_order_relaxed);
+    uint64_t Errs = Errored.load(std::memory_order_relaxed);
+    uint64_t Hits = CacheHits.load(std::memory_order_relaxed);
+    uint64_t Miss = CacheMisses.load(std::memory_order_relaxed);
+    double Uptime = uptimeSeconds();
+    double Qps = Uptime > 0 ? static_cast<double>(Done + Errs) / Uptime : 0;
+    double HitRate =
+        Hits + Miss ? static_cast<double>(Hits) / (Hits + Miss) : 0;
+
+    std::vector<double> Lat;
+    uint64_t Samples = 0;
+    {
+      std::lock_guard<std::mutex> Lock(RingMutex);
+      Samples = RingNext;
+      size_t N = RingNext < LatencyRingSize ? RingNext : LatencyRingSize;
+      Lat.assign(Ring.begin(), Ring.begin() + N);
+    }
+    double P50 = percentile(Lat, 0.50) * 1e3;
+    double P95 = percentile(Lat, 0.95) * 1e3;
+
+    char Buf[768];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"uptime_seconds\":%.3f,\"workers\":%u,"
+        "\"queue_depth\":%zu,\"queue_capacity\":%zu,"
+        "\"requests\":{\"admitted\":%llu,\"completed\":%llu,"
+        "\"errored\":%llu,\"overloaded\":%llu,\"rejected_draining\":%llu},"
+        "\"qps\":%.3f,"
+        "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"
+        "\"entries\":%zu,\"capacity\":%zu,\"evictions\":%llu},"
+        "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"samples\":%llu}}",
+        Uptime, Workers, QueueDepth, QueueCapacity,
+        static_cast<unsigned long long>(
+            Received.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(Done),
+        static_cast<unsigned long long>(Errs),
+        static_cast<unsigned long long>(
+            Overloaded.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            RejectedDraining.load(std::memory_order_relaxed)),
+        Qps, static_cast<unsigned long long>(Hits),
+        static_cast<unsigned long long>(Miss), HitRate, Cache.Entries,
+        Cache.Capacity, static_cast<unsigned long long>(Cache.Evictions),
+        P50, P95, static_cast<unsigned long long>(Samples));
+    return Buf;
+  }
+
+  uint64_t overloadedCount() const {
+    return Overloaded.load(std::memory_order_relaxed);
+  }
+  uint64_t cacheHitCount() const {
+    return CacheHits.load(std::memory_order_relaxed);
+  }
+  uint64_t cacheMissCount() const {
+    return CacheMisses.load(std::memory_order_relaxed);
+  }
+  uint64_t completedCount() const {
+    return Completed.load(std::memory_order_relaxed) +
+           Errored.load(std::memory_order_relaxed);
+  }
+
+  /// Median completed-request latency in seconds (0 with no samples);
+  /// benches read this instead of re-parsing their own stats JSON.
+  double p50LatencySeconds() const {
+    std::vector<double> Lat;
+    {
+      std::lock_guard<std::mutex> Lock(RingMutex);
+      size_t N = RingNext < LatencyRingSize ? RingNext : LatencyRingSize;
+      Lat.assign(Ring.begin(), Ring.begin() + N);
+    }
+    return percentile(Lat, 0.50);
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<uint64_t> Received{0}, Completed{0}, Errored{0}, Overloaded{0},
+      RejectedDraining{0}, CacheHits{0}, CacheMisses{0};
+  mutable std::mutex RingMutex;
+  std::vector<double> Ring;
+  uint64_t RingNext = 0; ///< Guarded by RingMutex.
+};
+
+} // namespace service
+} // namespace uspec
+
+#endif // USPEC_SERVICE_METRICS_H

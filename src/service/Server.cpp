@@ -1,0 +1,417 @@
+//===- Server.cpp - Resident alias-query server ---------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "support/Hashing.h"
+#include "support/ParallelFor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace uspec;
+using namespace uspec::service;
+
+Server::Server(ServerConfig ConfigIn, ServiceSpecs SpecsIn)
+    : Config(ConfigIn), Specs(std::move(SpecsIn)),
+      Cache(Config.CacheCapacity, Config.CacheShards) {
+  EffectiveWorkers =
+      Config.Workers ? Config.Workers
+                     : std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(EffectiveWorkers);
+  for (unsigned I = 0; I < EffectiveWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server() {
+  releaseTestGate(); // never leave a parked worker behind
+  drain();
+}
+
+std::future<std::string> Server::submit(std::string Line) {
+  std::promise<std::string> Promise;
+  std::future<std::string> Future = Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Draining) {
+      Metrics.recordRejectedDraining();
+      Promise.set_value(errorResponse(
+          "", "shutting_down", "server is draining; request rejected"));
+      return Future;
+    }
+    if (Queue.size() >= Config.QueueCapacity) {
+      // Explicit backpressure: answer now, never block the producer or
+      // grow the queue past its bound.
+      Metrics.recordOverloaded();
+      Promise.set_value(errorResponse(
+          "", "overloaded",
+          "admission queue full (capacity " +
+              std::to_string(Config.QueueCapacity) + "); retry later"));
+      return Future;
+    }
+    Metrics.recordAdmitted();
+    Queue.push_back(
+        {std::move(Line), std::move(Promise),
+         std::chrono::steady_clock::now()});
+  }
+  QueueCv.notify_one();
+  return Future;
+}
+
+std::string Server::handle(std::string Line) {
+  return submit(std::move(Line)).get();
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Draining;
+}
+
+void Server::beginDrain() {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  Draining = true;
+}
+
+void Server::drain() {
+  beginDrain();
+  {
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    DrainedCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+    StopWorkers = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+}
+
+void Server::releaseTestGate() {
+  {
+    std::lock_guard<std::mutex> Lock(GateMutex);
+    GateOpen = true;
+  }
+  GateCv.notify_all();
+}
+
+std::string Server::statsJson() {
+  size_t Depth = 0;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Depth = Queue.size();
+  }
+  return Metrics.json(EffectiveWorkers, Depth, Config.QueueCapacity,
+                      Cache.stats());
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Job TheJob;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [this] { return !Queue.empty() || StopWorkers; });
+      if (Queue.empty()) {
+        if (StopWorkers)
+          return;
+        continue;
+      }
+      TheJob = std::move(Queue.front());
+      Queue.pop_front();
+      ++InFlight;
+    }
+    std::string Response = handleRequest(TheJob.Line);
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - TheJob.Admitted)
+                         .count();
+    // "ok" is decided by the envelope the handler chose.
+    bool Ok = Response.find("\"ok\":true") != std::string::npos;
+    Metrics.recordCompleted(Seconds, Ok);
+    TheJob.Promise.set_value(std::move(Response));
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        DrainedCv.notify_all();
+    }
+  }
+}
+
+std::string Server::handleRequest(const std::string &Line) {
+  if (Line.size() > Config.MaxRequestBytes)
+    return errorResponse("", "oversized",
+                         "request line of " + std::to_string(Line.size()) +
+                             " bytes exceeds the " +
+                             std::to_string(Config.MaxRequestBytes) +
+                             "-byte limit");
+  Request R;
+  std::string Err;
+  if (!parseRequest(Line, R, &Err, Config.EnableTestVerbs))
+    return errorResponse(R.Id, "bad_request", Err);
+  return handleParsed(R);
+}
+
+std::string Server::handleParsed(const Request &R) {
+  switch (R.TheVerb) {
+  case Verb::Analyze: {
+    std::string Err;
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    if (!PA)
+      return errorResponse(R.Id, "parse_error", Err);
+    return okResponse(R.Id, PA->AnalyzeJson);
+  }
+  case Verb::Alias: {
+    std::string Err;
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    if (!PA)
+      return errorResponse(R.Id, "parse_error", Err);
+    return okResponse(R.Id, aliasPayload(*PA, R.A, R.B));
+  }
+  case Verb::Typestate: {
+    std::string Err;
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    if (!PA)
+      return errorResponse(R.Id, "parse_error", Err);
+    return okResponse(R.Id, typestatePayload(*PA, R.Check, R.Use));
+  }
+  case Verb::Taint: {
+    std::string Err;
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    if (!PA)
+      return errorResponse(R.Id, "parse_error", Err);
+    return okResponse(R.Id,
+                      taintPayload(*PA, R.Sources, R.Sinks, R.Sanitizers));
+  }
+  case Verb::Specs:
+    return okResponse(R.Id, specsPayload(Specs));
+  case Verb::Stats:
+    return okResponse(R.Id, statsJson());
+  case Verb::Shutdown:
+    beginDrain();
+    return okResponse(R.Id, "{\"draining\":true}");
+  case Verb::TestBlock: {
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    GateCv.wait(Lock, [this] { return GateOpen; });
+    return okResponse(R.Id, "{\"blocked\":true}");
+  }
+  }
+  return errorResponse(R.Id, "internal", "unhandled verb");
+}
+
+std::shared_ptr<const ProgramAnalysis>
+Server::analysisFor(const std::string &Program, const std::string &Name,
+                    bool Coverage, std::string *Error) {
+  // The spec set is fixed per server, so keys only mix program identity and
+  // the per-request analysis option.
+  uint64_t SourceKey =
+      hashValues(hashString(Program), Coverage ? 1ull : 0ull);
+  if (auto PA = Cache.findBySource(SourceKey)) {
+    Metrics.recordCacheHit();
+    return PA;
+  }
+  auto Parsed = parseProgram(Program, Name, Error);
+  if (!Parsed)
+    return nullptr;
+  uint64_t FpKey = hashValues(Parsed->Fingerprint, Coverage ? 1ull : 0ull);
+  if (auto PA = Cache.findByFingerprint(FpKey)) {
+    // Textually new, structurally known: remember the alias so the next
+    // byte-identical submission skips the parse too.
+    Cache.aliasSource(SourceKey, FpKey);
+    Metrics.recordCacheHit();
+    return PA;
+  }
+  Metrics.recordCacheMiss();
+  return Cache.insert(SourceKey, FpKey,
+                      finishAnalysis(std::move(*Parsed), Specs, Coverage));
+}
+
+//===----------------------------------------------------------------------===//
+// Stream transport (stdin/stdout)
+//===----------------------------------------------------------------------===//
+
+int Server::serveStream(std::istream &In, std::ostream &Out) {
+  // Responses are written in request order by a dedicated writer, so
+  // clients may pipeline without matching ids. The pending window is
+  // bounded: the reader blocks once responses outpace the consumer, which
+  // is the correct backpressure for a full output pipe.
+  const size_t PendingBound = Config.QueueCapacity + EffectiveWorkers + 8;
+  std::mutex PendingMutex;
+  std::condition_variable PendingCv;
+  std::deque<std::future<std::string>> Pending;
+  bool ReaderDone = false;
+
+  std::thread Writer([&] {
+    for (;;) {
+      std::future<std::string> F;
+      {
+        std::unique_lock<std::mutex> Lock(PendingMutex);
+        PendingCv.wait(Lock,
+                       [&] { return !Pending.empty() || ReaderDone; });
+        if (Pending.empty())
+          return; // ReaderDone and nothing left
+        F = std::move(Pending.front());
+        Pending.pop_front();
+      }
+      PendingCv.notify_all(); // window space freed
+      Out << F.get() << "\n";
+      Out.flush();
+    }
+  });
+
+  std::string Line;
+  while (!draining() && std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::future<std::string> F = submit(std::move(Line));
+    Line.clear();
+    {
+      std::unique_lock<std::mutex> Lock(PendingMutex);
+      PendingCv.wait(Lock, [&] { return Pending.size() < PendingBound; });
+      Pending.push_back(std::move(F));
+    }
+    PendingCv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    ReaderDone = true;
+  }
+  PendingCv.notify_all();
+  Writer.join();
+  drain();
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Unix-domain socket transport
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes all of \p Data to \p Fd (MSG_NOSIGNAL: a vanished client must not
+/// SIGPIPE the server). Returns false on error.
+bool sendAll(int Fd, std::string_view Data) {
+  while (!Data.empty()) {
+    ssize_t N = ::send(Fd, Data.data(), Data.size(), MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+} // namespace
+
+int Server::serveUnixSocket(const std::string &Path,
+                            const volatile int *StopFlag) {
+  int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0)
+    return 1;
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Listen);
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str());
+  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Listen, 64) < 0) {
+    ::close(Listen);
+    return 1;
+  }
+
+  std::mutex ConnMutex;
+  std::vector<int> OpenFds; // guarded by ConnMutex; -1 = closed
+  std::vector<std::thread> ConnThreads;
+
+  auto ConnectionLoop = [&](int Fd, size_t Slot) {
+    std::string Buffer;
+    char Chunk[65536];
+    bool Alive = true;
+    while (Alive) {
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        break;
+      Buffer.append(Chunk, static_cast<size_t>(N));
+      // A line that exceeds the request cap can never frame correctly
+      // again; answer once and drop the connection.
+      if (Buffer.find('\n') == std::string::npos &&
+          Buffer.size() > Config.MaxRequestBytes) {
+        sendAll(Fd, errorResponse("", "oversized",
+                                  "request line exceeds the " +
+                                      std::to_string(Config.MaxRequestBytes) +
+                                      "-byte limit") +
+                        "\n");
+        break;
+      }
+      size_t Start = 0;
+      for (size_t Nl = Buffer.find('\n', Start); Nl != std::string::npos;
+           Nl = Buffer.find('\n', Start)) {
+        std::string Line = Buffer.substr(Start, Nl - Start);
+        Start = Nl + 1;
+        if (!Line.empty() && Line.back() == '\r')
+          Line.pop_back();
+        if (Line.empty())
+          continue;
+        std::string Response = submit(std::move(Line)).get();
+        Response += "\n";
+        if (!sendAll(Fd, Response)) {
+          Alive = false;
+          break;
+        }
+      }
+      Buffer.erase(0, Start);
+    }
+    ::close(Fd);
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    OpenFds[Slot] = -1;
+  };
+
+  for (;;) {
+    if (draining() || (StopFlag && *StopFlag))
+      break;
+    pollfd Pfd{Listen, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, /*timeout_ms=*/200);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue;
+    int Fd = ::accept(Listen, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    size_t Slot = OpenFds.size();
+    OpenFds.push_back(Fd);
+    ConnThreads.emplace_back(ConnectionLoop, Fd, Slot);
+  }
+
+  ::close(Listen);
+  ::unlink(Path.c_str());
+  // Wake connection readers: after drain their submissions would only earn
+  // `shutting_down` errors anyway.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (int Fd : OpenFds)
+      if (Fd >= 0)
+        ::shutdown(Fd, SHUT_RD);
+  }
+  for (std::thread &T : ConnThreads)
+    T.join();
+  drain();
+  return 0;
+}

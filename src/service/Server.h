@@ -1,0 +1,162 @@
+//===- Server.h - Resident alias-query server ------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running query engine behind `uspec serve`. One server loads one
+/// specification set (from a USPB artifact or spec text) and then answers
+/// protocol requests (service/Protocol.h) until drained.
+///
+/// Shape:
+///
+///   submit(line) ──▶ bounded admission queue ──▶ worker pool ──▶ future
+///
+///  - Admission is non-blocking with explicit backpressure: a full queue
+///    answers immediately with a structured `overloaded` error instead of
+///    blocking the producer or growing without bound.
+///  - Workers (plain std::threads, same idiom as support/ParallelFor.h) pop
+///    requests, resolve them against the sharded fingerprint-keyed
+///    AnalysisCache, and fulfil the response promise.
+///  - Responses for a given (program, spec set, options) are byte-identical
+///    to `uspec analyze --json` and independent of worker count: every
+///    worker runs the same deterministic engine over private state, and
+///    cache hits return payloads that same engine produced earlier.
+///  - `shutdown` (or SIGTERM in the serve loops) starts a graceful drain:
+///    queued and in-flight requests complete, later submissions get a
+///    `shutting_down` error, then workers join.
+///
+/// Transports: serveStream (newline-delimited JSON over any iostream pair —
+/// `uspec serve` uses stdin/stdout) and serveUnixSocket (SOCK_STREAM
+/// Unix-domain socket, one reader thread per connection — `uspec query`
+/// connects here). Both are thin shells over submit().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SERVICE_SERVER_H
+#define USPEC_SERVICE_SERVER_H
+
+#include "service/Cache.h"
+#include "service/Metrics.h"
+#include "service/Protocol.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace uspec {
+namespace service {
+
+struct ServerConfig {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned Workers = 0;
+  /// Admission queue bound; a submit() beyond this answers `overloaded`.
+  size_t QueueCapacity = 128;
+  /// Result cache budget in analyzed programs.
+  size_t CacheCapacity = 256;
+  unsigned CacheShards = 8;
+  /// Request lines longer than this are answered `oversized` unparsed.
+  size_t MaxRequestBytes = 4 << 20;
+  /// Enables the test-only `test_block` verb (see Protocol.h). Tests use it
+  /// to park workers deterministically and observe backpressure.
+  bool EnableTestVerbs = false;
+};
+
+class Server {
+public:
+  /// \p Specs is the canonical spec set (empty = API-unaware service).
+  Server(ServerConfig Config, ServiceSpecs Specs);
+
+  /// Joins all workers (drains first if still running).
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Enqueues one request line; the future resolves to the response line
+  /// (without trailing newline). Never blocks: when the queue is full the
+  /// future is already resolved to an `overloaded` error, and after drain
+  /// began to a `shutting_down` error.
+  std::future<std::string> submit(std::string Line);
+
+  /// submit() + wait — convenience for tests and benches.
+  std::string handle(std::string Line);
+
+  /// True once a shutdown request (or beginDrain) was seen.
+  bool draining() const;
+
+  /// Starts rejecting new work; queued and in-flight requests complete.
+  void beginDrain();
+
+  /// beginDrain() + waits for the queue to empty and all workers to exit.
+  void drain();
+
+  /// Opens the test_block gate (EnableTestVerbs); all parked workers
+  /// resume.
+  void releaseTestGate();
+
+  /// Current stats payload (same bytes as the `stats` verb modulo the
+  /// moving counters).
+  std::string statsJson();
+
+  const ServiceMetrics &metrics() const { return Metrics; }
+
+  /// Serves newline-delimited JSON from \p In to \p Out until EOF or
+  /// drain; responses are written in request order. Returns 0 on a clean
+  /// drain.
+  int serveStream(std::istream &In, std::ostream &Out);
+
+  /// Binds \p Path (unlinking any stale socket file), accepts connections
+  /// until drain or \p StopFlag becomes nonzero (a SIGTERM handler sets
+  /// it), serving each connection's requests in order. Returns 0 on a
+  /// clean drain, 1 on socket errors.
+  int serveUnixSocket(const std::string &Path,
+                      const volatile int *StopFlag = nullptr);
+
+private:
+  struct Job {
+    std::string Line;
+    std::promise<std::string> Promise;
+    std::chrono::steady_clock::time_point Admitted;
+  };
+
+  void workerLoop();
+  std::string handleRequest(const std::string &Line);
+  std::string handleParsed(const Request &R);
+
+  /// Cache-or-analyze for verbs that carry a program.
+  std::shared_ptr<const ProgramAnalysis>
+  analysisFor(const std::string &Program, const std::string &Name,
+              bool Coverage, std::string *Error);
+
+  ServerConfig Config;
+  ServiceSpecs Specs;
+  AnalysisCache Cache;
+  ServiceMetrics Metrics;
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueCv;    ///< Signals workers: work or stop.
+  std::condition_variable DrainedCv;  ///< Signals drain(): queue empty+idle.
+  std::deque<Job> Queue;              ///< Guarded by QueueMutex.
+  size_t InFlight = 0;                ///< Jobs popped, not yet finished.
+  bool Draining = false;              ///< Reject new submissions.
+  bool StopWorkers = false;           ///< Workers exit once queue empties.
+
+  std::mutex GateMutex;
+  std::condition_variable GateCv;
+  bool GateOpen = false;
+
+  std::vector<std::thread> Workers;
+  unsigned EffectiveWorkers = 1;
+};
+
+} // namespace service
+} // namespace uspec
+
+#endif // USPEC_SERVICE_SERVER_H

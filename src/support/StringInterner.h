@@ -19,6 +19,7 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -77,6 +78,19 @@ public:
     Storage.emplace_back(Str);
     Index.emplace(std::string_view(Storage.back()), Id);
     return Symbol(Id);
+  }
+
+  /// Const probe: the Symbol of \p Str if it is already interned, nullopt
+  /// otherwise. Never mutates, so it is safe concurrently with other
+  /// readers — this is how const consumers (the query service's client
+  /// verbs) resolve externally supplied names against a frozen interner.
+  std::optional<Symbol> lookup(std::string_view Str) const {
+    if (Str.empty())
+      return Symbol();
+    auto It = Index.find(Str);
+    if (It == Index.end())
+      return std::nullopt;
+    return Symbol(It->second);
   }
 
   /// Returns the string for \p Sym. The reference is stable for the lifetime

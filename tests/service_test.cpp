@@ -1,0 +1,562 @@
+//===- service_test.cpp - Tests for the alias-query service --------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+// Covers the resident query service (src/service/): protocol parsing and
+// robustness, the shared analyze engine, the byte-identity contract
+// (service responses == `uspec analyze --json` at any worker count), the
+// sharded result cache, explicit backpressure, and graceful drain. All
+// suite names start with "Service" so the TSan CI job picks them up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/USpec.h"
+#include "corpus/Generator.h"
+#include "corpus/Profiles.h"
+#include "service/Server.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace uspec;
+using namespace uspec::service;
+
+namespace {
+
+/// Deterministic corpus of MiniLang sources.
+std::vector<std::string> makeSources(size_t N, uint64_t Seed) {
+  LanguageProfile Profile = javaProfile();
+  GeneratorConfig Cfg;
+  Rng Rand(Seed);
+  std::vector<std::string> Out;
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(generateProgramSource(Profile, Cfg, Rand));
+  return Out;
+}
+
+/// Learns a spec set from \p Sources and canonicalizes it.
+ServiceSpecs learnSpecs(const std::vector<std::string> &Sources) {
+  StringInterner Strings;
+  std::vector<IRProgram> Corpus;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    DiagnosticSink Diags;
+    auto P = parseAndLower(Sources[I], "p" + std::to_string(I), Strings,
+                           Diags);
+    EXPECT_TRUE(P.has_value()) << Diags.render();
+    if (P)
+      Corpus.push_back(std::move(*P));
+  }
+  USpecLearner Learner(Strings, LearnerConfig());
+  LearnResult Result = Learner.learn(Corpus);
+  return ServiceSpecs::fromSpecSet(Result.Selected, Strings);
+}
+
+std::string analyzeRequest(int Id, const std::string &Program,
+                           bool Coverage = false) {
+  std::string R = "{\"id\":" + std::to_string(Id) +
+                  ",\"verb\":\"analyze\",\"program\":";
+  appendJsonString(R, Program);
+  if (Coverage)
+    R += ",\"coverage\":true";
+  R += "}";
+  return R;
+}
+
+/// A tiny program with a known alias: get/put on one receiver, so the
+/// RetSame/RetArg specs learned from the generator corpus apply.
+const char *TinyProgram =
+    "class Main { def main() { var m = new Cache(); m.put(\"k\", 1); "
+    "var a = m.getIfPresent(\"k\"); var b = m.getIfPresent(\"k\"); } }";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol: request parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, ParsesAnalyzeRequest) {
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest("{\"id\":42,\"verb\":\"analyze\","
+                           "\"program\":\"class C {}\",\"coverage\":true}",
+                           R, &Err))
+      << Err;
+  EXPECT_EQ(R.Id, "42");
+  EXPECT_EQ(R.TheVerb, Verb::Analyze);
+  EXPECT_EQ(R.Program, "class C {}");
+  EXPECT_TRUE(R.Coverage);
+}
+
+TEST(ServiceProtocol, ParsesAllVerbs) {
+  struct Case {
+    const char *Line;
+    Verb Expected;
+  } Cases[] = {
+      {"{\"verb\":\"alias\",\"program\":\"x\",\"a\":\"get\",\"b\":\"put\"}",
+       Verb::Alias},
+      {"{\"verb\":\"typestate\",\"program\":\"x\",\"check\":\"hasNext\","
+       "\"use\":\"next\"}",
+       Verb::Typestate},
+      {"{\"verb\":\"taint\",\"program\":\"x\",\"sources\":[\"s\"],"
+       "\"sinks\":[\"k\"],\"sanitizers\":[]}",
+       Verb::Taint},
+      {"{\"verb\":\"specs\"}", Verb::Specs},
+      {"{\"verb\":\"stats\"}", Verb::Stats},
+      {"{\"verb\":\"shutdown\"}", Verb::Shutdown},
+  };
+  for (const Case &C : Cases) {
+    Request R;
+    std::string Err;
+    EXPECT_TRUE(parseRequest(C.Line, R, &Err)) << C.Line << ": " << Err;
+    EXPECT_EQ(R.TheVerb, C.Expected) << C.Line;
+  }
+}
+
+TEST(ServiceProtocol, StringIdsAndEscapesSurvive) {
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest("{\"id\":\"req-\\u0041\",\"verb\":\"analyze\","
+                           "\"program\":\"a\\n\\\"b\\\"\\t\\\\\"}",
+                           R, &Err))
+      << Err;
+  // String ids are echoed JSON-equivalently (re-encoded: A -> A).
+  EXPECT_EQ(R.Id, "\"req-A\"");
+  EXPECT_EQ(R.Program, "a\n\"b\"\t\\");
+}
+
+TEST(ServiceProtocol, RejectsMalformedRequests) {
+  const char *Bad[] = {
+      "",                                         // empty
+      "   ",                                      // whitespace only
+      "{",                                        // truncated object
+      "null",                                     // not an object
+      "[1,2]",                                    // wrong top-level kind
+      "{\"verb\":42}",                            // verb not a string
+      "{\"verb\":\"frobnicate\"}",                // unknown verb
+      "{\"verb\":\"analyze\"}",                   // missing program
+      "{\"verb\":\"analyze\",\"program\":7}",     // program not a string
+      "{\"verb\":\"alias\",\"program\":\"x\",\"a\":\"g\"}", // missing b
+      "{\"verb\":\"typestate\",\"program\":\"x\",\"check\":\"c\"}",
+      "{\"verb\":\"taint\",\"program\":\"x\",\"sources\":\"s\"}",
+      "{\"verb\":\"specs\"} trailing",            // trailing garbage
+      "{\"verb\":\"specs\",}",                    // trailing comma
+      "{\"program\":\"x\"}",                      // no verb at all
+  };
+  for (const char *Line : Bad) {
+    Request R;
+    std::string Err;
+    EXPECT_FALSE(parseRequest(Line, R, &Err)) << "accepted: " << Line;
+    EXPECT_FALSE(Err.empty()) << Line;
+  }
+}
+
+TEST(ServiceProtocol, IdSurvivesSemanticErrors) {
+  // Valid JSON with a bad verb still yields the id, so the error response
+  // can be correlated by the client.
+  Request R;
+  std::string Err;
+  EXPECT_FALSE(parseRequest("{\"id\":7,\"verb\":\"nope\"}", R, &Err));
+  EXPECT_EQ(R.Id, "7");
+}
+
+TEST(ServiceProtocol, DepthCapStopsNestingBombs) {
+  std::string Bomb(200, '[');
+  JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(parseJson(Bomb, V, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ServiceProtocol, TestBlockIsGated) {
+  Request R;
+  std::string Err;
+  EXPECT_FALSE(parseRequest("{\"verb\":\"test_block\"}", R, &Err));
+  EXPECT_TRUE(parseRequest("{\"verb\":\"test_block\"}", R, &Err,
+                           /*EnableTestVerbs=*/true))
+      << Err;
+}
+
+TEST(ServiceProtocol, ResponseEnvelopes) {
+  EXPECT_EQ(okResponse("7", "{\"x\":1}"),
+            "{\"id\":7,\"ok\":true,\"result\":{\"x\":1}}");
+  EXPECT_EQ(okResponse("", "{\"x\":1}"),
+            "{\"ok\":true,\"result\":{\"x\":1}}");
+  EXPECT_EQ(errorResponse("", "overloaded", "queue full"),
+            "{\"ok\":false,\"error\":{\"kind\":\"overloaded\","
+            "\"message\":\"queue full\"}}");
+}
+
+//===----------------------------------------------------------------------===//
+// The shared engine
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceEngine, SpecsCanonicalizationIsIdempotent) {
+  auto Sources = makeSources(20, 0x5E1);
+  ServiceSpecs Specs = learnSpecs(Sources);
+  ASSERT_FALSE(Specs.empty());
+  auto Again = ServiceSpecs::fromText(Specs.Text);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(Again->Text, Specs.Text);
+  EXPECT_EQ(Again->Lines, Specs.Lines);
+}
+
+TEST(ServiceEngine, AnalyzeSourceIsDeterministic) {
+  auto Sources = makeSources(10, 0xABC);
+  ServiceSpecs Specs = learnSpecs(Sources);
+  for (const std::string &Src : Sources) {
+    std::string E1, E2;
+    auto A = analyzeSource(Src, "", Specs, false, &E1);
+    auto B = analyzeSource(Src, "", Specs, false, &E2);
+    ASSERT_TRUE(A && B) << E1 << E2;
+    EXPECT_EQ(A->AnalyzeJson, B->AnalyzeJson);
+    EXPECT_EQ(A->Fingerprint, B->Fingerprint);
+  }
+}
+
+TEST(ServiceEngine, ParseFailureIsReported) {
+  std::string Err;
+  EXPECT_EQ(analyzeSource("class {", "", ServiceSpecs(), false, &Err),
+            nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identity: service == engine == CLI, at any worker count
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceServer, ByteIdenticalAtAnyWorkerCount) {
+  auto Sources = makeSources(12, 0xB17E);
+  ServiceSpecs Specs = learnSpecs(Sources);
+  ASSERT_FALSE(Specs.empty());
+
+  // The reference: the same engine `uspec analyze --json` calls.
+  std::vector<std::string> Expected;
+  for (const std::string &Src : Sources) {
+    std::string Err;
+    auto PA = analyzeSource(Src, "", Specs, false, &Err);
+    ASSERT_TRUE(PA) << Err;
+    Expected.push_back(PA->AnalyzeJson);
+  }
+
+  for (unsigned NumWorkers : {1u, 8u}) {
+    ServerConfig Cfg;
+    Cfg.Workers = NumWorkers;
+    Server S(Cfg, Specs);
+    // Submit everything at once (exercises concurrent workers), then two
+    // duplicate rounds (exercises both cache paths).
+    std::vector<std::future<std::string>> Futures;
+    for (int Round = 0; Round < 3; ++Round)
+      for (size_t I = 0; I < Sources.size(); ++I)
+        Futures.push_back(
+            S.submit(analyzeRequest(static_cast<int>(I), Sources[I])));
+    for (size_t F = 0; F < Futures.size(); ++F) {
+      size_t I = F % Sources.size();
+      EXPECT_EQ(Futures[F].get(),
+                okResponse(std::to_string(I), Expected[I]))
+          << "workers=" << NumWorkers << " request=" << F;
+    }
+  }
+}
+
+TEST(ServiceServer, CacheHitsAreByteExactAndCounted) {
+  ServerConfig Cfg;
+  Cfg.Workers = 1;
+  Server S(Cfg, ServiceSpecs());
+
+  std::string First = S.handle(analyzeRequest(1, TinyProgram));
+  EXPECT_EQ(S.metrics().cacheMissCount(), 1u);
+  EXPECT_EQ(S.metrics().cacheHitCount(), 0u);
+
+  // Byte-identical resubmission: source-hash memo path.
+  std::string Second = S.handle(analyzeRequest(2, TinyProgram));
+  EXPECT_EQ(S.metrics().cacheHitCount(), 1u);
+
+  // Whitespace/comment variant: different source hash, same structural
+  // fingerprint — served from the fingerprint map, still byte-exact.
+  std::string Variant = std::string("// reformatted\n") + TinyProgram;
+  std::string Third = S.handle(analyzeRequest(3, Variant));
+  EXPECT_EQ(S.metrics().cacheHitCount(), 2u);
+  EXPECT_EQ(S.metrics().cacheMissCount(), 1u);
+
+  // Same payload under different ids: strip the envelope and compare.
+  auto Payload = [](const std::string &Response) {
+    size_t At = Response.find("\"result\":");
+    EXPECT_NE(At, std::string::npos) << Response;
+    return Response.substr(At);
+  };
+  EXPECT_EQ(Payload(First), Payload(Second));
+  EXPECT_EQ(Payload(First), Payload(Third));
+
+  // Coverage flag is part of the cache key, not a stale-hit source.
+  S.handle(analyzeRequest(4, TinyProgram, /*Coverage=*/true));
+  EXPECT_EQ(S.metrics().cacheMissCount(), 2u);
+}
+
+TEST(ServiceServer, QueryVerbsAnswer) {
+  auto Sources = makeSources(20, 0x5E1);
+  ServiceSpecs Specs = learnSpecs(Sources);
+  ServerConfig Cfg;
+  Cfg.Workers = 2;
+  Server S(Cfg, Specs);
+
+  std::string Req = "{\"verb\":\"alias\",\"program\":";
+  appendJsonString(Req, TinyProgram);
+  Req += ",\"a\":\"getIfPresent\",\"b\":\"getIfPresent\"}";
+  std::string Alias = S.handle(Req);
+  EXPECT_NE(Alias.find("\"ok\":true"), std::string::npos) << Alias;
+  EXPECT_NE(Alias.find("\"may_alias\":"), std::string::npos) << Alias;
+
+  std::string SpecsResp = S.handle("{\"verb\":\"specs\"}");
+  EXPECT_NE(SpecsResp.find("\"count\":"), std::string::npos) << SpecsResp;
+
+  std::string Stats = S.handle("{\"verb\":\"stats\"}");
+  for (const char *Field :
+       {"\"workers\":2", "\"queue_capacity\":", "\"completed\":",
+        "\"hit_rate\":", "\"p50\":", "\"qps\":"})
+    EXPECT_NE(Stats.find(Field), std::string::npos)
+        << Field << " missing in " << Stats;
+
+  std::string Ts = "{\"verb\":\"typestate\",\"program\":";
+  appendJsonString(Ts, TinyProgram);
+  Ts += ",\"check\":\"getIfPresent\",\"use\":\"put\"}";
+  EXPECT_NE(S.handle(Ts).find("\"ok\":true"), std::string::npos);
+
+  std::string Taint = "{\"verb\":\"taint\",\"program\":";
+  appendJsonString(Taint, TinyProgram);
+  Taint += ",\"sources\":[\"getIfPresent\"],\"sinks\":[\"put\"],"
+           "\"sanitizers\":[]}";
+  EXPECT_NE(S.handle(Taint).find("\"ok\":true"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness: malformed input never crashes, errors are structured
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceFuzz, MalformedLinesGetStructuredErrors) {
+  ServerConfig Cfg;
+  Cfg.Workers = 2;
+  Server S(Cfg, ServiceSpecs());
+
+  const char *Nasty[] = {
+      "",
+      "{",
+      "}",
+      "nul",
+      "{\"verb\":}",
+      "{\"verb\":\"analyze\",\"program\":\"class C {\"}", // parse_error
+      "{\"verb\":\"analyze\",\"program\":\"\\ud800\"}",   // lone surrogate
+      "\x01\x02\xff\xfe binary junk",
+      "{\"verb\":\"analyze\",\"program\":\"x\",\"coverage\":\"yes\"}",
+      "[[[[[[[[[[[[[[[[",
+  };
+  for (const char *Line : Nasty) {
+    std::string Resp = S.handle(Line);
+    EXPECT_NE(Resp.find("\"ok\":false"), std::string::npos)
+        << "line: " << Line << " resp: " << Resp;
+    EXPECT_NE(Resp.find("\"kind\":\""), std::string::npos) << Resp;
+  }
+
+  // The server is still healthy afterwards.
+  std::string Resp = S.handle(analyzeRequest(9, TinyProgram));
+  EXPECT_NE(Resp.find("\"ok\":true"), std::string::npos) << Resp;
+}
+
+TEST(ServiceFuzz, RandomBytesNeverCrash) {
+  ServerConfig Cfg;
+  Cfg.Workers = 2;
+  Server S(Cfg, ServiceSpecs());
+  Rng Rand(0xF022);
+  for (int I = 0; I < 200; ++I) {
+    std::string Line;
+    size_t Len = Rand.below(120);
+    for (size_t J = 0; J < Len; ++J) {
+      // Mostly JSON-ish punctuation so some lines get deep into the parser.
+      static const char Alphabet[] =
+          "{}[]\",:0123456789.eE+-\\ \tabcdefverbanalyzprogm\xc3\xa9\x01";
+      Line += Alphabet[Rand.below(sizeof(Alphabet) - 1)];
+    }
+    std::string Resp = S.handle(Line);
+    EXPECT_NE(Resp.find("\"ok\":false"), std::string::npos)
+        << "iteration " << I;
+  }
+}
+
+TEST(ServiceFuzz, OversizedLinesRejectedUnparsed) {
+  ServerConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.MaxRequestBytes = 256;
+  Server S(Cfg, ServiceSpecs());
+  std::string Huge = analyzeRequest(1, std::string(4096, 'x'));
+  std::string Resp = S.handle(Huge);
+  EXPECT_NE(Resp.find("\"kind\":\"oversized\""), std::string::npos) << Resp;
+  // No id: the line was never parsed.
+  EXPECT_EQ(Resp.find("\"id\""), std::string::npos) << Resp;
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceBackpressure, FullQueueAnswersOverloaded) {
+  ServerConfig Cfg;
+  Cfg.Workers = 2;
+  Cfg.QueueCapacity = 2;
+  Cfg.EnableTestVerbs = true;
+  Server S(Cfg, ServiceSpecs());
+
+  // Park both workers on the test gate...
+  auto Blocked1 = S.submit("{\"verb\":\"test_block\"}");
+  auto Blocked2 = S.submit("{\"verb\":\"test_block\"}");
+  // ...wait until both are in flight (queue visibly empty again)...
+  for (int Spin = 0; Spin < 2000; ++Spin) {
+    if (S.statsJson().find("\"queue_depth\":0") != std::string::npos)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(S.statsJson().find("\"queue_depth\":0"), std::string::npos);
+
+  // ...fill the admission queue to its bound...
+  auto Queued1 = S.submit("{\"id\":1,\"verb\":\"specs\"}");
+  auto Queued2 = S.submit("{\"id\":2,\"verb\":\"specs\"}");
+
+  // ...and the next submission is rejected immediately, fully formed.
+  auto Rejected = S.submit("{\"id\":3,\"verb\":\"specs\"}");
+  ASSERT_EQ(Rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  std::string Resp = Rejected.get();
+  EXPECT_NE(Resp.find("\"kind\":\"overloaded\""), std::string::npos) << Resp;
+  EXPECT_GE(S.metrics().overloadedCount(), 1u);
+
+  // Opening the gate lets everything admitted complete normally.
+  S.releaseTestGate();
+  EXPECT_NE(Blocked1.get().find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(Blocked2.get().find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(Queued1.get().find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(Queued2.get().find("\"ok\":true"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Drain
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDrain, ShutdownCompletesInFlightAndRejectsNew) {
+  ServerConfig Cfg;
+  Cfg.Workers = 2;
+  Server S(Cfg, ServiceSpecs());
+
+  // Some real work before the drain.
+  auto Work = S.submit(analyzeRequest(1, TinyProgram));
+  std::string Ack = S.handle("{\"id\":99,\"verb\":\"shutdown\"}");
+  EXPECT_EQ(Ack, okResponse("99", "{\"draining\":true}"));
+
+  // Admitted work still completes...
+  EXPECT_NE(Work.get().find("\"ok\":true"), std::string::npos);
+  // ...new work is refused with a structured error...
+  std::string Late = S.handle("{\"id\":5,\"verb\":\"specs\"}");
+  EXPECT_NE(Late.find("\"kind\":\"shutting_down\""), std::string::npos)
+      << Late;
+  // ...and the drain itself terminates.
+  S.drain();
+  EXPECT_TRUE(S.draining());
+}
+
+TEST(ServiceDrain, StreamServesInOrderAndDrainsOnShutdown) {
+  auto Sources = makeSources(3, 0xD1A);
+  ServiceSpecs Specs = learnSpecs(makeSources(20, 0x5E1));
+
+  std::string Input;
+  std::vector<std::string> Expected;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    Input += analyzeRequest(static_cast<int>(I), Sources[I]);
+    Input += '\n';
+    std::string Err;
+    auto PA = analyzeSource(Sources[I], "", Specs, false, &Err);
+    ASSERT_TRUE(PA) << Err;
+    Expected.push_back(okResponse(std::to_string(I), PA->AnalyzeJson));
+  }
+  Input += "{\"id\":9,\"verb\":\"shutdown\"}\n";
+  // A line after shutdown races the drain flag: the reader may stop before
+  // it (not served), admit it before the flag flips (served normally — a
+  // graceful drain completes everything admitted), or get shutting_down.
+  Input += "{\"id\":10,\"verb\":\"specs\"}\n";
+  Expected.push_back(okResponse("9", "{\"draining\":true}"));
+
+  ServerConfig Cfg;
+  Cfg.Workers = 4;
+  Server S(Cfg, Specs);
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  EXPECT_EQ(S.serveStream(In, Out), 0);
+
+  std::vector<std::string> Lines;
+  std::istringstream Parse(Out.str());
+  std::string Line;
+  while (std::getline(Parse, Line))
+    Lines.push_back(Line);
+  ASSERT_GE(Lines.size(), Expected.size());
+  ASSERT_LE(Lines.size(), Expected.size() + 1);
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Lines[I], Expected[I]) << "line " << I;
+  if (Lines.size() == Expected.size() + 1)
+    EXPECT_NE(Lines.back().find("\"id\":10"), std::string::npos)
+        << Lines.back();
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: mixed verbs from many client threads
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceConcurrent, MixedVerbClientsGetConsistentAnswers) {
+  auto Sources = makeSources(6, 0xCAFE);
+  ServiceSpecs Specs = learnSpecs(Sources);
+
+  std::vector<std::string> Expected;
+  for (const std::string &Src : Sources) {
+    std::string Err;
+    auto PA = analyzeSource(Src, "", Specs, false, &Err);
+    ASSERT_TRUE(PA) << Err;
+    Expected.push_back(PA->AnalyzeJson);
+  }
+
+  ServerConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.QueueCapacity = 1024; // roomy: this test is about answers, not limits
+  Server S(Cfg, Specs);
+
+  constexpr int ClientThreads = 8, PerClient = 24;
+  std::vector<std::thread> Clients;
+  std::vector<int> Failures(ClientThreads, 0);
+  for (int T = 0; T < ClientThreads; ++T) {
+    Clients.emplace_back([&, T] {
+      for (int I = 0; I < PerClient; ++I) {
+        int Kind = (T + I) % 4;
+        std::string Resp;
+        if (Kind == 0 || Kind == 1) {
+          size_t P = static_cast<size_t>(T + I) % Sources.size();
+          Resp = S.handle(analyzeRequest(static_cast<int>(P), Sources[P]));
+          if (Resp !=
+              okResponse(std::to_string(P), Expected[P]))
+            ++Failures[T];
+        } else if (Kind == 2) {
+          Resp = S.handle("{\"verb\":\"stats\"}");
+          if (Resp.find("\"ok\":true") == std::string::npos)
+            ++Failures[T];
+        } else {
+          Resp = S.handle("{\"verb\":\"broken");
+          if (Resp.find("\"ok\":false") == std::string::npos)
+            ++Failures[T];
+        }
+      }
+    });
+  }
+  for (std::thread &C : Clients)
+    C.join();
+  for (int T = 0; T < ClientThreads; ++T)
+    EXPECT_EQ(Failures[T], 0) << "client " << T;
+  EXPECT_GE(S.metrics().cacheHitCount(), 1u);
+}

@@ -26,13 +26,32 @@
 //       Show an artifact's sections, sizes and training statistics.
 //
 //   uspec analyze FILE [--specs specs.txt | --model run.uspb] [--coverage]
-//                 [--dot out.dot]
+//                 [--dot out.dot] [--json]
 //       Run the may-alias analysis on FILE (API-aware when --specs or
 //       --model is given), print aliasing call-site pairs, optionally dump
-//       the event graph in Graphviz format.
+//       the event graph in Graphviz format. --json emits the machine-
+//       readable payload of the query service (byte-identical to what
+//       `uspec serve` answers for the same program and artifact).
+//
+//   uspec serve   [--model run.uspb | --specs specs.txt] [--workers N]
+//                 [--queue N] [--cache N] [--socket PATH]
+//       Run the resident query service: load the specs once, then answer
+//       newline-delimited JSON requests over stdin/stdout (default) or a
+//       Unix-domain socket. See DESIGN.md §9 for the protocol.
+//
+//   uspec query   --socket PATH (analyze FILE [--coverage] | alias FILE A B
+//                 | typestate FILE CHECK USE | taint FILE [--source M]...
+//                 [--sink M]... [--sanitizer M]... | specs | stats
+//                 | shutdown | --json REQUEST)
+//       One-shot client for a running `uspec serve --socket` instance.
+//       Prints the result payload (byte-identical to `analyze --json` for
+//       the analyze verb); errors go to stderr with exit 1.
 //
 //   uspec check   FILES...
 //       Parse and lower files, reporting diagnostics.
+//
+// Unknown subcommands and unknown flags name the offending token and exit
+// with status 2.
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,14 +62,21 @@
 #include "corpus/Generator.h"
 #include "corpus/Profiles.h"
 #include "eventgraph/Dot.h"
+#include "service/Server.h"
 #include "specs/SpecIO.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace uspec;
 
@@ -68,8 +94,27 @@ int usage() {
       "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
       "  uspec info run.uspb\n"
       "  uspec analyze FILE [--specs specs.txt | --model run.uspb]\n"
-      "               [--coverage] [--dot out]\n"
+      "               [--coverage] [--dot out] [--json]\n"
+      "  uspec serve [--model run.uspb | --specs specs.txt] [--workers N]\n"
+      "              [--queue N] [--cache N] [--socket PATH]\n"
+      "  uspec query --socket PATH VERB [ARGS...]\n"
       "  uspec check FILES...\n");
+  return 2;
+}
+
+/// Unknown flag / stray positional: name the offending token and exit 2
+/// (never silently fall through to the generic usage text).
+int unknownToken(const char *Cmd, const char *Token) {
+  std::fprintf(stderr, "error: unknown %s '%s' for 'uspec %s'\n",
+               Token[0] == '-' ? "option" : "argument", Token, Cmd);
+  usage();
+  return 2;
+}
+
+/// An option that expects a value hit the end of the argument list.
+int missingValue(const char *Cmd, const char *Opt) {
+  std::fprintf(stderr, "error: option '%s' for 'uspec %s' requires a value\n",
+               Opt, Cmd);
   return 2;
 }
 
@@ -152,12 +197,12 @@ int cmdGen(Args &A) {
     if (!std::strcmp(Arg, "--profile")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("gen", Arg);
       ProfileName = V;
     } else if (!std::strcmp(Arg, "-n")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("gen", Arg);
       uint64_t Val = 0;
       if (!parseUInt("-n", V, Val))
         return 2;
@@ -165,16 +210,16 @@ int cmdGen(Args &A) {
     } else if (!std::strcmp(Arg, "-o")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("gen", Arg);
       OutDir = V;
     } else if (!std::strcmp(Arg, "--seed")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("gen", Arg);
       if (!parseUInt("--seed", V, Seed))
         return 2;
     } else {
-      return usage();
+      return unknownToken("gen", Arg);
     }
   }
   if (OutDir.empty())
@@ -237,6 +282,7 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   uint64_t Seed = 0xC0FFEE;
   uint64_t Threads = 0; // 0 = hardware concurrency
   bool Dedup = false, Stats = false;
+  const char *Cmd = Train ? "train" : "learn";
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--dedup")) {
       Dedup = true;
@@ -245,26 +291,28 @@ int cmdLearnOrTrain(Args &A, bool Train) {
     } else if (!std::strcmp(Arg, "--threads")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue(Cmd, Arg);
       if (!parseUInt("--threads", V, Threads))
         return 2;
     } else if (!std::strcmp(Arg, "-o")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue(Cmd, Arg);
       OutPath = V;
     } else if (!std::strcmp(Arg, "--tau")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue(Cmd, Arg);
       if (!parseDouble("--tau", V, Tau))
         return 2;
     } else if (!std::strcmp(Arg, "--seed")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue(Cmd, Arg);
       if (!parseUInt("--seed", V, Seed))
         return 2;
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      return unknownToken(Cmd, Arg);
     } else {
       Files.push_back(Arg);
     }
@@ -332,20 +380,22 @@ int cmdSelect(Args &A) {
     if (!std::strcmp(Arg, "-o")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("select", Arg);
       OutPath = V;
     } else if (!std::strcmp(Arg, "--tau")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("select", Arg);
       double Val = 0;
       if (!parseDouble("--tau", V, Val))
         return 2;
       Tau = Val;
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      return unknownToken("select", Arg);
     } else if (ArtifactPath.empty()) {
       ArtifactPath = Arg;
     } else {
-      return usage();
+      return unknownToken("select", Arg);
     }
   }
   if (ArtifactPath.empty())
@@ -387,8 +437,12 @@ int cmdSelect(Args &A) {
 
 int cmdInfo(Args &A) {
   const char *Path = A.next();
-  if (!Path || A.has())
+  if (!Path)
     return usage();
+  if (Path[0] == '-' && Path[1] != '\0')
+    return unknownToken("info", Path);
+  if (A.has())
+    return unknownToken("info", A.next());
   auto Bytes = readFile(Path);
   if (!Bytes)
     return 1;
@@ -423,29 +477,71 @@ int cmdInfo(Args &A) {
   return 0;
 }
 
+/// Loads the spec set for `analyze --json` / `serve` in canonical text form
+/// (see ServiceSpecs) from either a spec text file or a USPB artifact.
+/// Returns nullopt after printing a diagnostic.
+std::optional<service::ServiceSpecs>
+loadServiceSpecs(const std::string &SpecsPath, const std::string &ModelPath) {
+  if (!SpecsPath.empty()) {
+    auto Text = readFile(SpecsPath);
+    if (!Text)
+      return std::nullopt;
+    size_t BadLine = 0;
+    auto Specs = service::ServiceSpecs::fromText(*Text, &BadLine);
+    if (!Specs) {
+      std::fprintf(stderr, "%s:%zu: malformed specification\n",
+                   SpecsPath.c_str(), BadLine);
+      return std::nullopt;
+    }
+    return Specs;
+  }
+  if (!ModelPath.empty()) {
+    auto Bytes = readFile(ModelPath);
+    if (!Bytes)
+      return std::nullopt;
+    StringInterner Strings;
+    ArtifactError Err;
+    auto Artifacts = USpecLearner::loadArtifacts(*Bytes, Strings, &Err);
+    if (!Artifacts) {
+      std::fprintf(stderr, "error: %s: %s\n", ModelPath.c_str(),
+                   Err.str().c_str());
+      return std::nullopt;
+    }
+    return service::ServiceSpecs::fromSpecSet(Artifacts->Result.Selected,
+                                              Strings);
+  }
+  return service::ServiceSpecs();
+}
+
 int cmdAnalyze(Args &A) {
   std::string File, SpecsPath, ModelPath, DotPath;
-  bool Coverage = false;
+  bool Coverage = false, Json = false;
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--specs")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("analyze", Arg);
       SpecsPath = V;
     } else if (!std::strcmp(Arg, "--model")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("analyze", Arg);
       ModelPath = V;
     } else if (!std::strcmp(Arg, "--dot")) {
       const char *V = A.next();
       if (!V)
-        return usage();
+        return missingValue("analyze", Arg);
       DotPath = V;
     } else if (!std::strcmp(Arg, "--coverage")) {
       Coverage = true;
-    } else {
+    } else if (!std::strcmp(Arg, "--json")) {
+      Json = true;
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      return unknownToken("analyze", Arg);
+    } else if (File.empty()) {
       File = Arg;
+    } else {
+      return unknownToken("analyze", Arg);
     }
   }
   if (File.empty() || (!SpecsPath.empty() && !ModelPath.empty()))
@@ -454,6 +550,26 @@ int cmdAnalyze(Args &A) {
   auto Source = readFile(File);
   if (!Source)
     return 1;
+
+  if (Json) {
+    // The service engine: same specs canonicalization, same analysis, same
+    // serializer as the `analyze` verb of `uspec serve` — byte-identical by
+    // construction (and pinned by tests/service_test.cpp).
+    auto Specs = loadServiceSpecs(SpecsPath, ModelPath);
+    if (!Specs)
+      return 1;
+    std::string Error;
+    auto PA = service::analyzeSource(*Source, File, *Specs, Coverage, &Error);
+    if (!PA) {
+      std::string Out = "{\"error\":";
+      Out += service::errorBody("parse_error", Error);
+      Out += "}";
+      std::fprintf(stdout, "%s\n", Out.c_str());
+      return 1;
+    }
+    std::fprintf(stdout, "%s\n", PA->AnalyzeJson.c_str());
+    return 0;
+  }
   StringInterner Strings;
   DiagnosticSink Diags;
   auto P = parseAndLower(*Source, File, Strings, Diags);
@@ -535,6 +651,8 @@ int cmdAnalyze(Args &A) {
 int cmdCheck(Args &A) {
   bool Ok = true;
   while (const char *Arg = A.next()) {
+    if (Arg[0] == '-' && Arg[1] != '\0')
+      return unknownToken("check", Arg);
     auto Source = readFile(Arg);
     if (!Source) {
       Ok = false;
@@ -552,6 +670,341 @@ int cmdCheck(Args &A) {
     }
   }
   return Ok ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// serve
+//===----------------------------------------------------------------------===//
+
+/// Set by the SIGTERM/SIGINT handler; polled by the socket accept loop and —
+/// because the handler is installed *without* SA_RESTART — also unblocks the
+/// stdin getline in stream mode via EINTR.
+volatile int GStopRequested = 0;
+
+void onStopSignal(int) { GStopRequested = 1; }
+
+int cmdServe(Args &A) {
+  std::string ModelPath, SpecsPath, SocketPath;
+  service::ServerConfig Cfg;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "--model")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      ModelPath = V;
+    } else if (!std::strcmp(Arg, "--specs")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      SpecsPath = V;
+    } else if (!std::strcmp(Arg, "--socket")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      SocketPath = V;
+    } else if (!std::strcmp(Arg, "--workers")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      uint64_t Val = 0;
+      if (!parseUInt("--workers", V, Val))
+        return 2;
+      Cfg.Workers = static_cast<unsigned>(Val);
+    } else if (!std::strcmp(Arg, "--queue")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      uint64_t Val = 0;
+      if (!parseUInt("--queue", V, Val))
+        return 2;
+      if (!Val) {
+        std::fprintf(stderr, "error: --queue must be at least 1\n");
+        return 2;
+      }
+      Cfg.QueueCapacity = Val;
+    } else if (!std::strcmp(Arg, "--cache")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      uint64_t Val = 0;
+      if (!parseUInt("--cache", V, Val))
+        return 2;
+      Cfg.CacheCapacity = Val;
+    } else {
+      return unknownToken("serve", Arg);
+    }
+  }
+  if (!SpecsPath.empty() && !ModelPath.empty()) {
+    std::fprintf(stderr, "error: --specs and --model are mutually "
+                         "exclusive\n");
+    return 2;
+  }
+
+  auto Specs = loadServiceSpecs(SpecsPath, ModelPath);
+  if (!Specs)
+    return 1;
+
+  size_t NumSpecs = Specs->Lines.size();
+  service::Server Server(Cfg, std::move(*Specs));
+
+  // Graceful drain on SIGTERM/SIGINT. Deliberately no SA_RESTART so a
+  // blocking stdin read returns EINTR and the stream loop can wind down.
+  GStopRequested = 0;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+
+  if (!SocketPath.empty()) {
+    std::fprintf(stderr, "uspec serve: %zu specs, listening on %s\n",
+                 NumSpecs, SocketPath.c_str());
+    return Server.serveUnixSocket(SocketPath, &GStopRequested);
+  }
+  std::fprintf(stderr, "uspec serve: %zu specs, reading stdin\n", NumSpecs);
+  return Server.serveStream(std::cin, std::cout);
+}
+
+//===----------------------------------------------------------------------===//
+// query
+//===----------------------------------------------------------------------===//
+
+/// Connects to a `uspec serve --socket` instance, sends \p RequestLine, and
+/// reads one response line into \p ResponseLine.
+bool roundTrip(const std::string &SocketPath, const std::string &RequestLine,
+               std::string &ResponseLine) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return false;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long: %s\n",
+                 SocketPath.c_str());
+    ::close(Fd);
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "error: connect %s: %s\n", SocketPath.c_str(),
+                 std::strerror(errno));
+    ::close(Fd);
+    return false;
+  }
+
+  std::string Wire = RequestLine;
+  Wire += '\n';
+  size_t Sent = 0;
+  while (Sent < Wire.size()) {
+    ssize_t N = ::send(Fd, Wire.data() + Sent, Wire.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "error: send: %s\n", std::strerror(errno));
+      ::close(Fd);
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+
+  ResponseLine.clear();
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "error: recv: %s\n", std::strerror(errno));
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    ResponseLine.append(Buf, static_cast<size_t>(N));
+    size_t Nl = ResponseLine.find('\n');
+    if (Nl != std::string::npos) {
+      ResponseLine.resize(Nl);
+      break;
+    }
+  }
+  ::close(Fd);
+  if (ResponseLine.empty()) {
+    std::fprintf(stderr, "error: server closed the connection without a "
+                         "response\n");
+    return false;
+  }
+  return true;
+}
+
+/// Appends `,"KEY":"VALUE"` with JSON escaping.
+void appendField(std::string &Out, const char *Key, std::string_view Value) {
+  Out += ",\"";
+  Out += Key;
+  Out += "\":";
+  service::appendJsonString(Out, Value);
+}
+
+int cmdQuery(Args &A) {
+  std::string SocketPath, RawRequest;
+  std::vector<const char *> Positional;
+  bool Coverage = false;
+  std::vector<std::string> Sources, Sinks, Sanitizers;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "--socket")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      SocketPath = V;
+    } else if (!std::strcmp(Arg, "--json")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      RawRequest = V;
+    } else if (!std::strcmp(Arg, "--coverage")) {
+      Coverage = true;
+    } else if (!std::strcmp(Arg, "--source")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      Sources.push_back(V);
+    } else if (!std::strcmp(Arg, "--sink")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      Sinks.push_back(V);
+    } else if (!std::strcmp(Arg, "--sanitizer")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      Sanitizers.push_back(V);
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      return unknownToken("query", Arg);
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "error: query requires --socket PATH\n");
+    return 2;
+  }
+
+  std::string Request;
+  if (!RawRequest.empty()) {
+    if (!Positional.empty())
+      return unknownToken("query", Positional.front());
+    Request = RawRequest;
+  } else {
+    if (Positional.empty()) {
+      std::fprintf(stderr, "error: query requires a verb (analyze, alias, "
+                           "typestate, taint, specs, stats, shutdown) or "
+                           "--json REQUEST\n");
+      return 2;
+    }
+    std::string VerbName = Positional.front();
+    auto NeedArgs = [&](size_t N, const char *Shape) -> bool {
+      if (Positional.size() == N + 1)
+        return true;
+      std::fprintf(stderr, "error: usage: uspec query --socket PATH %s\n",
+                   Shape);
+      return false;
+    };
+    auto ReadProgram = [&](size_t Index,
+                           std::string &Out) -> bool {
+      auto Source = readFile(Positional[Index]);
+      if (!Source)
+        return false;
+      Out = std::move(*Source);
+      return true;
+    };
+    std::string Program;
+    if (VerbName == "analyze") {
+      if (!NeedArgs(1, "analyze FILE [--coverage]"))
+        return 2;
+      if (!ReadProgram(1, Program))
+        return 1;
+      Request = "{\"verb\":\"analyze\"";
+      appendField(Request, "program", Program);
+      if (Coverage)
+        Request += ",\"coverage\":true";
+      Request += "}";
+    } else if (VerbName == "alias") {
+      if (!NeedArgs(3, "alias FILE A B"))
+        return 2;
+      if (!ReadProgram(1, Program))
+        return 1;
+      Request = "{\"verb\":\"alias\"";
+      appendField(Request, "program", Program);
+      appendField(Request, "a", Positional[2]);
+      appendField(Request, "b", Positional[3]);
+      Request += "}";
+    } else if (VerbName == "typestate") {
+      if (!NeedArgs(3, "typestate FILE CHECK USE"))
+        return 2;
+      if (!ReadProgram(1, Program))
+        return 1;
+      Request = "{\"verb\":\"typestate\"";
+      appendField(Request, "program", Program);
+      appendField(Request, "check", Positional[2]);
+      appendField(Request, "use", Positional[3]);
+      Request += "}";
+    } else if (VerbName == "taint") {
+      if (!NeedArgs(1, "taint FILE [--source M]... [--sink M]... "
+                       "[--sanitizer M]..."))
+        return 2;
+      if (!ReadProgram(1, Program))
+        return 1;
+      Request = "{\"verb\":\"taint\"";
+      appendField(Request, "program", Program);
+      auto AppendList = [&](const char *Key,
+                            const std::vector<std::string> &Names) {
+        Request += ",\"";
+        Request += Key;
+        Request += "\":[";
+        for (size_t I = 0; I < Names.size(); ++I) {
+          if (I)
+            Request += ',';
+          service::appendJsonString(Request, Names[I]);
+        }
+        Request += ']';
+      };
+      AppendList("sources", Sources);
+      AppendList("sinks", Sinks);
+      AppendList("sanitizers", Sanitizers);
+      Request += "}";
+    } else if (VerbName == "specs" || VerbName == "stats" ||
+               VerbName == "shutdown") {
+      if (!NeedArgs(0, (VerbName).c_str()))
+        return 2;
+      Request = "{\"verb\":\"" + VerbName + "\"}";
+    } else {
+      return unknownToken("query", Positional.front());
+    }
+  }
+
+  std::string Response;
+  if (!roundTrip(SocketPath, Request, Response))
+    return 1;
+
+  // `uspec query` sends no id, so a success is exactly
+  // {"ok":true,"result":PAYLOAD} — strip the fixed envelope to recover the
+  // payload byte-exactly (the analyze payload then matches `analyze --json`).
+  static const char OkPrefix[] = "{\"ok\":true,\"result\":";
+  const size_t PrefixLen = sizeof(OkPrefix) - 1;
+  if (Response.size() > PrefixLen + 1 &&
+      !Response.compare(0, PrefixLen, OkPrefix) && Response.back() == '}') {
+    std::fwrite(Response.data() + PrefixLen,
+                1, Response.size() - PrefixLen - 1, stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "%s\n", Response.c_str());
+  return 1;
 }
 
 } // namespace
@@ -572,7 +1025,12 @@ int main(int Argc, char **Argv) {
     return cmdInfo(A);
   if (!std::strcmp(Argv[1], "analyze"))
     return cmdAnalyze(A);
+  if (!std::strcmp(Argv[1], "serve"))
+    return cmdServe(A);
+  if (!std::strcmp(Argv[1], "query"))
+    return cmdQuery(A);
   if (!std::strcmp(Argv[1], "check"))
     return cmdCheck(A);
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", Argv[1]);
   return usage();
 }
