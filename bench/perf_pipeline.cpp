@@ -168,6 +168,27 @@ void BM_FullPipelineThreads(benchmark::State &State) {
 }
 BENCHMARK(BM_FullPipelineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// Robustness overhead (DESIGN.md §10): the same corpus learned with the
+// per-program step budget off (0) and with a generous budget that never
+// exhausts — isolating the cost of the Budget::consume() polling and the
+// staged all-or-nothing Phase-3 extraction. With no fault armed the
+// USPEC_FAULT checks are one relaxed atomic load each, so the delta between
+// the two Args is the entire price of running budgeted.
+void BM_FullPipelineBudgeted(benchmark::State &State) {
+  uint64_t StepBudget = static_cast<uint64_t>(State.range(0));
+  static StringInterner S;
+  GeneratedCorpus &Corpus = corpusOf(200, S);
+  LearnerConfig Cfg;
+  Cfg.ProgramStepBudget = StepBudget;
+  for (auto _ : State) {
+    USpecLearner Learner(S, Cfg);
+    benchmark::DoNotOptimize(Learner.learn(Corpus.Programs));
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.Programs.size());
+  State.SetLabel(StepBudget ? "budgeted (never exhausts)" : "budget off");
+}
+BENCHMARK(BM_FullPipelineBudgeted)->Arg(0)->Arg(1 << 30);
+
 /// --uspec_phase_json[=N]: instead of google-benchmark, run the full
 /// pipeline over the default corpus profile (N programs, default 400) once
 /// per thread count in {1, 2, 4, 8} and print one JSON document with the

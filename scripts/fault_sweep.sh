@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+#===- fault_sweep.sh - USPEC_FAULT sweep over the real binary ------------===#
+#
+# Part of the USpec reproduction (PLDI 2019). MIT license.
+#
+# Drives `uspec` under injected faults (USPEC_FAULT=<site>:<nth>[:action],
+# see DESIGN.md §10) and asserts the recovery contracts:
+#
+#   artifact.write*  kill -9 during the artifact write leaves either no
+#                    artifact or a complete one, never a torn file, and
+#                    `train --resume` converges to the uninterrupted bytes;
+#   analysis.step /  a per-program soft fault quarantines that program
+#   learn.analyze    (reported in --stats) instead of sinking the run;
+#   service.worker   a worker death mid-request yields a structured
+#                    `internal` error, the pool self-heals, and the server
+#                    still answers and drains cleanly.
+#
+# solver.step is exercised in-process by the Fault ctest suites (the
+# constraint solver has no standalone CLI path).
+#
+# Usage: scripts/fault_sweep.sh [path/to/uspec]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+USPEC=${1:-build/tools/uspec}
+
+WORK=$(mktemp -d)
+SERVER=
+cleanup() {
+  [ -n "$SERVER" ] && kill "$SERVER" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail=0
+
+echo "== corpus + uninterrupted baseline"
+"$USPEC" gen --profile java -n 12 -o "$WORK/corpus" --seed 19
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/base.uspb" --seed 19
+
+echo "== kill -9 at every artifact.write site, then train --resume"
+for site in artifact.write artifact.write.data artifact.write.fsync \
+            artifact.write.rename; do
+  out="$WORK/killed.uspb"
+  rm -f "$out" "$out.tmp"
+  rc=0
+  USPEC_FAULT="$site:1:kill" "$USPEC" train "$WORK/corpus"/*.mini \
+    -o "$out" --seed 19 >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 137 ]; then
+    echo "FAIL: $site: expected exit 137 (injected kill), got $rc" >&2
+    fail=1
+  fi
+  # Never a torn artifact: absent, or complete and loadable.
+  if [ -f "$out" ] && ! "$USPEC" info "$out" >/dev/null 2>&1; then
+    echo "FAIL: $site: kill left a torn artifact" >&2
+    fail=1
+  fi
+  "$USPEC" train "$WORK/corpus"/*.mini -o "$out" --seed 19 --resume \
+    >/dev/null 2>&1
+  if ! cmp -s "$out" "$WORK/base.uspb"; then
+    echo "FAIL: $site: resumed artifact differs from uninterrupted run" >&2
+    fail=1
+  fi
+  if [ -f "$out.tmp" ]; then
+    echo "FAIL: $site: stale temp survived resume" >&2
+    fail=1
+  fi
+  echo "   $site: kill -> resume OK"
+done
+
+echo "== per-program quarantine (soft analysis fault, injected throw)"
+for spec in analysis.step:1:soft learn.analyze:0; do
+  stats=$(USPEC_FAULT="$spec" "$USPEC" train "$WORK/corpus"/*.mini \
+    -o "$WORK/quarantine.uspb" --seed 19 --threads 1 --stats 2>&1 >/dev/null)
+  if ! echo "$stats" | grep -q '"quarantined_count": 1'; then
+    echo "FAIL: $spec: expected exactly one quarantined program; stats:" >&2
+    echo "$stats" | tail -1 >&2
+    fail=1
+  else
+    echo "   $spec: quarantined 1 program, run survived"
+  fi
+done
+
+echo "== service.worker death: structured error, pool self-heals"
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/run.uspb" --seed 19 \
+  >/dev/null 2>&1
+USPEC_FAULT=service.worker:1 "$USPEC" serve --model "$WORK/run.uspb" \
+  --socket "$WORK/uspec.sock" --workers 2 2>/dev/null &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/uspec.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/uspec.sock" ] || {
+  echo "FAIL: server socket never appeared" >&2
+  exit 1
+}
+
+first=$("$USPEC" query --socket "$WORK/uspec.sock" specs 2>&1 || true)
+if ! echo "$first" | grep -q '"kind":"internal"'; then
+  echo "FAIL: expected structured internal error from dying worker, got:" >&2
+  echo "$first" >&2
+  fail=1
+fi
+second=$("$USPEC" query --socket "$WORK/uspec.sock" \
+  analyze "$WORK/corpus/prog0.mini" 2>&1 || true)
+if ! echo "$second" | grep -q '"alias_count"'; then
+  echo "FAIL: server did not recover after worker death, got:" >&2
+  echo "$second" >&2
+  fail=1
+fi
+stats=$("$USPEC" query --socket "$WORK/uspec.sock" stats)
+if ! echo "$stats" | grep -q '"worker_deaths":1'; then
+  echo "FAIL: stats did not record the worker death: $stats" >&2
+  fail=1
+fi
+"$USPEC" query --socket "$WORK/uspec.sock" shutdown >/dev/null
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: server exited with status $rc after worker death + drain" >&2
+  fail=1
+fi
+[ "$fail" -eq 0 ] && echo "   worker death -> internal error -> recovery OK"
+
+if [ "$fail" -eq 0 ]; then
+  echo "fault sweep: OK"
+else
+  echo "fault sweep: FAILED" >&2
+fi
+exit "$fail"

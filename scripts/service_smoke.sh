@@ -95,6 +95,47 @@ if [ "$rc" -ne 0 ]; then
   fail=1
 fi
 
+echo "== fault-injected serve: worker death must not break byte-identity"
+USPEC_FAULT=service.worker:1 "$USPEC" serve --model "$WORK/run.uspb" \
+  --socket "$WORK/uspec2.sock" --workers 2 2>/dev/null &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/uspec2.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/uspec2.sock" ] || {
+  echo "FAIL: fault-injected server socket never appeared" >&2
+  exit 1
+}
+# First request hits the armed fault: a structured internal error, answered
+# (not a hung or dropped connection). --retries only retries transient
+# errors, so the internal error surfaces on the first attempt.
+first=$("$USPEC" query --socket "$WORK/uspec2.sock" --retries 2 specs \
+  2>&1 || true)
+if ! echo "$first" | grep -q '"kind":"internal"'; then
+  echo "FAIL: dying worker did not answer a structured internal error:" >&2
+  echo "$first" >&2
+  fail=1
+fi
+# The replacement worker serves byte-identical payloads.
+for i in 0 1 2; do
+  "$USPEC" query --socket "$WORK/uspec2.sock" \
+    analyze "$WORK/corpus/prog$i.mini" > "$WORK/afterfault.$i.json"
+  if ! cmp -s "$WORK/expected.$i.json" "$WORK/afterfault.$i.json"; then
+    echo "FAIL: program $i differs from analyze --json after worker death" >&2
+    fail=1
+  fi
+done
+"$USPEC" query --socket "$WORK/uspec2.sock" shutdown >/dev/null
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: fault-injected server exited with status $rc" >&2
+  fail=1
+fi
+[ "$fail" -eq 0 ] && echo "worker death: answered, recovered, byte-identical"
+
 if [ "$fail" -eq 0 ]; then
   echo "service smoke: OK"
 else

@@ -6,6 +6,14 @@
 
 #include "artifact/ArtifactIO.h"
 
+#include "support/FaultInject.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 using namespace uspec;
 
 namespace {
@@ -325,4 +333,70 @@ std::optional<CorpusManifest> uspec::decodeManifest(std::string_view Bytes,
       Manifest.Entries.push_back(std::move(E));
   }
   return finish(R, std::move(Manifest), Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe file writes
+//===----------------------------------------------------------------------===//
+
+std::string uspec::atomicTempPath(const std::string &Path) {
+  return Path + ".tmp";
+}
+
+bool uspec::writeFileAtomic(const std::string &Path, std::string_view Bytes,
+                            std::string *Err) {
+  const std::string Tmp = atomicTempPath(Path);
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string(What) + " '" + Tmp + "': " + std::strerror(errno);
+    ::unlink(Tmp.c_str());
+    return false;
+  };
+  try {
+    USPEC_FAULT_POINT("artifact.write");
+    int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd < 0)
+      return Fail("cannot open");
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t W = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        ::close(Fd);
+        return Fail("cannot write");
+      }
+      Off += static_cast<size_t>(W);
+    }
+    USPEC_FAULT_POINT("artifact.write.data");
+    // fsync before rename: the rename must not become durable before the
+    // data, or a crash could publish a zero-length/partial file.
+    if (::fsync(Fd) != 0) {
+      ::close(Fd);
+      return Fail("cannot fsync");
+    }
+    ::close(Fd);
+    USPEC_FAULT_POINT("artifact.write.fsync");
+    if (::rename(Tmp.c_str(), Path.c_str()) != 0)
+      return Fail("cannot rename");
+    USPEC_FAULT_POINT("artifact.write.rename");
+    return true;
+  } catch (const FaultInjected &F) {
+    if (Err)
+      *Err = F.what();
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+}
+
+bool uspec::discardStaleTemp(const std::string &Path, std::string *Warning) {
+  const std::string Tmp = atomicTempPath(Path);
+  struct stat St;
+  if (::stat(Tmp.c_str(), &St) != 0)
+    return false;
+  ::unlink(Tmp.c_str());
+  if (Warning)
+    *Warning = "discarded stale partial write '" + Tmp + "' (" +
+               std::to_string(St.st_size) + " bytes) from an interrupted run";
+  return true;
 }

@@ -159,6 +159,28 @@ std::string encodeManifest(const CorpusManifest &Manifest);
 std::optional<CorpusManifest> decodeManifest(std::string_view Bytes,
                                              ArtifactError *Err = nullptr);
 
+//===----------------------------------------------------------------------===//
+// Crash-safe file writes
+//===----------------------------------------------------------------------===//
+
+/// The temp path writeFileAtomic stages through: "<path>.tmp".
+std::string atomicTempPath(const std::string &Path);
+
+/// Writes \p Bytes to \p Path crash-safely: write to "<path>.tmp", fsync,
+/// then atomically rename over \p Path. A crash (or injected kill) at any
+/// point leaves either the old file, or the new file, plus at most a stale
+/// temp — never a torn \p Path. Fault sites, in order: `artifact.write`
+/// (entry), `artifact.write.data` (after write, before fsync),
+/// `artifact.write.fsync` (after fsync, before rename),
+/// `artifact.write.rename` (after rename). Returns false and fills \p Err
+/// on failure (including an injected FaultInjected, which is caught here).
+bool writeFileAtomic(const std::string &Path, std::string_view Bytes,
+                     std::string *Err = nullptr);
+
+/// Removes a stale "<path>.tmp" left behind by an interrupted write.
+/// Returns true (and fills \p Warning) when one was found and discarded.
+bool discardStaleTemp(const std::string &Path, std::string *Warning = nullptr);
+
 } // namespace uspec
 
 #endif // USPEC_ARTIFACT_ARTIFACTIO_H

@@ -88,8 +88,11 @@ void CandidateCollector::merge(CandidateCollector &&Other) {
   Other.Order.clear();
 }
 
-void CandidateCollector::addGraph(const EventGraph &G, uint32_t ProgramId) {
+bool CandidateCollector::addGraph(const EventGraph &G, uint32_t ProgramId,
+                                  Budget *B) {
   for (auto [LaterIdx, EarlierIdx] : G.receiverPairs(DistanceBound)) {
+    if (B && !B->consume())
+      return false;
     ++ReceiverPairsSeen;
     const CallSite &M1 = G.callSites()[LaterIdx];
     const CallSite &M2 = G.callSites()[EarlierIdx];
@@ -98,22 +101,26 @@ void CandidateCollector::addGraph(const EventGraph &G, uint32_t ProgramId) {
     if (M1.Method.Name.isEmpty() || M2.Method.Name.isEmpty())
       continue;
 
-    if (matchesRetSame(G, M1, M2)) {
+    if (matchesRetSame(G, M1, M2, B)) {
       Spec S = Spec::retSame(M1.Method);
       recordMatch(S, G, inducedRetSame(G, M1, M2), ProgramId);
     }
     for (unsigned X = 1; X <= M2.nargs(); ++X) {
-      if (!matchesRetArg(G, M1, M2, X))
+      if (!matchesRetArg(G, M1, M2, X, B))
         continue;
       Spec S = Spec::retArg(M1.Method, M2.Method, static_cast<uint8_t>(X));
       recordMatch(S, G, inducedRetArg(G, M1, M2, X), ProgramId);
     }
+    if (B && B->exhausted())
+      return false;
   }
 
   // Experimental RetRecv pattern (§5.3): every call site with receiver and
   // return matches trivially; the scoring has to carry all the weight.
   if (Experimental) {
     for (const CallSite &M : G.callSites()) {
+      if (B && !B->consume())
+        return false;
       if (M.Recv == InvalidEvent || M.Ret == InvalidEvent ||
           M.Method.Name.isEmpty())
         continue;
@@ -121,4 +128,5 @@ void CandidateCollector::addGraph(const EventGraph &G, uint32_t ProgramId) {
                   ProgramId);
     }
   }
+  return !(B && B->exhausted());
 }

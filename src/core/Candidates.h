@@ -71,8 +71,13 @@ public:
         Experimental(ExperimentalPatterns) {}
 
   /// Processes one event graph (Alg. 1). \p ProgramId identifies the program
-  /// for per-program match statistics.
-  void addGraph(const EventGraph &G, uint32_t ProgramId);
+  /// for per-program match statistics. With a budget, each receiver pair and
+  /// each pattern probe consumes steps; on exhaustion extraction stops and
+  /// returns false, leaving this collector with a PARTIAL contribution from
+  /// \p G — callers that need all-or-nothing semantics stage the graph into
+  /// a scratch collector and merge() only on success (see Learner Phase 3).
+  /// Returns true when the graph was processed completely.
+  bool addGraph(const EventGraph &G, uint32_t ProgramId, Budget *B = nullptr);
 
   /// Folds \p Other (a shard covering strictly later graphs) into this
   /// collector deterministically: first-seen candidate order is preserved

@@ -8,6 +8,8 @@
 
 #include "core/Naming.h"
 #include "eventgraph/EventGraph.h"
+#include "support/Budget.h"
+#include "support/FaultInject.h"
 #include "support/ParallelFor.h"
 
 #include <algorithm>
@@ -31,17 +33,50 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   // Phase 1 (§3): analyze each program and build its event graph. Programs
   // are independent, so this fans out across threads (the paper runs its
   // pipeline on a 28-core server, §7.2).
+  //
+  // Per-program isolation (DESIGN.md §10): an analysis that throws or blows
+  // its step budget quarantines that one program instead of aborting the
+  // run. Quarantine is IN PLACE — the program keeps its slot with an empty
+  // graph and no samples — so sample seeds hashValues(Seed, I) and Phase-3
+  // shard boundaries are exactly those of the full corpus, keeping the
+  // result bit-identical at any thread count.
   std::vector<std::unique_ptr<AnalysisResult>> Analyses(N);
   std::vector<EventGraph> Graphs(N);
+  std::vector<std::string> QReason(N);
   // Phase 2a (§4.2): per-program training samples, seeded per program so
   // results do not depend on scheduling.
   std::vector<std::vector<TrainingSample>> PerProgramSamples(N);
   parallelFor(N, Config.Threads, [&](size_t I) {
-    Analyses[I] = std::make_unique<AnalysisResult>(
-        analyzeProgram(Corpus[I], Strings, Config.Analysis));
-    Graphs[I] = EventGraph::build(*Analyses[I]);
-    Rng Rand(hashValues(Config.Seed, I));
-    collectTrainingSamples(Graphs[I], Rand, PerProgramSamples[I]);
+    try {
+      if (faultFiresAt("learn.analyze", I))
+        throw FaultInjected("learn.analyze");
+      Budget B = Budget::steps(Config.ProgramStepBudget);
+      AnalysisOptions Opts = Config.Analysis;
+      if (Config.ProgramStepBudget != 0)
+        Opts.StepBudget = &B;
+      Analyses[I] =
+          std::make_unique<AnalysisResult>(analyzeProgram(Corpus[I], Strings, Opts));
+      if (Analyses[I]->Bounded) {
+        QReason[I] = std::string("analysis:") + B.reason();
+        if (QReason[I] == "analysis:") // injected exhaustion, not the budget
+          QReason[I] = "analysis:bounded";
+        Analyses[I] = std::make_unique<AnalysisResult>();
+        return;
+      }
+      Graphs[I] = EventGraph::build(*Analyses[I]);
+      Rng Rand(hashValues(Config.Seed, I));
+      collectTrainingSamples(Graphs[I], Rand, PerProgramSamples[I]);
+    } catch (const FaultInjected &F) {
+      QReason[I] = "fault:" + F.site();
+      Analyses[I] = std::make_unique<AnalysisResult>();
+      Graphs[I] = EventGraph();
+      PerProgramSamples[I].clear();
+    } catch (const std::exception &E) {
+      QReason[I] = std::string("error:") + E.what();
+      Analyses[I] = std::make_unique<AnalysisResult>();
+      Graphs[I] = EventGraph();
+      PerProgramSamples[I].clear();
+    }
   });
   for (const EventGraph &G : Graphs)
     if (!G.callSites().empty())
@@ -75,8 +110,25 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
                         Config.ExperimentalPatterns);
   parallelFor(NumShards, Config.Threads, [&](size_t S) {
     auto [Lo, Hi] = shardRange(N, static_cast<unsigned>(S), NumShards);
-    for (size_t I = Lo; I < Hi; ++I)
-      Shards[S].addGraph(Graphs[I], static_cast<uint32_t>(I));
+    for (size_t I = Lo; I < Hi; ++I) {
+      if (!QReason[I].empty())
+        continue; // quarantined in Phase 1; default graph has no analysis
+      if (Config.ProgramStepBudget == 0) {
+        Shards[S].addGraph(Graphs[I], static_cast<uint32_t>(I));
+        continue;
+      }
+      // Budgeted extraction is all-or-nothing per graph: stage into a
+      // scratch collector and merge only on completion, so a quarantined
+      // graph contributes nothing (deterministic at any shard count; merge
+      // is bit-identical to a direct addGraph, see PR 2 / parallel_test).
+      Budget B = Budget::steps(Config.ProgramStepBudget);
+      CandidateCollector Tmp(Result.Model, Config.DistanceBound,
+                             Config.ExperimentalPatterns);
+      if (Tmp.addGraph(Graphs[I], static_cast<uint32_t>(I), &B))
+        Shards[S].merge(std::move(Tmp));
+      else
+        QReason[I] = "extract:steps";
+    }
   });
   for (const CandidateCollector &Shard : Shards)
     Result.Stats.PeakCandidates += Shard.candidates().size();
@@ -119,6 +171,13 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
       select(Result.Candidates, Config.Tau, Config.ExtendConsistency,
              &Result.AddedByExtension);
   Result.Stats.SelectSeconds = Phase.lap();
+
+  // Quarantine report, in corpus order (deterministic at any thread count).
+  for (size_t I = 0; I < N; ++I)
+    if (!QReason[I].empty())
+      Result.Stats.Quarantined.push_back(
+          QuarantineRecord{I, Corpus[I].Name, QReason[I]});
+
   Result.Stats.TotalSeconds = Total.lap();
   return Result;
 }

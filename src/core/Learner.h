@@ -72,6 +72,14 @@ struct LearnerConfig {
   /// is seeded per program, extraction shards merge deterministically, and
   /// scoring writes per-candidate slots.
   unsigned Threads = 0;
+  /// Per-program step budget for Phase 1 analysis and Phase 3 extraction
+  /// (0 = unlimited). A program that exhausts its budget — or throws — is
+  /// quarantined (recorded in PipelineStats::Quarantined with a reason)
+  /// instead of aborting the run. Quarantine is in-place: the program keeps
+  /// its corpus slot (empty graph, no samples), so per-program sample seeds
+  /// hashValues(Seed, I) and shard boundaries are unchanged and the result
+  /// stays bit-identical at any thread count.
+  uint64_t ProgramStepBudget = 0;
 };
 
 /// One scored candidate specification.

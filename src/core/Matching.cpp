@@ -47,7 +47,9 @@ bool argsEqual(const EventGraph &G, const CallSite &M1, unsigned I1,
 } // namespace
 
 bool uspec::matchesRetSame(const EventGraph &G, const CallSite &M1,
-                           const CallSite &M2) {
+                           const CallSite &M2, Budget *B) {
+  if (B && !B->consume())
+    return false;
   // C1: same method identifier (class, name, signature).
   if (M1.Method != M2.Method)
     return false;
@@ -61,7 +63,9 @@ bool uspec::matchesRetSame(const EventGraph &G, const CallSite &M1,
 }
 
 bool uspec::matchesRetArg(const EventGraph &G, const CallSite &M1,
-                          const CallSite &M2, unsigned X) {
+                          const CallSite &M2, unsigned X, Budget *B) {
+  if (B && !B->consume())
+    return false;
   // C1': the storing method has exactly one extra argument.
   if (M2.nargs() != M1.nargs() + 1u)
     return false;

@@ -25,6 +25,7 @@
 
 #include "eventgraph/EventGraph.h"
 #include "specs/Spec.h"
+#include "support/Budget.h"
 
 #include <utility>
 #include <vector>
@@ -35,12 +36,15 @@ namespace uspec {
 using InducedEdge = std::pair<EventId, EventId>;
 
 /// True iff the call-site pair (M1 later, M2 earlier) matches RetSame.
+/// Each probe consumes one step of \p B when given; after exhaustion the
+/// probe conservatively reports "no match" (the caller is expected to
+/// quarantine or stop, not to trust further answers).
 bool matchesRetSame(const EventGraph &G, const CallSite &M1,
-                    const CallSite &M2);
+                    const CallSite &M2, Budget *B = nullptr);
 
 /// True iff the pair matches RetArg(id(M1), id(M2), X); X is 1-based.
 bool matchesRetArg(const EventGraph &G, const CallSite &M1,
-                   const CallSite &M2, unsigned X);
+                   const CallSite &M2, unsigned X, Budget *B = nullptr);
 
 /// Induced edges of a RetSame match: child(⟨m2,ret⟩) × child(⟨m1,ret⟩).
 std::vector<InducedEdge> inducedRetSame(const EventGraph &G,

@@ -22,8 +22,22 @@
 #include <cstddef>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace uspec {
+
+/// One program excluded from a learn() run instead of aborting it: analysis
+/// threw, the per-program budget ran out, or (at the CLI layer) the source
+/// failed to parse and never entered the corpus.
+struct QuarantineRecord {
+  /// Corpus index of the program (or input-file index for parse failures).
+  size_t Program = 0;
+  /// Program name (IRProgram::Name / source path) when known.
+  std::string Name;
+  /// Machine-readable reason, e.g. "parse", "analysis:steps",
+  /// "extract:steps", "fault:learn.analyze", "error:<what>".
+  std::string Reason;
+};
 
 /// Per-phase wall times and workload counters of one pipeline run.
 struct PipelineStats {
@@ -50,9 +64,13 @@ struct PipelineStats {
   /// shard-local tables before the merge; equals Candidates when serial).
   size_t PeakCandidates = 0;
 
+  /// Programs excluded from this run (per-program isolation, DESIGN.md §10),
+  /// in ascending Program order — deterministic at any thread count.
+  std::vector<QuarantineRecord> Quarantined;
+
   /// Renders the stats as a single JSON object (no trailing newline).
   std::string json() const {
-    char Buf[640];
+    char Buf[704];
     std::snprintf(
         Buf, sizeof(Buf),
         "{\"threads\": %u, "
@@ -61,11 +79,42 @@ struct PipelineStats {
         "\"total\": %.6f}, "
         "\"programs\": %zu, \"graphs\": %zu, \"receiver_pairs\": %zu, "
         "\"matches\": %zu, \"training_samples\": %zu, "
-        "\"candidates\": %zu, \"peak_candidates\": %zu}",
+        "\"candidates\": %zu, \"peak_candidates\": %zu, "
+        "\"quarantined_count\": %zu, \"quarantined\": [",
         ThreadsUsed, AnalyzeSeconds, TrainSeconds, ExtractSeconds,
         ScoreSeconds, SelectSeconds, TotalSeconds, Programs, Graphs,
-        ReceiverPairs, Matches, TrainingSamples, Candidates, PeakCandidates);
-    return Buf;
+        ReceiverPairs, Matches, TrainingSamples, Candidates, PeakCandidates,
+        Quarantined.size());
+    std::string Out = Buf;
+    for (size_t I = 0; I < Quarantined.size(); ++I) {
+      const QuarantineRecord &Q = Quarantined[I];
+      if (I)
+        Out += ", ";
+      Out += "{\"program\": " + std::to_string(Q.Program) + ", \"name\": \"";
+      appendEscaped(Out, Q.Name);
+      Out += "\", \"reason\": \"";
+      appendEscaped(Out, Q.Reason);
+      Out += "\"}";
+    }
+    Out += "]}";
+    return Out;
+  }
+
+private:
+  /// Minimal JSON string escaping (quotes, backslashes, control bytes).
+  static void appendEscaped(std::string &Out, const std::string &S) {
+    for (char C : S) {
+      if (C == '"' || C == '\\') {
+        Out += '\\';
+        Out += C;
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += C;
+      }
+    }
   }
 };
 

@@ -6,6 +6,8 @@
 
 #include "pointsto/Analysis.h"
 
+#include "support/FaultInject.h"
+
 #include <algorithm>
 
 using namespace uspec;
@@ -61,16 +63,22 @@ public:
   }
 
   AnalysisResult run() {
-    for (unsigned Iter = 0; Iter < std::max(1u, Opts.OuterIterations);
-         ++Iter) {
+    for (unsigned Iter = 0;
+         Iter < std::max(1u, Opts.OuterIterations) && !Exhausted; ++Iter) {
       bool LastIter = Iter + 1 == std::max(1u, Opts.OuterIterations);
       for (const IRClass &Class : Program.Classes) {
         for (const IRMethod &Method : Class.Methods) {
           Flow F;
           Frame Entry = setupEntryFrame(Class, Method, F);
           analyzeBody(Method.Body, Entry, F, /*Depth=*/0);
-          if (LastIter)
+          // Bounded runs still merge what they saw: the histories/events are
+          // genuine, just incomplete, and R.Bounded forces ⊤ alias answers.
+          if (LastIter || Exhausted)
             mergeIntoResult(F);
+          if (Exhausted) {
+            R.Bounded = true;
+            return std::move(R);
+          }
         }
       }
     }
@@ -241,8 +249,18 @@ private:
 
   void analyzeBody(const InstrList &Body, Frame &Fr, Flow &F,
                    unsigned Depth) {
-    for (const Instr &I : Body)
+    for (const Instr &I : Body) {
+      // Cooperative bound: one step per interpreted instruction. The flag is
+      // sticky so the whole inline/branch recursion unwinds promptly.
+      if (Exhausted)
+        return;
+      if ((Opts.StepBudget && !Opts.StepBudget->consume()) ||
+          USPEC_FAULT_SOFT("analysis.step")) {
+        Exhausted = true;
+        return;
+      }
       analyzeInstr(I, Fr, F, Depth);
+    }
   }
 
   void analyzeInstr(const Instr &I, Frame &Fr, Flow &F, unsigned Depth) {
@@ -572,6 +590,7 @@ private:
   const StringInterner &Strings;
   AnalysisOptions Opts;
   AnalysisResult R;
+  bool Exhausted = false;
 };
 
 } // namespace

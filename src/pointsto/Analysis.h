@@ -28,6 +28,7 @@
 #include "pointsto/Event.h"
 #include "pointsto/Object.h"
 #include "specs/Spec.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <unordered_map>
@@ -52,6 +53,10 @@ struct AnalysisOptions {
   unsigned OuterIterations = 2;
   /// Cap on the cartesian product of ghost-field name tuples per call.
   unsigned MaxGhostTuples = 8;
+  /// Optional step/deadline budget. Each interpreted instruction and each
+  /// solver propagation consumes one step; on exhaustion the analysis stops
+  /// early and the result is marked Bounded. Not owned; may be null.
+  Budget *StepBudget = nullptr;
 };
 
 //===----------------------------------------------------------------------===//
@@ -101,6 +106,10 @@ struct AnalysisResult {
   std::unordered_map<EventId, ObjSet> RetPointsTo;
   /// Value tag of each object that has one (literals, New, This).
   std::unordered_map<ObjectId, uint64_t> ObjectValues;
+  /// True when the analysis stopped early on budget exhaustion or injected
+  /// fault. Partial facts are an under-approximation, so may-queries degrade
+  /// to ⊤ (DESIGN.md §10).
+  bool Bounded = false;
 
   const HistorySet &historiesOf(ObjectId Obj) const {
     static const HistorySet Empty;
@@ -108,8 +117,11 @@ struct AnalysisResult {
   }
 
   /// May-alias between two ret events based on their assigned points-to
-  /// sets. Events without recorded sets never alias.
+  /// sets. Events without recorded sets never alias — unless the analysis
+  /// was Bounded, in which case every pair may alias (sound ⊤).
   bool retMayAlias(EventId A, EventId B) const {
+    if (Bounded)
+      return true;
     auto IA = RetPointsTo.find(A), IB = RetPointsTo.find(B);
     if (IA == RetPointsTo.end() || IB == RetPointsTo.end())
       return false;

@@ -6,6 +6,8 @@
 
 #include "pointsto/ConstraintSolver.h"
 
+#include "support/FaultInject.h"
+
 #include <deque>
 #include <unordered_set>
 
@@ -21,8 +23,9 @@ using NodeId = uint32_t;
 /// dispatch) add edges dynamically as points-to sets grow.
 class Solver {
 public:
-  Solver(const IRProgram &Program, const StringInterner &Strings)
-      : Program(Program), Strings(Strings) {}
+  Solver(const IRProgram &Program, const StringInterner &Strings,
+         Budget *B = nullptr)
+      : Program(Program), Strings(Strings), StepBudget(B) {}
 
   ConstraintResult run() {
     // Create frames and collect constraints from every method body.
@@ -37,6 +40,7 @@ public:
     Out.NumNodes = Pts.size();
     Out.NumEdges = EdgeCount;
     Out.Propagations = Propagations;
+    Out.Bounded = Bounded;
     for (const auto &[Site, Node] : RetNodes)
       Out.RetPointsTo[Site] = Pts[Node];
     for (const auto &[Site, Node] : RecvNodes)
@@ -281,6 +285,14 @@ private:
     while (Changed) {
       Changed = false;
       while (!Worklist.empty()) {
+        // Cooperative bound: stop mid-fixpoint when the budget runs out or
+        // the `solver.step` site injects simulated exhaustion. The partial
+        // sets stay in the result but Bounded forces ⊤ answers.
+        if ((StepBudget && !StepBudget->consume()) ||
+            USPEC_FAULT_SOFT("solver.step")) {
+          Bounded = true;
+          return;
+        }
         NodeId Node = Worklist.front();
         Worklist.pop_front();
         InList[Node] = false;
@@ -340,12 +352,15 @@ private:
   std::vector<bool> InList;
   size_t EdgeCount = 0;
   size_t Propagations = 0;
+  Budget *StepBudget = nullptr;
+  bool Bounded = false;
 };
 
 } // namespace
 
 ConstraintResult uspec::solveConstraints(const IRProgram &Program,
-                                         const StringInterner &Strings) {
-  Solver S(Program, Strings);
+                                         const StringInterner &Strings,
+                                         Budget *B) {
+  Solver S(Program, Strings, B);
   return S.run();
 }

@@ -22,6 +22,7 @@
 
 #include "ir/IR.h"
 #include "pointsto/Object.h"
+#include "support/Budget.h"
 #include "support/StringInterner.h"
 
 #include <unordered_map>
@@ -39,8 +40,14 @@ struct ConstraintResult {
   size_t NumNodes = 0;
   size_t NumEdges = 0;
   size_t Propagations = 0;
+  /// True when the solve stopped early (step budget / deadline / injected
+  /// exhaustion). The partial sets are an under-approximation, so every
+  /// may-query degrades to ⊤ — sound, just imprecise (DESIGN.md §10).
+  bool Bounded = false;
 
   bool retMayAlias(uint32_t SiteA, uint32_t SiteB) const {
+    if (Bounded)
+      return true;
     auto IA = RetPointsTo.find(SiteA), IB = RetPointsTo.find(SiteB);
     if (IA == RetPointsTo.end() || IB == RetPointsTo.end())
       return false;
@@ -48,6 +55,8 @@ struct ConstraintResult {
   }
 
   bool recvMayAlias(uint32_t SiteA, uint32_t SiteB) const {
+    if (Bounded)
+      return true;
     auto IA = RecvPointsTo.find(SiteA), IB = RecvPointsTo.find(SiteB);
     if (IA == RecvPointsTo.end() || IB == RecvPointsTo.end())
       return false;
@@ -55,9 +64,12 @@ struct ConstraintResult {
   }
 };
 
-/// Solves the whole program's inclusion constraints to a fixpoint.
+/// Solves the whole program's inclusion constraints to a fixpoint. If \p B
+/// is non-null, each propagation consumes one step; on exhaustion the solve
+/// stops and the result is marked Bounded.
 ConstraintResult solveConstraints(const IRProgram &Program,
-                                  const StringInterner &Strings);
+                                  const StringInterner &Strings,
+                                  Budget *B = nullptr);
 
 } // namespace uspec
 

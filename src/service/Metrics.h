@@ -50,6 +50,12 @@ public:
   void recordCacheMiss() {
     CacheMisses.fetch_add(1, std::memory_order_relaxed);
   }
+  void recordDeadlineExceeded() {
+    DeadlineExceeded.fetch_add(1, std::memory_order_relaxed);
+  }
+  void recordWorkerDeath() {
+    WorkerDeaths.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Called once per completed request with its wall time.
   void recordCompleted(double Seconds, bool Ok) {
@@ -89,13 +95,15 @@ public:
     double P50 = percentile(Lat, 0.50) * 1e3;
     double P95 = percentile(Lat, 0.95) * 1e3;
 
-    char Buf[768];
+    char Buf[896];
     std::snprintf(
         Buf, sizeof(Buf),
         "{\"uptime_seconds\":%.3f,\"workers\":%u,"
         "\"queue_depth\":%zu,\"queue_capacity\":%zu,"
         "\"requests\":{\"admitted\":%llu,\"completed\":%llu,"
-        "\"errored\":%llu,\"overloaded\":%llu,\"rejected_draining\":%llu},"
+        "\"errored\":%llu,\"overloaded\":%llu,\"rejected_draining\":%llu,"
+        "\"deadline_exceeded\":%llu},"
+        "\"worker_deaths\":%llu,"
         "\"qps\":%.3f,"
         "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"
         "\"entries\":%zu,\"capacity\":%zu,\"evictions\":%llu},"
@@ -109,11 +117,22 @@ public:
             Overloaded.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             RejectedDraining.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            DeadlineExceeded.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            WorkerDeaths.load(std::memory_order_relaxed)),
         Qps, static_cast<unsigned long long>(Hits),
         static_cast<unsigned long long>(Miss), HitRate, Cache.Entries,
         Cache.Capacity, static_cast<unsigned long long>(Cache.Evictions),
         P50, P95, static_cast<unsigned long long>(Samples));
     return Buf;
+  }
+
+  uint64_t deadlineExceededCount() const {
+    return DeadlineExceeded.load(std::memory_order_relaxed);
+  }
+  uint64_t workerDeathCount() const {
+    return WorkerDeaths.load(std::memory_order_relaxed);
   }
 
   uint64_t overloadedCount() const {
@@ -145,7 +164,8 @@ public:
 private:
   std::chrono::steady_clock::time_point Start;
   std::atomic<uint64_t> Received{0}, Completed{0}, Errored{0}, Overloaded{0},
-      RejectedDraining{0}, CacheHits{0}, CacheMisses{0};
+      RejectedDraining{0}, CacheHits{0}, CacheMisses{0}, DeadlineExceeded{0},
+      WorkerDeaths{0};
   mutable std::mutex RingMutex;
   std::vector<double> Ring;
   uint64_t RingNext = 0; ///< Guarded by RingMutex.

@@ -10,6 +10,8 @@
 #include "clients/Typestate.h"
 #include "corpus/Dedup.h"
 #include "lang/Diagnostics.h"
+#include "support/Hashing.h"
+#include "support/Random.h"
 
 #include <cinttypes>
 #include <cmath>
@@ -453,6 +455,15 @@ bool service::parseRequest(std::string_view Line, Request &Out,
     }
     Out.Coverage = Cov->BoolValue;
   }
+  if (const JsonValue *Dl = Root.find("deadline_ms")) {
+    if (Dl->TheKind != JsonValue::Kind::Number || Dl->NumberValue < 0 ||
+        std::floor(Dl->NumberValue) != Dl->NumberValue) {
+      if (Err)
+        *Err = "field \"deadline_ms\" must be a non-negative integer";
+      return false;
+    }
+    Out.DeadlineMs = static_cast<uint64_t>(Dl->NumberValue);
+  }
   if (NeedsProgram && Out.Program.empty()) {
     if (Err)
       *Err = "verb \"" + Name + "\" requires a non-empty \"program\" field";
@@ -469,6 +480,73 @@ bool service::parseRequest(std::string_view Line, Request &Out,
     return false;
   }
   return true;
+}
+
+std::optional<uint64_t> service::scanDeadlineMs(std::string_view Line) {
+  // `"` inside JSON string content must be escaped, so this byte sequence
+  // can only be the member key itself.
+  static constexpr std::string_view Key = "\"deadline_ms\":";
+  size_t Pos = Line.find(Key);
+  if (Pos == std::string_view::npos)
+    return std::nullopt;
+  Pos += Key.size();
+  while (Pos < Line.size() && (Line[Pos] == ' ' || Line[Pos] == '\t'))
+    ++Pos;
+  uint64_t Value = 0;
+  size_t Digits = 0;
+  while (Pos < Line.size() && Line[Pos] >= '0' && Line[Pos] <= '9') {
+    Value = Value * 10 + static_cast<uint64_t>(Line[Pos] - '0');
+    ++Pos;
+    if (++Digits > 15) // absurd deadline; let the real parser reject it
+      return std::nullopt;
+  }
+  if (Digits == 0)
+    return std::nullopt;
+  return Value;
+}
+
+std::string service::scanRequestId(std::string_view Line) {
+  static constexpr std::string_view Key = "\"id\":";
+  size_t Pos = Line.find(Key);
+  if (Pos == std::string_view::npos)
+    return "";
+  Pos += Key.size();
+  while (Pos < Line.size() && (Line[Pos] == ' ' || Line[Pos] == '\t'))
+    ++Pos;
+  if (Pos >= Line.size())
+    return "";
+  if (Line[Pos] == '"') {
+    // String id: take the quoted token through the closing unescaped quote.
+    size_t End = Pos + 1;
+    while (End < Line.size() && Line[End] != '"') {
+      if (Line[End] == '\\')
+        ++End;
+      ++End;
+    }
+    if (End >= Line.size())
+      return "";
+    return std::string(Line.substr(Pos, End - Pos + 1));
+  }
+  // Numeric id: the raw token up to a delimiter.
+  size_t End = Pos;
+  while (End < Line.size() && Line[End] != ',' && Line[End] != '}' &&
+         Line[End] != ' ' && Line[End] != '\t')
+    ++End;
+  std::string Token(Line.substr(Pos, End - Pos));
+  // Only accept something that looks like a JSON number; anything else is
+  // safer echoed as nothing than as garbage.
+  if (Token.empty() ||
+      Token.find_first_not_of("-+.eE0123456789") != std::string::npos)
+    return "";
+  return Token;
+}
+
+uint64_t service::retryDelayMs(unsigned Attempt, uint64_t Seed) {
+  const uint64_t Base = 10;
+  uint64_t Exp = Attempt < 6 ? Attempt : 6;
+  uint64_t Delay = Base << Exp;
+  Rng Jitter(hashValues(Seed, static_cast<uint64_t>(Attempt)));
+  return Delay + Jitter.below(Delay);
 }
 
 //===----------------------------------------------------------------------===//
@@ -561,7 +639,7 @@ std::optional<ParsedProgram> service::parseProgram(std::string_view Source,
 
 std::shared_ptr<const ProgramAnalysis>
 service::finishAnalysis(ParsedProgram &&Parsed, const ServiceSpecs &Specs,
-                        bool Coverage) {
+                        bool Coverage, Budget *B) {
   auto PA = std::make_shared<ProgramAnalysis>();
   PA->Strings = std::move(Parsed.Strings);
   PA->Program = std::move(Parsed.Program);
@@ -578,6 +656,7 @@ service::finishAnalysis(ParsedProgram &&Parsed, const ServiceSpecs &Specs,
   Options.ApiAware = !PA->Specs.empty();
   Options.Specs = &PA->Specs;
   Options.CoverageExtension = Coverage;
+  Options.StepBudget = B;
   PA->Result = std::make_unique<AnalysisResult>(
       analyzeProgram(*PA->Program, PA->Strings, Options));
   PA->Graph = std::make_unique<EventGraph>(EventGraph::build(*PA->Result));
@@ -588,11 +667,11 @@ service::finishAnalysis(ParsedProgram &&Parsed, const ServiceSpecs &Specs,
 std::shared_ptr<const ProgramAnalysis>
 service::analyzeSource(std::string_view Source, std::string_view Name,
                        const ServiceSpecs &Specs, bool Coverage,
-                       std::string *Error) {
+                       std::string *Error, Budget *B) {
   auto Parsed = parseProgram(Source, Name, Error);
   if (!Parsed)
     return nullptr;
-  return finishAnalysis(std::move(*Parsed), Specs, Coverage);
+  return finishAnalysis(std::move(*Parsed), Specs, Coverage, B);
 }
 
 //===----------------------------------------------------------------------===//
@@ -666,6 +745,10 @@ std::string service::analyzePayload(const ProgramAnalysis &PA) {
   }
   Out += "],\"alias_count\":";
   appendSize(Out, Pairs);
+  // Appended only on budget exhaustion, so unbounded payloads stay
+  // byte-identical to the pre-robustness format.
+  if (R.Bounded)
+    Out += ",\"bounded\":true";
   Out += "}";
   return Out;
 }
@@ -717,7 +800,10 @@ std::string service::aliasPayload(const ProgramAnalysis &PA,
   Out += Pairs ? "true" : "false";
   Out += ",\"pairs\":[";
   Out += PairsJson;
-  Out += "]}";
+  Out += "]";
+  if (R.Bounded)
+    Out += ",\"bounded\":true";
+  Out += "}";
   return Out;
 }
 

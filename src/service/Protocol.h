@@ -36,7 +36,15 @@
 /// (request line over the configured byte cap — reported without an id,
 /// the line is never parsed), parse_error (program diagnostics),
 /// overloaded (admission queue full; no id for the same reason),
-/// shutting_down (submitted after drain began), internal.
+/// shutting_down (submitted after drain began), deadline_exceeded (the
+/// request's `deadline_ms` — or the server's `--request-timeout` default —
+/// elapsed before a result was produced; see DESIGN.md §10), internal
+/// (worker fault; the request is answered, the pool replaces the worker).
+///
+/// Requests may carry `"deadline_ms": N` (milliseconds from admission).
+/// Write the key canonically (no space before the colon): the server also
+/// detects it by raw-byte scan at admission so that requests stuck in the
+/// queue time out without being parsed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +54,7 @@
 #include "eventgraph/EventGraph.h"
 #include "ir/Lowering.h"
 #include "specs/SpecIO.h"
+#include "support/Budget.h"
 
 #include <memory>
 #include <optional>
@@ -118,6 +127,9 @@ struct Request {
   std::string A, B;        ///< alias: method names to test.
   std::string Check, Use;  ///< typestate protocol.
   std::vector<std::string> Sources, Sinks, Sanitizers; ///< taint policy.
+  /// Per-request deadline in milliseconds from admission (0 = none; the
+  /// server default from `serve --request-timeout` applies instead).
+  uint64_t DeadlineMs = 0;
 };
 
 /// Parses one request line. On failure returns false with a message in
@@ -125,6 +137,20 @@ struct Request {
 /// in \p Out.Id so the error response can echo it.
 bool parseRequest(std::string_view Line, Request &Out, std::string *Err,
                   bool EnableTestVerbs = false);
+
+/// Best-effort raw-byte scan of an unparsed request line for a
+/// `"deadline_ms":N` member, so admission can register a watchdog deadline
+/// without paying a JSON parse. Sound against false positives: inside a
+/// JSON string a literal `"` must be escaped, so the exact byte sequence
+/// `"deadline_ms":` cannot occur in string content. Misses non-canonical
+/// spellings (`"deadline_ms" : N`) — the worker-side parse still applies
+/// those cooperatively.
+std::optional<uint64_t> scanDeadlineMs(std::string_view Line);
+
+/// Best-effort raw-byte scan for the request's `"id":` token (same
+/// soundness argument). Returns the raw token ("" when absent/unscannable)
+/// for echoing in watchdog-issued error responses.
+std::string scanRequestId(std::string_view Line);
 
 //===----------------------------------------------------------------------===//
 // Responses
@@ -201,15 +227,24 @@ struct ProgramAnalysis {
 /// Runs the API-aware (or unaware, when \p Specs is empty) analysis over an
 /// already parsed program and renders the analyze payload. Deterministic:
 /// the result depends only on (program structure, Specs.Text, Coverage).
+/// A non-null \p B bounds the analysis; an exhausted run yields a payload
+/// with `"bounded":true` and ⊤ alias answers (never cached by the server).
 std::shared_ptr<const ProgramAnalysis>
 finishAnalysis(ParsedProgram &&Parsed, const ServiceSpecs &Specs,
-               bool Coverage);
+               bool Coverage, Budget *B = nullptr);
 
 /// parseProgram + finishAnalysis — the single entry point `uspec analyze
 /// --json` uses; the server composes the two steps around cache probes.
 std::shared_ptr<const ProgramAnalysis>
 analyzeSource(std::string_view Source, std::string_view Name,
-              const ServiceSpecs &Specs, bool Coverage, std::string *Error);
+              const ServiceSpecs &Specs, bool Coverage, std::string *Error,
+              Budget *B = nullptr);
+
+/// Deterministic exponential backoff with seeded jitter for `uspec query
+/// --retries`: base 10 ms doubling per attempt (capped at 2^6), plus a
+/// jitter of up to the base delay drawn from Rng(hash(Seed, Attempt)) — the
+/// same (Seed, Attempt) always yields the same delay.
+uint64_t retryDelayMs(unsigned Attempt, uint64_t Seed);
 
 //===----------------------------------------------------------------------===//
 // Payload serializers (one per verb; analyze's is memoized in

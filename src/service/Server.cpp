@@ -6,6 +6,7 @@
 
 #include "service/Server.h"
 
+#include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/ParallelFor.h"
 
@@ -29,9 +30,10 @@ Server::Server(ServerConfig ConfigIn, ServiceSpecs SpecsIn)
   EffectiveWorkers =
       Config.Workers ? Config.Workers
                      : std::max(1u, std::thread::hardware_concurrency());
-  Workers.reserve(EffectiveWorkers);
+  Workers.reserve(EffectiveWorkers + 4); // headroom for replacements
   for (unsigned I = 0; I < EffectiveWorkers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  Watchdog = std::thread([this] { watchdogLoop(); });
 }
 
 Server::~Server() {
@@ -40,13 +42,13 @@ Server::~Server() {
 }
 
 std::future<std::string> Server::submit(std::string Line) {
-  std::promise<std::string> Promise;
-  std::future<std::string> Future = Promise.get_future();
+  auto State = std::make_shared<JobState>();
+  std::future<std::string> Future = State->Promise.get_future();
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     if (Draining) {
       Metrics.recordRejectedDraining();
-      Promise.set_value(errorResponse(
+      State->answer(errorResponse(
           "", "shutting_down", "server is draining; request rejected"));
       return Future;
     }
@@ -54,17 +56,29 @@ std::future<std::string> Server::submit(std::string Line) {
       // Explicit backpressure: answer now, never block the producer or
       // grow the queue past its bound.
       Metrics.recordOverloaded();
-      Promise.set_value(errorResponse(
+      State->answer(errorResponse(
           "", "overloaded",
           "admission queue full (capacity " +
               std::to_string(Config.QueueCapacity) + "); retry later"));
       return Future;
     }
     Metrics.recordAdmitted();
-    Queue.push_back(
-        {std::move(Line), std::move(Promise),
-         std::chrono::steady_clock::now()});
+    TimePoint Now = std::chrono::steady_clock::now();
+    // Deadline at admission time, from the request's own deadline_ms (raw
+    // scan — a queued request must be able to expire without ever being
+    // parsed) or the server default.
+    uint64_t Ms = scanDeadlineMs(Line).value_or(Config.RequestTimeoutMs);
+    // The raw id is scanned up front so error responses issued without a
+    // parse (watchdog deadline, worker death) can still echo it.
+    State->Id = scanRequestId(Line);
+    if (Ms != 0) {
+      State->Deadline = Now + std::chrono::milliseconds(Ms);
+      State->HasDeadline = true;
+    }
+    Queue.push_back({std::move(Line), State, Now});
   }
+  if (State->HasDeadline)
+    watchJob(State);
   QueueCv.notify_one();
   return Future;
 }
@@ -91,9 +105,18 @@ void Server::drain() {
     StopWorkers = true;
   }
   QueueCv.notify_all();
-  for (std::thread &W : Workers)
-    if (W.joinable())
-      W.join();
+  // Once StopWorkers is set no replacement workers can be spawned, so the
+  // vector is stable; index loop in case a dying worker appended late.
+  for (size_t I = 0; I < Workers.size(); ++I)
+    if (Workers[I].joinable())
+      Workers[I].join();
+  {
+    std::lock_guard<std::mutex> Lock(WatchMutex);
+    StopWatchdog = true;
+  }
+  WatchCv.notify_all();
+  if (Watchdog.joinable())
+    Watchdog.join();
 }
 
 void Server::releaseTestGate() {
@@ -129,14 +152,37 @@ void Server::workerLoop() {
       Queue.pop_front();
       ++InFlight;
     }
-    std::string Response = handleRequest(TheJob.Line);
+    // Expired (or otherwise already answered) while queued: skip the work,
+    // the watchdog has resolved the promise.
+    if (TheJob.State->Answered.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        DrainedCv.notify_all();
+      continue;
+    }
+    std::string Response;
+    try {
+      // Injected worker death (`service.worker`): FaultInjected propagates
+      // to the catch below, which replaces this worker and exits the thread
+      // — from the outside, the worker crashed mid-request.
+      USPEC_FAULT_POINT("service.worker");
+      Response = handleRequest(TheJob.Line, TheJob);
+    } catch (const FaultInjected &) {
+      replaceDeadWorker(TheJob);
+      return;
+    } catch (const std::exception &E) {
+      // Any other escape is answered `internal`; the worker survives.
+      Response = errorResponse("", "internal",
+                               std::string("request failed: ") + E.what());
+    }
     double Seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - TheJob.Admitted)
                          .count();
     // "ok" is decided by the envelope the handler chose.
     bool Ok = Response.find("\"ok\":true") != std::string::npos;
-    Metrics.recordCompleted(Seconds, Ok);
-    TheJob.Promise.set_value(std::move(Response));
+    if (TheJob.State->answer(std::move(Response)))
+      Metrics.recordCompleted(Seconds, Ok);
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
       --InFlight;
@@ -146,7 +192,70 @@ void Server::workerLoop() {
   }
 }
 
-std::string Server::handleRequest(const std::string &Line) {
+void Server::replaceDeadWorker(Job &TheJob) {
+  Metrics.recordWorkerDeath();
+  TheJob.State->answer(errorResponse(
+      TheJob.State->Id, "internal",
+      "worker died while processing this request; a replacement was "
+      "started"));
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  // InFlight bookkeeping and the replacement spawn are one critical
+  // section: when drain() sees InFlight == 0, the pool is already whole.
+  --InFlight;
+  if (!StopWorkers)
+    Workers.emplace_back([this] { workerLoop(); });
+  if (Queue.empty() && InFlight == 0)
+    DrainedCv.notify_all();
+}
+
+void Server::watchJob(std::shared_ptr<JobState> State) {
+  {
+    std::lock_guard<std::mutex> Lock(WatchMutex);
+    Watched.push_back(std::move(State));
+  }
+  WatchCv.notify_all();
+}
+
+void Server::watchdogLoop() {
+  std::unique_lock<std::mutex> Lock(WatchMutex);
+  for (;;) {
+    // Sleep until the earliest pending deadline (or a new registration).
+    TimePoint Earliest = TimePoint::max();
+    for (const auto &S : Watched)
+      if (!S->Answered.load(std::memory_order_acquire) &&
+          S->Deadline < Earliest)
+        Earliest = S->Deadline;
+    if (StopWatchdog)
+      return;
+    if (Earliest == TimePoint::max())
+      WatchCv.wait(Lock);
+    else
+      WatchCv.wait_until(Lock, Earliest);
+    if (StopWatchdog)
+      return;
+
+    TimePoint Now = std::chrono::steady_clock::now();
+    for (auto &S : Watched) {
+      if (S->Answered.load(std::memory_order_acquire) || S->Deadline > Now)
+        continue;
+      // Over deadline: answer with a structured error. The worker (if any)
+      // keeps running — its eventual answer() is a no-op — and frees up on
+      // its own via the cooperative budget.
+      if (S->answer(errorResponse(S->Id, "deadline_exceeded",
+                                  "request exceeded its deadline")))
+        Metrics.recordDeadlineExceeded();
+    }
+    // Drop resolved entries.
+    Watched.erase(std::remove_if(Watched.begin(), Watched.end(),
+                                 [](const std::shared_ptr<JobState> &S) {
+                                   return S->Answered.load(
+                                       std::memory_order_acquire);
+                                 }),
+                  Watched.end());
+  }
+}
+
+std::string Server::handleRequest(const std::string &Line, const Job &TheJob) {
   if (Line.size() > Config.MaxRequestBytes)
     return errorResponse("", "oversized",
                          "request line of " + std::to_string(Line.size()) +
@@ -157,35 +266,54 @@ std::string Server::handleRequest(const std::string &Line) {
   std::string Err;
   if (!parseRequest(Line, R, &Err, Config.EnableTestVerbs))
     return errorResponse(R.Id, "bad_request", Err);
-  return handleParsed(R);
+
+  // Per-request budget: the step cap bounds analysis work; the deadline
+  // (request's own, else the server default) makes the worker notice an
+  // expiry cooperatively even when the admission-time scan missed it.
+  Budget B;
+  bool UseBudget = false;
+  if (Config.MaxStepsPerRequest != 0) {
+    B.setStepLimit(Config.MaxStepsPerRequest);
+    UseBudget = true;
+  }
+  uint64_t Ms = R.DeadlineMs ? R.DeadlineMs : Config.RequestTimeoutMs;
+  if (Ms != 0) {
+    B.setDeadlinePoint(TheJob.Admitted + std::chrono::milliseconds(Ms));
+    UseBudget = true;
+  }
+  std::string Response = handleParsed(R, UseBudget ? &B : nullptr);
+  if (B.exhausted() && std::string_view(B.reason()) == "deadline")
+    return errorResponse(R.Id, "deadline_exceeded",
+                         "request exceeded its deadline");
+  return Response;
 }
 
-std::string Server::handleParsed(const Request &R) {
+std::string Server::handleParsed(const Request &R, Budget *B) {
   switch (R.TheVerb) {
   case Verb::Analyze: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err);
     return okResponse(R.Id, PA->AnalyzeJson);
   }
   case Verb::Alias: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err);
     return okResponse(R.Id, aliasPayload(*PA, R.A, R.B));
   }
   case Verb::Typestate: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err);
     return okResponse(R.Id, typestatePayload(*PA, R.Check, R.Use));
   }
   case Verb::Taint: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err);
+    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err);
     return okResponse(R.Id,
@@ -209,7 +337,7 @@ std::string Server::handleParsed(const Request &R) {
 
 std::shared_ptr<const ProgramAnalysis>
 Server::analysisFor(const std::string &Program, const std::string &Name,
-                    bool Coverage, std::string *Error) {
+                    bool Coverage, std::string *Error, Budget *B) {
   // The spec set is fixed per server, so keys only mix program identity and
   // the per-request analysis option.
   uint64_t SourceKey =
@@ -230,8 +358,13 @@ Server::analysisFor(const std::string &Program, const std::string &Name,
     return PA;
   }
   Metrics.recordCacheMiss();
-  return Cache.insert(SourceKey, FpKey,
-                      finishAnalysis(std::move(*Parsed), Specs, Coverage));
+  auto PA = finishAnalysis(std::move(*Parsed), Specs, Coverage, B);
+  // A Bounded (budget-exhausted) result is a degraded ⊤ answer specific to
+  // this request's budget; caching it would poison later requests with
+  // imprecise payloads.
+  if (PA->Result->Bounded)
+    return PA;
+  return Cache.insert(SourceKey, FpKey, std::move(PA));
 }
 
 //===----------------------------------------------------------------------===//
@@ -386,7 +519,10 @@ int Server::serveUnixSocket(const std::string &Path,
     if (draining() || (StopFlag && *StopFlag))
       break;
     pollfd Pfd{Listen, POLLIN, 0};
-    int Ready = ::poll(&Pfd, 1, /*timeout_ms=*/200);
+    // Poll interval from config (ServerConfig::AcceptPollMs): it bounds how
+    // stale the drain/StopFlag check above can get, i.e. worst-case shutdown
+    // latency while idle.
+    int Ready = ::poll(&Pfd, 1, static_cast<int>(Config.AcceptPollMs));
     if (Ready < 0 && errno != EINTR)
       break;
     if (Ready <= 0)

@@ -41,10 +41,13 @@
 #include "service/Metrics.h"
 #include "service/Protocol.h"
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -63,9 +66,24 @@ struct ServerConfig {
   unsigned CacheShards = 8;
   /// Request lines longer than this are answered `oversized` unparsed.
   size_t MaxRequestBytes = 4 << 20;
+  /// Default per-request deadline in ms (`serve --request-timeout`);
+  /// 0 = none. A request's own `deadline_ms` takes precedence. Expired
+  /// requests are answered with a structured `deadline_exceeded` error by
+  /// the watchdog (or by the worker, whichever notices first) — the worker
+  /// is never killed.
+  unsigned RequestTimeoutMs = 0;
+  /// Step budget per request for the bounded analysis (0 = unlimited);
+  /// exhaustion degrades to a sound ⊤ payload with `"bounded":true`, which
+  /// is never inserted into the cache.
+  uint64_t MaxStepsPerRequest = 0;
+  /// Accept-loop poll interval for serveUnixSocket, which bounds how long
+  /// a drain/SIGTERM can go unnoticed while no client connects.
+  unsigned AcceptPollMs = DefaultAcceptPollMs;
   /// Enables the test-only `test_block` verb (see Protocol.h). Tests use it
   /// to park workers deterministically and observe backpressure.
   bool EnableTestVerbs = false;
+
+  static constexpr unsigned DefaultAcceptPollMs = 200;
 };
 
 class Server {
@@ -120,20 +138,49 @@ public:
                       const volatile int *StopFlag = nullptr);
 
 private:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// Per-request state shared between the worker executing it and the
+  /// deadline watchdog. Whoever calls answer() first wins; the loser's
+  /// response is dropped — the promise is set exactly once.
+  struct JobState {
+    std::string Id; ///< Best-effort raw id token (scanRequestId), for
+                    ///< watchdog error responses.
+    std::promise<std::string> Promise;
+    std::atomic<bool> Answered{false};
+    TimePoint Deadline{}; ///< Meaningful only when HasDeadline.
+    bool HasDeadline = false;
+
+    /// Resolves the promise once. Returns false if already answered.
+    bool answer(std::string Response) {
+      if (Answered.exchange(true, std::memory_order_acq_rel))
+        return false;
+      Promise.set_value(std::move(Response));
+      return true;
+    }
+  };
+
   struct Job {
     std::string Line;
-    std::promise<std::string> Promise;
-    std::chrono::steady_clock::time_point Admitted;
+    std::shared_ptr<JobState> State;
+    TimePoint Admitted;
   };
 
   void workerLoop();
-  std::string handleRequest(const std::string &Line);
-  std::string handleParsed(const Request &R);
+  void watchdogLoop();
+  void watchJob(std::shared_ptr<JobState> State);
+  /// Dying-worker path (injected `service.worker` fault): answers the
+  /// in-flight request `internal`, spawns a replacement, and lets the
+  /// thread exit.
+  void replaceDeadWorker(Job &TheJob);
+  std::string handleRequest(const std::string &Line, const Job &TheJob);
+  std::string handleParsed(const Request &R, Budget *B);
 
-  /// Cache-or-analyze for verbs that carry a program.
+  /// Cache-or-analyze for verbs that carry a program. A Bounded result
+  /// (budget exhausted mid-analysis) is returned but never cached.
   std::shared_ptr<const ProgramAnalysis>
   analysisFor(const std::string &Program, const std::string &Name,
-              bool Coverage, std::string *Error);
+              bool Coverage, std::string *Error, Budget *B);
 
   ServerConfig Config;
   ServiceSpecs Specs;
@@ -152,7 +199,13 @@ private:
   std::condition_variable GateCv;
   bool GateOpen = false;
 
-  std::vector<std::thread> Workers;
+  std::mutex WatchMutex;
+  std::condition_variable WatchCv;
+  std::vector<std::shared_ptr<JobState>> Watched; ///< Guarded by WatchMutex.
+  bool StopWatchdog = false;                      ///< Guarded by WatchMutex.
+  std::thread Watchdog;
+
+  std::vector<std::thread> Workers; ///< Guarded by QueueMutex after start.
   unsigned EffectiveWorkers = 1;
 };
 

@@ -1,0 +1,122 @@
+//===- Budget.h - Monotonic step/byte/deadline budgets ----------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative resource budgets for bounded analysis. A Budget caps the
+/// number of abstract "steps" (solver propagations, matcher probes,
+/// interpreted instructions) and/or wall-clock time for one unit of work
+/// (one corpus program during learn(), one request inside the service).
+///
+/// Budgets are strictly cooperative: long-running loops call consume() /
+/// checkpoint() and bail out when exhausted() turns true. Exhaustion is not
+/// an error — callers degrade to a sound over-approximation (⊤) or
+/// quarantine the offending program; see DESIGN.md §10.
+///
+/// The deadline is polled only every `ClockPollInterval` consumed steps so
+/// that the fast path stays a couple of integer ops; with no step limit and
+/// no deadline every call collapses to an incrementing counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_BUDGET_H
+#define USPEC_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace uspec {
+
+/// A monotonic step + deadline budget for one unit of work. Not thread-safe;
+/// each worker owns its own Budget.
+class Budget {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Poll the clock at most once per this many consumed steps.
+  static constexpr uint64_t ClockPollInterval = 1024;
+
+  Budget() = default;
+
+  /// Budget limited to \p Steps abstract steps (0 = unlimited).
+  static Budget steps(uint64_t Steps) {
+    Budget B;
+    B.StepLimit = Steps;
+    return B;
+  }
+
+  /// Budget limited to \p Ms milliseconds from now (0 = no deadline).
+  static Budget deadline(uint64_t Ms) {
+    Budget B;
+    B.setDeadline(Ms);
+    return B;
+  }
+
+  void setStepLimit(uint64_t Steps) { StepLimit = Steps; }
+
+  void setDeadline(uint64_t Ms) {
+    if (Ms == 0)
+      return;
+    HasDeadline = true;
+    Deadline = Clock::now() + std::chrono::milliseconds(Ms);
+  }
+
+  void setDeadlinePoint(Clock::time_point At) {
+    HasDeadline = true;
+    Deadline = At;
+  }
+
+  /// Consume \p N steps. Returns true while the budget still has headroom;
+  /// once it returns false it keeps returning false (monotonic).
+  bool consume(uint64_t N = 1) {
+    if (Exhausted)
+      return false;
+    Used += N;
+    if (StepLimit != 0 && Used > StepLimit) {
+      Exhausted = true;
+      ExhaustedBy = Reason::Steps;
+      return false;
+    }
+    if (HasDeadline && Used >= NextClockPoll) {
+      NextClockPoll = Used + ClockPollInterval;
+      if (Clock::now() >= Deadline) {
+        Exhausted = true;
+        ExhaustedBy = Reason::Deadline;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Cooperative cancellation point: counts as one step so the periodic
+  /// deadline poll keeps firing even in loops that only checkpoint().
+  bool checkpoint() { return consume(1); }
+
+  bool exhausted() const { return Exhausted; }
+  uint64_t used() const { return Used; }
+
+  /// Human-readable exhaustion reason ("steps" / "deadline"), or "" if the
+  /// budget still has headroom.
+  const char *reason() const {
+    if (!Exhausted)
+      return "";
+    return ExhaustedBy == Reason::Steps ? "steps" : "deadline";
+  }
+
+private:
+  enum class Reason { Steps, Deadline };
+
+  uint64_t StepLimit = 0;
+  uint64_t Used = 0;
+  uint64_t NextClockPoll = ClockPollInterval;
+  bool HasDeadline = false;
+  bool Exhausted = false;
+  Reason ExhaustedBy = Reason::Steps;
+  Clock::time_point Deadline{};
+};
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_BUDGET_H

@@ -1,0 +1,153 @@
+//===- FaultInject.cpp - Deterministic fault-injection registry -----------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unistd.h>
+#include <unordered_map>
+
+using namespace uspec;
+
+namespace {
+
+struct Schedule {
+  uint64_t Nth = 0;
+  FaultAction Action = FaultAction::Throw;
+  uint64_t Hits = 0; // counter sites only
+};
+
+struct Registry {
+  std::mutex Mutex;
+  std::unordered_map<std::string, Schedule> Sites;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+/// Performs the armed action. Returns true for Soft; Throw and Kill do not
+/// return.
+bool act(const std::string &Site, FaultAction Action) {
+  switch (Action) {
+  case FaultAction::Soft:
+    return true;
+  case FaultAction::Kill:
+    // Simulate `kill -9` at exactly this point: no unwinding, no flushing.
+    ::_exit(137);
+  case FaultAction::Throw:
+    break;
+  }
+  throw FaultInjected(Site);
+}
+
+// Arm schedules from the environment before main() so that the fast-path
+// atomic gate opens for child processes launched with USPEC_FAULT set.
+struct EnvLoader {
+  EnvLoader() { loadFaultsFromEnv(); }
+} EnvLoaderInstance;
+
+} // namespace
+
+std::atomic<bool> uspec::detail::FaultsArmed{false};
+
+bool uspec::detail::faultHit(const char *Site) {
+  FaultAction Action;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    auto It = R.Sites.find(Site);
+    if (It == R.Sites.end())
+      return false;
+    Schedule &S = It->second;
+    if (++S.Hits != S.Nth)
+      return false;
+    Action = S.Action;
+  }
+  return act(Site, Action);
+}
+
+bool uspec::detail::faultHitAt(const char *Site, uint64_t Index) {
+  FaultAction Action;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    auto It = R.Sites.find(Site);
+    if (It == R.Sites.end() || It->second.Nth != Index)
+      return false;
+    Action = It->second.Action;
+  }
+  return act(Site, Action);
+}
+
+void uspec::armFault(const std::string &Site, uint64_t Nth,
+                     FaultAction Action) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Sites[Site] = Schedule{Nth, Action, 0};
+  detail::FaultsArmed.store(true, std::memory_order_relaxed);
+}
+
+void uspec::disarmFaults() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Sites.clear();
+  detail::FaultsArmed.store(false, std::memory_order_relaxed);
+}
+
+bool uspec::armFaultsFromSpec(const std::string &Spec) {
+  // site:nth[:throw|soft|kill][,site:nth[:action]...]
+  size_t Pos = 0;
+  bool ArmedAny = false;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+
+    size_t C1 = Entry.find(':');
+    if (C1 == std::string::npos || C1 == 0)
+      return false;
+    std::string Site = Entry.substr(0, C1);
+    size_t C2 = Entry.find(':', C1 + 1);
+    std::string NthStr = Entry.substr(
+        C1 + 1, (C2 == std::string::npos ? Entry.size() : C2) - (C1 + 1));
+    if (NthStr.empty() ||
+        NthStr.find_first_not_of("0123456789") != std::string::npos)
+      return false;
+    uint64_t Nth = std::strtoull(NthStr.c_str(), nullptr, 10);
+
+    FaultAction Action = FaultAction::Throw;
+    if (C2 != std::string::npos) {
+      std::string ActStr = Entry.substr(C2 + 1);
+      if (ActStr == "throw")
+        Action = FaultAction::Throw;
+      else if (ActStr == "soft")
+        Action = FaultAction::Soft;
+      else if (ActStr == "kill")
+        Action = FaultAction::Kill;
+      else
+        return false;
+    }
+    armFault(Site, Nth, Action);
+    ArmedAny = true;
+  }
+  return ArmedAny;
+}
+
+void uspec::loadFaultsFromEnv() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    if (const char *Env = std::getenv("USPEC_FAULT"))
+      if (*Env)
+        armFaultsFromSpec(Env);
+  });
+}

@@ -1,0 +1,112 @@
+//===- FaultInject.h - Deterministic fault-injection registry ---*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A zero-cost-when-off registry of named fault sites. Production code marks
+/// interesting failure points with
+///
+///   USPEC_FAULT_POINT("artifact.write");            // may throw / kill
+///   if (USPEC_FAULT_SOFT("solver.step")) ...        // simulated exhaustion
+///   if (faultFiresAt("learn.analyze", I)) ...       // per-index, det. under
+///                                                   // any thread schedule
+///
+/// With nothing armed, every check is a single relaxed atomic load of one
+/// global bool. Faults are armed either programmatically (tests) or via the
+/// environment:
+///
+///   USPEC_FAULT=<site>:<nth>[:throw|soft|kill][,<site>:<nth>...]
+///
+/// `nth` is 1-based for counter sites ("fire on the nth hit") and 0-based
+/// for indexed sites ("fire when the caller's index equals nth"). Actions:
+///   throw — raise FaultInjected (default); exercises error-propagation paths
+///   soft  — faultFires() returns true; callers treat it as budget exhaustion
+///   kill  — _exit(137), simulating `kill -9` at exactly that point
+///
+/// The catalog of sites lives in DESIGN.md §10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_FAULTINJECT_H
+#define USPEC_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace uspec {
+
+/// Thrown by an armed fault site with action `throw`.
+class FaultInjected : public std::runtime_error {
+public:
+  explicit FaultInjected(const std::string &Site)
+      : std::runtime_error("injected fault at site '" + Site + "'"),
+        SiteName(Site) {}
+  const std::string &site() const { return SiteName; }
+
+private:
+  std::string SiteName;
+};
+
+enum class FaultAction {
+  Throw, ///< raise FaultInjected
+  Soft,  ///< report "fired" to the caller; no exception
+  Kill,  ///< _exit(137) — simulate kill -9 at this exact point
+};
+
+namespace detail {
+extern std::atomic<bool> FaultsArmed;
+/// Slow path; only reached when at least one fault is armed.
+bool faultHit(const char *Site);
+bool faultHitAt(const char *Site, uint64_t Index);
+} // namespace detail
+
+/// Counter-based site: returns true (Soft) or throws/kills when the armed
+/// nth hit of \p Site is reached. Call order must be deterministic for the
+/// schedule to be reproducible — use only on sequential paths.
+inline bool faultFires(const char *Site) {
+  if (!detail::FaultsArmed.load(std::memory_order_relaxed))
+    return false;
+  return detail::faultHit(Site);
+}
+
+/// Index-based site: fires iff \p Index equals the armed value. Safe under
+/// any thread schedule (per-program / per-shard work).
+inline bool faultFiresAt(const char *Site, uint64_t Index) {
+  if (!detail::FaultsArmed.load(std::memory_order_relaxed))
+    return false;
+  return detail::faultHitAt(Site, Index);
+}
+
+/// Arm \p Site to fire on its \p Nth hit (counter sites, 1-based) or at
+/// index \p Nth (indexed sites). Replaces any previous schedule for the
+/// same site. Thread-safe; intended for tests.
+void armFault(const std::string &Site, uint64_t Nth,
+              FaultAction Action = FaultAction::Throw);
+
+/// Clear every armed fault and hit counter, including schedules loaded from
+/// USPEC_FAULT (tests call this to neutralize ambient environment).
+void disarmFaults();
+
+/// Parse and arm a USPEC_FAULT-style spec ("site:nth[:action],...").
+/// Returns false (arming nothing) on malformed input.
+bool armFaultsFromSpec(const std::string &Spec);
+
+/// Load schedules from the USPEC_FAULT environment variable, once per
+/// process. Called lazily by the first fault check; exposed for tests.
+void loadFaultsFromEnv();
+
+/// Convenience macro for throw/kill sites: evaluates to a statement.
+#define USPEC_FAULT_POINT(SiteStr)                                             \
+  do {                                                                         \
+    (void)::uspec::faultFires(SiteStr);                                        \
+  } while (false)
+
+/// Convenience macro for soft sites: expression, true when the fault fired.
+#define USPEC_FAULT_SOFT(SiteStr) (::uspec::faultFires(SiteStr))
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_FAULTINJECT_H

@@ -12,10 +12,13 @@
 //       the SpecIO text format (stdout when -o is omitted). Prints the
 //       scored candidate list to stderr.
 //
-//   uspec train   FILES... -o run.uspb [--tau X] [--seed S]
+//   uspec train   FILES... -o run.uspb [--tau X] [--seed S] [--resume]
 //       Run the same pipeline but checkpoint everything up to τ-selection
 //       (model ϕ, scored candidates, selected set, corpus manifest) into a
-//       USPB artifact for `uspec select` / `uspec analyze --model`.
+//       USPB artifact for `uspec select` / `uspec analyze --model`. The
+//       artifact is written crash-safely (temp + fsync + atomic rename);
+//       --resume discards any stale temp from an interrupted run and skips
+//       retraining when the artifact already matches the corpus/tau/seed.
 //
 //   uspec select  run.uspb [--tau X] [-o specs.txt]
 //       Re-select specifications from a training artifact at threshold τ
@@ -35,17 +38,24 @@
 //
 //   uspec serve   [--model run.uspb | --specs specs.txt] [--workers N]
 //                 [--queue N] [--cache N] [--socket PATH]
+//                 [--request-timeout MS] [--step-budget N]
 //       Run the resident query service: load the specs once, then answer
 //       newline-delimited JSON requests over stdin/stdout (default) or a
-//       Unix-domain socket. See DESIGN.md §9 for the protocol.
+//       Unix-domain socket. --request-timeout sets the default per-request
+//       deadline (a request's own "deadline_ms" wins); --step-budget bounds
+//       analysis work per request (exhaustion degrades to a sound "bounded"
+//       payload). See DESIGN.md §9–10 for the protocol and fault model.
 //
-//   uspec query   --socket PATH (analyze FILE [--coverage] | alias FILE A B
+//   uspec query   --socket PATH [--retries N] [--retry-seed S]
+//                 (analyze FILE [--coverage] | alias FILE A B
 //                 | typestate FILE CHECK USE | taint FILE [--source M]...
 //                 [--sink M]... [--sanitizer M]... | specs | stats
 //                 | shutdown | --json REQUEST)
 //       One-shot client for a running `uspec serve --socket` instance.
 //       Prints the result payload (byte-identical to `analyze --json` for
-//       the analyze verb); errors go to stderr with exit 1.
+//       the analyze verb); errors go to stderr with exit 1. --retries N
+//       retries transient failures (connection errors, `overloaded`) with
+//       deterministic seeded exponential backoff.
 //
 //   uspec check   FILES...
 //       Parse and lower files, reporting diagnostics.
@@ -66,6 +76,7 @@
 #include "specs/SpecIO.h"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -73,6 +84,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -88,16 +100,18 @@ int usage() {
       "usage:\n"
       "  uspec gen --profile java|python -n N -o DIR [--seed S]\n"
       "  uspec learn FILES... [-o specs.txt] [--tau X] [--seed S] [--dedup]\n"
-      "              [--threads N] [--stats]\n"
+      "              [--threads N] [--stats] [--strict] [--step-budget N]\n"
       "  uspec train FILES... -o run.uspb [--tau X] [--seed S] [--dedup]\n"
-      "              [--threads N] [--stats]\n"
+      "              [--threads N] [--stats] [--strict] [--step-budget N]\n"
+      "              [--resume]\n"
       "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
       "  uspec info run.uspb\n"
       "  uspec analyze FILE [--specs specs.txt | --model run.uspb]\n"
       "               [--coverage] [--dot out] [--json]\n"
       "  uspec serve [--model run.uspb | --specs specs.txt] [--workers N]\n"
       "              [--queue N] [--cache N] [--socket PATH]\n"
-      "  uspec query --socket PATH VERB [ARGS...]\n"
+      "              [--request-timeout MS] [--step-budget N]\n"
+      "  uspec query --socket PATH [--retries N] VERB [ARGS...]\n"
       "  uspec check FILES...\n");
   return 2;
 }
@@ -242,20 +256,42 @@ int cmdGen(Args &A) {
 }
 
 /// Parses + lowers \p Files; also records one manifest entry per program.
+/// By default a file that cannot be read or parsed is *quarantined*: it is
+/// reported on stderr, recorded in \p Quarantined (by its index in \p Files)
+/// and never enters the corpus or manifest, so one rotten file cannot sink
+/// a whole training run. \p Strict restores the old abort-on-first-error
+/// behavior (`learn/train --strict`).
 bool loadCorpus(const std::vector<std::string> &Files, StringInterner &Strings,
-                std::vector<IRProgram> &Corpus, CorpusManifest &Manifest) {
-  for (const std::string &Path : Files) {
+                std::vector<IRProgram> &Corpus, CorpusManifest &Manifest,
+                bool Strict, std::vector<QuarantineRecord> &Quarantined) {
+  for (size_t I = 0; I < Files.size(); ++I) {
+    const std::string &Path = Files[I];
     auto Source = readFile(Path);
-    if (!Source)
-      return false;
+    if (!Source) {
+      if (Strict)
+        return false;
+      std::fprintf(stderr, "warning: quarantined %s (unreadable)\n",
+                   Path.c_str());
+      Quarantined.push_back({I, Path, "read"});
+      continue;
+    }
     DiagnosticSink Diags;
     auto P = parseAndLower(*Source, Path, Strings, Diags);
     if (!P) {
       std::fprintf(stderr, "%s:\n%s", Path.c_str(), Diags.render().c_str());
-      return false;
+      if (Strict)
+        return false;
+      std::fprintf(stderr, "warning: quarantined %s (parse error)\n",
+                   Path.c_str());
+      Quarantined.push_back({I, Path, "parse"});
+      continue;
     }
     Manifest.Entries.push_back({Path, programFingerprint(*P)});
     Corpus.push_back(std::move(*P));
+  }
+  if (Corpus.empty()) {
+    std::fprintf(stderr, "error: no loadable programs in the corpus\n");
+    return false;
   }
   return true;
 }
@@ -281,13 +317,24 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   double Tau = 0.6;
   uint64_t Seed = 0xC0FFEE;
   uint64_t Threads = 0; // 0 = hardware concurrency
-  bool Dedup = false, Stats = false;
+  uint64_t StepBudget = 0;
+  bool Dedup = false, Stats = false, Strict = false, Resume = false;
   const char *Cmd = Train ? "train" : "learn";
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--dedup")) {
       Dedup = true;
     } else if (!std::strcmp(Arg, "--stats")) {
       Stats = true;
+    } else if (!std::strcmp(Arg, "--strict")) {
+      Strict = true;
+    } else if (Train && !std::strcmp(Arg, "--resume")) {
+      Resume = true;
+    } else if (!std::strcmp(Arg, "--step-budget")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue(Cmd, Arg);
+      if (!parseUInt("--step-budget", V, StepBudget))
+        return 2;
     } else if (!std::strcmp(Arg, "--threads")) {
       const char *V = A.next();
       if (!V)
@@ -327,7 +374,8 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   StringInterner Strings;
   std::vector<IRProgram> Corpus;
   CorpusManifest Manifest;
-  if (!loadCorpus(Files, Strings, Corpus, Manifest))
+  std::vector<QuarantineRecord> ParseQuarantine;
+  if (!loadCorpus(Files, Strings, Corpus, Manifest, Strict, ParseQuarantine))
     return 1;
 
   if (Dedup) {
@@ -340,22 +388,62 @@ int cmdLearnOrTrain(Args &A, bool Train) {
                  Removed);
   }
 
+  if (Train && Resume) {
+    // A previous run killed mid-write leaves a ".tmp" next to the artifact;
+    // the artifact itself is either absent or a complete older version
+    // (writeFileAtomic renames atomically), so it is safe to inspect.
+    std::string Warning;
+    if (discardStaleTemp(OutPath, &Warning))
+      std::fprintf(stderr, "warning: %s\n", Warning.c_str());
+    std::error_code Ec;
+    if (std::filesystem::exists(OutPath, Ec)) {
+      auto Bytes = readFile(OutPath);
+      if (!Bytes)
+        return 1;
+      StringInterner OldStrings;
+      ArtifactError Err;
+      auto Old = USpecLearner::loadArtifacts(*Bytes, OldStrings, &Err);
+      if (Old && Old->Manifest.sameCorpus(Manifest) &&
+          Old->Config.Tau == Tau && Old->Config.Seed == Seed) {
+        std::fprintf(stderr,
+                     "resume: %s is up to date (same corpus, tau, seed); "
+                     "skipping retrain\n",
+                     OutPath.c_str());
+        return 0;
+      }
+      std::fprintf(stderr, "resume: %s %s; retraining\n", OutPath.c_str(),
+                   Old ? "was trained on a different corpus/config"
+                       : "is not a loadable artifact");
+    }
+  }
+
   LearnerConfig Cfg;
   Cfg.Tau = Tau;
   Cfg.Seed = Seed;
   Cfg.Threads = static_cast<unsigned>(Threads);
+  Cfg.ProgramStepBudget = StepBudget;
   USpecLearner Learner(Strings, Cfg);
   LearnResult Result = Learner.learn(Corpus);
   printCandidates(Strings, Corpus.size(), Result.Candidates,
                   Result.Selected.size(), Tau);
   // Specs/artifacts go to stdout or -o; stats stay on stderr so pipelines
   // that consume the primary output are unaffected.
-  if (Stats)
+  if (Stats) {
+    // CLI-level parse quarantine (indices into the FILES list) goes in
+    // front of the learner's in-corpus quarantine records.
+    Result.Stats.Quarantined.insert(Result.Stats.Quarantined.begin(),
+                                    ParseQuarantine.begin(),
+                                    ParseQuarantine.end());
     std::fprintf(stderr, "%s\n", Result.Stats.json().c_str());
+  }
 
   if (Train) {
-    if (!writeFile(OutPath, Learner.saveArtifacts(Result, &Manifest)))
+    std::string WriteErr;
+    if (!writeFileAtomic(OutPath, Learner.saveArtifacts(Result, &Manifest),
+                         &WriteErr)) {
+      std::fprintf(stderr, "error: %s\n", WriteErr.c_str());
       return 1;
+    }
     std::fprintf(stderr, "wrote artifact %s (%zu programs, %zu candidates)\n",
                  OutPath.c_str(), Manifest.Entries.size(),
                  Result.Candidates.size());
@@ -730,6 +818,22 @@ int cmdServe(Args &A) {
       if (!parseUInt("--cache", V, Val))
         return 2;
       Cfg.CacheCapacity = Val;
+    } else if (!std::strcmp(Arg, "--request-timeout")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      uint64_t Val = 0;
+      if (!parseUInt("--request-timeout", V, Val))
+        return 2;
+      Cfg.RequestTimeoutMs = static_cast<unsigned>(Val);
+    } else if (!std::strcmp(Arg, "--step-budget")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      uint64_t Val = 0;
+      if (!parseUInt("--step-budget", V, Val))
+        return 2;
+      Cfg.MaxStepsPerRequest = Val;
     } else {
       return unknownToken("serve", Arg);
     }
@@ -854,6 +958,7 @@ int cmdQuery(Args &A) {
   std::string SocketPath, RawRequest;
   std::vector<const char *> Positional;
   bool Coverage = false;
+  uint64_t Retries = 0, RetrySeed = 0;
   std::vector<std::string> Sources, Sinks, Sanitizers;
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--socket")) {
@@ -861,6 +966,18 @@ int cmdQuery(Args &A) {
       if (!V)
         return missingValue("query", Arg);
       SocketPath = V;
+    } else if (!std::strcmp(Arg, "--retries")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      if (!parseUInt("--retries", V, Retries))
+        return 2;
+    } else if (!std::strcmp(Arg, "--retry-seed")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      if (!parseUInt("--retry-seed", V, RetrySeed))
+        return 2;
     } else if (!std::strcmp(Arg, "--json")) {
       const char *V = A.next();
       if (!V)
@@ -987,9 +1104,29 @@ int cmdQuery(Args &A) {
     }
   }
 
+  // Transient failures — a connect/send/recv error (server restarting) or a
+  // structured `overloaded` rejection (queue full) — are retried with
+  // deterministic exponential backoff: the delay for a given (seed, attempt)
+  // is always the same (service::retryDelayMs), so retry traces reproduce.
   std::string Response;
-  if (!roundTrip(SocketPath, Request, Response))
-    return 1;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    bool Ok = roundTrip(SocketPath, Request, Response);
+    bool Transient =
+        !Ok || (Response.find("\"kind\":\"overloaded\"") != std::string::npos);
+    if (Ok && !Transient)
+      break;
+    if (Attempt >= Retries) {
+      if (!Ok)
+        return 1;
+      break; // Overloaded with no retries left: fall through and print it.
+    }
+    uint64_t DelayMs = service::retryDelayMs(Attempt, RetrySeed);
+    std::fprintf(stderr, "retry %u/%llu in %llu ms (%s)\n", Attempt + 1,
+                 static_cast<unsigned long long>(Retries),
+                 static_cast<unsigned long long>(DelayMs),
+                 Ok ? "overloaded" : "connection failed");
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+  }
 
   // `uspec query` sends no id, so a success is exactly
   // {"ok":true,"result":PAYLOAD} — strip the fixed envelope to recover the
