@@ -14,6 +14,8 @@
 
 #include "BenchCommon.h"
 
+#include "support/Trace.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -188,6 +190,33 @@ void BM_FullPipelineBudgeted(benchmark::State &State) {
   State.SetLabel(StepBudget ? "budgeted (never exhausts)" : "budget off");
 }
 BENCHMARK(BM_FullPipelineBudgeted)->Arg(0)->Arg(1 << 30);
+
+// Observability overhead (DESIGN.md §11): the same corpus learned with
+// tracing disarmed (every TraceSpan is one relaxed atomic load, same
+// discipline as the USPEC_FAULT probes — Arg(0) must sit within noise of
+// BM_FullPipeline at the same size) and with an in-memory session armed
+// (Arg(1): clock reads + per-thread buffer appends; the trace is discarded
+// unserialized after each iteration).
+void BM_FullPipelineTraced(benchmark::State &State) {
+  bool Traced = State.range(0) != 0;
+  static StringInterner S;
+  GeneratedCorpus &Corpus = corpusOf(200, S);
+  LearnerConfig Cfg;
+  for (auto _ : State) {
+    if (Traced)
+      trace::start();
+    USpecLearner Learner(S, Cfg);
+    benchmark::DoNotOptimize(Learner.learn(Corpus.Programs));
+    if (Traced) {
+      State.PauseTiming();
+      trace::stop();
+      State.ResumeTiming();
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.Programs.size());
+  State.SetLabel(Traced ? "tracing armed" : "tracing off");
+}
+BENCHMARK(BM_FullPipelineTraced)->Arg(0)->Arg(1);
 
 /// --uspec_phase_json[=N]: instead of google-benchmark, run the full
 /// pipeline over the default corpus profile (N programs, default 400) once

@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+#===- trace_smoke.sh - End-to-end smoke test of the observability layer --===#
+#
+# Part of the USpec reproduction (PLDI 2019). MIT license.
+#
+# Exercises PR-5 observability through the real binary: `--trace` on learn /
+# train / analyze emits valid Chrome-trace-event JSON (validated with
+# `python3 -m json.tool` and checked for the expected span names), trained
+# artifacts are byte-identical with tracing on or off, and a traced
+# `uspec serve` answers the `metrics` verb with Prometheus text exposition,
+# echoes trace_id, and writes the slow-request log.
+#
+# Usage: scripts/trace_smoke.sh [path/to/uspec]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+USPEC=${1:-build/tools/uspec}
+
+WORK=$(mktemp -d)
+SERVER=
+cleanup() {
+  [ -n "$SERVER" ] && kill "$SERVER" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+fail=0
+
+echo "== corpus"
+"$USPEC" gen --profile java -n 12 -o "$WORK/corpus" --seed 11
+
+echo "== learn --trace emits valid trace JSON"
+"$USPEC" learn "$WORK/corpus"/*.mini --stats --trace "$WORK/learn.json" \
+  -o "$WORK/specs.txt" 2>/dev/null
+python3 -m json.tool "$WORK/learn.json" >/dev/null || {
+  echo "FAIL: learn trace is not valid JSON" >&2
+  fail=1
+}
+for span in learn learn.phase1_analyze learn.phase3_extract learn.program \
+            analysis.run; do
+  grep -q "\"name\":\"$span\"" "$WORK/learn.json" || {
+    echo "FAIL: learn trace missing span '$span'" >&2
+    fail=1
+  }
+done
+
+echo "== USPEC_TRACE env var arms tracing too"
+USPEC_TRACE="$WORK/env.json" "$USPEC" analyze "$WORK/corpus/prog0.mini" \
+  >/dev/null
+python3 -m json.tool "$WORK/env.json" >/dev/null || {
+  echo "FAIL: USPEC_TRACE trace is not valid JSON" >&2
+  fail=1
+}
+
+echo "== train artifacts byte-identical with tracing on/off, 1 and 8 threads"
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/plain.uspb" --seed 11 \
+  --threads 1 2>/dev/null
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/traced1.uspb" --seed 11 \
+  --threads 1 --trace "$WORK/t1.json" 2>/dev/null
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/traced8.uspb" --seed 11 \
+  --threads 8 --trace "$WORK/t8.json" 2>/dev/null
+for v in traced1 traced8; do
+  cmp -s "$WORK/plain.uspb" "$WORK/$v.uspb" || {
+    echo "FAIL: $v.uspb differs from untraced artifact" >&2
+    fail=1
+  }
+done
+python3 -m json.tool "$WORK/t8.json" >/dev/null || {
+  echo "FAIL: 8-thread train trace is not valid JSON" >&2
+  fail=1
+}
+
+echo "== traced serve: metrics verb, trace_id echo, slow log"
+"$USPEC" serve --model "$WORK/plain.uspb" --socket "$WORK/uspec.sock" \
+  --workers 2 --trace "$WORK/serve.json" --slow-ms 0 2>"$WORK/serve.err" &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/uspec.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/uspec.sock" ] || {
+  echo "FAIL: server socket never appeared" >&2
+  exit 1
+}
+
+"$USPEC" query --socket "$WORK/uspec.sock" --trace-id smoke-1 \
+  analyze "$WORK/corpus/prog0.mini" >/dev/null
+
+metrics=$("$USPEC" query --socket "$WORK/uspec.sock" metrics)
+for series in '# TYPE uspec_request_latency_seconds histogram' \
+              '# TYPE uspec_queue_wait_seconds histogram' \
+              'uspec_analyze_seconds_count' \
+              'uspec_requests_admitted_total'; do
+  echo "$metrics" | grep -q "$series" || {
+    echo "FAIL: metrics exposition missing '$series'" >&2
+    fail=1
+  }
+done
+
+echo "== shutdown writes the serve trace"
+"$USPEC" query --socket "$WORK/uspec.sock" shutdown >/dev/null
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: server exited with status $rc after shutdown" >&2
+  fail=1
+fi
+python3 -m json.tool "$WORK/serve.json" >/dev/null || {
+  echo "FAIL: serve trace is not valid JSON" >&2
+  fail=1
+}
+grep -q '"name":"service.request"' "$WORK/serve.json" || {
+  echo "FAIL: serve trace missing service.request span" >&2
+  fail=1
+}
+grep -q '"name":"service.queue_wait"' "$WORK/serve.json" || {
+  echo "FAIL: serve trace missing service.queue_wait span" >&2
+  fail=1
+}
+# --slow-ms 0 disables the log; re-check with a 0ms-threshold impossible, so
+# assert the armed path instead: every request is slower than -1... slow-ms
+# only accepts >= 0, and 0 means off, so spot-check the log stayed empty.
+if grep -q 'uspec-slow' "$WORK/serve.err"; then
+  echo "FAIL: slow log fired with --slow-ms 0 (disabled)" >&2
+  fail=1
+fi
+
+echo "== serve --slow-ms 1: a heavyweight analyze lands in the slow log"
+# A 4000-statement program takes hundreds of ms to analyze — two orders of
+# magnitude over the 1ms threshold on any machine this runs on.
+{
+  echo 'class Main { def main() {'
+  for i in $(seq 1 4000); do
+    echo "var x$i = new Cache(); x$i.put(\"k\", $i);" \
+         "var y$i = x$i.getIfPresent(\"k\");"
+  done
+  echo '} }'
+} > "$WORK/big.mini"
+"$USPEC" serve --model "$WORK/plain.uspb" --socket "$WORK/uspec2.sock" \
+  --workers 1 --slow-ms 1 2>"$WORK/serve2.err" &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/uspec2.sock" ] && break
+  sleep 0.1
+done
+"$USPEC" query --socket "$WORK/uspec2.sock" --trace-id "slow-0" \
+  analyze "$WORK/big.mini" >/dev/null
+"$USPEC" query --socket "$WORK/uspec2.sock" shutdown >/dev/null
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+[ "$rc" -eq 0 ] || {
+  echo "FAIL: slow-log server exited with status $rc" >&2
+  fail=1
+}
+if ! grep -q 'uspec-slow verb=analyze' "$WORK/serve2.err"; then
+  echo "FAIL: slow log never fired with --slow-ms 1" >&2
+  cat "$WORK/serve2.err" >&2
+  fail=1
+fi
+if ! grep -q 'trace_id=slow-' "$WORK/serve2.err"; then
+  echo "FAIL: slow log lines missing trace_id" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "trace smoke: OK"
+else
+  echo "trace smoke: FAILED" >&2
+fi
+exit "$fail"

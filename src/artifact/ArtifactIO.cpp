@@ -7,6 +7,7 @@
 #include "artifact/ArtifactIO.h"
 
 #include "support/FaultInject.h"
+#include "support/Trace.h"
 
 #include <cerrno>
 #include <cstring>
@@ -345,6 +346,11 @@ std::string uspec::atomicTempPath(const std::string &Path) {
 
 bool uspec::writeFileAtomic(const std::string &Path, std::string_view Bytes,
                             std::string *Err) {
+  TraceSpan Span("artifact.write");
+  if (Span.active()) {
+    Span.arg("path", Path);
+    Span.arg("bytes", std::to_string(Bytes.size()));
+  }
   const std::string Tmp = atomicTempPath(Path);
   auto Fail = [&](const char *What) {
     if (Err)

@@ -12,6 +12,8 @@
 
 #include "artifact/Container.h"
 
+#include "support/Trace.h"
+
 using namespace uspec;
 
 namespace {
@@ -82,6 +84,7 @@ std::string uspec::saveLearnArtifacts(const LearnResult &Result,
                                       const LearnerConfig &Config,
                                       const StringInterner &Strings,
                                       const CorpusManifest &Manifest) {
+  TraceSpan Span("artifact.save");
   SymbolTableBuilder Syms(Strings);
   // Encode symbol-bearing sections first so the string table is complete.
   std::string Candidates = encodeCandidates(Result.Candidates, Syms);
@@ -100,6 +103,9 @@ std::string uspec::saveLearnArtifacts(const LearnResult &Result,
 std::optional<LearnArtifacts>
 uspec::loadLearnArtifacts(std::string_view Bytes, StringInterner &Strings,
                           ArtifactError *Err) {
+  TraceSpan Span("artifact.load");
+  if (Span.active())
+    Span.arg("bytes", std::to_string(Bytes.size()));
   std::optional<ArtifactReader> A = ArtifactReader::open(Bytes, Err);
   if (!A)
     return std::nullopt;

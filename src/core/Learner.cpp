@@ -11,6 +11,7 @@
 #include "support/Budget.h"
 #include "support/FaultInject.h"
 #include "support/ParallelFor.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <memory>
@@ -30,6 +31,16 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   Result.Stats.Programs = N;
   PhaseTimer Total, Phase;
 
+  // Tracing is observational only: spans read clocks and buffer events but
+  // never influence scheduling, seeds, or shard boundaries, so the learned
+  // artifacts are bit-identical with tracing on or off (pinned by
+  // TelemetryDeterminism tests).
+  TraceSpan LearnSpan("learn");
+  if (LearnSpan.active()) {
+    LearnSpan.arg("programs", std::to_string(N));
+    LearnSpan.arg("threads", std::to_string(Workers));
+  }
+
   // Phase 1 (§3): analyze each program and build its event graph. Programs
   // are independent, so this fans out across threads (the paper runs its
   // pipeline on a 28-core server, §7.2).
@@ -46,7 +57,15 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   // Phase 2a (§4.2): per-program training samples, seeded per program so
   // results do not depend on scheduling.
   std::vector<std::vector<TrainingSample>> PerProgramSamples(N);
+  {
+  TraceSpan PhaseSpan("learn.phase1_analyze");
   parallelFor(N, Config.Threads, [&](size_t I) {
+    TraceSpan ProgramSpan("learn.program");
+    if (ProgramSpan.active()) {
+      ProgramSpan.arg("index", std::to_string(I));
+      if (!Corpus[I].Name.empty())
+        ProgramSpan.arg("name", Corpus[I].Name);
+    }
     try {
       if (faultFiresAt("learn.analyze", I))
         throw FaultInjected("learn.analyze");
@@ -82,8 +101,11 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
     if (!G.callSites().empty())
       ++Result.Stats.Graphs;
   Result.Stats.AnalyzeSeconds = Phase.lap();
+  }
 
   // Phase 2b: train the model on the concatenated samples.
+  {
+  TraceSpan PhaseSpan("learn.phase2_train");
   std::vector<TrainingSample> Samples;
   for (std::vector<TrainingSample> &Local : PerProgramSamples) {
     Samples.insert(Samples.end(), std::make_move_iterator(Local.begin()),
@@ -95,6 +117,9 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   Result.TrainAccuracy = Result.Model.accuracy(Samples);
   Result.Stats.TrainingSamples = Samples.size();
   Result.Stats.TrainSeconds = Phase.lap();
+  if (PhaseSpan.active())
+    PhaseSpan.arg("samples", std::to_string(Samples.size()));
+  }
 
   // Phase 3 (Alg. 1): candidate extraction and confidence collection,
   // sharded. Each worker runs Alg. 1 over its own contiguous range of
@@ -104,6 +129,8 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   // to a serial pass at any shard count.
   unsigned NumShards = effectiveThreads(N, Config.Threads);
   std::vector<CandidateCollector> Shards;
+  {
+  TraceSpan PhaseSpan("learn.phase3_extract");
   Shards.reserve(std::max(1u, NumShards));
   for (unsigned S = 0; S < std::max(1u, NumShards); ++S)
     Shards.emplace_back(Result.Model, Config.DistanceBound,
@@ -134,6 +161,7 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
     Result.Stats.PeakCandidates += Shard.candidates().size();
   for (size_t S = 1; S < Shards.size(); ++S)
     Shards[0].merge(std::move(Shards[S]));
+  }
   const CandidateCollector &Collector = Shards[0];
   Result.Stats.ReceiverPairs = Collector.numReceiverPairs();
   Result.Stats.Matches = Collector.numMatches();
@@ -145,6 +173,10 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   // same sequence as a serial run.
   const std::vector<Spec> &Order = Collector.candidates();
   Result.Candidates.resize(Order.size());
+  {
+  TraceSpan PhaseSpan("learn.phase4_score");
+  if (PhaseSpan.active())
+    PhaseSpan.arg("candidates", std::to_string(Order.size()));
   parallelFor(Order.size(), Config.Threads, [&](size_t I) {
     const Spec &S = Order[I];
     const CandidateStats &Stats = Collector.stats().at(S);
@@ -165,12 +197,16 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
                      return A.Matches > B.Matches;
                    });
   Result.Stats.ScoreSeconds = Phase.lap();
+  }
 
   // Phase 5 (§5.3–5.4): selection and consistency extension.
+  {
+  TraceSpan PhaseSpan("learn.phase5_select");
   Result.Selected =
       select(Result.Candidates, Config.Tau, Config.ExtendConsistency,
              &Result.AddedByExtension);
   Result.Stats.SelectSeconds = Phase.lap();
+  }
 
   // Quarantine report, in corpus order (deterministic at any thread count).
   for (size_t I = 0; I < N; ++I)

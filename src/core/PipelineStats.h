@@ -18,6 +18,8 @@
 #ifndef USPEC_CORE_PIPELINESTATS_H
 #define USPEC_CORE_PIPELINESTATS_H
 
+#include "support/JsonEscape.h"
+
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
@@ -90,31 +92,14 @@ struct PipelineStats {
       const QuarantineRecord &Q = Quarantined[I];
       if (I)
         Out += ", ";
-      Out += "{\"program\": " + std::to_string(Q.Program) + ", \"name\": \"";
-      appendEscaped(Out, Q.Name);
-      Out += "\", \"reason\": \"";
-      appendEscaped(Out, Q.Reason);
-      Out += "\"}";
+      Out += "{\"program\": " + std::to_string(Q.Program) + ", \"name\": ";
+      appendJsonQuoted(Out, Q.Name);
+      Out += ", \"reason\": ";
+      appendJsonQuoted(Out, Q.Reason);
+      Out += "}";
     }
     Out += "]}";
     return Out;
-  }
-
-private:
-  /// Minimal JSON string escaping (quotes, backslashes, control bytes).
-  static void appendEscaped(std::string &Out, const std::string &S) {
-    for (char C : S) {
-      if (C == '"' || C == '\\') {
-        Out += '\\';
-        Out += C;
-      } else if (static_cast<unsigned char>(C) < 0x20) {
-        char Hex[8];
-        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
-        Out += Hex;
-      } else {
-        Out += C;
-      }
-    }
   }
 };
 

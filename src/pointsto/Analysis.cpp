@@ -7,6 +7,7 @@
 #include "pointsto/Analysis.h"
 
 #include "support/FaultInject.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 
@@ -63,6 +64,16 @@ public:
   }
 
   AnalysisResult run() {
+    // One span per driver run; per-method frames are deliberately unspanned
+    // (a probe there would fire thousands of times per program).
+    TraceSpan Span("analysis.run");
+    if (Span.active()) {
+      size_t Methods = 0;
+      for (const IRClass &Class : Program.Classes)
+        Methods += Class.Methods.size();
+      Span.arg("classes", std::to_string(Program.Classes.size()));
+      Span.arg("methods", std::to_string(Methods));
+    }
     for (unsigned Iter = 0;
          Iter < std::max(1u, Opts.OuterIterations) && !Exhausted; ++Iter) {
       bool LastIter = Iter + 1 == std::max(1u, Opts.OuterIterations);

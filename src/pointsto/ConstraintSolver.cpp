@@ -7,6 +7,7 @@
 #include "pointsto/ConstraintSolver.h"
 
 #include "support/FaultInject.h"
+#include "support/Trace.h"
 
 #include <deque>
 #include <unordered_set>
@@ -281,8 +282,15 @@ private:
   //===--------------------------------------------------------------------===//
 
   void solve() {
+    // One span per fixpoint plus one per outer round; the per-pop worklist
+    // loop is deliberately unspanned — a probe there would cost an atomic
+    // load per propagation even when tracing is off.
+    TraceSpan FixpointSpan("solver.fixpoint");
+    size_t Rounds = 0;
     bool Changed = true;
     while (Changed) {
+      TraceSpan RoundSpan("solver.round");
+      ++Rounds;
       Changed = false;
       while (!Worklist.empty()) {
         // Cooperative bound: stop mid-fixpoint when the budget runs out or
@@ -323,6 +331,10 @@ private:
       }
       if (!Worklist.empty())
         Changed = true;
+    }
+    if (FixpointSpan.active()) {
+      FixpointSpan.arg("rounds", std::to_string(Rounds));
+      FixpointSpan.arg("propagations", std::to_string(Propagations));
     }
   }
 

@@ -5,12 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Aggregate request metrics surfaced by the `stats` verb: counters are
-/// lock-free atomics bumped on every request; latencies go into a fixed
-/// ring of the most recent samples (bounded memory at any traffic level)
-/// from which p50/p95 are computed on demand via support/Stats.h. Cache
-/// hit/miss here is *request-level* (did this request skip analysis?),
-/// independent of the cache's internal probe counters.
+/// Aggregate request metrics surfaced by the `stats` (JSON) and `metrics`
+/// (Prometheus text exposition) verbs. Everything lives in a per-server
+/// telemetry::MetricsRegistry: counters are lock-free atomics bumped on
+/// every request; latencies go into log2-bucketed sharded histograms
+/// (support/Telemetry.h) from which p50/p95 are computed on demand — exact
+/// over the bucket-quantized samples, bounded memory at any traffic level,
+/// and no lock on the record path (this replaced the former mutex+ring).
+/// Cache hit/miss here is *request-level* (did this request skip
+/// analysis?), independent of the cache's internal probe counters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,52 +21,66 @@
 #define USPEC_SERVICE_METRICS_H
 
 #include "service/Cache.h"
-#include "support/Stats.h"
+#include "support/Telemetry.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
-#include <vector>
 
 namespace uspec {
 namespace service {
 
 class ServiceMetrics {
 public:
-  static constexpr size_t LatencyRingSize = 4096;
+  ServiceMetrics()
+      : Start(std::chrono::steady_clock::now()),
+        Received(Registry.counter("uspec_requests_admitted_total",
+                                  "Requests admitted to the queue")),
+        Completed(Registry.counter("uspec_requests_completed_total",
+                                   "Requests answered ok")),
+        Errored(Registry.counter("uspec_requests_errored_total",
+                                 "Requests answered with an error")),
+        Overloaded(Registry.counter("uspec_requests_overloaded_total",
+                                    "Requests rejected: queue full")),
+        RejectedDraining(
+            Registry.counter("uspec_requests_rejected_draining_total",
+                             "Requests rejected: server draining")),
+        DeadlineExceeded(
+            Registry.counter("uspec_requests_deadline_exceeded_total",
+                             "Requests answered deadline_exceeded")),
+        WorkerDeaths(Registry.counter("uspec_worker_deaths_total",
+                                      "Workers replaced after a fault")),
+        CacheHits(Registry.counter("uspec_cache_hits_total",
+                                   "Requests served from the analysis cache")),
+        CacheMisses(Registry.counter("uspec_cache_misses_total",
+                                     "Requests that ran a fresh analysis")),
+        Latency(Registry.histogram("uspec_request_latency_seconds",
+                                   "Wall time from dequeue to answer")),
+        QueueWait(Registry.histogram("uspec_queue_wait_seconds",
+                                     "Wall time from admission to dequeue")),
+        Analyze(Registry.histogram("uspec_analyze_seconds",
+                                   "Wall time of cache-miss analysis")) {}
 
-  ServiceMetrics() : Start(std::chrono::steady_clock::now()) {
-    Ring.resize(LatencyRingSize, 0.0);
-  }
-
-  void recordAdmitted() { Received.fetch_add(1, std::memory_order_relaxed); }
-  void recordOverloaded() {
-    Overloaded.fetch_add(1, std::memory_order_relaxed);
-  }
-  void recordRejectedDraining() {
-    RejectedDraining.fetch_add(1, std::memory_order_relaxed);
-  }
-  void recordCacheHit() { CacheHits.fetch_add(1, std::memory_order_relaxed); }
-  void recordCacheMiss() {
-    CacheMisses.fetch_add(1, std::memory_order_relaxed);
-  }
-  void recordDeadlineExceeded() {
-    DeadlineExceeded.fetch_add(1, std::memory_order_relaxed);
-  }
-  void recordWorkerDeath() {
-    WorkerDeaths.fetch_add(1, std::memory_order_relaxed);
-  }
+  void recordAdmitted() { Received.inc(); }
+  void recordOverloaded() { Overloaded.inc(); }
+  void recordRejectedDraining() { RejectedDraining.inc(); }
+  void recordCacheHit() { CacheHits.inc(); }
+  void recordCacheMiss() { CacheMisses.inc(); }
+  void recordDeadlineExceeded() { DeadlineExceeded.inc(); }
+  void recordWorkerDeath() { WorkerDeaths.inc(); }
 
   /// Called once per completed request with its wall time.
   void recordCompleted(double Seconds, bool Ok) {
-    (Ok ? Completed : Errored).fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> Lock(RingMutex);
-    Ring[RingNext % LatencyRingSize] = Seconds;
-    ++RingNext;
+    (Ok ? Completed : Errored).inc();
+    Latency.recordSeconds(Seconds);
   }
+
+  /// Admission-to-dequeue wall time of one request.
+  void recordQueueWait(double Seconds) { QueueWait.recordSeconds(Seconds); }
+
+  /// Wall time of one cache-miss analysis.
+  void recordAnalyze(double Seconds) { Analyze.recordSeconds(Seconds); }
 
   double uptimeSeconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -72,103 +89,109 @@ public:
   }
 
   /// One JSON object; \p Workers / \p QueueDepth / \p Cache describe the
-  /// server's current shape.
+  /// server's current shape. Built on std::string — never truncates,
+  /// however large the counters grow.
   std::string json(unsigned Workers, size_t QueueDepth, size_t QueueCapacity,
                    const AnalysisCache::Stats &Cache) const {
-    uint64_t Done = Completed.load(std::memory_order_relaxed);
-    uint64_t Errs = Errored.load(std::memory_order_relaxed);
-    uint64_t Hits = CacheHits.load(std::memory_order_relaxed);
-    uint64_t Miss = CacheMisses.load(std::memory_order_relaxed);
+    uint64_t Done = Completed.value();
+    uint64_t Errs = Errored.value();
+    uint64_t Hits = CacheHits.value();
+    uint64_t Miss = CacheMisses.value();
     double Uptime = uptimeSeconds();
     double Qps = Uptime > 0 ? static_cast<double>(Done + Errs) / Uptime : 0;
     double HitRate =
         Hits + Miss ? static_cast<double>(Hits) / (Hits + Miss) : 0;
 
-    std::vector<double> Lat;
-    uint64_t Samples = 0;
-    {
-      std::lock_guard<std::mutex> Lock(RingMutex);
-      Samples = RingNext;
-      size_t N = RingNext < LatencyRingSize ? RingNext : LatencyRingSize;
-      Lat.assign(Ring.begin(), Ring.begin() + N);
-    }
-    double P50 = percentile(Lat, 0.50) * 1e3;
-    double P95 = percentile(Lat, 0.95) * 1e3;
+    telemetry::HistogramSnapshot Lat = Latency.snapshot();
+    double P50 = Lat.percentileSeconds(0.50) * 1e3;
+    double P95 = Lat.percentileSeconds(0.95) * 1e3;
 
-    char Buf[896];
-    std::snprintf(
-        Buf, sizeof(Buf),
-        "{\"uptime_seconds\":%.3f,\"workers\":%u,"
-        "\"queue_depth\":%zu,\"queue_capacity\":%zu,"
-        "\"requests\":{\"admitted\":%llu,\"completed\":%llu,"
-        "\"errored\":%llu,\"overloaded\":%llu,\"rejected_draining\":%llu,"
-        "\"deadline_exceeded\":%llu},"
-        "\"worker_deaths\":%llu,"
-        "\"qps\":%.3f,"
-        "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"
-        "\"entries\":%zu,\"capacity\":%zu,\"evictions\":%llu},"
-        "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"samples\":%llu}}",
-        Uptime, Workers, QueueDepth, QueueCapacity,
-        static_cast<unsigned long long>(
-            Received.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(Done),
-        static_cast<unsigned long long>(Errs),
-        static_cast<unsigned long long>(
-            Overloaded.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            RejectedDraining.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            DeadlineExceeded.load(std::memory_order_relaxed)),
-        static_cast<unsigned long long>(
-            WorkerDeaths.load(std::memory_order_relaxed)),
-        Qps, static_cast<unsigned long long>(Hits),
-        static_cast<unsigned long long>(Miss), HitRate, Cache.Entries,
-        Cache.Capacity, static_cast<unsigned long long>(Cache.Evictions),
-        P50, P95, static_cast<unsigned long long>(Samples));
-    return Buf;
+    std::string Out;
+    Out.reserve(512);
+    char Buf[160];
+    auto Append = [&](const char *Fmt, auto Value) {
+      std::snprintf(Buf, sizeof(Buf), Fmt, Value);
+      Out += Buf;
+    };
+    auto AppendU64 = [&](const char *Prefix, uint64_t Value) {
+      Out += Prefix;
+      Append("%llu", static_cast<unsigned long long>(Value));
+    };
+    Append("{\"uptime_seconds\":%.3f", Uptime);
+    Append(",\"workers\":%u", Workers);
+    Append(",\"queue_depth\":%zu", QueueDepth);
+    Append(",\"queue_capacity\":%zu", QueueCapacity);
+    AppendU64(",\"requests\":{\"admitted\":", Received.value());
+    AppendU64(",\"completed\":", Done);
+    AppendU64(",\"errored\":", Errs);
+    AppendU64(",\"overloaded\":", Overloaded.value());
+    AppendU64(",\"rejected_draining\":", RejectedDraining.value());
+    AppendU64(",\"deadline_exceeded\":", DeadlineExceeded.value());
+    AppendU64("},\"worker_deaths\":", WorkerDeaths.value());
+    Append(",\"qps\":%.3f", Qps);
+    AppendU64(",\"cache\":{\"hits\":", Hits);
+    AppendU64(",\"misses\":", Miss);
+    Append(",\"hit_rate\":%.4f", HitRate);
+    Append(",\"entries\":%zu", Cache.Entries);
+    Append(",\"capacity\":%zu", Cache.Capacity);
+    AppendU64(",\"evictions\":", Cache.Evictions);
+    Append("},\"latency_ms\":{\"p50\":%.3f", P50);
+    Append(",\"p95\":%.3f", P95);
+    AppendU64(",\"samples\":", Lat.Count);
+    Out += "}}";
+    return Out;
   }
 
-  uint64_t deadlineExceededCount() const {
-    return DeadlineExceeded.load(std::memory_order_relaxed);
-  }
-  uint64_t workerDeathCount() const {
-    return WorkerDeaths.load(std::memory_order_relaxed);
+  /// Prometheus text exposition of every registry series plus the server
+  /// shape (workers, queue, cache occupancy) as computed gauges.
+  std::string prometheus(unsigned Workers, size_t QueueDepth,
+                         size_t QueueCapacity,
+                         const AnalysisCache::Stats &Cache) const {
+    std::string Out = Registry.renderPrometheus();
+    using telemetry::appendPromCounter;
+    using telemetry::appendPromGauge;
+    appendPromGauge(Out, "uspec_uptime_seconds", "Server uptime",
+                    uptimeSeconds());
+    appendPromGauge(Out, "uspec_workers", "Worker pool size", Workers);
+    appendPromGauge(Out, "uspec_queue_depth", "Requests currently queued",
+                    static_cast<double>(QueueDepth));
+    appendPromGauge(Out, "uspec_queue_capacity", "Admission queue capacity",
+                    static_cast<double>(QueueCapacity));
+    appendPromGauge(Out, "uspec_cache_entries", "Analyses resident in cache",
+                    static_cast<double>(Cache.Entries));
+    appendPromGauge(Out, "uspec_cache_capacity", "Cache entry capacity",
+                    static_cast<double>(Cache.Capacity));
+    appendPromCounter(Out, "uspec_cache_evictions_total",
+                      "Cache entries evicted",
+                      static_cast<double>(Cache.Evictions));
+    return Out;
   }
 
-  uint64_t overloadedCount() const {
-    return Overloaded.load(std::memory_order_relaxed);
-  }
-  uint64_t cacheHitCount() const {
-    return CacheHits.load(std::memory_order_relaxed);
-  }
-  uint64_t cacheMissCount() const {
-    return CacheMisses.load(std::memory_order_relaxed);
-  }
+  uint64_t deadlineExceededCount() const { return DeadlineExceeded.value(); }
+  uint64_t workerDeathCount() const { return WorkerDeaths.value(); }
+  uint64_t overloadedCount() const { return Overloaded.value(); }
+  uint64_t cacheHitCount() const { return CacheHits.value(); }
+  uint64_t cacheMissCount() const { return CacheMisses.value(); }
   uint64_t completedCount() const {
-    return Completed.load(std::memory_order_relaxed) +
-           Errored.load(std::memory_order_relaxed);
+    return Completed.value() + Errored.value();
   }
 
   /// Median completed-request latency in seconds (0 with no samples);
   /// benches read this instead of re-parsing their own stats JSON.
   double p50LatencySeconds() const {
-    std::vector<double> Lat;
-    {
-      std::lock_guard<std::mutex> Lock(RingMutex);
-      size_t N = RingNext < LatencyRingSize ? RingNext : LatencyRingSize;
-      Lat.assign(Ring.begin(), Ring.begin() + N);
-    }
-    return percentile(Lat, 0.50);
+    return Latency.snapshot().percentileSeconds(0.50);
   }
 
+  /// The underlying registry (tests drive counters directly through it).
+  telemetry::MetricsRegistry &registry() { return Registry; }
+
 private:
+  telemetry::MetricsRegistry Registry;
   std::chrono::steady_clock::time_point Start;
-  std::atomic<uint64_t> Received{0}, Completed{0}, Errored{0}, Overloaded{0},
-      RejectedDraining{0}, CacheHits{0}, CacheMisses{0}, DeadlineExceeded{0},
-      WorkerDeaths{0};
-  mutable std::mutex RingMutex;
-  std::vector<double> Ring;
-  uint64_t RingNext = 0; ///< Guarded by RingMutex.
+  telemetry::Counter &Received, &Completed, &Errored, &Overloaded,
+      &RejectedDraining, &DeadlineExceeded, &WorkerDeaths, &CacheHits,
+      &CacheMisses;
+  telemetry::ShardedHistogram &Latency, &QueueWait, &Analyze;
 };
 
 } // namespace service

@@ -11,6 +11,7 @@
 #include "corpus/Dedup.h"
 #include "lang/Diagnostics.h"
 #include "support/Hashing.h"
+#include "support/JsonEscape.h"
 #include "support/Random.h"
 
 #include <cinttypes>
@@ -298,27 +299,7 @@ bool service::parseJson(std::string_view Text, JsonValue &Out,
 }
 
 void service::appendJsonString(std::string &Out, std::string_view S) {
-  Out.push_back('"');
-  for (unsigned char C : S) {
-    switch (C) {
-    case '"': Out += "\\\""; break;
-    case '\\': Out += "\\\\"; break;
-    case '\b': Out += "\\b"; break;
-    case '\f': Out += "\\f"; break;
-    case '\n': Out += "\\n"; break;
-    case '\r': Out += "\\r"; break;
-    case '\t': Out += "\\t"; break;
-    default:
-      if (C < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out.push_back(static_cast<char>(C));
-      }
-    }
-  }
-  Out.push_back('"');
+  appendJsonQuoted(Out, S); // the shared support/JsonEscape.h escaper
 }
 
 //===----------------------------------------------------------------------===//
@@ -427,6 +408,8 @@ bool service::parseRequest(std::string_view Line, Request &Out,
     NeedsProgram = true;
   } else if (Name == "stats") {
     Out.TheVerb = Verb::Stats;
+  } else if (Name == "metrics") {
+    Out.TheVerb = Verb::Metrics;
   } else if (Name == "shutdown") {
     Out.TheVerb = Verb::Shutdown;
   } else if (EnableTestVerbs && Name == "test_block") {
@@ -445,7 +428,8 @@ bool service::parseRequest(std::string_view Line, Request &Out,
       !stringField(Root, "use", Out.Use, Err) ||
       !stringListField(Root, "sources", Out.Sources, Err) ||
       !stringListField(Root, "sinks", Out.Sinks, Err) ||
-      !stringListField(Root, "sanitizers", Out.Sanitizers, Err))
+      !stringListField(Root, "sanitizers", Out.Sanitizers, Err) ||
+      !stringField(Root, "trace_id", Out.TraceId, Err))
     return false;
   if (const JsonValue *Cov = Root.find("coverage")) {
     if (!Cov->isBool()) {
@@ -553,16 +537,33 @@ uint64_t service::retryDelayMs(unsigned Attempt, uint64_t Seed) {
 // Responses
 //===----------------------------------------------------------------------===//
 
-std::string service::okResponse(const std::string &Id,
-                                std::string_view Payload) {
-  std::string Out;
-  Out.reserve(Payload.size() + Id.size() + 32);
+namespace {
+
+/// The shared `{"id":...,"trace_id":...,` envelope prefix; both members are
+/// omitted when empty so untraced requests keep their pre-trace bytes.
+void appendEnvelopePrefix(std::string &Out, const std::string &Id,
+                          std::string_view TraceId) {
   Out += "{";
   if (!Id.empty()) {
     Out += "\"id\":";
     Out += Id;
     Out += ",";
   }
+  if (!TraceId.empty()) {
+    Out += "\"trace_id\":";
+    appendJsonString(Out, TraceId);
+    Out += ",";
+  }
+}
+
+} // namespace
+
+std::string service::okResponse(const std::string &Id,
+                                std::string_view Payload,
+                                std::string_view TraceId) {
+  std::string Out;
+  Out.reserve(Payload.size() + Id.size() + TraceId.size() + 48);
+  appendEnvelopePrefix(Out, Id, TraceId);
   Out += "\"ok\":true,\"result\":";
   Out += Payload;
   Out += "}";
@@ -581,13 +582,10 @@ std::string service::errorBody(std::string_view Kind,
 
 std::string service::errorResponse(const std::string &Id,
                                    std::string_view Kind,
-                                   std::string_view Message) {
-  std::string Out = "{";
-  if (!Id.empty()) {
-    Out += "\"id\":";
-    Out += Id;
-    Out += ",";
-  }
+                                   std::string_view Message,
+                                   std::string_view TraceId) {
+  std::string Out;
+  appendEnvelopePrefix(Out, Id, TraceId);
   Out += "\"ok\":false,\"error\":";
   Out += errorBody(Kind, Message);
   Out += "}";

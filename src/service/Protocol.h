@@ -23,6 +23,7 @@
 ///    "sinks": ["sink"], "sanitizers": []}
 ///   {"verb": "specs"}
 ///   {"verb": "stats"}
+///   {"verb": "metrics"}
 ///   {"verb": "shutdown"}
 ///
 /// Responses echo the request id (when present) and carry either a result
@@ -31,6 +32,12 @@
 ///   {"id": 1, "ok": true, "result": {...}}
 ///   {"id": 1, "ok": false, "error": {"kind": "bad_request",
 ///                                    "message": "..."}}
+///
+/// Requests may also carry `"trace_id": "<string>"`, an opaque client
+/// correlation token echoed in the response envelope (after the id) and in
+/// the server's slow-request log; requests without one get byte-identical
+/// envelopes to the pre-trace protocol. The `metrics` verb returns the
+/// server's Prometheus text exposition as a JSON string result.
 ///
 /// Error kinds: bad_request (malformed JSON / missing fields), oversized
 /// (request line over the configured byte cap — reported without an id,
@@ -110,6 +117,7 @@ enum class Verb {
   Typestate,
   Taint,
   Stats,
+  Metrics, ///< Prometheus text exposition (as a JSON string result).
   Shutdown,
   TestBlock, ///< Test-only (ServerConfig::EnableTestVerbs): parks a worker
              ///< until Server::releaseTestGate(), for backpressure tests.
@@ -130,6 +138,9 @@ struct Request {
   /// Per-request deadline in milliseconds from admission (0 = none; the
   /// server default from `serve --request-timeout` applies instead).
   uint64_t DeadlineMs = 0;
+  /// Opaque client correlation token ("" when absent), echoed in the
+  /// response envelope and the slow-request log.
+  std::string TraceId;
 };
 
 /// Parses one request line. On failure returns false with a message in
@@ -156,18 +167,22 @@ std::string scanRequestId(std::string_view Line);
 // Responses
 //===----------------------------------------------------------------------===//
 
-/// `{"id":ID,"ok":true,"result":PAYLOAD}` (id omitted when empty). The
-/// payload is embedded verbatim — clients can recover it byte-exactly by
-/// stripping the fixed envelope.
-std::string okResponse(const std::string &Id, std::string_view Payload);
+/// `{"id":ID,"trace_id":"TID","ok":true,"result":PAYLOAD}` (id and
+/// trace_id omitted when empty — a request without them gets the exact
+/// pre-trace envelope bytes). The payload is embedded verbatim — clients
+/// can recover it byte-exactly by stripping the fixed envelope.
+std::string okResponse(const std::string &Id, std::string_view Payload,
+                       std::string_view TraceId = {});
 
 /// `{"kind":KIND,"message":MESSAGE}` — the error body, also printed by
 /// `uspec analyze --json` on failure (inside `{"error":...}`).
 std::string errorBody(std::string_view Kind, std::string_view Message);
 
-/// `{"id":ID,"ok":false,"error":BODY}` (id omitted when empty).
+/// `{"id":ID,"trace_id":"TID","ok":false,"error":BODY}` (id and trace_id
+/// omitted when empty).
 std::string errorResponse(const std::string &Id, std::string_view Kind,
-                          std::string_view Message);
+                          std::string_view Message,
+                          std::string_view TraceId = {});
 
 //===----------------------------------------------------------------------===//
 // The shared analyze engine

@@ -9,10 +9,13 @@
 #include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/ParallelFor.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <istream>
 #include <ostream>
 
@@ -23,6 +26,25 @@
 
 using namespace uspec;
 using namespace uspec::service;
+
+namespace {
+
+const char *verbName(Verb V) {
+  switch (V) {
+  case Verb::Analyze: return "analyze";
+  case Verb::Alias: return "alias";
+  case Verb::Specs: return "specs";
+  case Verb::Typestate: return "typestate";
+  case Verb::Taint: return "taint";
+  case Verb::Stats: return "stats";
+  case Verb::Metrics: return "metrics";
+  case Verb::Shutdown: return "shutdown";
+  case Verb::TestBlock: return "test_block";
+  }
+  return "?";
+}
+
+} // namespace
 
 Server::Server(ServerConfig ConfigIn, ServiceSpecs SpecsIn)
     : Config(ConfigIn), Specs(std::move(SpecsIn)),
@@ -137,6 +159,16 @@ std::string Server::statsJson() {
                       Cache.stats());
 }
 
+std::string Server::metricsText() {
+  size_t Depth = 0;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Depth = Queue.size();
+  }
+  return Metrics.prometheus(EffectiveWorkers, Depth, Config.QueueCapacity,
+                            Cache.stats());
+}
+
 void Server::workerLoop() {
   for (;;) {
     Job TheJob;
@@ -152,6 +184,17 @@ void Server::workerLoop() {
       Queue.pop_front();
       ++InFlight;
     }
+    TimePoint Popped = std::chrono::steady_clock::now();
+    double QueueSeconds =
+        std::chrono::duration<double>(Popped - TheJob.Admitted).count();
+    Metrics.recordQueueWait(QueueSeconds);
+    if (trace::enabled()) {
+      std::vector<std::pair<const char *, std::string>> Args;
+      if (!TheJob.State->Id.empty())
+        Args.emplace_back("id", TheJob.State->Id);
+      trace::completeEvent("service.queue_wait", TheJob.Admitted, Popped,
+                           std::move(Args));
+    }
     // Expired (or otherwise already answered) while queued: skip the work,
     // the watchdog has resolved the promise.
     if (TheJob.State->Answered.load(std::memory_order_acquire)) {
@@ -162,27 +205,42 @@ void Server::workerLoop() {
       continue;
     }
     std::string Response;
-    try {
-      // Injected worker death (`service.worker`): FaultInjected propagates
-      // to the catch below, which replaces this worker and exits the thread
-      // — from the outside, the worker crashed mid-request.
-      USPEC_FAULT_POINT("service.worker");
-      Response = handleRequest(TheJob.Line, TheJob);
-    } catch (const FaultInjected &) {
-      replaceDeadWorker(TheJob);
-      return;
-    } catch (const std::exception &E) {
-      // Any other escape is answered `internal`; the worker survives.
-      Response = errorResponse("", "internal",
-                               std::string("request failed: ") + E.what());
+    RequestInfo Info;
+    {
+      TraceSpan Span("service.request");
+      try {
+        // Injected worker death (`service.worker`): FaultInjected propagates
+        // to the catch below, which replaces this worker and exits the thread
+        // — from the outside, the worker crashed mid-request.
+        USPEC_FAULT_POINT("service.worker");
+        Response = handleRequest(TheJob.Line, TheJob, &Info);
+      } catch (const FaultInjected &) {
+        replaceDeadWorker(TheJob);
+        return;
+      } catch (const std::exception &E) {
+        // Any other escape is answered `internal`; the worker survives.
+        Response = errorResponse("", "internal",
+                                 std::string("request failed: ") + E.what());
+      }
+      if (Span.active()) {
+        Span.arg("verb", Info.Verb);
+        if (!TheJob.State->Id.empty())
+          Span.arg("id", TheJob.State->Id);
+        if (!Info.TraceId.empty())
+          Span.arg("trace_id", Info.TraceId);
+      }
     }
     double Seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - TheJob.Admitted)
                          .count();
     // "ok" is decided by the envelope the handler chose.
     bool Ok = Response.find("\"ok\":true") != std::string::npos;
-    if (TheJob.State->answer(std::move(Response)))
+    if (TheJob.State->answer(std::move(Response))) {
       Metrics.recordCompleted(Seconds, Ok);
+      if (Config.SlowRequestMs != 0 &&
+          Seconds * 1e3 >= static_cast<double>(Config.SlowRequestMs))
+        logSlowRequest(Info, TheJob, Seconds, QueueSeconds, Ok);
+    }
     {
       std::lock_guard<std::mutex> Lock(QueueMutex);
       --InFlight;
@@ -206,6 +264,28 @@ void Server::replaceDeadWorker(Job &TheJob) {
     Workers.emplace_back([this] { workerLoop(); });
   if (Queue.empty() && InFlight == 0)
     DrainedCv.notify_all();
+}
+
+void Server::logSlowRequest(const RequestInfo &Info, const Job &TheJob,
+                            double TotalSeconds, double QueueSeconds,
+                            bool Ok) {
+  // One key=value line per slow request, machine-greppable. The id is the
+  // raw JSON token the client sent (so string ids appear quoted).
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "uspec-slow verb=%s total_ms=%.3f queue_ms=%.3f ok=%s",
+                Info.Verb, TotalSeconds * 1e3, QueueSeconds * 1e3,
+                Ok ? "true" : "false");
+  std::string Line = Buf;
+  if (!TheJob.State->Id.empty())
+    Line += " id=" + TheJob.State->Id;
+  if (!Info.TraceId.empty())
+    Line += " trace_id=" + Info.TraceId;
+  Line += "\n";
+  std::ostream &Out = Config.SlowLog ? *Config.SlowLog : std::cerr;
+  std::lock_guard<std::mutex> Lock(SlowLogMutex);
+  Out << Line;
+  Out.flush();
 }
 
 void Server::watchJob(std::shared_ptr<JobState> State) {
@@ -255,7 +335,8 @@ void Server::watchdogLoop() {
   }
 }
 
-std::string Server::handleRequest(const std::string &Line, const Job &TheJob) {
+std::string Server::handleRequest(const std::string &Line, const Job &TheJob,
+                                  RequestInfo *Info) {
   if (Line.size() > Config.MaxRequestBytes)
     return errorResponse("", "oversized",
                          "request line of " + std::to_string(Line.size()) +
@@ -265,7 +346,11 @@ std::string Server::handleRequest(const std::string &Line, const Job &TheJob) {
   Request R;
   std::string Err;
   if (!parseRequest(Line, R, &Err, Config.EnableTestVerbs))
-    return errorResponse(R.Id, "bad_request", Err);
+    return errorResponse(R.Id, "bad_request", Err, R.TraceId);
+  if (Info) {
+    Info->Verb = verbName(R.TheVerb);
+    Info->TraceId = R.TraceId;
+  }
 
   // Per-request budget: the step cap bounds analysis work; the deadline
   // (request's own, else the server default) makes the worker notice an
@@ -284,55 +369,81 @@ std::string Server::handleRequest(const std::string &Line, const Job &TheJob) {
   std::string Response = handleParsed(R, UseBudget ? &B : nullptr);
   if (B.exhausted() && std::string_view(B.reason()) == "deadline")
     return errorResponse(R.Id, "deadline_exceeded",
-                         "request exceeded its deadline");
+                         "request exceeded its deadline", R.TraceId);
   return Response;
 }
 
 std::string Server::handleParsed(const Request &R, Budget *B) {
+  // Verb-specific payload rendering is wrapped in a `service.serialize`
+  // span; analyze's payload is memoized in the cached analysis (serialized
+  // inside the `service.analyze` span on the miss that produced it).
+  auto Serialized = [](auto &&Render) {
+    TraceSpan Span("service.serialize");
+    return Render();
+  };
   switch (R.TheVerb) {
   case Verb::Analyze: {
     std::string Err;
     auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
-      return errorResponse(R.Id, "parse_error", Err);
-    return okResponse(R.Id, PA->AnalyzeJson);
+      return errorResponse(R.Id, "parse_error", Err, R.TraceId);
+    return okResponse(R.Id, PA->AnalyzeJson, R.TraceId);
   }
   case Verb::Alias: {
     std::string Err;
     auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
-      return errorResponse(R.Id, "parse_error", Err);
-    return okResponse(R.Id, aliasPayload(*PA, R.A, R.B));
+      return errorResponse(R.Id, "parse_error", Err, R.TraceId);
+    return okResponse(
+        R.Id, Serialized([&] { return aliasPayload(*PA, R.A, R.B); }),
+        R.TraceId);
   }
   case Verb::Typestate: {
     std::string Err;
     auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
-      return errorResponse(R.Id, "parse_error", Err);
-    return okResponse(R.Id, typestatePayload(*PA, R.Check, R.Use));
+      return errorResponse(R.Id, "parse_error", Err, R.TraceId);
+    return okResponse(
+        R.Id,
+        Serialized([&] { return typestatePayload(*PA, R.Check, R.Use); }),
+        R.TraceId);
   }
   case Verb::Taint: {
     std::string Err;
     auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
-      return errorResponse(R.Id, "parse_error", Err);
-    return okResponse(R.Id,
-                      taintPayload(*PA, R.Sources, R.Sinks, R.Sanitizers));
+      return errorResponse(R.Id, "parse_error", Err, R.TraceId);
+    return okResponse(R.Id, Serialized([&] {
+                        return taintPayload(*PA, R.Sources, R.Sinks,
+                                            R.Sanitizers);
+                      }),
+                      R.TraceId);
   }
   case Verb::Specs:
-    return okResponse(R.Id, specsPayload(Specs));
+    return okResponse(R.Id, Serialized([&] { return specsPayload(Specs); }),
+                      R.TraceId);
   case Verb::Stats:
-    return okResponse(R.Id, statsJson());
+    return okResponse(R.Id, Serialized([&] { return statsJson(); }),
+                      R.TraceId);
+  case Verb::Metrics: {
+    // The exposition text travels as a JSON string result.
+    std::string Payload;
+    {
+      TraceSpan Span("service.serialize");
+      appendJsonString(Payload, metricsText());
+    }
+    return okResponse(R.Id, Payload, R.TraceId);
+  }
   case Verb::Shutdown:
     beginDrain();
-    return okResponse(R.Id, "{\"draining\":true}");
+    return okResponse(R.Id, "{\"draining\":true}", R.TraceId);
   case Verb::TestBlock: {
     std::unique_lock<std::mutex> Lock(GateMutex);
     GateCv.wait(Lock, [this] { return GateOpen; });
-    return okResponse(R.Id, "{\"blocked\":true}");
+    return okResponse(R.Id, "{\"blocked\":true}", R.TraceId);
   }
   }
-  return errorResponse(R.Id, "internal", "unhandled verb");
+  return errorResponse(R.Id, "internal", "unhandled verb", R.TraceId);
 }
 
 std::shared_ptr<const ProgramAnalysis>
@@ -342,23 +453,40 @@ Server::analysisFor(const std::string &Program, const std::string &Name,
   // the per-request analysis option.
   uint64_t SourceKey =
       hashValues(hashString(Program), Coverage ? 1ull : 0ull);
-  if (auto PA = Cache.findBySource(SourceKey)) {
-    Metrics.recordCacheHit();
-    return PA;
+  {
+    TraceSpan Probe("service.cache_probe");
+    if (auto PA = Cache.findBySource(SourceKey)) {
+      Metrics.recordCacheHit();
+      return PA;
+    }
   }
-  auto Parsed = parseProgram(Program, Name, Error);
+  auto Parsed = [&] {
+    TraceSpan Span("service.parse");
+    return parseProgram(Program, Name, Error);
+  }();
   if (!Parsed)
     return nullptr;
   uint64_t FpKey = hashValues(Parsed->Fingerprint, Coverage ? 1ull : 0ull);
-  if (auto PA = Cache.findByFingerprint(FpKey)) {
-    // Textually new, structurally known: remember the alias so the next
-    // byte-identical submission skips the parse too.
-    Cache.aliasSource(SourceKey, FpKey);
-    Metrics.recordCacheHit();
-    return PA;
+  {
+    TraceSpan Probe("service.cache_probe");
+    if (auto PA = Cache.findByFingerprint(FpKey)) {
+      // Textually new, structurally known: remember the alias so the next
+      // byte-identical submission skips the parse too.
+      Cache.aliasSource(SourceKey, FpKey);
+      Metrics.recordCacheHit();
+      return PA;
+    }
   }
   Metrics.recordCacheMiss();
-  auto PA = finishAnalysis(std::move(*Parsed), Specs, Coverage, B);
+  std::shared_ptr<const ProgramAnalysis> PA;
+  {
+    TraceSpan Span("service.analyze");
+    TimePoint T0 = std::chrono::steady_clock::now();
+    PA = finishAnalysis(std::move(*Parsed), Specs, Coverage, B);
+    Metrics.recordAnalyze(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - T0)
+                              .count());
+  }
   // A Bounded (budget-exhausted) result is a degraded ⊤ answer specific to
   // this request's budget; caching it would poison later requests with
   // imprecise payloads.

@@ -82,6 +82,13 @@ struct ServerConfig {
   /// Enables the test-only `test_block` verb (see Protocol.h). Tests use it
   /// to park workers deterministically and observe backpressure.
   bool EnableTestVerbs = false;
+  /// Slow-request log threshold (`serve --slow-ms`): a request whose
+  /// admission-to-answer wall time reaches this many milliseconds is logged
+  /// as one structured `uspec-slow ...` line; 0 disables the log.
+  unsigned SlowRequestMs = 0;
+  /// Slow-request log destination; nullptr = stderr. Tests point this at a
+  /// string stream.
+  std::ostream *SlowLog = nullptr;
 
   static constexpr unsigned DefaultAcceptPollMs = 200;
 };
@@ -123,7 +130,12 @@ public:
   /// moving counters).
   std::string statsJson();
 
+  /// Current Prometheus text exposition (the `metrics` verb returns this as
+  /// a JSON string result).
+  std::string metricsText();
+
   const ServiceMetrics &metrics() const { return Metrics; }
+  ServiceMetrics &metrics() { return Metrics; }
 
   /// Serves newline-delimited JSON from \p In to \p Out until EOF or
   /// drain; responses are written in request order. Returns 0 on a clean
@@ -166,6 +178,13 @@ private:
     TimePoint Admitted;
   };
 
+  /// What the slow-request log and the request trace span know about a
+  /// request once it parsed; filled by handleRequest.
+  struct RequestInfo {
+    const char *Verb = "?"; ///< Protocol verb name ("?" before parse).
+    std::string TraceId;
+  };
+
   void workerLoop();
   void watchdogLoop();
   void watchJob(std::shared_ptr<JobState> State);
@@ -173,8 +192,13 @@ private:
   /// in-flight request `internal`, spawns a replacement, and lets the
   /// thread exit.
   void replaceDeadWorker(Job &TheJob);
-  std::string handleRequest(const std::string &Line, const Job &TheJob);
+  std::string handleRequest(const std::string &Line, const Job &TheJob,
+                            RequestInfo *Info = nullptr);
   std::string handleParsed(const Request &R, Budget *B);
+  /// Emits one structured `uspec-slow ...` line (ServerConfig::SlowLog,
+  /// default stderr).
+  void logSlowRequest(const RequestInfo &Info, const Job &TheJob,
+                      double TotalSeconds, double QueueSeconds, bool Ok);
 
   /// Cache-or-analyze for verbs that carry a program. A Bounded result
   /// (budget exhausted mid-analysis) is returned but never cached.
@@ -198,6 +222,8 @@ private:
   std::mutex GateMutex;
   std::condition_variable GateCv;
   bool GateOpen = false;
+
+  std::mutex SlowLogMutex; ///< Serializes slow-request log lines.
 
   std::mutex WatchMutex;
   std::condition_variable WatchCv;

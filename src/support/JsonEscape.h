@@ -1,0 +1,62 @@
+//===- JsonEscape.h - Shared JSON string escaping ---------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON string escaper every emitter in the tree uses: the service
+/// protocol (service/Protocol), pipeline stats (core/PipelineStats), the
+/// telemetry renderers (support/Telemetry, support/Trace) and the CLI. Bytes
+/// are escaped identically everywhere, so payloads that embed each other
+/// (trace args, stats JSON inside bench output) never disagree on encoding.
+/// Non-ASCII bytes pass through untouched (payloads are treated as UTF-8);
+/// control bytes below 0x20 without a short escape become \u00XX — computed
+/// from the byte reinterpreted as unsigned, never from a (possibly
+/// sign-extended) plain char.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_JSONESCAPE_H
+#define USPEC_SUPPORT_JSONESCAPE_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace uspec {
+
+/// Appends \p S to \p Out with JSON string escaping, without surrounding
+/// quotes.
+inline void appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\b': Out += "\\b"; break;
+    case '\f': Out += "\\f"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", static_cast<unsigned>(C));
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+}
+
+/// Appends \p S as a quoted, escaped JSON string literal.
+inline void appendJsonQuoted(std::string &Out, std::string_view S) {
+  Out.push_back('"');
+  appendJsonEscaped(Out, S);
+  Out.push_back('"');
+}
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_JSONESCAPE_H

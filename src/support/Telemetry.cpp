@@ -1,0 +1,261 @@
+//===- Telemetry.cpp - Process-wide metrics registry ----------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <cassert>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+using namespace uspec;
+using namespace uspec::telemetry;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  for (unsigned I = 0; I < HistogramBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+  Count += Other.Count;
+  Sum += Other.Sum;
+  if (Other.Max > Max)
+    Max = Other.Max;
+}
+
+uint64_t HistogramSnapshot::percentileNs(double Q) const {
+  assert(Q >= 0 && Q <= 1 && "quantile out of range");
+  if (Count == 0)
+    return 0;
+  // Nearest rank on the quantized samples: the sorted vector's element at
+  // index floor(Q * N), clamped — the same rule as uspec::percentile().
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (Rank >= Count)
+    Rank = Count - 1;
+  uint64_t Cumulative = 0;
+  for (unsigned I = 0; I < HistogramBuckets; ++I) {
+    Cumulative += Buckets[I];
+    if (Cumulative > Rank)
+      return histogramBucketUpperBound(I);
+  }
+  return histogramBucketUpperBound(HistogramBuckets - 1);
+}
+
+void Histogram::accumulate(HistogramSnapshot &Out) const {
+  for (unsigned I = 0; I < HistogramBuckets; ++I)
+    Out.Buckets[I] += Buckets_[I].load(std::memory_order_relaxed);
+  Out.Count += Count_.load(std::memory_order_relaxed);
+  Out.Sum += Sum_.load(std::memory_order_relaxed);
+  uint64_t M = Max_.load(std::memory_order_relaxed);
+  if (M > Out.Max)
+    Out.Max = M;
+}
+
+unsigned ShardedHistogram::shardIndex() {
+  // Threads are striped over shards round-robin at first use; the mapping is
+  // stable per thread so a worker always hits the same cache line.
+  static std::atomic<unsigned> NextShard{0};
+  thread_local unsigned Shard =
+      NextShard.fetch_add(1, std::memory_order_relaxed) % NumShards;
+  return Shard;
+}
+
+HistogramSnapshot ShardedHistogram::snapshot() const {
+  HistogramSnapshot S;
+  for (const PaddedShard &Shard : Shards_)
+    Shard.H.accumulate(S);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus rendering helpers
+//===----------------------------------------------------------------------===//
+
+void telemetry::appendPromValue(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+static void appendPromHeader(std::string &Out, std::string_view Name,
+                             std::string_view Help, const char *Type) {
+  if (!Help.empty()) {
+    Out += "# HELP ";
+    Out += Name;
+    Out += ' ';
+    Out += Help;
+    Out += '\n';
+  }
+  Out += "# TYPE ";
+  Out += Name;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+static void appendSample(std::string &Out, std::string_view Name, double V) {
+  Out += Name;
+  Out += ' ';
+  appendPromValue(Out, V);
+  Out += '\n';
+}
+
+void telemetry::appendPromGauge(std::string &Out, std::string_view Name,
+                                std::string_view Help, double V) {
+  appendPromHeader(Out, Name, Help, "gauge");
+  appendSample(Out, Name, V);
+}
+
+void telemetry::appendPromCounter(std::string &Out, std::string_view Name,
+                                  std::string_view Help, double V) {
+  appendPromHeader(Out, Name, Help, "counter");
+  appendSample(Out, Name, V);
+}
+
+void telemetry::appendPromHistogram(std::string &Out, std::string_view Name,
+                                    std::string_view Help,
+                                    const HistogramSnapshot &S) {
+  appendPromHeader(Out, Name, Help, "histogram");
+  unsigned Highest = 0;
+  for (unsigned I = 0; I < HistogramBuckets; ++I)
+    if (S.Buckets[I] != 0)
+      Highest = I;
+  uint64_t Cumulative = 0;
+  for (unsigned I = 0; I <= Highest; ++I) {
+    Cumulative += S.Buckets[I];
+    Out += Name;
+    Out += "_bucket{le=\"";
+    appendPromValue(Out,
+                    static_cast<double>(histogramBucketUpperBound(I)) / 1e9);
+    Out += "\"} ";
+    appendPromValue(Out, static_cast<double>(Cumulative));
+    Out += '\n';
+  }
+  Out += Name;
+  Out += "_bucket{le=\"+Inf\"} ";
+  appendPromValue(Out, static_cast<double>(S.Count));
+  Out += '\n';
+  appendSample(Out, std::string(Name) + "_sum", S.sumSeconds());
+  appendSample(Out, std::string(Name) + "_count",
+               static_cast<double>(S.Count));
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class MetricKind { Counter, Gauge, Histogram, GaugeFn };
+
+struct MetricEntry {
+  std::string Name;
+  std::string Help;
+  MetricKind Kind;
+  // Exactly one of these is live, selected by Kind. Deque storage below
+  // keeps the addresses stable for the registry's lifetime.
+  Counter *C = nullptr;
+  Gauge *G = nullptr;
+  ShardedHistogram *H = nullptr;
+  std::function<double()> Fn;
+};
+
+} // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex Mutex;
+  std::vector<MetricEntry> Entries; // registration order, for rendering
+  std::deque<Counter> Counters;
+  std::deque<Gauge> Gauges;
+  std::deque<ShardedHistogram> Histograms;
+
+  MetricEntry *find(std::string_view Name) {
+    for (MetricEntry &E : Entries)
+      if (E.Name == Name)
+        return &E;
+    return nullptr;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : M(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete M; }
+
+Counter &MetricsRegistry::counter(std::string_view Name,
+                                  std::string_view Help) {
+  std::lock_guard<std::mutex> Lock(M->Mutex);
+  if (MetricEntry *E = M->find(Name)) {
+    assert(E->Kind == MetricKind::Counter && "metric kind mismatch");
+    return *E->C;
+  }
+  Counter &C = M->Counters.emplace_back();
+  M->Entries.push_back({std::string(Name), std::string(Help),
+                        MetricKind::Counter, &C, nullptr, nullptr, {}});
+  return C;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name, std::string_view Help) {
+  std::lock_guard<std::mutex> Lock(M->Mutex);
+  if (MetricEntry *E = M->find(Name)) {
+    assert(E->Kind == MetricKind::Gauge && "metric kind mismatch");
+    return *E->G;
+  }
+  Gauge &G = M->Gauges.emplace_back();
+  M->Entries.push_back({std::string(Name), std::string(Help),
+                        MetricKind::Gauge, nullptr, &G, nullptr, {}});
+  return G;
+}
+
+ShardedHistogram &MetricsRegistry::histogram(std::string_view Name,
+                                             std::string_view Help) {
+  std::lock_guard<std::mutex> Lock(M->Mutex);
+  if (MetricEntry *E = M->find(Name)) {
+    assert(E->Kind == MetricKind::Histogram && "metric kind mismatch");
+    return *E->H;
+  }
+  ShardedHistogram &H = M->Histograms.emplace_back();
+  M->Entries.push_back({std::string(Name), std::string(Help),
+                        MetricKind::Histogram, nullptr, nullptr, &H, {}});
+  return H;
+}
+
+void MetricsRegistry::gaugeFn(std::string_view Name, std::string_view Help,
+                              std::function<double()> Fn) {
+  std::lock_guard<std::mutex> Lock(M->Mutex);
+  if (MetricEntry *E = M->find(Name)) {
+    assert(E->Kind == MetricKind::GaugeFn && "metric kind mismatch");
+    E->Fn = std::move(Fn);
+    return;
+  }
+  M->Entries.push_back({std::string(Name), std::string(Help),
+                        MetricKind::GaugeFn, nullptr, nullptr, nullptr,
+                        std::move(Fn)});
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> Lock(M->Mutex);
+  std::string Out;
+  Out.reserve(1024);
+  for (const MetricEntry &E : M->Entries) {
+    switch (E.Kind) {
+    case MetricKind::Counter:
+      appendPromCounter(Out, E.Name, E.Help,
+                        static_cast<double>(E.C->value()));
+      break;
+    case MetricKind::Gauge:
+      appendPromGauge(Out, E.Name, E.Help, static_cast<double>(E.G->value()));
+      break;
+    case MetricKind::GaugeFn:
+      appendPromGauge(Out, E.Name, E.Help, E.Fn ? E.Fn() : 0);
+      break;
+    case MetricKind::Histogram:
+      appendPromHistogram(Out, E.Name, E.Help, E.H->snapshot());
+      break;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,199 @@
+//===- Telemetry.h - Process-wide metrics registry --------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free metrics primitives and a named registry with a Prometheus
+/// text-exposition renderer.
+///
+/// Counters and gauges are single relaxed atomics. Histograms use fixed
+/// 64-bucket log2 arrays: a value v (a duration in nanoseconds) lands in
+/// bucket bit_width(v), i.e. bucket i holds [2^(i-1), 2^i - 1] with bucket 0
+/// reserved for v == 0. Recording is wait-free (three relaxed atomic RMWs on
+/// a per-thread shard); reading merges shards into a plain snapshot.
+/// Percentiles are exact over the bucket-quantized samples: a snapshot
+/// reports the nearest-rank percentile with each sample represented by its
+/// bucket's inclusive upper bound, which by construction equals
+/// uspec::percentile() applied to the quantized sample vector.
+///
+/// The registry hands out stable references (deque-backed, mutex only at
+/// registration/render time — never on the record path). ServiceMetrics and
+/// the `metrics` service verb render from here; DESIGN.md §11 documents the
+/// layering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_TELEMETRY_H
+#define USPEC_SUPPORT_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace uspec {
+namespace telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { Value_.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value_.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value_{0};
+};
+
+/// Instantaneous signed level (queue depth, resident entries, ...).
+class Gauge {
+public:
+  void set(int64_t V) { Value_.store(V, std::memory_order_relaxed); }
+  void add(int64_t N) { Value_.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return Value_.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value_{0};
+};
+
+/// Number of log2 buckets; covers the full uint64_t range.
+inline constexpr unsigned HistogramBuckets = 64;
+
+/// Bucket index for \p V: 0 for 0, otherwise bit_width(V) clamped to 63.
+inline constexpr unsigned histogramBucketFor(uint64_t V) {
+  unsigned W = static_cast<unsigned>(std::bit_width(V));
+  return W < HistogramBuckets ? W : HistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket \p I (the percentile representative).
+inline constexpr uint64_t histogramBucketUpperBound(unsigned I) {
+  if (I == 0)
+    return 0;
+  if (I >= HistogramBuckets - 1)
+    return ~0ull;
+  return (1ull << I) - 1;
+}
+
+/// Plain (non-atomic) merged view of one or more histogram shards.
+struct HistogramSnapshot {
+  std::array<uint64_t, HistogramBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t Sum = 0; // nanoseconds
+  uint64_t Max = 0; // exact, not bucket-quantized
+
+  void merge(const HistogramSnapshot &Other);
+
+  /// Nearest-rank percentile (0 <= Q <= 1) over the recorded samples with
+  /// each sample quantized to its bucket's upper bound; 0 when empty.
+  /// Matches uspec::percentile() on the quantized sample vector exactly.
+  uint64_t percentileNs(double Q) const;
+  double percentileSeconds(double Q) const {
+    return static_cast<double>(percentileNs(Q)) / 1e9;
+  }
+  double sumSeconds() const { return static_cast<double>(Sum) / 1e9; }
+  double maxSeconds() const { return static_cast<double>(Max) / 1e9; }
+};
+
+/// One mergeable histogram shard. All mutation is relaxed-atomic and
+/// wait-free; use ShardedHistogram for contended multi-writer series.
+class Histogram {
+public:
+  void record(uint64_t V) {
+    Buckets_[histogramBucketFor(V)].fetch_add(1, std::memory_order_relaxed);
+    Count_.fetch_add(1, std::memory_order_relaxed);
+    Sum_.fetch_add(V, std::memory_order_relaxed);
+    uint64_t Prev = Max_.load(std::memory_order_relaxed);
+    while (Prev < V && !Max_.compare_exchange_weak(Prev, V,
+                                                   std::memory_order_relaxed))
+      ;
+  }
+
+  /// Adds this shard's contents into \p Out.
+  void accumulate(HistogramSnapshot &Out) const;
+
+private:
+  std::array<std::atomic<uint64_t>, HistogramBuckets> Buckets_{};
+  std::atomic<uint64_t> Count_{0};
+  std::atomic<uint64_t> Sum_{0};
+  std::atomic<uint64_t> Max_{0};
+};
+
+/// A latency series sharded across cache lines by thread so concurrent
+/// workers never contend on the same counters. snapshot() merges the shards.
+class ShardedHistogram {
+public:
+  void record(uint64_t V) { Shards_[shardIndex()].H.record(V); }
+
+  /// Records a duration in seconds (quantized to whole nanoseconds;
+  /// negative values clamp to 0).
+  void recordSeconds(double S) {
+    record(S <= 0 ? 0 : static_cast<uint64_t>(S * 1e9));
+  }
+
+  HistogramSnapshot snapshot() const;
+
+private:
+  static constexpr unsigned NumShards = 8;
+  struct alignas(64) PaddedShard {
+    Histogram H;
+  };
+  static unsigned shardIndex();
+  std::array<PaddedShard, NumShards> Shards_;
+};
+
+/// Named registry of metrics with stable references and a Prometheus
+/// text-exposition renderer. Registration and rendering take a mutex; the
+/// returned references are lock-free to update and remain valid for the
+/// registry's lifetime. Re-registering a name returns the existing metric
+/// (the kind must match).
+class MetricsRegistry {
+public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  Counter &counter(std::string_view Name, std::string_view Help = "");
+  Gauge &gauge(std::string_view Name, std::string_view Help = "");
+  ShardedHistogram &histogram(std::string_view Name,
+                              std::string_view Help = "");
+
+  /// Registers a gauge whose value is computed at render time (queue depth,
+  /// cache occupancy, ...). Re-registering a name replaces the callback.
+  void gaugeFn(std::string_view Name, std::string_view Help,
+               std::function<double()> Fn);
+
+  /// Renders every metric in Prometheus text exposition format (in
+  /// registration order). Histogram buckets are emitted as cumulative
+  /// `_bucket{le="..."}` lines in seconds up to the highest non-empty
+  /// bucket, followed by `+Inf`, `_sum` and `_count`.
+  std::string renderPrometheus() const;
+
+private:
+  struct Impl;
+  Impl *M;
+};
+
+/// Appends a Prometheus sample value (shortest round-trippable decimal).
+void appendPromValue(std::string &Out, double V);
+
+/// Appends one `# TYPE` header plus a single-sample line; shared between the
+/// registry renderer and callers that append computed gauges.
+void appendPromGauge(std::string &Out, std::string_view Name,
+                     std::string_view Help, double V);
+void appendPromCounter(std::string &Out, std::string_view Name,
+                       std::string_view Help, double V);
+
+/// Appends a full histogram exposition for \p S under \p Name (which should
+/// end in `_seconds`; bucket bounds and sums are rendered in seconds).
+void appendPromHistogram(std::string &Out, std::string_view Name,
+                         std::string_view Help, const HistogramSnapshot &S);
+
+} // namespace telemetry
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_TELEMETRY_H

@@ -1,0 +1,291 @@
+//===- Trace.cpp - Chrome-trace-event span tracer -------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/JsonEscape.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <unistd.h>
+
+using namespace uspec;
+
+namespace {
+
+struct TraceEvent {
+  const char *Name;
+  uint32_t Tid;
+  uint64_t StartNs; // absolute steady_clock nanoseconds
+  uint64_t EndNs;
+  std::vector<std::pair<const char *, std::string>> Args;
+};
+
+/// Per-thread event buffer. The mutex serializes the owning thread's appends
+/// against stop() draining from another thread; it is uncontended on the
+/// record path except during the stop() instant.
+struct ThreadBuf {
+  std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+  uint64_t Generation = 0;
+  uint32_t Tid = 0;
+};
+
+struct Session {
+  std::mutex Mutex; // guards everything below
+  std::vector<ThreadBuf *> Live;
+  std::vector<TraceEvent> Retired; // from exited threads
+  uint64_t Generation = 0;         // bumped by each start()
+  uint64_t BaseNs = 0;             // session epoch
+  uint32_t NextTid = 1;
+  std::string OutPath; // empty for in-memory sessions
+};
+
+Session &session() {
+  static Session S;
+  return S;
+}
+
+/// Registers the calling thread's buffer on first use and unregisters it
+/// (moving any events of the current generation to Retired) at thread exit.
+struct ThreadBufOwner {
+  ThreadBuf Buf;
+  ThreadBufOwner() {
+    Session &S = session();
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    S.Live.push_back(&Buf);
+  }
+  ~ThreadBufOwner() {
+    Session &S = session();
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    {
+      std::lock_guard<std::mutex> BufLock(Buf.Mutex);
+      if (Buf.Generation == S.Generation)
+        for (TraceEvent &E : Buf.Events)
+          S.Retired.push_back(std::move(E));
+      Buf.Events.clear();
+    }
+    S.Live.erase(std::remove(S.Live.begin(), S.Live.end(), &Buf),
+                 S.Live.end());
+  }
+};
+
+ThreadBuf &threadBuf() {
+  thread_local ThreadBufOwner Owner;
+  return Owner.Buf;
+}
+
+void appendEvent(TraceEvent E) {
+  Session &S = session();
+  ThreadBuf &Buf = threadBuf();
+  // Lock order is Session then ThreadBuf everywhere (drain() and the
+  // ThreadBufOwner destructor take both). Buf.Generation/Tid are written
+  // only by the owning thread, so reading them here without Buf.Mutex does
+  // not race.
+  uint64_t Gen;
+  uint32_t Tid = Buf.Tid;
+  bool NeedReset = false;
+  {
+    std::lock_guard<std::mutex> SLock(S.Mutex);
+    Gen = S.Generation;
+    if (Buf.Generation != Gen) {
+      // First event this thread records in the current session: clear any
+      // leftovers from a previous session and take a compact tid.
+      NeedReset = true;
+      Tid = S.NextTid++;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(Buf.Mutex);
+  if (NeedReset) {
+    Buf.Events.clear();
+    Buf.Generation = Gen;
+    Buf.Tid = Tid;
+  }
+  E.Tid = Tid;
+  Buf.Events.push_back(std::move(E));
+}
+
+void serialize(std::string &Out, std::vector<TraceEvent> &Events,
+               uint64_t BaseNs) {
+  // Parents first: by start time, then longer spans before shorter ones so
+  // enclosing spans precede their children in the output.
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     if (A.EndNs != B.EndNs)
+                       return A.EndNs > B.EndNs;
+                     return A.Tid < B.Tid;
+                   });
+  Out += "{\"traceEvents\":[";
+  char Buf[128];
+  const long Pid = static_cast<long>(::getpid());
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":";
+    appendJsonQuoted(Out, E.Name);
+    uint64_t Start = E.StartNs > BaseNs ? E.StartNs - BaseNs : 0;
+    uint64_t End = E.EndNs > BaseNs ? E.EndNs - BaseNs : 0;
+    if (End < Start)
+      End = Start;
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"cat\":\"uspec\",\"ph\":\"X\",\"pid\":%ld,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f",
+                  Pid, E.Tid, static_cast<double>(Start) / 1e3,
+                  static_cast<double>(End - Start) / 1e3);
+    Out += Buf;
+    if (!E.Args.empty()) {
+      Out += ",\"args\":{";
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        if (I)
+          Out += ',';
+        appendJsonQuoted(Out, E.Args[I].first);
+        Out += ':';
+        appendJsonQuoted(Out, E.Args[I].second);
+      }
+      Out += '}';
+    }
+    Out += '}';
+  }
+  Out += "]}";
+}
+
+/// Disarms and drains every buffer into one event list. Returns the session
+/// epoch through \p BaseNs and the armed output path through \p OutPath.
+std::vector<TraceEvent> drain(uint64_t &BaseNs, std::string &OutPath) {
+  trace::detail::TraceArmed.store(false, std::memory_order_relaxed);
+  Session &S = session();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  std::vector<TraceEvent> Events = std::move(S.Retired);
+  S.Retired.clear();
+  for (ThreadBuf *Buf : S.Live) {
+    std::lock_guard<std::mutex> BufLock(Buf->Mutex);
+    if (Buf->Generation == S.Generation)
+      for (TraceEvent &E : Buf->Events)
+        Events.push_back(std::move(E));
+    Buf->Events.clear();
+  }
+  BaseNs = S.BaseNs;
+  OutPath = std::move(S.OutPath);
+  S.OutPath.clear();
+  return Events;
+}
+
+void armSession(std::string OutPath) {
+  Session &S = session();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    ++S.Generation;
+    S.Retired.clear();
+    S.BaseNs = trace::detail::nowNs();
+    S.NextTid = 1;
+    S.OutPath = std::move(OutPath);
+  }
+  trace::detail::TraceArmed.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::atomic<bool> trace::detail::TraceArmed{false};
+
+uint64_t trace::detail::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void trace::detail::beginSpan(
+    const char *Name, uint64_t StartNs, uint64_t EndNs,
+    std::vector<std::pair<const char *, std::string>> Args) {
+  // A span whose session was stopped mid-flight is dropped rather than
+  // leaked into the next session's buffers.
+  if (!enabled())
+    return;
+  appendEvent(TraceEvent{Name, 0, StartNs, EndNs, std::move(Args)});
+}
+
+void trace::start() { armSession(""); }
+
+bool trace::startToFile(const std::string &Path, std::string *Err) {
+  // Probe writability up front so `--trace /bad/path` fails at startup, not
+  // after a full pipeline run.
+  {
+    std::ofstream Probe(Path, std::ios::binary | std::ios::trunc);
+    if (!Probe) {
+      if (Err)
+        *Err = "cannot open trace file '" + Path + "' for writing";
+      return false;
+    }
+  }
+  armSession(Path);
+  return true;
+}
+
+std::string trace::stop() {
+  uint64_t BaseNs = 0;
+  std::string OutPath;
+  std::vector<TraceEvent> Events = drain(BaseNs, OutPath);
+  std::string Out;
+  Out.reserve(64 + Events.size() * 96);
+  serialize(Out, Events, BaseNs);
+  return Out;
+}
+
+bool trace::finish(std::string *Err) {
+  if (!enabled())
+    return true;
+  uint64_t BaseNs = 0;
+  std::string OutPath;
+  std::vector<TraceEvent> Events = drain(BaseNs, OutPath);
+  if (OutPath.empty())
+    return true;
+  std::string Out;
+  Out.reserve(64 + Events.size() * 96);
+  serialize(Out, Events, BaseNs);
+  std::ofstream File(OutPath, std::ios::binary | std::ios::trunc);
+  File.write(Out.data(), static_cast<std::streamsize>(Out.size()));
+  File.flush();
+  if (!File) {
+    if (Err)
+      *Err = "cannot write trace file '" + OutPath + "'";
+    return false;
+  }
+  return true;
+}
+
+void trace::loadFromEnv() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    if (const char *Env = std::getenv("USPEC_TRACE"))
+      if (*Env) {
+        std::string Err;
+        if (!startToFile(Env, &Err))
+          std::fprintf(stderr, "uspec: warning: USPEC_TRACE: %s\n",
+                       Err.c_str());
+      }
+  });
+}
+
+void trace::completeEvent(
+    const char *Name, std::chrono::steady_clock::time_point Begin,
+    std::chrono::steady_clock::time_point End,
+    std::vector<std::pair<const char *, std::string>> Args) {
+  auto ToNs = [](std::chrono::steady_clock::time_point T) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            T.time_since_epoch())
+            .count());
+  };
+  detail::beginSpan(Name, ToNs(Begin), ToNs(End), std::move(Args));
+}

@@ -1,0 +1,117 @@
+//===- Trace.h - Chrome-trace-event span tracer -----------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide span tracer emitting Chrome trace-event JSON (loadable in
+/// Perfetto / chrome://tracing). Spans are RAII TraceSpan objects recorded
+/// into per-thread buffers; stop() (or finish(), for file-backed sessions)
+/// merges the buffers into one `{"traceEvents":[...]}` document of complete
+/// ("ph":"X") events with microsecond timestamps and per-thread tids.
+///
+/// Overhead discipline (same as FaultInject): when no session is armed,
+/// constructing a TraceSpan costs exactly one relaxed atomic load — no clock
+/// read, no allocation, no branch beyond the gate. Tracing only observes;
+/// it must never perturb pipeline determinism (pinned by TelemetryDeterminism
+/// tests: learn() artifacts are bit-identical with tracing on/off at any
+/// thread count).
+///
+/// Span names must be string literals (or otherwise outlive the session);
+/// dynamic data goes in args, which call sites guard with active() so the
+/// strings are never built when tracing is off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_TRACE_H
+#define USPEC_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace uspec {
+namespace trace {
+
+namespace detail {
+extern std::atomic<bool> TraceArmed;
+void beginSpan(const char *Name, uint64_t StartNs, uint64_t EndNs,
+               std::vector<std::pair<const char *, std::string>> Args);
+uint64_t nowNs();
+} // namespace detail
+
+/// True while a trace session is armed. The one-relaxed-load fast path.
+inline bool enabled() {
+  return detail::TraceArmed.load(std::memory_order_relaxed);
+}
+
+/// Arms an in-memory session (events buffered until stop()).
+void start();
+
+/// Arms a session that finish() will write to \p Path. Returns false (with
+/// *Err set) if the path is not writable; the session is not armed then.
+bool startToFile(const std::string &Path, std::string *Err = nullptr);
+
+/// Disarms the session and returns the serialized trace JSON. Buffers are
+/// cleared; returns "{\"traceEvents\":[]}" if no session was armed.
+std::string stop();
+
+/// Disarms and, when the session was started with startToFile(), writes the
+/// JSON there. No-op (returns true) when no file-backed session is armed;
+/// returns false with *Err set on write failure.
+bool finish(std::string *Err = nullptr);
+
+/// Arms a file-backed session from USPEC_TRACE=out.json, once per process.
+void loadFromEnv();
+
+/// Records a complete event with explicit endpoints (for intervals measured
+/// across threads, e.g. service queue wait). Call only when enabled().
+void completeEvent(const char *Name,
+                   std::chrono::steady_clock::time_point Begin,
+                   std::chrono::steady_clock::time_point End,
+                   std::vector<std::pair<const char *, std::string>> Args = {});
+
+} // namespace trace
+
+/// RAII span: records [construction, destruction) on the current thread as
+/// one complete trace event. Inert (no clock read, no allocation) when no
+/// session is armed.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *SpanName) {
+    if (trace::enabled()) {
+      Name = SpanName;
+      StartNs = trace::detail::nowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (Name)
+      trace::detail::beginSpan(Name, StartNs, trace::detail::nowNs(),
+                               std::move(Args));
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// True when this span is actually recording; guard arg construction with
+  /// this so argument strings are never built when tracing is off.
+  bool active() const { return Name != nullptr; }
+
+  /// Attaches a key/value argument (no-op when inactive). \p Key must be a
+  /// string literal.
+  void arg(const char *Key, std::string Value) {
+    if (Name)
+      Args.emplace_back(Key, std::move(Value));
+  }
+
+private:
+  const char *Name = nullptr;
+  uint64_t StartNs = 0;
+  std::vector<std::pair<const char *, std::string>> Args;
+};
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_TRACE_H

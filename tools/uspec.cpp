@@ -39,18 +39,22 @@
 //   uspec serve   [--model run.uspb | --specs specs.txt] [--workers N]
 //                 [--queue N] [--cache N] [--socket PATH]
 //                 [--request-timeout MS] [--step-budget N]
+//                 [--trace t.json] [--slow-ms N]
 //       Run the resident query service: load the specs once, then answer
 //       newline-delimited JSON requests over stdin/stdout (default) or a
 //       Unix-domain socket. --request-timeout sets the default per-request
 //       deadline (a request's own "deadline_ms" wins); --step-budget bounds
 //       analysis work per request (exhaustion degrades to a sound "bounded"
-//       payload). See DESIGN.md §9–10 for the protocol and fault model.
+//       payload). --slow-ms logs requests slower than N ms to stderr;
+//       --trace records spans (DESIGN.md §11). See DESIGN.md §9–10 for the
+//       protocol and fault model.
 //
 //   uspec query   --socket PATH [--retries N] [--retry-seed S]
+//                 [--trace-id ID]
 //                 (analyze FILE [--coverage] | alias FILE A B
 //                 | typestate FILE CHECK USE | taint FILE [--source M]...
 //                 [--sink M]... [--sanitizer M]... | specs | stats
-//                 | shutdown | --json REQUEST)
+//                 | metrics | shutdown | --json REQUEST)
 //       One-shot client for a running `uspec serve --socket` instance.
 //       Prints the result payload (byte-identical to `analyze --json` for
 //       the analyze verb); errors go to stderr with exit 1. --retries N
@@ -74,8 +78,10 @@
 #include "eventgraph/Dot.h"
 #include "service/Server.h"
 #include "specs/SpecIO.h"
+#include "support/Trace.h"
 
 #include <cerrno>
+#include <string_view>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -101,18 +107,22 @@ int usage() {
       "  uspec gen --profile java|python -n N -o DIR [--seed S]\n"
       "  uspec learn FILES... [-o specs.txt] [--tau X] [--seed S] [--dedup]\n"
       "              [--threads N] [--stats] [--strict] [--step-budget N]\n"
+      "              [--trace t.json]\n"
       "  uspec train FILES... -o run.uspb [--tau X] [--seed S] [--dedup]\n"
       "              [--threads N] [--stats] [--strict] [--step-budget N]\n"
-      "              [--resume]\n"
+      "              [--resume] [--trace t.json]\n"
       "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
       "  uspec info run.uspb\n"
       "  uspec analyze FILE [--specs specs.txt | --model run.uspb]\n"
-      "               [--coverage] [--dot out] [--json]\n"
+      "               [--coverage] [--dot out] [--json] [--trace t.json]\n"
       "  uspec serve [--model run.uspb | --specs specs.txt] [--workers N]\n"
       "              [--queue N] [--cache N] [--socket PATH]\n"
       "              [--request-timeout MS] [--step-budget N]\n"
-      "  uspec query --socket PATH [--retries N] VERB [ARGS...]\n"
-      "  uspec check FILES...\n");
+      "              [--trace t.json] [--slow-ms N]\n"
+      "  uspec query --socket PATH [--retries N] [--trace-id ID]\n"
+      "              VERB [ARGS...]\n"
+      "  uspec check FILES...\n"
+      "(USPEC_TRACE=t.json arms --trace for any subcommand)\n");
   return 2;
 }
 
@@ -313,7 +323,7 @@ void printCandidates(const StringInterner &Strings, size_t NumPrograms,
 /// artifact out).
 int cmdLearnOrTrain(Args &A, bool Train) {
   std::vector<std::string> Files;
-  std::string OutPath;
+  std::string OutPath, TracePath;
   double Tau = 0.6;
   uint64_t Seed = 0xC0FFEE;
   uint64_t Threads = 0; // 0 = hardware concurrency
@@ -329,6 +339,11 @@ int cmdLearnOrTrain(Args &A, bool Train) {
       Strict = true;
     } else if (Train && !std::strcmp(Arg, "--resume")) {
       Resume = true;
+    } else if (!std::strcmp(Arg, "--trace")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue(Cmd, Arg);
+      TracePath = V;
     } else if (!std::strcmp(Arg, "--step-budget")) {
       const char *V = A.next();
       if (!V)
@@ -369,6 +384,13 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   if (Train && OutPath.empty()) {
     std::fprintf(stderr, "error: train requires -o ARTIFACT\n");
     return usage();
+  }
+  if (!TracePath.empty()) {
+    std::string Err;
+    if (!trace::startToFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
   }
 
   StringInterner Strings;
@@ -602,7 +624,7 @@ loadServiceSpecs(const std::string &SpecsPath, const std::string &ModelPath) {
 }
 
 int cmdAnalyze(Args &A) {
-  std::string File, SpecsPath, ModelPath, DotPath;
+  std::string File, SpecsPath, ModelPath, DotPath, TracePath;
   bool Coverage = false, Json = false;
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--specs")) {
@@ -610,6 +632,11 @@ int cmdAnalyze(Args &A) {
       if (!V)
         return missingValue("analyze", Arg);
       SpecsPath = V;
+    } else if (!std::strcmp(Arg, "--trace")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("analyze", Arg);
+      TracePath = V;
     } else if (!std::strcmp(Arg, "--model")) {
       const char *V = A.next();
       if (!V)
@@ -634,6 +661,13 @@ int cmdAnalyze(Args &A) {
   }
   if (File.empty() || (!SpecsPath.empty() && !ModelPath.empty()))
     return usage();
+  if (!TracePath.empty()) {
+    std::string Err;
+    if (!trace::startToFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+  }
 
   auto Source = readFile(File);
   if (!Source)
@@ -772,10 +806,23 @@ volatile int GStopRequested = 0;
 void onStopSignal(int) { GStopRequested = 1; }
 
 int cmdServe(Args &A) {
-  std::string ModelPath, SpecsPath, SocketPath;
+  std::string ModelPath, SpecsPath, SocketPath, TracePath;
   service::ServerConfig Cfg;
   while (const char *Arg = A.next()) {
-    if (!std::strcmp(Arg, "--model")) {
+    if (!std::strcmp(Arg, "--trace")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      TracePath = V;
+    } else if (!std::strcmp(Arg, "--slow-ms")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      uint64_t Val = 0;
+      if (!parseUInt("--slow-ms", V, Val))
+        return 2;
+      Cfg.SlowRequestMs = static_cast<unsigned>(Val);
+    } else if (!std::strcmp(Arg, "--model")) {
       const char *V = A.next();
       if (!V)
         return missingValue("serve", Arg);
@@ -842,6 +889,13 @@ int cmdServe(Args &A) {
     std::fprintf(stderr, "error: --specs and --model are mutually "
                          "exclusive\n");
     return 2;
+  }
+  if (!TracePath.empty()) {
+    std::string Err;
+    if (!trace::startToFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
   }
 
   auto Specs = loadServiceSpecs(SpecsPath, ModelPath);
@@ -955,7 +1009,7 @@ void appendField(std::string &Out, const char *Key, std::string_view Value) {
 }
 
 int cmdQuery(Args &A) {
-  std::string SocketPath, RawRequest;
+  std::string SocketPath, RawRequest, TraceId;
   std::vector<const char *> Positional;
   bool Coverage = false;
   uint64_t Retries = 0, RetrySeed = 0;
@@ -966,6 +1020,11 @@ int cmdQuery(Args &A) {
       if (!V)
         return missingValue("query", Arg);
       SocketPath = V;
+    } else if (!std::strcmp(Arg, "--trace-id")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("query", Arg);
+      TraceId = V;
     } else if (!std::strcmp(Arg, "--retries")) {
       const char *V = A.next();
       if (!V)
@@ -1019,8 +1078,8 @@ int cmdQuery(Args &A) {
   } else {
     if (Positional.empty()) {
       std::fprintf(stderr, "error: query requires a verb (analyze, alias, "
-                           "typestate, taint, specs, stats, shutdown) or "
-                           "--json REQUEST\n");
+                           "typestate, taint, specs, stats, metrics, "
+                           "shutdown) or --json REQUEST\n");
       return 2;
     }
     std::string VerbName = Positional.front();
@@ -1095,12 +1154,17 @@ int cmdQuery(Args &A) {
       AppendList("sanitizers", Sanitizers);
       Request += "}";
     } else if (VerbName == "specs" || VerbName == "stats" ||
-               VerbName == "shutdown") {
+               VerbName == "metrics" || VerbName == "shutdown") {
       if (!NeedArgs(0, (VerbName).c_str()))
         return 2;
       Request = "{\"verb\":\"" + VerbName + "\"}";
     } else {
       return unknownToken("query", Positional.front());
+    }
+    if (!TraceId.empty()) {
+      Request.pop_back(); // reopen the object to append the trace id
+      appendField(Request, "trace_id", TraceId);
+      Request += '}';
     }
   }
 
@@ -1129,14 +1193,40 @@ int cmdQuery(Args &A) {
   }
 
   // `uspec query` sends no id, so a success is exactly
-  // {"ok":true,"result":PAYLOAD} — strip the fixed envelope to recover the
-  // payload byte-exactly (the analyze payload then matches `analyze --json`).
+  // {"ok":true,"result":PAYLOAD} — or, when --trace-id was sent,
+  // {"trace_id":"...","ok":true,"result":PAYLOAD}. Strip the envelope to
+  // recover the payload byte-exactly (the analyze payload then matches
+  // `analyze --json`).
   static const char OkPrefix[] = "{\"ok\":true,\"result\":";
   const size_t PrefixLen = sizeof(OkPrefix) - 1;
+  size_t PayloadStart = std::string::npos;
   if (Response.size() > PrefixLen + 1 &&
       !Response.compare(0, PrefixLen, OkPrefix) && Response.back() == '}') {
-    std::fwrite(Response.data() + PrefixLen,
-                1, Response.size() - PrefixLen - 1, stdout);
+    PayloadStart = PrefixLen;
+  } else if (!TraceId.empty() &&
+             !Response.compare(0, 12, "{\"trace_id\":") &&
+             Response.size() > 1 && Response.back() == '}') {
+    static const char OkMember[] = ",\"ok\":true,\"result\":";
+    size_t Pos = Response.find(OkMember, 12);
+    if (Pos != std::string::npos)
+      PayloadStart = Pos + sizeof(OkMember) - 1;
+  }
+  if (PayloadStart != std::string::npos) {
+    std::string_view Payload(Response.data() + PayloadStart,
+                             Response.size() - PayloadStart - 1);
+    // A string payload (the `metrics` verb) is decoded so the Prometheus
+    // exposition text prints ready to scrape; structured payloads pass
+    // through byte-exact.
+    if (!Payload.empty() && Payload.front() == '"') {
+      service::JsonValue V;
+      if (service::parseJson(Payload, V, nullptr) && V.isString()) {
+        std::fwrite(V.StringValue.data(), 1, V.StringValue.size(), stdout);
+        if (V.StringValue.empty() || V.StringValue.back() != '\n')
+          std::fputc('\n', stdout);
+        return 0;
+      }
+    }
+    std::fwrite(Payload.data(), 1, Payload.size(), stdout);
     std::fputc('\n', stdout);
     return 0;
   }
@@ -1144,30 +1234,42 @@ int cmdQuery(Args &A) {
   return 1;
 }
 
+int runSubcommand(Args &A, const char *Cmd) {
+  if (!std::strcmp(Cmd, "gen"))
+    return cmdGen(A);
+  if (!std::strcmp(Cmd, "learn"))
+    return cmdLearnOrTrain(A, /*Train=*/false);
+  if (!std::strcmp(Cmd, "train"))
+    return cmdLearnOrTrain(A, /*Train=*/true);
+  if (!std::strcmp(Cmd, "select"))
+    return cmdSelect(A);
+  if (!std::strcmp(Cmd, "info"))
+    return cmdInfo(A);
+  if (!std::strcmp(Cmd, "analyze"))
+    return cmdAnalyze(A);
+  if (!std::strcmp(Cmd, "serve"))
+    return cmdServe(A);
+  if (!std::strcmp(Cmd, "query"))
+    return cmdQuery(A);
+  if (!std::strcmp(Cmd, "check"))
+    return cmdCheck(A);
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", Cmd);
+  return usage();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
+  // USPEC_TRACE=t.json arms tracing for any subcommand; an explicit --trace
+  // (learn/train/analyze/serve) re-arms with its own output path.
+  trace::loadFromEnv();
   Args A{Argc, Argv};
-  if (!std::strcmp(Argv[1], "gen"))
-    return cmdGen(A);
-  if (!std::strcmp(Argv[1], "learn"))
-    return cmdLearnOrTrain(A, /*Train=*/false);
-  if (!std::strcmp(Argv[1], "train"))
-    return cmdLearnOrTrain(A, /*Train=*/true);
-  if (!std::strcmp(Argv[1], "select"))
-    return cmdSelect(A);
-  if (!std::strcmp(Argv[1], "info"))
-    return cmdInfo(A);
-  if (!std::strcmp(Argv[1], "analyze"))
-    return cmdAnalyze(A);
-  if (!std::strcmp(Argv[1], "serve"))
-    return cmdServe(A);
-  if (!std::strcmp(Argv[1], "query"))
-    return cmdQuery(A);
-  if (!std::strcmp(Argv[1], "check"))
-    return cmdCheck(A);
-  std::fprintf(stderr, "error: unknown subcommand '%s'\n", Argv[1]);
-  return usage();
+  int Rc = runSubcommand(A, Argv[1]);
+  std::string TraceErr;
+  if (!trace::finish(&TraceErr))
+    std::fprintf(stderr, "warning: failed to write trace: %s\n",
+                 TraceErr.c_str());
+  return Rc;
 }
