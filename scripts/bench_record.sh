@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+#===- bench_record.sh - Record the repo's perf trajectory ----------------===#
+#
+# Part of the USpec reproduction (PLDI 2019). MIT license.
+#
+# Runs the two machine-readable bench documents and writes them to the repo
+# root as the committed perf baseline (ROADMAP item 5):
+#
+#   BENCH_pipeline.json  perf_pipeline --uspec_phase_json[=N]: per-phase
+#                        PipelineStats at 1/2/4/8 threads + speedups.
+#   BENCH_service.json   service_throughput --uspec_service_json[=N]:
+#                        cold/warm QPS, hit rate and p50 at 1/2/4/8 workers.
+#
+# Re-run after a perf-relevant change and commit the diff; the JSON is
+# normalized (fixed corpus seeds, fixed thread/worker ladders) so two runs
+# on the same machine differ only in the timing numbers.
+#
+# Usage: scripts/bench_record.sh [build-dir] [pipeline-N] [service-N]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+BUILD=${1:-build}
+PIPELINE_N=${2:-200}
+SERVICE_N=${3:-128}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+
+for bin in perf_pipeline service_throughput; do
+  if [ ! -x "$BUILD/bench/$bin" ]; then
+    echo "error: $BUILD/bench/$bin not built (cmake --build $BUILD)" >&2
+    exit 1
+  fi
+done
+
+echo "== perf_pipeline --uspec_phase_json=$PIPELINE_N"
+"$BUILD/bench/perf_pipeline" "--uspec_phase_json=$PIPELINE_N" \
+  > "$ROOT/BENCH_pipeline.json"
+
+echo "== service_throughput --uspec_service_json=$SERVICE_N"
+"$BUILD/bench/service_throughput" "--uspec_service_json=$SERVICE_N" \
+  > "$ROOT/BENCH_service.json"
+
+echo "wrote $ROOT/BENCH_pipeline.json and $ROOT/BENCH_service.json"

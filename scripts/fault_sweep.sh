@@ -13,7 +13,13 @@
 #   learn.analyze    (reported in --stats) instead of sinking the run;
 #   service.worker   a worker death mid-request yields a structured
 #                    `internal` error, the pool self-heals, and the server
-#                    still answers and drains cleanly.
+#                    still answers and drains cleanly;
+#   journal.append   kill -9 during `uspec ingest` leaves the previous
+#                    journal intact, and re-running the ingest converges to
+#                    the uninterrupted journal bytes;
+#   service.reload.load  a failed hot-swap load answers `reload_failed`
+#                    and keeps serving the old model; the next reload
+#                    succeeds.
 #
 # solver.step is exercised in-process by the Fault ctest suites (the
 # constraint solver has no standalone CLI path).
@@ -124,6 +130,90 @@ if [ "$rc" -ne 0 ]; then
   fail=1
 fi
 [ "$fail" -eq 0 ] && echo "   worker death -> internal error -> recovery OK"
+
+echo "== kill -9 at journal.append: ingest converges"
+# Uninterrupted baseline: two ingest generations.
+"$USPEC" ingest "$WORK/corpus"/prog{0,1,2,3}.mini -j "$WORK/base.uspj" \
+  >/dev/null 2>&1
+"$USPEC" ingest "$WORK/corpus"/prog{4,5}.mini -j "$WORK/base.uspj" \
+  >/dev/null 2>&1
+# Killed variant: the second generation dies at the append site.
+"$USPEC" ingest "$WORK/corpus"/prog{0,1,2,3}.mini -j "$WORK/killed.uspj" \
+  >/dev/null 2>&1
+rc=0
+USPEC_FAULT=journal.append:1:kill "$USPEC" ingest \
+  "$WORK/corpus"/prog{4,5}.mini -j "$WORK/killed.uspj" >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 137 ]; then
+  echo "FAIL: journal.append: expected exit 137 (injected kill), got $rc" >&2
+  fail=1
+fi
+# The previous journal must still be loadable (train validates it), and
+# re-running the ingest must converge to the uninterrupted bytes.
+if ! "$USPEC" train --journal "$WORK/killed.uspj" -o "$WORK/jtrain.uspb" \
+  --seed 19 >/dev/null 2>&1; then
+  echo "FAIL: journal.append: kill left an unloadable journal" >&2
+  fail=1
+fi
+"$USPEC" ingest "$WORK/corpus"/prog{4,5}.mini -j "$WORK/killed.uspj" \
+  >/dev/null 2>&1
+if ! cmp -s "$WORK/killed.uspj" "$WORK/base.uspj"; then
+  echo "FAIL: journal.append: re-ingest differs from uninterrupted journal" >&2
+  fail=1
+fi
+if [ -f "$WORK/killed.uspj.tmp" ]; then
+  echo "FAIL: journal.append: stale temp survived" >&2
+  fail=1
+fi
+echo "   journal.append: kill -> re-ingest converges OK"
+
+echo "== service.reload.load fault: reload fails, old model keeps serving"
+# Nth=2: the site's first hit is the startup --model load; the second is
+# the first hot-swap attempt.
+USPEC_FAULT=service.reload.load:2 "$USPEC" serve --model "$WORK/run.uspb" \
+  --socket "$WORK/uspec3.sock" --workers 2 2>/dev/null &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/uspec3.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/uspec3.sock" ] || {
+  echo "FAIL: reload-fault server socket never appeared" >&2
+  exit 1
+}
+"$USPEC" analyze "$WORK/corpus/prog0.mini" --model "$WORK/run.uspb" --json \
+  > "$WORK/reload.expected.json"
+first=$("$USPEC" query --socket "$WORK/uspec3.sock" reload 2>&1 || true)
+if ! echo "$first" | grep -q '"kind":"reload_failed"'; then
+  echo "FAIL: armed reload did not answer reload_failed, got:" >&2
+  echo "$first" >&2
+  fail=1
+fi
+"$USPEC" query --socket "$WORK/uspec3.sock" \
+  analyze "$WORK/corpus/prog0.mini" > "$WORK/reload.after.json" || true
+if ! cmp -s "$WORK/reload.expected.json" "$WORK/reload.after.json"; then
+  echo "FAIL: old model stopped serving byte-identically after failed" \
+       "reload" >&2
+  fail=1
+fi
+second=$("$USPEC" query --socket "$WORK/uspec3.sock" reload 2>&1 || true)
+if ! echo "$second" | grep -q '"generation"'; then
+  echo "FAIL: reload after disarmed fault did not succeed: $second" >&2
+  fail=1
+fi
+stats=$("$USPEC" query --socket "$WORK/uspec3.sock" stats)
+if ! echo "$stats" | grep -q '"reloads":1'; then
+  echo "FAIL: stats did not count exactly the successful reload: $stats" >&2
+  fail=1
+fi
+"$USPEC" query --socket "$WORK/uspec3.sock" shutdown >/dev/null
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: reload-fault server exited with status $rc" >&2
+  fail=1
+fi
+[ "$fail" -eq 0 ] && echo "   reload fault -> reload_failed -> recovery OK"
 
 if [ "$fail" -eq 0 ]; then
   echo "fault sweep: OK"

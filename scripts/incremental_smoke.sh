@@ -1,0 +1,207 @@
+#!/usr/bin/env bash
+#===- incremental_smoke.sh - Incremental learning + live reload, E2E -----===#
+#
+# Part of the USpec reproduction (PLDI 2019). MIT license.
+#
+# Drives the whole DESIGN.md §12 loop through the real binary:
+#
+#   ingest -> train --journal -> ingest Δ -> warm train (spec-level diff)
+#     -> replay byte-identity vs full retrain (at 1 and 8 threads)
+#     -> serve --model, concurrent clients through >= 3 reloads
+#     -> per-generation byte-identity vs `analyze --json`, zero failures
+#     -> SIGHUP reload + model_reloads_total in stats
+#
+# Usage: scripts/incremental_smoke.sh [path/to/uspec]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+USPEC=${1:-build/tools/uspec}
+SEED=23
+
+WORK=$(mktemp -d)
+SERVER=
+cleanup() {
+  [ -n "$SERVER" ] && kill "$SERVER" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail=0
+
+echo "== ingest generation 1, train full"
+"$USPEC" gen --profile java -n 16 -o "$WORK/corpus" --seed "$SEED"
+"$USPEC" ingest "$WORK/corpus"/prog{0,1,2,3,4,5,6,7}.mini \
+  -j "$WORK/corpus.uspj"
+"$USPEC" train --journal "$WORK/corpus.uspj" -o "$WORK/run.uspb" \
+  --seed "$SEED" 2> "$WORK/train1.log"
+grep -q "(full," "$WORK/train1.log" || {
+  echo "FAIL: first journal train was not a full run" >&2
+  fail=1
+}
+
+echo "== same journal again: up to date, artifact untouched"
+cp "$WORK/run.uspb" "$WORK/run.before"
+"$USPEC" train --journal "$WORK/corpus.uspj" -o "$WORK/run.uspb" \
+  --seed "$SEED" 2> "$WORK/train2.log"
+grep -q "up to date" "$WORK/train2.log" || {
+  echo "FAIL: unchanged journal did not report up to date" >&2
+  fail=1
+}
+cmp -s "$WORK/run.uspb" "$WORK/run.before" || {
+  echo "FAIL: up-to-date run rewrote the artifact" >&2
+  fail=1
+}
+
+echo "== ingest generation 2, warm train emits a quantified diff"
+"$USPEC" ingest "$WORK/corpus"/prog{8,9,10,11}.mini -j "$WORK/corpus.uspj"
+"$USPEC" train --journal "$WORK/corpus.uspj" -o "$WORK/run.uspb" \
+  --seed "$SEED" 2> "$WORK/train3.log"
+grep -q "(warm, 4 of 12" "$WORK/train3.log" || {
+  echo "FAIL: second train was not a 4-entry warm delta:" >&2
+  cat "$WORK/train3.log" >&2
+  fail=1
+}
+grep -q '^diff: {"added":' "$WORK/train3.log" || {
+  echo "FAIL: warm train printed no spec-level diff" >&2
+  fail=1
+}
+
+echo "== replay byte-identity vs full retrain, 1 and 8 threads"
+"$USPEC" train "$WORK/corpus"/prog{0,1,2,3,4,5,6,7,8,9,10,11}.mini \
+  -o "$WORK/flat.uspb" --seed "$SEED" 2>/dev/null
+"$USPEC" select "$WORK/flat.uspb" -o "$WORK/flat.txt" 2>/dev/null
+for threads in 1 8; do
+  "$USPEC" train --journal "$WORK/corpus.uspj" -o "$WORK/replay$threads.uspb" \
+    --replay --seed "$SEED" --threads "$threads" 2>/dev/null
+  "$USPEC" select "$WORK/replay$threads.uspb" -o "$WORK/replay$threads.txt" \
+    2>/dev/null
+  cmp -s "$WORK/replay$threads.txt" "$WORK/flat.txt" || {
+    echo "FAIL: replay specs at $threads threads differ from full retrain" >&2
+    fail=1
+  }
+done
+cmp -s "$WORK/replay1.uspb" "$WORK/replay8.uspb" || {
+  echo "FAIL: replay artifact differs between 1 and 8 threads" >&2
+  fail=1
+}
+echo "   replay == full retrain at 1 and 8 threads"
+
+echo "== lineage in info"
+"$USPEC" info "$WORK/run.uspb" | grep -q "journal lineage: generation 2" || {
+  echo "FAIL: info does not print the journal lineage" >&2
+  fail=1
+}
+
+echo "== serve: concurrent clients through >= 3 reloads"
+# Two generations to swap between; per-generation expected answers come
+# from one-shot `analyze --json` (the byte-identity oracle).
+GEN1="$WORK/run.before"   # generation 1 artifact
+GEN2="$WORK/run.uspb"     # generation 2 artifact (warm)
+NPROGS=6
+for i in $(seq 0 $((NPROGS - 1))); do
+  "$USPEC" analyze "$WORK/corpus/prog$i.mini" --model "$GEN1" --json \
+    > "$WORK/expect.g1.$i.json"
+  "$USPEC" analyze "$WORK/corpus/prog$i.mini" --model "$GEN2" --json \
+    > "$WORK/expect.g2.$i.json"
+done
+
+"$USPEC" serve --model "$GEN1" --socket "$WORK/uspec.sock" --workers 4 \
+  2> "$WORK/serve.log" &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/uspec.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/uspec.sock" ] || {
+  echo "FAIL: server socket never appeared" >&2
+  exit 1
+}
+
+pids=()
+for c in 1 2 3; do
+  (
+    for round in 1 2 3 4; do
+      for i in $(seq 0 $((NPROGS - 1))); do
+        "$USPEC" query --socket "$WORK/uspec.sock" --retries 3 \
+          analyze "$WORK/corpus/prog$i.mini" \
+          > "$WORK/client$c.$round.$i.json" || exit 1
+      done
+    done
+  ) &
+  pids+=("$!")
+done
+
+# Three reloads while the clients run: gen2 via the protocol verb, gen1 via
+# the verb, gen2 via SIGHUP re-reading --model (now pointing at GEN2's
+# path, which serve re-reads from its original --model path — use the verb
+# for the explicit paths and SIGHUP for the configured one).
+sleep 0.2
+"$USPEC" query --socket "$WORK/uspec.sock" reload "$GEN2" > /dev/null
+sleep 0.2
+"$USPEC" query --socket "$WORK/uspec.sock" reload "$GEN1" > /dev/null
+sleep 0.2
+kill -HUP "$SERVER" # re-reads --model ($GEN1)
+sleep 0.2
+"$USPEC" query --socket "$WORK/uspec.sock" reload "$GEN2" > /dev/null
+
+dropped=0
+for p in "${pids[@]}"; do
+  wait "$p" || dropped=1
+done
+if [ "$dropped" -ne 0 ]; then
+  echo "FAIL: a client saw a failed/dropped request during reloads" >&2
+  fail=1
+fi
+
+# Every answer must be byte-identical to one generation's oracle.
+mismatch=0
+for c in 1 2 3; do
+  for round in 1 2 3 4; do
+    for i in $(seq 0 $((NPROGS - 1))); do
+      got="$WORK/client$c.$round.$i.json"
+      if ! cmp -s "$got" "$WORK/expect.g1.$i.json" &&
+         ! cmp -s "$got" "$WORK/expect.g2.$i.json"; then
+        echo "FAIL: client $c round $round prog $i matches neither" \
+             "generation's analyze --json" >&2
+        mismatch=1
+      fi
+    done
+  done
+done
+[ "$mismatch" -eq 0 ] &&
+  echo "   $((3 * 4 * NPROGS)) answers, every one byte-identical to a generation oracle"
+[ "$mismatch" -ne 0 ] && fail=1
+
+echo "== stats: model generation + reload counter"
+stats=$("$USPEC" query --socket "$WORK/uspec.sock" stats)
+echo "$stats" | grep -q '"model":{"generation":2' || {
+  echo "FAIL: stats model generation is not 2: $stats" >&2
+  fail=1
+}
+echo "$stats" | grep -q '"reloads":4' || {
+  echo "FAIL: stats did not count 4 reloads (3 verbs + SIGHUP): $stats" >&2
+  fail=1
+}
+"$USPEC" query --socket "$WORK/uspec.sock" metrics |
+  grep -q '^uspec_model_reloads_total 4' || {
+  echo "FAIL: metrics missing uspec_model_reloads_total 4" >&2
+  fail=1
+}
+
+echo "== shutdown + clean drain"
+"$USPEC" query --socket "$WORK/uspec.sock" shutdown > /dev/null
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: server exited with status $rc" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "incremental smoke: OK"
+else
+  echo "incremental smoke: FAILED" >&2
+fi
+exit "$fail"

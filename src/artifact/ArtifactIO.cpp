@@ -27,6 +27,7 @@ constexpr uint64_t MaxCandidates = 1u << 24;
 constexpr uint64_t MaxModels = 1u << 16;
 constexpr uint64_t MaxDimBits = 30;
 constexpr uint64_t MaxManifestEntries = 1u << 24;
+constexpr uint64_t MaxLedgerConfidences = 1u << 28;
 
 /// Finishes a section decode: the reader must have consumed every byte.
 template <typename T>
@@ -317,6 +318,7 @@ std::string uspec::encodeManifest(const CorpusManifest &Manifest) {
     W.writeString(E.Name);
     W.writeU64(E.Fingerprint);
   }
+  W.writeVarint(Manifest.Generation);
   return W.take();
 }
 
@@ -333,7 +335,70 @@ std::optional<CorpusManifest> uspec::decodeManifest(std::string_view Bytes,
     if (R.ok())
       Manifest.Entries.push_back(std::move(E));
   }
+  // The trailing generation varint postdates the first artifact release:
+  // absent bytes (an older artifact) decode as generation 0.
+  if (R.ok() && R.remaining() > 0)
+    Manifest.Generation = R.readVarint();
   return finish(R, std::move(Manifest), Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal lineage + candidate ledger (incremental training)
+//===----------------------------------------------------------------------===//
+
+std::string uspec::encodeLineage(const JournalLineage &Lineage) {
+  BinaryWriter W;
+  W.writeVarint(Lineage.Generation);
+  W.writeU64(Lineage.ChainChecksum);
+  W.writeVarint(Lineage.TrainedEntries);
+  return W.take();
+}
+
+std::optional<JournalLineage> uspec::decodeLineage(std::string_view Bytes,
+                                                   ArtifactError *Err) {
+  BinaryReader R(Bytes, "jrnl");
+  JournalLineage Lineage;
+  Lineage.Generation = R.readVarint();
+  Lineage.ChainChecksum = R.readU64();
+  Lineage.TrainedEntries = R.readVarint();
+  return finish(R, std::move(Lineage), Err);
+}
+
+std::string uspec::encodeLedger(const CandidateLedger &Ledger,
+                                SymbolTableBuilder &Syms) {
+  BinaryWriter W;
+  W.writeVarint(Ledger.Entries.size());
+  for (const CandidateLedger::Entry &E : Ledger.Entries) {
+    encodeSpec(W, E.S, Syms);
+    W.writeVarint(E.Confidences.size());
+    for (double C : E.Confidences)
+      W.writeF64(C);
+    W.writeVarint(E.Matches);
+    W.writeVarint(E.Programs);
+  }
+  return W.take();
+}
+
+std::optional<CandidateLedger> uspec::decodeLedger(std::string_view Bytes,
+                                                   const SymbolTable &Syms,
+                                                   ArtifactError *Err) {
+  BinaryReader R(Bytes, "gams");
+  CandidateLedger Ledger;
+  uint64_t Count = R.readCount(MaxCandidates, "ledger entry");
+  Ledger.Entries.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; R.ok() && I < Count; ++I) {
+    CandidateLedger::Entry E;
+    E.S = decodeSpec(R, Syms);
+    uint64_t NumConf = R.readCount(MaxLedgerConfidences, "confidence");
+    E.Confidences.reserve(static_cast<size_t>(NumConf));
+    for (uint64_t C = 0; R.ok() && C < NumConf; ++C)
+      E.Confidences.push_back(R.readF64());
+    E.Matches = static_cast<size_t>(R.readVarint());
+    E.Programs = static_cast<size_t>(R.readVarint());
+    if (R.ok())
+      Ledger.Entries.push_back(std::move(E));
+  }
+  return finish(R, std::move(Ledger), Err);
 }
 
 //===----------------------------------------------------------------------===//

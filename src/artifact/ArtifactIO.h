@@ -146,6 +146,12 @@ struct CorpusManifest {
   };
   std::vector<Entry> Entries;
 
+  /// Corpus-journal generation this manifest was trained through (0 for
+  /// plain file-list training). Lineage metadata like the names: it does
+  /// not participate in sameCorpus or equality. Encoded as a trailing
+  /// varint; artifacts written before the field existed decode with 0.
+  uint64_t Generation = 0;
+
   /// True when the fingerprint sequences match exactly (names are display
   /// metadata and do not participate).
   bool sameCorpus(const CorpusManifest &Other) const;
@@ -158,6 +164,44 @@ struct CorpusManifest {
 std::string encodeManifest(const CorpusManifest &Manifest);
 std::optional<CorpusManifest> decodeManifest(std::string_view Bytes,
                                              ArtifactError *Err = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Journal lineage + candidate ledger (incremental training, DESIGN.md §12)
+//===----------------------------------------------------------------------===//
+
+/// Where in a corpus journal an artifact's training stopped. Written as the
+/// optional "jrnl" section by journal-driven training; `uspec train
+/// --journal` reads it back to decide between warm-start and replay, and
+/// the serve hot-swap reports Generation as `model_generation`.
+struct JournalLineage {
+  /// Journal generation trained through (CorpusJournal entry generations
+  /// are non-decreasing; this is the last one covered).
+  uint64_t Generation = 0;
+  /// incremental::CorpusJournal::chainChecksum over the trained entries;
+  /// a prefix-integrity check that the journal grew append-only.
+  uint64_t ChainChecksum = 0;
+  /// Number of journal entries trained through.
+  uint64_t TrainedEntries = 0;
+
+  friend bool operator==(const JournalLineage &A, const JournalLineage &B) {
+    return A.Generation == B.Generation &&
+           A.ChainChecksum == B.ChainChecksum &&
+           A.TrainedEntries == B.TrainedEntries;
+  }
+};
+
+std::string encodeLineage(const JournalLineage &Lineage);
+std::optional<JournalLineage> decodeLineage(std::string_view Bytes,
+                                            ArtifactError *Err = nullptr);
+
+/// The optional "gams" section: per-candidate ΓS evidence in first-seen
+/// order (core/Candidates.h CandidateLedger), persisted so the next delta
+/// run can extend it without revisiting old programs.
+std::string encodeLedger(const CandidateLedger &Ledger,
+                         SymbolTableBuilder &Syms);
+std::optional<CandidateLedger> decodeLedger(std::string_view Bytes,
+                                            const SymbolTable &Syms,
+                                            ArtifactError *Err = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Crash-safe file writes

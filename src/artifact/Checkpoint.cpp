@@ -26,6 +26,9 @@ constexpr std::string_view SecModel = "modl";
 constexpr std::string_view SecCandidates = "cand";
 constexpr std::string_view SecSelected = "spec";
 constexpr std::string_view SecManifest = "mani";
+// Optional sections written only by journal-driven training (DESIGN.md §12).
+constexpr std::string_view SecLineage = "jrnl";
+constexpr std::string_view SecLedger = "gams";
 
 std::string encodeMeta(const LearnResult &Result,
                        const LearnerConfig &Config) {
@@ -83,12 +86,15 @@ std::optional<std::string_view> requireSection(const ArtifactReader &A,
 std::string uspec::saveLearnArtifacts(const LearnResult &Result,
                                       const LearnerConfig &Config,
                                       const StringInterner &Strings,
-                                      const CorpusManifest &Manifest) {
+                                      const CorpusManifest &Manifest,
+                                      const JournalLineage *Lineage,
+                                      const CandidateLedger *Ledger) {
   TraceSpan Span("artifact.save");
   SymbolTableBuilder Syms(Strings);
   // Encode symbol-bearing sections first so the string table is complete.
   std::string Candidates = encodeCandidates(Result.Candidates, Syms);
   std::string Selected = encodeSpecSet(Result.Selected, Syms);
+  std::string LedgerBytes = Ledger ? encodeLedger(*Ledger, Syms) : "";
 
   ArtifactWriter A;
   A.addSection(std::string(SecMeta), encodeMeta(Result, Config));
@@ -97,6 +103,10 @@ std::string uspec::saveLearnArtifacts(const LearnResult &Result,
   A.addSection(std::string(SecCandidates), std::move(Candidates));
   A.addSection(std::string(SecSelected), std::move(Selected));
   A.addSection(std::string(SecManifest), encodeManifest(Manifest));
+  if (Lineage)
+    A.addSection(std::string(SecLineage), encodeLineage(*Lineage));
+  if (Ledger)
+    A.addSection(std::string(SecLedger), std::move(LedgerBytes));
   return A.finish();
 }
 
@@ -155,6 +165,22 @@ uspec::loadLearnArtifacts(std::string_view Bytes, StringInterner &Strings,
   if (!Manifest)
     return std::nullopt;
   Out.Manifest = std::move(*Manifest);
+
+  // Optional incremental-training sections (absent from plain file-list
+  // artifacts; present iff the artifact was journal-trained).
+  if (auto LineageBytes = A->section(SecLineage)) {
+    std::optional<JournalLineage> Lineage = decodeLineage(*LineageBytes, Err);
+    if (!Lineage)
+      return std::nullopt;
+    Out.Lineage = std::move(*Lineage);
+  }
+  if (auto LedgerBytes = A->section(SecLedger)) {
+    std::optional<CandidateLedger> Ledger =
+        decodeLedger(*LedgerBytes, *Syms, Err);
+    if (!Ledger)
+      return std::nullopt;
+    Out.Ledger = std::move(*Ledger);
+  }
   return Out;
 }
 

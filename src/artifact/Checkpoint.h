@@ -39,14 +39,25 @@ struct LearnArtifacts {
   LearnResult Result;
   /// Fingerprints of the corpus the artifact was trained on.
   CorpusManifest Manifest;
+  /// Journal lineage ("jrnl" section); present only for journal-trained
+  /// artifacts (DESIGN.md §12).
+  std::optional<JournalLineage> Lineage;
+  /// Candidate evidence ledger ("gams" section); present only for
+  /// journal-trained artifacts — required to warm-start the next delta.
+  std::optional<CandidateLedger> Ledger;
 };
 
 /// Serializes \p Result (trained with \p Config over the corpus described
-/// by \p Manifest) as a USPB artifact.
+/// by \p Manifest) as a USPB artifact. Journal-driven training additionally
+/// passes \p Lineage and \p Ledger, written as the optional "jrnl"/"gams"
+/// sections; plain file-list training leaves them null and the sections are
+/// omitted (the artifact stays byte-identical to pre-incremental builds).
 std::string saveLearnArtifacts(const LearnResult &Result,
                                const LearnerConfig &Config,
                                const StringInterner &Strings,
-                               const CorpusManifest &Manifest);
+                               const CorpusManifest &Manifest,
+                               const JournalLineage *Lineage = nullptr,
+                               const CandidateLedger *Ledger = nullptr);
 
 /// Parses, validates and decodes an artifact produced by
 /// saveLearnArtifacts. Names are interned into \p Strings. On failure

@@ -10,25 +10,32 @@
 
 using namespace uspec;
 
-double uspec::scoreCandidate(const CandidateStats &Stats, ScoreKind Kind,
+double uspec::scoreCandidate(const std::vector<double> &Confidences,
+                             size_t Matches, size_t Programs, ScoreKind Kind,
                              size_t TopK) {
   switch (Kind) {
   case ScoreKind::TopKMean:
   case ScoreKind::NameAware: // the prior is blended in by the learner
-    return topKMean(Stats.Confidences, TopK);
+    return topKMean(Confidences, TopK);
   case ScoreKind::MaxConfidence:
-    return maxValue(Stats.Confidences);
+    return maxValue(Confidences);
   case ScoreKind::P95:
-    return percentile(Stats.Confidences, 0.95);
+    return percentile(Confidences, 0.95);
   case ScoreKind::MatchCount:
     // Squashed into [0, 1) so that τ sweeps apply uniformly.
-    return static_cast<double>(Stats.Matches) /
-           (static_cast<double>(Stats.Matches) + 25.0);
+    return static_cast<double>(Matches) /
+           (static_cast<double>(Matches) + 25.0);
   case ScoreKind::ProgramCount:
-    return static_cast<double>(Stats.Programs) /
-           (static_cast<double>(Stats.Programs) + 10.0);
+    return static_cast<double>(Programs) /
+           (static_cast<double>(Programs) + 10.0);
   }
   return 0;
+}
+
+double uspec::scoreCandidate(const CandidateStats &Stats, ScoreKind Kind,
+                             size_t TopK) {
+  return scoreCandidate(Stats.Confidences, Stats.Matches, Stats.Programs,
+                        Kind, TopK);
 }
 
 void CandidateCollector::recordMatch(const Spec &S, const EventGraph &G,
@@ -86,6 +93,40 @@ void CandidateCollector::merge(CandidateCollector &&Other) {
   TotalMatches += Other.TotalMatches;
   Other.Candidates.clear();
   Other.Order.clear();
+}
+
+CandidateLedger CandidateLedger::fromCollector(const CandidateCollector &C) {
+  CandidateLedger Ledger;
+  Ledger.Entries.reserve(C.candidates().size());
+  for (const Spec &S : C.candidates()) {
+    const CandidateStats &Stats = C.stats().at(S);
+    Ledger.Entries.push_back(
+        Entry{S, Stats.Confidences, Stats.Matches, Stats.Programs});
+  }
+  return Ledger;
+}
+
+void CandidateLedger::extendWith(const CandidateCollector &Delta) {
+  std::unordered_map<Spec, size_t, SpecHash> Index;
+  Index.reserve(Entries.size());
+  for (size_t I = 0; I < Entries.size(); ++I)
+    Index.emplace(Entries[I].S, I);
+  for (const Spec &S : Delta.candidates()) {
+    const CandidateStats &Stats = Delta.stats().at(S);
+    auto It = Index.find(S);
+    if (It == Index.end()) {
+      Entries.push_back(
+          Entry{S, Stats.Confidences, Stats.Matches, Stats.Programs});
+      continue;
+    }
+    Entry &E = Entries[It->second];
+    // Delta covers strictly later graphs: its ΓS goes after ours, and its
+    // program-id set is disjoint from everything folded in so far.
+    E.Confidences.insert(E.Confidences.end(), Stats.Confidences.begin(),
+                         Stats.Confidences.end());
+    E.Matches += Stats.Matches;
+    E.Programs += Stats.Programs;
+  }
 }
 
 bool CandidateCollector::addGraph(const EventGraph &G, uint32_t ProgramId,

@@ -53,6 +53,11 @@ enum class ScoreKind : uint8_t {
 double scoreCandidate(const CandidateStats &Stats, ScoreKind Kind,
                       size_t TopK);
 
+/// Same scoring over bare evidence (the CandidateLedger representation,
+/// which stores counts instead of program-id sets).
+double scoreCandidate(const std::vector<double> &Confidences, size_t Matches,
+                      size_t Programs, ScoreKind Kind, size_t TopK);
+
 /// Collects candidate specifications across event graphs.
 ///
 /// The collector is mergeable for sharded extraction: give each worker its
@@ -110,6 +115,30 @@ private:
   std::vector<Spec> Order;
   size_t ReceiverPairsSeen = 0;
   size_t TotalMatches = 0;
+};
+
+/// A position-independent snapshot of the merged candidate evidence, carried
+/// across incremental training runs (DESIGN.md §12). Unlike the collector it
+/// keeps only the program *count* per candidate, not the id set — delta runs
+/// cover strictly later programs, so their id sets are disjoint from
+/// everything already folded in and the counts simply add.
+struct CandidateLedger {
+  struct Entry {
+    Spec S;
+    std::vector<double> Confidences; ///< ΓS in global graph order.
+    size_t Matches = 0;
+    size_t Programs = 0;
+  };
+  std::vector<Entry> Entries; ///< First-seen candidate order.
+
+  /// Snapshot of a fully merged collector.
+  static CandidateLedger fromCollector(const CandidateCollector &C);
+
+  /// Folds a collector over strictly later graphs into the ledger with the
+  /// same semantics as CandidateCollector::merge: known candidates keep
+  /// their slots (confidences concatenate in graph order, matches and
+  /// program counts sum), new ones append in \p Delta's first-seen order.
+  void extendWith(const CandidateCollector &Delta);
 };
 
 } // namespace uspec

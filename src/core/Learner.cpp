@@ -208,11 +208,201 @@ LearnResult USpecLearner::learn(const std::vector<IRProgram> &Corpus) {
   Result.Stats.SelectSeconds = Phase.lap();
   }
 
+  // The ledger snapshot carries the merged evidence into incremental runs
+  // (DESIGN.md §12); journal-trained artifacts persist it.
+  Result.Ledger = CandidateLedger::fromCollector(Collector);
+
   // Quarantine report, in corpus order (deterministic at any thread count).
   for (size_t I = 0; I < N; ++I)
     if (!QReason[I].empty())
       Result.Stats.Quarantined.push_back(
           QuarantineRecord{I, Corpus[I].Name, QReason[I]});
+
+  Result.Stats.TotalSeconds = Total.lap();
+  return Result;
+}
+
+LearnResult USpecLearner::learnIncrement(const std::vector<IRProgram> &Delta,
+                                         WarmStart Prev) {
+  assert(!Config.Analysis.ApiAware &&
+         "learning runs on the API-unaware analysis");
+  LearnResult Result;
+  Result.Model = std::move(Prev.Model);
+  Result.Ledger = std::move(Prev.Ledger);
+  size_t N = Delta.size();
+  size_t Base = Prev.BasePrograms;
+
+  unsigned Workers = effectiveThreads(std::max<size_t>(1, N), Config.Threads);
+  Result.Stats.ThreadsUsed = Workers;
+  Result.Stats.Programs = N;
+  PhaseTimer Total, Phase;
+
+  TraceSpan LearnSpan("learn.increment");
+  if (LearnSpan.active()) {
+    LearnSpan.arg("base_programs", std::to_string(Base));
+    LearnSpan.arg("delta_programs", std::to_string(N));
+    LearnSpan.arg("threads", std::to_string(Workers));
+  }
+
+  // Phase 1 over the delta only. Seeds, program ids and fault indices are
+  // *global corpus positions* (Base + I): exactly what a full replay of the
+  // grown corpus uses for the same slots, so per-program sampling decisions
+  // agree between the incremental and replay pipelines.
+  std::vector<std::unique_ptr<AnalysisResult>> Analyses(N);
+  std::vector<EventGraph> Graphs(N);
+  std::vector<std::string> QReason(N);
+  std::vector<std::vector<TrainingSample>> PerProgramSamples(N);
+  {
+  TraceSpan PhaseSpan("learn.phase1_analyze");
+  parallelFor(N, Config.Threads, [&](size_t I) {
+    TraceSpan ProgramSpan("learn.program");
+    if (ProgramSpan.active()) {
+      ProgramSpan.arg("index", std::to_string(Base + I));
+      if (!Delta[I].Name.empty())
+        ProgramSpan.arg("name", Delta[I].Name);
+    }
+    try {
+      if (faultFiresAt("learn.analyze", Base + I))
+        throw FaultInjected("learn.analyze");
+      Budget B = Budget::steps(Config.ProgramStepBudget);
+      AnalysisOptions Opts = Config.Analysis;
+      if (Config.ProgramStepBudget != 0)
+        Opts.StepBudget = &B;
+      Analyses[I] = std::make_unique<AnalysisResult>(
+          analyzeProgram(Delta[I], Strings, Opts));
+      if (Analyses[I]->Bounded) {
+        QReason[I] = std::string("analysis:") + B.reason();
+        if (QReason[I] == "analysis:")
+          QReason[I] = "analysis:bounded";
+        Analyses[I] = std::make_unique<AnalysisResult>();
+        return;
+      }
+      Graphs[I] = EventGraph::build(*Analyses[I]);
+      Rng Rand(hashValues(Config.Seed, Base + I));
+      collectTrainingSamples(Graphs[I], Rand, PerProgramSamples[I]);
+    } catch (const FaultInjected &F) {
+      QReason[I] = "fault:" + F.site();
+      Analyses[I] = std::make_unique<AnalysisResult>();
+      Graphs[I] = EventGraph();
+      PerProgramSamples[I].clear();
+    } catch (const std::exception &E) {
+      QReason[I] = std::string("error:") + E.what();
+      Analyses[I] = std::make_unique<AnalysisResult>();
+      Graphs[I] = EventGraph();
+      PerProgramSamples[I].clear();
+    }
+  });
+  for (const EventGraph &G : Graphs)
+    if (!G.callSites().empty())
+      ++Result.Stats.Graphs;
+  Result.Stats.AnalyzeSeconds = Phase.lap();
+  }
+
+  // Phase 2b: warm-start SGD continuation. train() shuffles the delta
+  // samples deterministically and never resets existing per-pair models, so
+  // the restored weights are the optimization's starting point. Accuracy is
+  // measured on the delta samples (the base samples are gone); the sample
+  // count reported is cumulative.
+  {
+  TraceSpan PhaseSpan("learn.phase2_train");
+  std::vector<TrainingSample> Samples;
+  for (std::vector<TrainingSample> &Local : PerProgramSamples) {
+    Samples.insert(Samples.end(), std::make_move_iterator(Local.begin()),
+                   std::make_move_iterator(Local.end()));
+    Local.clear();
+  }
+  Result.NumTrainingSamples = Prev.BaseTrainingSamples + Samples.size();
+  Result.Model.train(Samples);
+  Result.TrainAccuracy = Result.Model.accuracy(Samples);
+  Result.Stats.TrainingSamples = Samples.size();
+  Result.Stats.TrainSeconds = Phase.lap();
+  if (PhaseSpan.active())
+    PhaseSpan.arg("samples", std::to_string(Samples.size()));
+  }
+
+  // Phase 3: sharded extraction over the delta graphs, merged left-to-right
+  // exactly as in learn(), then folded into the carried ledger — known
+  // candidates keep their slots, new ones append in first-seen order.
+  unsigned NumShards = effectiveThreads(N, Config.Threads);
+  std::vector<CandidateCollector> Shards;
+  {
+  TraceSpan PhaseSpan("learn.phase3_extract");
+  Shards.reserve(std::max(1u, NumShards));
+  for (unsigned S = 0; S < std::max(1u, NumShards); ++S)
+    Shards.emplace_back(Result.Model, Config.DistanceBound,
+                        Config.ExperimentalPatterns);
+  parallelFor(NumShards, Config.Threads, [&](size_t S) {
+    auto [Lo, Hi] = shardRange(N, static_cast<unsigned>(S), NumShards);
+    for (size_t I = Lo; I < Hi; ++I) {
+      if (!QReason[I].empty())
+        continue;
+      if (Config.ProgramStepBudget == 0) {
+        Shards[S].addGraph(Graphs[I], static_cast<uint32_t>(Base + I));
+        continue;
+      }
+      Budget B = Budget::steps(Config.ProgramStepBudget);
+      CandidateCollector Tmp(Result.Model, Config.DistanceBound,
+                             Config.ExperimentalPatterns);
+      if (Tmp.addGraph(Graphs[I], static_cast<uint32_t>(Base + I), &B))
+        Shards[S].merge(std::move(Tmp));
+      else
+        QReason[I] = "extract:steps";
+    }
+  });
+  for (const CandidateCollector &Shard : Shards)
+    Result.Stats.PeakCandidates += Shard.candidates().size();
+  for (size_t S = 1; S < Shards.size(); ++S)
+    Shards[0].merge(std::move(Shards[S]));
+  Result.Ledger.extendWith(Shards[0]);
+  }
+  Result.Stats.ReceiverPairs = Shards[0].numReceiverPairs();
+  Result.Stats.Matches = Shards[0].numMatches();
+  Result.Stats.Candidates = Result.Ledger.Entries.size();
+  Result.Stats.ExtractSeconds = Phase.lap();
+
+  // Phase 4: scoring over the *combined* ledger (base + delta evidence),
+  // parallel per candidate slot as in learn().
+  Result.Candidates.resize(Result.Ledger.Entries.size());
+  {
+  TraceSpan PhaseSpan("learn.phase4_score");
+  if (PhaseSpan.active())
+    PhaseSpan.arg("candidates", std::to_string(Result.Ledger.Entries.size()));
+  parallelFor(Result.Ledger.Entries.size(), Config.Threads, [&](size_t I) {
+    const CandidateLedger::Entry &E = Result.Ledger.Entries[I];
+    ScoredCandidate C;
+    C.S = E.S;
+    C.Score = scoreCandidate(E.Confidences, E.Matches, E.Programs,
+                             Config.Scoring, Config.TopK);
+    if (Config.Scoring == ScoreKind::NameAware)
+      C.Score = blendWithNamingPrior(C.Score, namingPrior(E.S, Strings));
+    C.Matches = E.Matches;
+    C.Programs = E.Programs;
+    C.NumConfidences = E.Confidences.size();
+    Result.Candidates[I] = std::move(C);
+  });
+  std::stable_sort(Result.Candidates.begin(), Result.Candidates.end(),
+                   [](const ScoredCandidate &A, const ScoredCandidate &B) {
+                     if (A.Score != B.Score)
+                       return A.Score > B.Score;
+                     return A.Matches > B.Matches;
+                   });
+  Result.Stats.ScoreSeconds = Phase.lap();
+  }
+
+  // Phase 5: selection and consistency extension.
+  {
+  TraceSpan PhaseSpan("learn.phase5_select");
+  Result.Selected =
+      select(Result.Candidates, Config.Tau, Config.ExtendConsistency,
+             &Result.AddedByExtension);
+  Result.Stats.SelectSeconds = Phase.lap();
+  }
+
+  // Quarantine report, delta programs only, with global corpus indices.
+  for (size_t I = 0; I < N; ++I)
+    if (!QReason[I].empty())
+      Result.Stats.Quarantined.push_back(
+          QuarantineRecord{Base + I, Delta[I].Name, QReason[I]});
 
   Result.Stats.TotalSeconds = Total.lap();
   return Result;

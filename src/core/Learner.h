@@ -91,6 +91,22 @@ struct ScoredCandidate {
   size_t NumConfidences = 0; ///< |ΓS| (single-edge matches scored by ϕ).
 };
 
+/// Prior state threaded into an incremental (warm-start) run; built from a
+/// previously saved artifact by src/incremental/Trainer.
+struct WarmStart {
+  /// ϕ restored from the previous artifact. train() never resets existing
+  /// per-position-pair models, so the delta samples continue SGD from these
+  /// weights.
+  EdgeModel Model;
+  /// Candidate evidence accumulated over every program trained so far.
+  CandidateLedger Ledger;
+  /// Programs already trained through; delta program ids, sample seeds and
+  /// fault indices continue from here so they match a full replay's.
+  size_t BasePrograms = 0;
+  /// Training-set size so far (reported cumulatively in LearnResult).
+  size_t BaseTrainingSamples = 0;
+};
+
 /// Output of the pipeline.
 struct LearnResult {
   EdgeModel Model;
@@ -100,9 +116,15 @@ struct LearnResult {
   SpecSet Selected;
   /// How many specs the consistency extension added.
   size_t AddedByExtension = 0;
-  /// Training set size and in-sample accuracy of ϕ.
+  /// Training set size and in-sample accuracy of ϕ. After learnIncrement
+  /// the sample count is cumulative (base + delta) while the accuracy is
+  /// measured on the delta samples only.
   size_t NumTrainingSamples = 0;
   double TrainAccuracy = 0;
+  /// The merged candidate evidence behind Candidates, in the same order.
+  /// Incremental runs extend it; journal-trained artifacts persist it so
+  /// the next delta can keep extending (DESIGN.md §12).
+  CandidateLedger Ledger;
   /// Per-phase wall times and workload counters of this run. Observational
   /// only — never serialized into USPB artifacts (select(τ) byte-identity
   /// is independent of where or how fast a model was trained).
@@ -117,6 +139,16 @@ public:
 
   /// Runs the full pipeline over \p Corpus.
   LearnResult learn(const std::vector<IRProgram> &Corpus);
+
+  /// Incremental continuation: runs the pipeline over \p Delta only —
+  /// programs appended to the corpus after \p Prev was trained — warm-
+  /// starting ϕ from Prev.Model and folding the new candidate evidence into
+  /// Prev.Ledger. Per-program sample seeds and program ids are global
+  /// (Prev.BasePrograms + i), exactly what a full retrain would use for the
+  /// same positions, and the result is bit-identical at any thread count.
+  /// Scores, selection and the extension run over the *combined* evidence.
+  LearnResult learnIncrement(const std::vector<IRProgram> &Delta,
+                             WarmStart Prev);
 
   /// Re-selects specifications at a different threshold \p Tau from already
   /// scored candidates (used by the precision/recall sweeps of Fig. 7, which

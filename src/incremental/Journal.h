@@ -1,0 +1,105 @@
+//===- Journal.h - Append-only corpus journal (.uspj) ----------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The append-only corpus journal behind `uspec ingest` and `uspec train
+/// --journal` (DESIGN.md §12): every training program ever ingested, in
+/// ingestion order, each entry stamped with a generation number and a
+/// checksum. Training records how far it read (artifact "jrnl" section);
+/// the next run trains only the suffix.
+///
+/// Integrity is two-layered: a per-entry checksum over (generation, name,
+/// source) catches bit rot in any one entry, and the running chain checksum
+/// C_i = combine(C_{i-1}, checksum_i) — persisted in trained artifacts —
+/// proves the journal a previous artifact saw is a strict prefix of the
+/// current one (append-only discipline; rewriting history forces a full
+/// retrain, never a silently wrong warm-start).
+///
+/// The on-disk format is a whole-file encoding ("USPJ" magic, format
+/// version, entry count, entries); appends rewrite the file through the
+/// same temp→fsync→rename path artifacts use, so a crash mid-append leaves
+/// the previous journal intact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_INCREMENTAL_JOURNAL_H
+#define USPEC_INCREMENTAL_JOURNAL_H
+
+#include "artifact/Binary.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uspec {
+namespace incremental {
+
+/// One ingested program.
+struct JournalEntry {
+  /// Ingestion batch this entry belongs to. One `uspec ingest` invocation
+  /// appends one generation; generations are strictly positive and
+  /// non-decreasing along the journal.
+  uint64_t Generation = 0;
+  /// Display name (the path given to ingest).
+  std::string Name;
+  /// Full MiniLang source text.
+  std::string Source;
+  /// computeChecksum(Generation, Name, Source); validated on load.
+  uint64_t Checksum = 0;
+
+  static uint64_t computeChecksum(uint64_t Generation, std::string_view Name,
+                                  std::string_view Source);
+};
+
+/// The in-memory journal: entries in ingestion order.
+struct CorpusJournal {
+  std::vector<JournalEntry> Entries;
+
+  /// Generation of the last entry (0 for an empty journal).
+  uint64_t lastGeneration() const {
+    return Entries.empty() ? 0 : Entries.back().Generation;
+  }
+
+  /// Running chain checksum over the first \p N entries. chainChecksum(0)
+  /// is a fixed seed, so an empty prefix compares equal across journals.
+  uint64_t chainChecksum(size_t N) const;
+  uint64_t chainChecksum() const { return chainChecksum(Entries.size()); }
+
+  /// Appends an entry (checksum computed here). \p Generation must be
+  /// >= lastGeneration() and >= 1; asserts in debug builds.
+  JournalEntry &append(uint64_t Generation, std::string Name,
+                       std::string Source);
+};
+
+/// Whole-file encoding: magic "USPJ", u16 format version, varint entry
+/// count, then per entry (varint generation, string name, string source,
+/// u64 checksum).
+std::string encodeJournal(const CorpusJournal &J);
+
+/// Decodes and validates \p Bytes: magic/version, per-entry checksums,
+/// non-decreasing positive generations. On failure returns false and fills
+/// \p Err with the byte offset and cause.
+bool decodeJournal(std::string_view Bytes, CorpusJournal &Out,
+                   ArtifactError *Err = nullptr);
+
+/// Reads and decodes the journal at \p Path. A missing file is an error
+/// unless \p MissingOk, in which case \p Out is left empty and the call
+/// succeeds (the ingest path: first append creates the journal).
+bool loadJournal(const std::string &Path, CorpusJournal &Out, bool MissingOk,
+                 std::string *Err = nullptr);
+
+/// Encodes \p J and writes it crash-safely (artifact/ArtifactIO.h
+/// writeFileAtomic: temp→fsync→rename). Fault site `journal.append` fires
+/// before any byte is staged; an injected FaultInjected is caught and
+/// reported through \p Err like any other I/O failure.
+bool saveJournal(const std::string &Path, const CorpusJournal &J,
+                 std::string *Err = nullptr);
+
+} // namespace incremental
+} // namespace uspec
+
+#endif // USPEC_INCREMENTAL_JOURNAL_H

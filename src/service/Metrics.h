@@ -31,6 +31,14 @@
 namespace uspec {
 namespace service {
 
+/// Identity of the model generation currently serving, as surfaced by the
+/// `stats`/`metrics` verbs (filled from the server's ModelState snapshot).
+struct ModelInfo {
+  uint64_t Generation = 0; ///< Journal generation (0 = unversioned specs).
+  uint64_t Checksum = 0;   ///< Spec-text checksum mixed into cache keys.
+  size_t Specs = 0;        ///< Number of specs in the serving set.
+};
+
 class ServiceMetrics {
 public:
   ServiceMetrics()
@@ -51,6 +59,8 @@ public:
                              "Requests answered deadline_exceeded")),
         WorkerDeaths(Registry.counter("uspec_worker_deaths_total",
                                       "Workers replaced after a fault")),
+        ModelReloads(Registry.counter("uspec_model_reloads_total",
+                                      "Model hot-swaps applied")),
         CacheHits(Registry.counter("uspec_cache_hits_total",
                                    "Requests served from the analysis cache")),
         CacheMisses(Registry.counter("uspec_cache_misses_total",
@@ -69,6 +79,7 @@ public:
   void recordCacheMiss() { CacheMisses.inc(); }
   void recordDeadlineExceeded() { DeadlineExceeded.inc(); }
   void recordWorkerDeath() { WorkerDeaths.inc(); }
+  void recordModelReload() { ModelReloads.inc(); }
 
   /// Called once per completed request with its wall time.
   void recordCompleted(double Seconds, bool Ok) {
@@ -92,7 +103,8 @@ public:
   /// server's current shape. Built on std::string — never truncates,
   /// however large the counters grow.
   std::string json(unsigned Workers, size_t QueueDepth, size_t QueueCapacity,
-                   const AnalysisCache::Stats &Cache) const {
+                   const AnalysisCache::Stats &Cache,
+                   const ModelInfo &Model = {}) const {
     uint64_t Done = Completed.value();
     uint64_t Errs = Errored.value();
     uint64_t Hits = CacheHits.value();
@@ -135,6 +147,17 @@ public:
     Append(",\"entries\":%zu", Cache.Entries);
     Append(",\"capacity\":%zu", Cache.Capacity);
     AppendU64(",\"evictions\":", Cache.Evictions);
+    AppendU64("},\"model\":{\"generation\":", Model.Generation);
+    {
+      char Hex[24];
+      std::snprintf(Hex, sizeof(Hex), "%016llx",
+                    static_cast<unsigned long long>(Model.Checksum));
+      Out += ",\"checksum\":\"";
+      Out += Hex;
+      Out += "\"";
+    }
+    Append(",\"specs\":%zu", Model.Specs);
+    AppendU64(",\"reloads\":", ModelReloads.value());
     Append("},\"latency_ms\":{\"p50\":%.3f", P50);
     Append(",\"p95\":%.3f", P95);
     AppendU64(",\"samples\":", Lat.Count);
@@ -146,7 +169,8 @@ public:
   /// shape (workers, queue, cache occupancy) as computed gauges.
   std::string prometheus(unsigned Workers, size_t QueueDepth,
                          size_t QueueCapacity,
-                         const AnalysisCache::Stats &Cache) const {
+                         const AnalysisCache::Stats &Cache,
+                         const ModelInfo &Model = {}) const {
     std::string Out = Registry.renderPrometheus();
     using telemetry::appendPromCounter;
     using telemetry::appendPromGauge;
@@ -164,11 +188,17 @@ public:
     appendPromCounter(Out, "uspec_cache_evictions_total",
                       "Cache entries evicted",
                       static_cast<double>(Cache.Evictions));
+    appendPromGauge(Out, "uspec_model_generation",
+                    "Journal generation of the serving model",
+                    static_cast<double>(Model.Generation));
+    appendPromGauge(Out, "uspec_model_specs", "Specs in the serving set",
+                    static_cast<double>(Model.Specs));
     return Out;
   }
 
   uint64_t deadlineExceededCount() const { return DeadlineExceeded.value(); }
   uint64_t workerDeathCount() const { return WorkerDeaths.value(); }
+  uint64_t modelReloadCount() const { return ModelReloads.value(); }
   uint64_t overloadedCount() const { return Overloaded.value(); }
   uint64_t cacheHitCount() const { return CacheHits.value(); }
   uint64_t cacheMissCount() const { return CacheMisses.value(); }
@@ -189,8 +219,8 @@ private:
   telemetry::MetricsRegistry Registry;
   std::chrono::steady_clock::time_point Start;
   telemetry::Counter &Received, &Completed, &Errored, &Overloaded,
-      &RejectedDraining, &DeadlineExceeded, &WorkerDeaths, &CacheHits,
-      &CacheMisses;
+      &RejectedDraining, &DeadlineExceeded, &WorkerDeaths, &ModelReloads,
+      &CacheHits, &CacheMisses;
   telemetry::ShardedHistogram &Latency, &QueueWait, &Analyze;
 };
 

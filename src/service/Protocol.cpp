@@ -410,6 +410,8 @@ bool service::parseRequest(std::string_view Line, Request &Out,
     Out.TheVerb = Verb::Stats;
   } else if (Name == "metrics") {
     Out.TheVerb = Verb::Metrics;
+  } else if (Name == "reload") {
+    Out.TheVerb = Verb::Reload;
   } else if (Name == "shutdown") {
     Out.TheVerb = Verb::Shutdown;
   } else if (EnableTestVerbs && Name == "test_block") {
@@ -429,7 +431,8 @@ bool service::parseRequest(std::string_view Line, Request &Out,
       !stringListField(Root, "sources", Out.Sources, Err) ||
       !stringListField(Root, "sinks", Out.Sinks, Err) ||
       !stringListField(Root, "sanitizers", Out.Sanitizers, Err) ||
-      !stringField(Root, "trace_id", Out.TraceId, Err))
+      !stringField(Root, "trace_id", Out.TraceId, Err) ||
+      !stringField(Root, "path", Out.ModelPath, Err))
     return false;
   if (const JsonValue *Cov = Root.find("coverage")) {
     if (!Cov->isBool()) {

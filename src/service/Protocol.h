@@ -24,6 +24,7 @@
 ///   {"verb": "specs"}
 ///   {"verb": "stats"}
 ///   {"verb": "metrics"}
+///   {"verb": "reload", "path": "model.uspb"}
 ///   {"verb": "shutdown"}
 ///
 /// Responses echo the request id (when present) and carry either a result
@@ -45,8 +46,10 @@
 /// overloaded (admission queue full; no id for the same reason),
 /// shutting_down (submitted after drain began), deadline_exceeded (the
 /// request's `deadline_ms` — or the server's `--request-timeout` default —
-/// elapsed before a result was produced; see DESIGN.md §10), internal
-/// (worker fault; the request is answered, the pool replaces the worker).
+/// elapsed before a result was produced; see DESIGN.md §10), reload_failed
+/// (the `reload` verb could not load/validate the new model; the old model
+/// keeps serving), internal (worker fault; the request is answered, the
+/// pool replaces the worker).
 ///
 /// Requests may carry `"deadline_ms": N` (milliseconds from admission).
 /// Write the key canonically (no space before the colon): the server also
@@ -118,6 +121,9 @@ enum class Verb {
   Taint,
   Stats,
   Metrics, ///< Prometheus text exposition (as a JSON string result).
+  Reload,  ///< Hot-swap the model from `path` (default: the path the server
+           ///< loaded at startup). Zero-downtime: in-flight requests finish
+           ///< under their admission-time generation.
   Shutdown,
   TestBlock, ///< Test-only (ServerConfig::EnableTestVerbs): parks a worker
              ///< until Server::releaseTestGate(), for backpressure tests.
@@ -141,6 +147,8 @@ struct Request {
   /// Opaque client correlation token ("" when absent), echoed in the
   /// response envelope and the slow-request log.
   std::string TraceId;
+  /// reload: artifact/spec path to load ("" = the server's startup path).
+  std::string ModelPath;
 };
 
 /// Parses one request line. On failure returns false with a message in

@@ -6,6 +6,7 @@
 
 #include "service/Server.h"
 
+#include "artifact/Checkpoint.h"
 #include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/ParallelFor.h"
@@ -15,9 +16,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -38,6 +41,7 @@ const char *verbName(Verb V) {
   case Verb::Taint: return "taint";
   case Verb::Stats: return "stats";
   case Verb::Metrics: return "metrics";
+  case Verb::Reload: return "reload";
   case Verb::Shutdown: return "shutdown";
   case Verb::TestBlock: return "test_block";
   }
@@ -46,8 +50,77 @@ const char *verbName(Verb V) {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// Model state
+//===----------------------------------------------------------------------===//
+
+ModelState ModelState::make(ServiceSpecs Specs, uint64_t Generation,
+                            std::string Source) {
+  ModelState M;
+  M.Checksum = hashString(Specs.Text);
+  M.Specs = std::move(Specs);
+  M.Generation = Generation;
+  M.Source = std::move(Source);
+  return M;
+}
+
+std::optional<ModelState> service::loadModelState(const std::string &Path,
+                                                  std::string *Err) {
+  try {
+    USPEC_FAULT_POINT("service.reload.load");
+  } catch (const FaultInjected &F) {
+    if (Err)
+      *Err = F.what();
+    return std::nullopt;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open model '" + Path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Bytes = SS.str();
+
+  if (Bytes.rfind("USPB", 0) == 0) {
+    // Artifact: the container open validates per-section checksums, so a
+    // torn or corrupt file is rejected here and the old model keeps
+    // serving.
+    StringInterner Strings;
+    ArtifactError DecodeErr;
+    std::optional<LearnArtifacts> A =
+        loadLearnArtifacts(Bytes, Strings, &DecodeErr);
+    if (!A) {
+      if (Err)
+        *Err = "artifact '" + Path + "': " + DecodeErr.str();
+      return std::nullopt;
+    }
+    uint64_t Generation =
+        A->Lineage ? A->Lineage->Generation : A->Manifest.Generation;
+    return ModelState::make(
+        ServiceSpecs::fromSpecSet(A->Result.Selected, Strings), Generation,
+        Path);
+  }
+
+  size_t BadLine = 0;
+  std::optional<ServiceSpecs> Specs = ServiceSpecs::fromText(Bytes, &BadLine);
+  if (!Specs) {
+    if (Err)
+      *Err = "spec file '" + Path + "': malformed spec on line " +
+             std::to_string(BadLine);
+    return std::nullopt;
+  }
+  return ModelState::make(std::move(*Specs), 0, Path);
+}
+
 Server::Server(ServerConfig ConfigIn, ServiceSpecs SpecsIn)
-    : Config(ConfigIn), Specs(std::move(SpecsIn)),
+    : Server(std::move(ConfigIn),
+             ModelState::make(std::move(SpecsIn), 0, "inline")) {}
+
+Server::Server(ServerConfig ConfigIn, ModelState ModelIn)
+    : Config(ConfigIn),
+      Model(std::make_shared<const ModelState>(std::move(ModelIn))),
       Cache(Config.CacheCapacity, Config.CacheShards) {
   EffectiveWorkers =
       Config.Workers ? Config.Workers
@@ -149,6 +222,48 @@ void Server::releaseTestGate() {
   GateCv.notify_all();
 }
 
+std::shared_ptr<const ModelState> Server::model() const {
+  std::lock_guard<std::mutex> Lock(ModelMutex);
+  return Model;
+}
+
+void Server::swapModel(ModelState NewModel) {
+  auto Fresh = std::make_shared<const ModelState>(std::move(NewModel));
+  {
+    std::lock_guard<std::mutex> Lock(ModelMutex);
+    Model = std::move(Fresh);
+  }
+  Metrics.recordModelReload();
+}
+
+bool Server::reloadModel(std::string Path, std::string *Err) {
+  // One reload at a time; queries are never blocked by this lock — they
+  // read through model(), which only takes ModelMutex for a pointer copy.
+  std::lock_guard<std::mutex> Lock(ReloadMutex);
+  if (Path.empty())
+    Path = Config.ModelPath;
+  if (Path.empty()) {
+    if (Err)
+      *Err = "no model path: server was started without one and the "
+             "request named none";
+    return false;
+  }
+  std::optional<ModelState> Fresh = loadModelState(Path, Err);
+  if (!Fresh)
+    return false;
+  swapModel(std::move(*Fresh));
+  return true;
+}
+
+ModelInfo Server::modelInfo() const {
+  std::shared_ptr<const ModelState> M = model();
+  ModelInfo Info;
+  Info.Generation = M->Generation;
+  Info.Checksum = M->Checksum;
+  Info.Specs = M->Specs.Lines.size();
+  return Info;
+}
+
 std::string Server::statsJson() {
   size_t Depth = 0;
   {
@@ -156,7 +271,7 @@ std::string Server::statsJson() {
     Depth = Queue.size();
   }
   return Metrics.json(EffectiveWorkers, Depth, Config.QueueCapacity,
-                      Cache.stats());
+                      Cache.stats(), modelInfo());
 }
 
 std::string Server::metricsText() {
@@ -166,7 +281,7 @@ std::string Server::metricsText() {
     Depth = Queue.size();
   }
   return Metrics.prometheus(EffectiveWorkers, Depth, Config.QueueCapacity,
-                            Cache.stats());
+                            Cache.stats(), modelInfo());
 }
 
 void Server::workerLoop() {
@@ -374,6 +489,9 @@ std::string Server::handleRequest(const std::string &Line, const Job &TheJob,
 }
 
 std::string Server::handleParsed(const Request &R, Budget *B) {
+  // One model snapshot per request: every verb below answers under exactly
+  // one generation, even if a reload lands mid-request.
+  std::shared_ptr<const ModelState> M = model();
   // Verb-specific payload rendering is wrapped in a `service.serialize`
   // span; analyze's payload is memoized in the cached analysis (serialized
   // inside the `service.analyze` span on the miss that produced it).
@@ -384,14 +502,14 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
   switch (R.TheVerb) {
   case Verb::Analyze: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(R.Id, PA->AnalyzeJson, R.TraceId);
   }
   case Verb::Alias: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(
@@ -400,7 +518,7 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
   }
   case Verb::Typestate: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(
@@ -410,7 +528,7 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
   }
   case Verb::Taint: {
     std::string Err;
-    auto PA = analysisFor(R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(R.Id, Serialized([&] {
@@ -420,8 +538,22 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
                       R.TraceId);
   }
   case Verb::Specs:
-    return okResponse(R.Id, Serialized([&] { return specsPayload(Specs); }),
+    return okResponse(R.Id,
+                      Serialized([&] { return specsPayload(M->Specs); }),
                       R.TraceId);
+  case Verb::Reload: {
+    std::string Err;
+    if (!reloadModel(R.ModelPath, &Err))
+      return errorResponse(R.Id, "reload_failed", Err, R.TraceId);
+    ModelInfo Info = modelInfo();
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"generation\":%llu,\"specs\":%zu,"
+                  "\"checksum\":\"%016llx\"}",
+                  static_cast<unsigned long long>(Info.Generation),
+                  Info.Specs, static_cast<unsigned long long>(Info.Checksum));
+    return okResponse(R.Id, Buf, R.TraceId);
+  }
   case Verb::Stats:
     return okResponse(R.Id, Serialized([&] { return statsJson(); }),
                       R.TraceId);
@@ -447,12 +579,14 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
 }
 
 std::shared_ptr<const ProgramAnalysis>
-Server::analysisFor(const std::string &Program, const std::string &Name,
-                    bool Coverage, std::string *Error, Budget *B) {
-  // The spec set is fixed per server, so keys only mix program identity and
-  // the per-request analysis option.
+Server::analysisFor(const ModelState &M, const std::string &Program,
+                    const std::string &Name, bool Coverage,
+                    std::string *Error, Budget *B) {
+  // Keys mix program identity, the per-request analysis option and the
+  // model checksum: entries computed under a swapped-out generation can
+  // never answer requests under this one (they age out via LRU).
   uint64_t SourceKey =
-      hashValues(hashString(Program), Coverage ? 1ull : 0ull);
+      hashValues(hashString(Program), Coverage ? 1ull : 0ull, M.Checksum);
   {
     TraceSpan Probe("service.cache_probe");
     if (auto PA = Cache.findBySource(SourceKey)) {
@@ -466,7 +600,8 @@ Server::analysisFor(const std::string &Program, const std::string &Name,
   }();
   if (!Parsed)
     return nullptr;
-  uint64_t FpKey = hashValues(Parsed->Fingerprint, Coverage ? 1ull : 0ull);
+  uint64_t FpKey =
+      hashValues(Parsed->Fingerprint, Coverage ? 1ull : 0ull, M.Checksum);
   {
     TraceSpan Probe("service.cache_probe");
     if (auto PA = Cache.findByFingerprint(FpKey)) {
@@ -482,7 +617,7 @@ Server::analysisFor(const std::string &Program, const std::string &Name,
   {
     TraceSpan Span("service.analyze");
     TimePoint T0 = std::chrono::steady_clock::now();
-    PA = finishAnalysis(std::move(*Parsed), Specs, Coverage, B);
+    PA = finishAnalysis(std::move(*Parsed), M.Specs, Coverage, B);
     Metrics.recordAnalyze(std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - T0)
                               .count());
@@ -575,7 +710,8 @@ bool sendAll(int Fd, std::string_view Data) {
 } // namespace
 
 int Server::serveUnixSocket(const std::string &Path,
-                            const volatile int *StopFlag) {
+                            const volatile int *StopFlag,
+                            volatile int *ReloadFlag) {
   int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Listen < 0)
     return 1;
@@ -646,6 +782,22 @@ int Server::serveUnixSocket(const std::string &Path,
   for (;;) {
     if (draining() || (StopFlag && *StopFlag))
       break;
+    if (ReloadFlag && *ReloadFlag) {
+      // SIGHUP-driven hot swap, on the accept thread: workers keep
+      // answering under the old snapshot for the duration of the load.
+      *ReloadFlag = 0;
+      std::string Err;
+      if (reloadModel("", &Err)) {
+        std::shared_ptr<const ModelState> M = model();
+        std::fprintf(stderr,
+                     "uspec-serve reloaded model generation=%llu specs=%zu "
+                     "from %s\n",
+                     static_cast<unsigned long long>(M->Generation),
+                     M->Specs.Lines.size(), M->Source.c_str());
+      } else {
+        std::fprintf(stderr, "uspec-serve reload failed: %s\n", Err.c_str());
+      }
+    }
     pollfd Pfd{Listen, POLLIN, 0};
     // Poll interval from config (ServerConfig::AcceptPollMs): it bounds how
     // stale the drain/StopFlag check above can get, i.e. worst-case shutdown

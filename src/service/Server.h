@@ -89,14 +89,52 @@ struct ServerConfig {
   /// Slow-request log destination; nullptr = stderr. Tests point this at a
   /// string stream.
   std::ostream *SlowLog = nullptr;
+  /// Path the model was loaded from (artifact or spec text). The `reload`
+  /// verb without an explicit "path", and the SIGHUP handler, re-read this
+  /// file; "" disables path-less reloads.
+  std::string ModelPath;
 
   static constexpr unsigned DefaultAcceptPollMs = 200;
 };
 
+/// One immutable model generation: the spec set requests are answered
+/// under, plus the identity that keys the analysis cache and the
+/// `model_generation` metric. Swapped wholesale by reload — a request takes
+/// one shared snapshot at dispatch and never sees a torn mix of two
+/// generations.
+struct ModelState {
+  ServiceSpecs Specs;
+  /// Journal generation of the artifact (JournalLineage::Generation, else
+  /// CorpusManifest::Generation; 0 for plain spec text).
+  uint64_t Generation = 0;
+  /// hashString over the canonical spec text — mixed into every cache key,
+  /// so entries computed under another generation can never answer this
+  /// one (cache non-bleed without an explicit flush).
+  uint64_t Checksum = 0;
+  /// Where the model came from (path or "inline"), for logs and errors.
+  std::string Source;
+
+  /// Stamps Checksum from the canonical text.
+  static ModelState make(ServiceSpecs Specs, uint64_t Generation,
+                         std::string Source);
+};
+
+/// Loads a ModelState from \p Path: USPB artifacts (checksum-validated by
+/// the container open; generation from the lineage/manifest) or canonical
+/// spec text. Fault site `service.reload.load` fires before the read (the
+/// hot-swap failure-injection point). Returns nullopt and fills \p Err on
+/// any failure.
+std::optional<ModelState> loadModelState(const std::string &Path,
+                                         std::string *Err);
+
 class Server {
 public:
-  /// \p Specs is the canonical spec set (empty = API-unaware service).
+  /// \p Specs is the canonical spec set (empty = API-unaware service);
+  /// wrapped into an unversioned (generation 0) ModelState.
   Server(ServerConfig Config, ServiceSpecs Specs);
+
+  /// Full form: serve \p Model, hot-swappable via reload.
+  Server(ServerConfig Config, ModelState Model);
 
   /// Joins all workers (drains first if still running).
   ~Server();
@@ -137,6 +175,21 @@ public:
   const ServiceMetrics &metrics() const { return Metrics; }
   ServiceMetrics &metrics() { return Metrics; }
 
+  /// Snapshot of the serving model. Cheap (one mutex-guarded shared_ptr
+  /// copy); holders keep the generation alive across a concurrent swap.
+  std::shared_ptr<const ModelState> model() const;
+
+  /// Atomically replaces the serving model. Requests admitted before the
+  /// swap finish under the generation they snapshotted; later dispatches
+  /// see the new one. Old cache entries are keyed by the old checksum and
+  /// age out via LRU.
+  void swapModel(ModelState NewModel);
+
+  /// loadModelState(Path) + swapModel, serialized against concurrent
+  /// reloads. On failure returns false with \p Err set and the old model
+  /// untouched. Path "" means ServerConfig::ModelPath.
+  bool reloadModel(std::string Path, std::string *Err);
+
   /// Serves newline-delimited JSON from \p In to \p Out until EOF or
   /// drain; responses are written in request order. Returns 0 on a clean
   /// drain.
@@ -144,10 +197,15 @@ public:
 
   /// Binds \p Path (unlinking any stale socket file), accepts connections
   /// until drain or \p StopFlag becomes nonzero (a SIGTERM handler sets
-  /// it), serving each connection's requests in order. Returns 0 on a
+  /// it), serving each connection's requests in order. A nonzero
+  /// \p ReloadFlag (the CLI's SIGHUP handler sets it) is cleared and the
+  /// model reloaded from ServerConfig::ModelPath on the accept thread —
+  /// never a worker — so queries keep flowing during the load; a failed
+  /// reload logs to stderr and the old model keeps serving. Returns 0 on a
   /// clean drain, 1 on socket errors.
   int serveUnixSocket(const std::string &Path,
-                      const volatile int *StopFlag = nullptr);
+                      const volatile int *StopFlag = nullptr,
+                      volatile int *ReloadFlag = nullptr);
 
 private:
   using TimePoint = std::chrono::steady_clock::time_point;
@@ -195,19 +253,28 @@ private:
   std::string handleRequest(const std::string &Line, const Job &TheJob,
                             RequestInfo *Info = nullptr);
   std::string handleParsed(const Request &R, Budget *B);
+  /// statsJson()'s view of the current model identity.
+  ModelInfo modelInfo() const;
   /// Emits one structured `uspec-slow ...` line (ServerConfig::SlowLog,
   /// default stderr).
   void logSlowRequest(const RequestInfo &Info, const Job &TheJob,
                       double TotalSeconds, double QueueSeconds, bool Ok);
 
-  /// Cache-or-analyze for verbs that carry a program. A Bounded result
-  /// (budget exhausted mid-analysis) is returned but never cached.
+  /// Cache-or-analyze for verbs that carry a program, under one model
+  /// generation snapshot \p M (cache keys mix M.Checksum). A Bounded
+  /// result (budget exhausted mid-analysis) is returned but never cached.
   std::shared_ptr<const ProgramAnalysis>
-  analysisFor(const std::string &Program, const std::string &Name,
-              bool Coverage, std::string *Error, Budget *B);
+  analysisFor(const ModelState &M, const std::string &Program,
+              const std::string &Name, bool Coverage, std::string *Error,
+              Budget *B);
 
   ServerConfig Config;
-  ServiceSpecs Specs;
+  /// The serving model; read through model(), replaced by swapModel().
+  /// shared_ptr-swapped under ModelMutex (not std::atomic_load — deprecated
+  /// in C++20), so readers and the swapper never race on the pointer.
+  std::shared_ptr<const ModelState> Model;
+  mutable std::mutex ModelMutex;
+  std::mutex ReloadMutex; ///< Serializes reloadModel() end to end.
   AnalysisCache Cache;
   ServiceMetrics Metrics;
 

@@ -668,8 +668,12 @@ TEST(TelemetryService, StatsShapeUnchangedByMetricsRefactor) {
   ASSERT_NE(Result, nullptr);
   for (const char *Key : {"uptime_seconds", "workers", "queue_depth",
                           "queue_capacity", "requests", "worker_deaths",
-                          "qps", "cache", "latency_ms"})
+                          "qps", "cache", "model", "latency_ms"})
     EXPECT_NE(Result->find(Key), nullptr) << Key;
+  const service::JsonValue *Model = Result->find("model");
+  ASSERT_NE(Model, nullptr);
+  for (const char *Key : {"generation", "checksum", "specs", "reloads"})
+    EXPECT_NE(Model->find(Key), nullptr) << Key;
   const service::JsonValue *Lat = Result->find("latency_ms");
   ASSERT_NE(Lat, nullptr);
   EXPECT_NE(Lat->find("p50"), nullptr);

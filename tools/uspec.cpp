@@ -20,13 +20,30 @@
 //       --resume discards any stale temp from an interrupted run and skips
 //       retraining when the artifact already matches the corpus/tau/seed.
 //
+//   uspec ingest  FILES... -j corpus.uspj
+//       Append MiniLang files to an append-only corpus journal. Every file
+//       is parse-validated first; a rotten file aborts the batch and the
+//       journal on disk is untouched (all-or-nothing append through the
+//       same temp + fsync + rename path artifacts use). One invocation
+//       appends one generation.
+//
+//   uspec train   --journal corpus.uspj -o run.uspb [--replay] [...]
+//       Journal-driven training (DESIGN.md §12): reads how far the
+//       artifact at -o got (its "jrnl" lineage section), trains only the
+//       new journal suffix warm-starting ϕ from the prior model, and
+//       reports a quantified spec-level diff. --replay forces a full
+//       retrain over the whole journal — byte-identical to training the
+//       same corpus from scratch with the same seed. Any lineage/config
+//       mismatch demotes warm to full with a printed note.
+//
 //   uspec select  run.uspb [--tau X] [-o specs.txt]
 //       Re-select specifications from a training artifact at threshold τ
 //       (the training τ when omitted) without retraining. Emits exactly the
 //       text `uspec learn --tau X` would emit for the same corpus and seed.
 //
 //   uspec info    run.uspb
-//       Show an artifact's sections, sizes and training statistics.
+//       Show an artifact's sections, sizes, training statistics and (for
+//       journal-trained artifacts) the journal lineage.
 //
 //   uspec analyze FILE [--specs specs.txt | --model run.uspb] [--coverage]
 //                 [--dot out.dot] [--json]
@@ -47,14 +64,15 @@
 //       analysis work per request (exhaustion degrades to a sound "bounded"
 //       payload). --slow-ms logs requests slower than N ms to stderr;
 //       --trace records spans (DESIGN.md §11). See DESIGN.md §9–10 for the
-//       protocol and fault model.
+//       protocol and fault model. In socket mode SIGHUP (or the `reload`
+//       verb) hot-swaps the model from --model without dropping requests.
 //
 //   uspec query   --socket PATH [--retries N] [--retry-seed S]
 //                 [--trace-id ID]
 //                 (analyze FILE [--coverage] | alias FILE A B
 //                 | typestate FILE CHECK USE | taint FILE [--source M]...
 //                 [--sink M]... [--sanitizer M]... | specs | stats
-//                 | metrics | shutdown | --json REQUEST)
+//                 | metrics | reload [ARTIFACT] | shutdown | --json REQUEST)
 //       One-shot client for a running `uspec serve --socket` instance.
 //       Prints the result payload (byte-identical to `analyze --json` for
 //       the analyze verb); errors go to stderr with exit 1. --retries N
@@ -76,6 +94,8 @@
 #include "corpus/Generator.h"
 #include "corpus/Profiles.h"
 #include "eventgraph/Dot.h"
+#include "incremental/Journal.h"
+#include "incremental/Trainer.h"
 #include "service/Server.h"
 #include "specs/SpecIO.h"
 #include "support/Trace.h"
@@ -111,6 +131,10 @@ int usage() {
       "  uspec train FILES... -o run.uspb [--tau X] [--seed S] [--dedup]\n"
       "              [--threads N] [--stats] [--strict] [--step-budget N]\n"
       "              [--resume] [--trace t.json]\n"
+      "  uspec train --journal corpus.uspj -o run.uspb [--replay]\n"
+      "              [--tau X] [--seed S] [--threads N] [--stats]\n"
+      "              [--step-budget N] [--trace t.json]\n"
+      "  uspec ingest FILES... -j corpus.uspj\n"
       "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
       "  uspec info run.uspb\n"
       "  uspec analyze FILE [--specs specs.txt | --model run.uspb]\n"
@@ -323,12 +347,13 @@ void printCandidates(const StringInterner &Strings, size_t NumPrograms,
 /// artifact out).
 int cmdLearnOrTrain(Args &A, bool Train) {
   std::vector<std::string> Files;
-  std::string OutPath, TracePath;
+  std::string OutPath, TracePath, JournalPath;
   double Tau = 0.6;
   uint64_t Seed = 0xC0FFEE;
   uint64_t Threads = 0; // 0 = hardware concurrency
   uint64_t StepBudget = 0;
   bool Dedup = false, Stats = false, Strict = false, Resume = false;
+  bool Replay = false;
   const char *Cmd = Train ? "train" : "learn";
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--dedup")) {
@@ -339,6 +364,13 @@ int cmdLearnOrTrain(Args &A, bool Train) {
       Strict = true;
     } else if (Train && !std::strcmp(Arg, "--resume")) {
       Resume = true;
+    } else if (Train && !std::strcmp(Arg, "--journal")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue(Cmd, Arg);
+      JournalPath = V;
+    } else if (Train && !std::strcmp(Arg, "--replay")) {
+      Replay = true;
     } else if (!std::strcmp(Arg, "--trace")) {
       const char *V = A.next();
       if (!V)
@@ -379,11 +411,24 @@ int cmdLearnOrTrain(Args &A, bool Train) {
       Files.push_back(Arg);
     }
   }
-  if (Files.empty())
+  if (Files.empty() && JournalPath.empty())
     return usage();
   if (Train && OutPath.empty()) {
     std::fprintf(stderr, "error: train requires -o ARTIFACT\n");
     return usage();
+  }
+  if (!JournalPath.empty()) {
+    if (!Files.empty())
+      return unknownToken(Cmd, Files.front().c_str());
+    if (Dedup || Strict || Resume) {
+      std::fprintf(stderr, "error: --journal is incompatible with --dedup, "
+                           "--strict and --resume (entries are validated at "
+                           "ingest; lineage replaces --resume)\n");
+      return 2;
+    }
+  } else if (Replay) {
+    std::fprintf(stderr, "error: --replay requires --journal\n");
+    return 2;
   }
   if (!TracePath.empty()) {
     std::string Err;
@@ -391,6 +436,77 @@ int cmdLearnOrTrain(Args &A, bool Train) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 2;
     }
+  }
+
+  if (!JournalPath.empty()) {
+    incremental::CorpusJournal J;
+    std::string Err;
+    if (!incremental::loadJournal(JournalPath, J, /*MissingOk=*/false,
+                                  &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    // The artifact at -o anchors the lineage: its "jrnl" section records how
+    // far a previous run trained. Absent just means a full run; unreadable
+    // bytes demote to full inside trainFromJournal.
+    std::string PrevBytes;
+    std::error_code Ec;
+    if (std::filesystem::exists(OutPath, Ec)) {
+      auto Bytes = readFile(OutPath);
+      if (!Bytes)
+        return 1;
+      PrevBytes = std::move(*Bytes);
+    }
+    StringInterner Strings;
+    LearnerConfig Cfg;
+    Cfg.Tau = Tau;
+    Cfg.Seed = Seed;
+    Cfg.Threads = static_cast<unsigned>(Threads);
+    Cfg.ProgramStepBudget = StepBudget;
+    auto Outcome = incremental::trainFromJournal(J, Cfg, Strings, PrevBytes,
+                                                 Replay, &Err);
+    if (!Outcome) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    for (const std::string &Note : Outcome->Notes)
+      std::fprintf(stderr, "note: %s\n", Note.c_str());
+    if (Outcome->Mode == incremental::TrainMode::UpToDate) {
+      std::fprintf(stderr,
+                   "%s is up to date with %s (generation %llu, %zu entries); "
+                   "nothing to train\n",
+                   OutPath.c_str(), JournalPath.c_str(),
+                   static_cast<unsigned long long>(J.lastGeneration()),
+                   J.Entries.size());
+      return 0;
+    }
+    printCandidates(Strings, J.Entries.size(), Outcome->Result.Candidates,
+                    Outcome->Result.Selected.size(), Tau);
+    if (Stats)
+      std::fprintf(stderr, "%s\n", Outcome->Result.Stats.json().c_str());
+    // Warm runs quantify the spec-level change against the prior artifact
+    // (the byte-identity contract belongs to --replay, not warm-start).
+    if (!Outcome->DiffJson.empty())
+      std::fprintf(stderr, "diff: %s\n", Outcome->DiffJson.c_str());
+    std::string WriteErr;
+    if (!writeFileAtomic(OutPath,
+                         saveLearnArtifacts(Outcome->Result, Cfg, Strings,
+                                            Outcome->Manifest,
+                                            &Outcome->Lineage,
+                                            &Outcome->Result.Ledger),
+                         &WriteErr)) {
+      std::fprintf(stderr, "error: %s\n", WriteErr.c_str());
+      return 1;
+    }
+    std::fprintf(
+        stderr,
+        "wrote artifact %s (%s, %zu of %zu journal entries trained this "
+        "run, generation %llu)\n",
+        OutPath.c_str(),
+        std::string(incremental::trainModeName(Outcome->Mode)).c_str(),
+        Outcome->ProgramsTrained, J.Entries.size(),
+        static_cast<unsigned long long>(Outcome->Lineage.Generation));
+    return 0;
   }
 
   StringInterner Strings;
@@ -480,6 +596,66 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   if (!writeFile(OutPath, Text))
     return 1;
   std::fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
+/// `uspec ingest FILES... -j corpus.uspj`: parse-validate every file, then
+/// append them all as one new generation. All-or-nothing: a file that fails
+/// to read or parse aborts before any byte of the journal is rewritten.
+int cmdIngest(Args &A) {
+  std::vector<std::string> Files;
+  std::string JournalPath;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "-j") || !std::strcmp(Arg, "--journal")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("ingest", Arg);
+      JournalPath = V;
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      return unknownToken("ingest", Arg);
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  if (Files.empty() || JournalPath.empty()) {
+    std::fprintf(stderr, "error: ingest requires FILES... and -j JOURNAL\n");
+    return usage();
+  }
+
+  incremental::CorpusJournal J;
+  std::string Err;
+  if (!incremental::loadJournal(JournalPath, J, /*MissingOk=*/true, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  uint64_t Generation = J.lastGeneration() + 1;
+  for (const std::string &Path : Files) {
+    auto Source = readFile(Path);
+    if (!Source) {
+      std::fprintf(stderr, "error: ingest aborted; %s unchanged\n",
+                   JournalPath.c_str());
+      return 1;
+    }
+    StringInterner Strings;
+    DiagnosticSink Diags;
+    if (!parseAndLower(*Source, Path, Strings, Diags)) {
+      std::fprintf(stderr, "%s:\n%s", Path.c_str(), Diags.render().c_str());
+      std::fprintf(stderr, "error: ingest aborted; %s unchanged\n",
+                   JournalPath.c_str());
+      return 1;
+    }
+    J.append(Generation, Path, std::move(*Source));
+  }
+  if (!incremental::saveJournal(JournalPath, J, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "ingested %zu program(s) into %s as generation %llu "
+               "(%zu entries total, chain %016llx)\n",
+               Files.size(), JournalPath.c_str(),
+               static_cast<unsigned long long>(Generation), J.Entries.size(),
+               static_cast<unsigned long long>(J.chainChecksum()));
   return 0;
 }
 
@@ -584,6 +760,16 @@ int cmdInfo(Args &A) {
               "%.3f in-sample accuracy\n",
               R.Candidates.size(), R.Selected.size(), R.AddedByExtension,
               R.Model.numModels(), R.NumTrainingSamples, R.TrainAccuracy);
+  if (Artifacts->Lineage) {
+    const JournalLineage &L = *Artifacts->Lineage;
+    std::printf("journal lineage: generation %llu, trained through %llu "
+                "entr%s, chain checksum %016llx%s\n",
+                static_cast<unsigned long long>(L.Generation),
+                static_cast<unsigned long long>(L.TrainedEntries),
+                L.TrainedEntries == 1 ? "y" : "ies",
+                static_cast<unsigned long long>(L.ChainChecksum),
+                Artifacts->Ledger ? ", evidence ledger present" : "");
+  }
   return 0;
 }
 
@@ -805,6 +991,14 @@ volatile int GStopRequested = 0;
 
 void onStopSignal(int) { GStopRequested = 1; }
 
+/// Set by the SIGHUP handler (socket mode only — a stream-mode getline has
+/// no safe point to reload from); the accept loop clears it and hot-swaps
+/// the model from --model. No SA_RESTART so a blocking accept/poll wakes
+/// promptly via EINTR.
+volatile int GReloadRequested = 0;
+
+void onReloadSignal(int) { GReloadRequested = 1; }
+
 int cmdServe(Args &A) {
   std::string ModelPath, SpecsPath, SocketPath, TracePath;
   service::ServerConfig Cfg;
@@ -898,12 +1092,30 @@ int cmdServe(Args &A) {
     }
   }
 
-  auto Specs = loadServiceSpecs(SpecsPath, ModelPath);
-  if (!Specs)
-    return 1;
+  // --model loads a versioned ModelState (journal generation, hot-swap
+  // source path); --specs / no flags keep the unversioned generation-0
+  // path. ServerConfig::ModelPath is what SIGHUP / `reload` without an
+  // explicit path re-reads.
+  std::optional<service::ModelState> Model;
+  if (!ModelPath.empty()) {
+    Cfg.ModelPath = ModelPath;
+    std::string Err;
+    Model = service::loadModelState(ModelPath, &Err);
+    if (!Model) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  } else {
+    auto Specs = loadServiceSpecs(SpecsPath, ModelPath);
+    if (!Specs)
+      return 1;
+    Model = service::ModelState::make(
+        std::move(*Specs), 0, SpecsPath.empty() ? "inline" : SpecsPath);
+  }
 
-  size_t NumSpecs = Specs->Lines.size();
-  service::Server Server(Cfg, std::move(*Specs));
+  size_t NumSpecs = Model->Specs.Lines.size();
+  uint64_t Generation = Model->Generation;
+  service::Server Server(Cfg, std::move(*Model));
 
   // Graceful drain on SIGTERM/SIGINT. Deliberately no SA_RESTART so a
   // blocking stdin read returns EINTR and the stream loop can wind down.
@@ -917,9 +1129,22 @@ int cmdServe(Args &A) {
   sigaction(SIGINT, &SA, nullptr);
 
   if (!SocketPath.empty()) {
-    std::fprintf(stderr, "uspec serve: %zu specs, listening on %s\n",
-                 NumSpecs, SocketPath.c_str());
-    return Server.serveUnixSocket(SocketPath, &GStopRequested);
+    // Live reload on SIGHUP — socket mode only: the handler must not
+    // interrupt a stream-mode stdin getline, which would end the session.
+    GReloadRequested = 0;
+    struct sigaction HupSA;
+    std::memset(&HupSA, 0, sizeof(HupSA));
+    HupSA.sa_handler = onReloadSignal;
+    sigemptyset(&HupSA.sa_mask);
+    HupSA.sa_flags = 0;
+    sigaction(SIGHUP, &HupSA, nullptr);
+    std::fprintf(stderr,
+                 "uspec serve: %zu specs (generation %llu), listening on "
+                 "%s\n",
+                 NumSpecs, static_cast<unsigned long long>(Generation),
+                 SocketPath.c_str());
+    return Server.serveUnixSocket(SocketPath, &GStopRequested,
+                                  &GReloadRequested);
   }
   std::fprintf(stderr, "uspec serve: %zu specs, reading stdin\n", NumSpecs);
   return Server.serveStream(std::cin, std::cout);
@@ -1079,7 +1304,7 @@ int cmdQuery(Args &A) {
     if (Positional.empty()) {
       std::fprintf(stderr, "error: query requires a verb (analyze, alias, "
                            "typestate, taint, specs, stats, metrics, "
-                           "shutdown) or --json REQUEST\n");
+                           "reload, shutdown) or --json REQUEST\n");
       return 2;
     }
     std::string VerbName = Positional.front();
@@ -1152,6 +1377,16 @@ int cmdQuery(Args &A) {
       AppendList("sources", Sources);
       AppendList("sinks", Sinks);
       AppendList("sanitizers", Sanitizers);
+      Request += "}";
+    } else if (VerbName == "reload") {
+      // `reload` swaps the server's model in place: no path re-reads the
+      // server's own --model, an explicit path is read *by the server*
+      // (this is a server-side file name, not program content).
+      if (Positional.size() > 2)
+        return unknownToken("query", Positional[2]);
+      Request = "{\"verb\":\"reload\"";
+      if (Positional.size() == 2)
+        appendField(Request, "path", Positional[1]);
       Request += "}";
     } else if (VerbName == "specs" || VerbName == "stats" ||
                VerbName == "metrics" || VerbName == "shutdown") {
@@ -1241,6 +1476,8 @@ int runSubcommand(Args &A, const char *Cmd) {
     return cmdLearnOrTrain(A, /*Train=*/false);
   if (!std::strcmp(Cmd, "train"))
     return cmdLearnOrTrain(A, /*Train=*/true);
+  if (!std::strcmp(Cmd, "ingest"))
+    return cmdIngest(A);
   if (!std::strcmp(Cmd, "select"))
     return cmdSelect(A);
   if (!std::strcmp(Cmd, "info"))
