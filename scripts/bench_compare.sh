@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+#===- bench_compare.sh - Gate candidate bench JSON against baselines -----===#
+#
+# Part of the USpec reproduction (PLDI 2019). MIT license.
+#
+# Compares freshly recorded bench documents (candidate) against the
+# committed baselines (BENCH_pipeline.json / BENCH_service.json) and fails
+# when the candidate regresses past the tolerance:
+#
+#   BENCH_pipeline.json  phase_seconds.total per thread count must not grow
+#                        by more than the tolerance.
+#   BENCH_service.json   cold_qps and warm_qps per worker count must not
+#                        shrink by more than the tolerance.
+#
+# The gate is noise-aware, not a microbenchmark judge: shared CI runners
+# jitter real time by double-digit percentages, so the default tolerance is
+# a generous 25% and an absolute slack floor exempts sub-noise phase times
+# entirely. Tune via environment:
+#
+#   USPEC_BENCH_TOLERANCE    relative regression allowed (default 0.25)
+#   USPEC_BENCH_ABS_SLACK_S  absolute seconds always forgiven on phase
+#                            totals (default 0.005) — a 2ms total that
+#                            doubles is scheduler noise, not a regression
+#
+# Usage: scripts/bench_compare.sh <candidate-dir> [baseline-dir]
+#   candidate-dir  directory holding the freshly recorded BENCH_*.json
+#   baseline-dir   directory with the committed baselines (default: repo root)
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+CAND=${1:?usage: bench_compare.sh <candidate-dir> [baseline-dir]}
+BASE=${2:-$(cd "$(dirname "$0")/.." && pwd)}
+TOL=${USPEC_BENCH_TOLERANCE:-0.25}
+ABS=${USPEC_BENCH_ABS_SLACK_S:-0.005}
+
+for f in BENCH_pipeline.json BENCH_service.json; do
+  for d in "$BASE" "$CAND"; do
+    if [ ! -f "$d/$f" ]; then
+      echo "error: $d/$f not found" >&2
+      exit 2
+    fi
+  done
+done
+
+python3 - "$BASE" "$CAND" "$TOL" "$ABS" <<'EOF'
+import json, sys
+
+base_dir, cand_dir, tol, abs_slack = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), float(sys.argv[4]))
+
+def load(d, name):
+    with open(f"{d}/{name}") as f:
+        return json.load(f)
+
+failures = []
+
+def check(label, base, cand, kind):
+    """kind='time': regression when cand > base*(1+tol) + abs_slack.
+    kind='rate': regression when cand < base*(1-tol)."""
+    if base <= 0:
+        return
+    if kind == "time":
+        limit = base * (1 + tol) + abs_slack
+        bad = cand > limit
+        delta = (cand - base) / base
+    else:
+        limit = base * (1 - tol)
+        bad = cand < limit
+        delta = (cand - base) / base
+    mark = "FAIL" if bad else "ok"
+    print(f"  {mark:4} {label:40} base={base:<12g} cand={cand:<12g} "
+          f"({delta:+.1%})")
+    if bad:
+        failures.append(label)
+
+print(f"tolerance={tol:.0%}  abs_slack={abs_slack}s")
+
+print("pipeline (phase_seconds.total per thread count):")
+bp = load(base_dir, "BENCH_pipeline.json")
+cp = load(cand_dir, "BENCH_pipeline.json")
+base_runs = {r["stats"]["threads"]: r for r in bp["runs"]}
+for run in cp["runs"]:
+    th = run["stats"]["threads"]
+    if th not in base_runs:
+        continue
+    check(f"total@{th}t",
+          base_runs[th]["stats"]["phase_seconds"]["total"],
+          run["stats"]["phase_seconds"]["total"], "time")
+
+print("service (cold/warm QPS per worker count):")
+bs = load(base_dir, "BENCH_service.json")
+cs = load(cand_dir, "BENCH_service.json")
+base_runs = {r["workers"]: r for r in bs["runs"]}
+for run in cs["runs"]:
+    w = run["workers"]
+    if w not in base_runs:
+        continue
+    check(f"cold_qps@{w}w", base_runs[w]["cold_qps"], run["cold_qps"], "rate")
+    check(f"warm_qps@{w}w", base_runs[w]["warm_qps"], run["warm_qps"], "rate")
+
+if failures:
+    print(f"bench regression past tolerance: {', '.join(failures)}")
+    sys.exit(1)
+print("bench within tolerance")
+EOF

@@ -13,6 +13,31 @@ using namespace uspec;
 
 namespace {
 
+/// Origin description for a synthetic root-allocation event: the abstract
+/// object allocated there knows where it came from (parameter slot, external
+/// source, receiver class), so render that instead of a bare label.
+std::string rootOrigin(const EventGraph &G, const StringInterner &Strings,
+                       EventId E) {
+  const AnalysisResult &R = G.analysis();
+  for (ObjectId Obj = 0; Obj < R.Objects.size(); ++Obj) {
+    const AbstractObject &AO = R.Objects.get(Obj);
+    if (AO.AllocEvent != E)
+      continue;
+    switch (AO.Kind) {
+    case ObjectKind::Param:
+      return "param:" + Strings.str(AO.Class) + "." + Strings.str(AO.Value) +
+             "#" + std::to_string(AO.Site);
+    case ObjectKind::External:
+      return "ext:" + Strings.str(AO.Value);
+    case ObjectKind::This:
+      return "this:" + Strings.str(AO.Class);
+    default:
+      return "";
+    }
+  }
+  return "";
+}
+
 std::string eventLabel(const EventGraph &G, const StringInterner &Strings,
                        EventId E) {
   const Event &Ev = G.event(E);
@@ -24,9 +49,11 @@ std::string eventLabel(const EventGraph &G, const StringInterner &Strings,
   case EventKind::LitAlloc:
     Name = "lc";
     break;
-  case EventKind::RootAlloc:
-    Name = "root:" + Name;
+  case EventKind::RootAlloc: {
+    std::string Origin = rootOrigin(G, Strings, E);
+    Name = Origin.empty() ? "root:" + Name : Origin;
     break;
+  }
   case EventKind::ApiCall:
     break;
   }

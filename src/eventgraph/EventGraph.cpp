@@ -7,8 +7,6 @@
 #include "eventgraph/EventGraph.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
 
 using namespace uspec;
 
@@ -21,91 +19,156 @@ template <typename T> void insertSorted(std::vector<T> &Vec, T Value) {
     Vec.insert(It, Value);
 }
 
+/// Fills a CSR offset table + pool from a sorted, deduplicated (row, value)
+/// pair list.
+template <typename T, typename Rows, typename Pairs>
+void fillCsr(Rows &Out, size_t NumRows, const Pairs &Sorted) {
+  Out.Off.assign(NumRows + 1, 0);
+  Out.Pool.resize(Sorted.size());
+  for (const auto &P : Sorted)
+    ++Out.Off[P.first + 1];
+  for (size_t I = 1; I <= NumRows; ++I)
+    Out.Off[I] += Out.Off[I - 1];
+  for (size_t I = 0; I < Sorted.size(); ++I)
+    Out.Pool[I] = Sorted[I].second;
+}
+
 } // namespace
 
 EventGraph EventGraph::build(const AnalysisResult &R) {
   EventGraph G;
   G.R = &R;
   size_t N = R.Events.size();
-  G.Parents.resize(N);
-  G.Children.resize(N);
-  G.AllocSets.resize(N);
-  G.Vals.resize(N);
-  G.Participants.resize(N);
+  G.NumEvents = N;
 
   // Order votes: Forward[(a,b)] set iff some history has a before b.
   // An edge (a,b) exists iff Forward(a,b) and not Forward(b,a).
-  std::unordered_map<uint64_t, uint8_t> Order; // bit0: fwd, bit1: bwd
+  FlatMap64<uint8_t> Order; // bit0: fwd, bit1: bwd
   auto Key = [](EventId A, EventId B) {
     return (static_cast<uint64_t>(A) << 32) | B;
   };
 
+  // Participant occurrences are gathered as (event, object) pairs and
+  // deduplicated by one sort below — same sets the old per-event
+  // insertSorted produced, without per-event vector churn.
+  std::vector<std::pair<uint32_t, ObjectId>> PartPairs;
   for (ObjectId Obj = 0; Obj < R.Histories.size(); ++Obj) {
     for (const History &H : R.Histories[Obj]) {
       for (size_t I = 0; I < H.size(); ++I) {
-        insertSorted(G.Participants[H[I]], Obj);
+        PartPairs.emplace_back(H[I], Obj);
         for (size_t J = I + 1; J < H.size(); ++J) {
           if (H[I] == H[J])
             continue;
-          Order[Key(H[I], H[J])] |= 1;
-          Order[Key(H[J], H[I])] |= 2;
+          Order.getOrCreate(Key(H[I], H[J])) |= 1;
+          Order.getOrCreate(Key(H[J], H[I])) |= 2;
         }
       }
     }
   }
+  std::sort(PartPairs.begin(), PartPairs.end());
+  PartPairs.erase(std::unique(PartPairs.begin(), PartPairs.end()),
+                  PartPairs.end());
+  fillCsr<ObjectId>(G.Participants, N, PartPairs);
 
-  for (const auto &[K, Bits] : Order) {
+  // Edge list, sorted for deterministic CSR rows (the flat map's iteration
+  // order is probe-table order, which must never leak into the graph).
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  Order.forEach([&](uint64_t K, uint8_t Bits) {
     if (Bits != 1)
-      continue; // either no forward occurrence or a contradicting order
-    EventId A = static_cast<EventId>(K >> 32);
-    EventId B = static_cast<EventId>(K & 0xFFFFFFFF);
-    insertSorted(G.Children[A], B);
-    insertSorted(G.Parents[B], A);
-  }
+      return; // either no forward occurrence or a contradicting order
+    Edges.emplace_back(static_cast<uint32_t>(K >> 32),
+                       static_cast<uint32_t>(K & 0xFFFFFFFF));
+  });
+  std::sort(Edges.begin(), Edges.end());
+  fillCsr<EventId>(G.Children, N, Edges);
+  // Parents: same edges keyed by target. Re-sorting by (to, from) keeps
+  // every parent row ascending.
+  for (auto &E : Edges)
+    std::swap(E.first, E.second);
+  std::sort(Edges.begin(), Edges.end());
+  fillCsr<EventId>(G.Parents, N, Edges);
 
   // Allocation events: parentless ret events. allocG(e) = allocation events
   // among parents(e) ∪ {e}.
   std::vector<bool> IsAlloc(N, false);
   for (EventId E = 0; E < N; ++E)
-    IsAlloc[E] = R.Events.get(E).isRet() && G.Parents[E].empty();
+    IsAlloc[E] = R.Events.get(E).isRet() && G.Parents.row(E).empty();
 
-  // Value of each allocation event = value of the object allocated there.
-  std::unordered_map<EventId, uint64_t> AllocValue;
+  // Value of each allocation event = value of the object allocated there
+  // (first object wins, as with the old map's emplace).
+  FlatMap64<uint64_t> AllocValue;
   for (ObjectId Obj = 0; Obj < R.Objects.size(); ++Obj) {
     const AbstractObject &AO = R.Objects.get(Obj);
     if (AO.AllocEvent == InvalidEvent)
       continue;
     auto It = R.ObjectValues.find(Obj);
-    if (It != R.ObjectValues.end())
-      AllocValue.emplace(AO.AllocEvent, It->second);
+    if (It == R.ObjectValues.end())
+      continue;
+    bool Inserted = false;
+    uint64_t &Slot = AllocValue.getOrCreate(AO.AllocEvent, &Inserted);
+    if (Inserted)
+      Slot = It->second;
   }
 
+  // Alloc sets and value sets build row-by-row in event order, so the CSR
+  // pools can be appended directly.
+  G.AllocSets.Off.assign(N + 1, 0);
+  G.Vals.Off.assign(N + 1, 0);
+  std::vector<uint64_t> ValScratch;
   for (EventId E = 0; E < N; ++E) {
-    std::vector<EventId> &Alloc = G.AllocSets[E];
+    size_t Begin = G.AllocSets.Pool.size();
     if (IsAlloc[E])
-      Alloc.push_back(E);
-    for (EventId P : G.Parents[E])
-      if (IsAlloc[P])
-        insertSorted(Alloc, P);
+      G.AllocSets.Pool.push_back(E);
+    for (EventId P : G.Parents.row(E))
+      if (IsAlloc[P]) {
+        // Keep the row sorted: parents are ascending, but E itself may sort
+        // anywhere among them.
+        auto It = std::lower_bound(G.AllocSets.Pool.begin() + Begin,
+                                   G.AllocSets.Pool.end(), P);
+        if (It == G.AllocSets.Pool.end() || *It != P)
+          G.AllocSets.Pool.insert(It, P);
+      }
+    G.AllocSets.Off[E + 1] = static_cast<uint32_t>(G.AllocSets.Pool.size());
 
-    std::vector<uint64_t> &Val = G.Vals[E];
-    for (EventId A : Alloc) {
+    ValScratch.clear();
+    for (size_t I = Begin; I < G.AllocSets.Pool.size(); ++I) {
+      EventId A = G.AllocSets.Pool[I];
       // API-return allocation events carry no value (valG(⟨m,ret⟩) = ∅).
       if (R.Events.get(A).Kind == EventKind::ApiCall)
         continue;
-      auto It = AllocValue.find(A);
-      if (It != AllocValue.end())
-        insertSorted(Val, It->second);
+      if (const uint64_t *V = AllocValue.find(A))
+        insertSorted(ValScratch, *V);
     }
+    G.Vals.Pool.insert(G.Vals.Pool.end(), ValScratch.begin(),
+                       ValScratch.end());
+    G.Vals.Off[E + 1] = static_cast<uint32_t>(G.Vals.Pool.size());
   }
 
-  // Group ApiCall events into call sites (deterministic order by Site/Ctx).
-  std::map<std::pair<uint32_t, uint32_t>, CallSite> SiteMap;
+  // Group ApiCall events into call sites, ordered by (Site, Ctx) — the same
+  // deterministic order the old std::map produced; candidate extraction
+  // (first-seen order) depends on it.
+  std::vector<uint64_t> SiteKeys;
+  for (EventId E = 0; E < N; ++E) {
+    const Event &Ev = R.Events.get(E);
+    if (Ev.Kind == EventKind::ApiCall)
+      SiteKeys.push_back((static_cast<uint64_t>(Ev.Site) << 32) | Ev.Ctx);
+  }
+  std::sort(SiteKeys.begin(), SiteKeys.end());
+  SiteKeys.erase(std::unique(SiteKeys.begin(), SiteKeys.end()),
+                 SiteKeys.end());
+  auto SiteIndexOf = [&](uint32_t Site, uint32_t Ctx) {
+    uint64_t K = (static_cast<uint64_t>(Site) << 32) | Ctx;
+    return static_cast<uint32_t>(
+        std::lower_bound(SiteKeys.begin(), SiteKeys.end(), K) -
+        SiteKeys.begin());
+  };
+
+  G.Sites.resize(SiteKeys.size());
   for (EventId E = 0; E < N; ++E) {
     const Event &Ev = R.Events.get(E);
     if (Ev.Kind != EventKind::ApiCall)
       continue;
-    CallSite &CS = SiteMap[{Ev.Site, Ev.Ctx}];
+    CallSite &CS = G.Sites[SiteIndexOf(Ev.Site, Ev.Ctx)];
     CS.Site = Ev.Site;
     CS.Ctx = Ev.Ctx;
     CS.Method = Ev.Method;
@@ -120,31 +183,29 @@ EventGraph EventGraph::build(const AnalysisResult &R) {
       CS.Args[Ev.Pos - 1] = E;
     }
   }
-  for (auto &[K, CS] : SiteMap) {
-    (void)K;
+  G.EventToSite.assign(N, -1);
+  for (uint32_t Index = 0; Index < G.Sites.size(); ++Index) {
+    CallSite &CS = G.Sites[Index];
     CS.Args.resize(CS.Method.Arity, InvalidEvent);
-    G.EventToSite.reserve(G.EventToSite.size() + 2 + CS.Args.size());
-    uint32_t Index = static_cast<uint32_t>(G.Sites.size());
     if (CS.Recv != InvalidEvent)
-      G.EventToSite.emplace(CS.Recv, Index);
+      G.EventToSite[CS.Recv] = static_cast<int32_t>(Index);
     if (CS.Ret != InvalidEvent)
-      G.EventToSite.emplace(CS.Ret, Index);
+      G.EventToSite[CS.Ret] = static_cast<int32_t>(Index);
     for (EventId Arg : CS.Args)
       if (Arg != InvalidEvent)
-        G.EventToSite.emplace(Arg, Index);
-    G.Sites.push_back(std::move(CS));
+        G.EventToSite[Arg] = static_cast<int32_t>(Index);
   }
   return G;
 }
 
 bool EventGraph::hasEdge(EventId From, EventId To) const {
-  const std::vector<EventId> &Succ = Children[From];
+  Span<EventId> Succ = Children.row(From);
   return std::binary_search(Succ.begin(), Succ.end(), To);
 }
 
 bool EventGraph::equalVals(EventId A, EventId B) const {
-  const std::vector<uint64_t> &VA = Vals[A];
-  const std::vector<uint64_t> &VB = Vals[B];
+  Span<uint64_t> VA = Vals.row(A);
+  Span<uint64_t> VB = Vals.row(B);
   auto IA = VA.begin();
   auto IB = VB.begin();
   while (IA != VA.end() && IB != VB.end()) {
@@ -159,8 +220,8 @@ bool EventGraph::equalVals(EventId A, EventId B) const {
 }
 
 bool EventGraph::mayAlias(EventId A, EventId B) const {
-  const std::vector<EventId> &SA = AllocSets[A];
-  const std::vector<EventId> &SB = AllocSets[B];
+  Span<EventId> SA = AllocSets.row(A);
+  Span<EventId> SB = AllocSets.row(B);
   auto IA = SA.begin();
   auto IB = SB.begin();
   while (IA != SA.end() && IB != SB.end()) {
@@ -177,16 +238,18 @@ bool EventGraph::mayAlias(EventId A, EventId B) const {
 std::vector<std::pair<uint32_t, uint32_t>>
 EventGraph::receiverPairs(unsigned DistanceBound) const {
   std::vector<std::pair<uint32_t, uint32_t>> Pairs;
-  // A true set (not map<u64,bool>), sized up front: each site pairs with at
-  // most DistanceBound predecessors, so Sites·Bound bounds the distinct
-  // (later, earlier) keys and one reserve avoids rehashing during growth.
-  std::unordered_set<uint64_t> Seen;
+  // A true set, sized up front: each site pairs with at most DistanceBound
+  // predecessors, so Sites·Bound bounds the distinct (later, earlier) keys
+  // and one reserve avoids rehashing during growth.
+  FlatSet64 Seen;
   Seen.reserve(std::min<size_t>(Sites.size() * DistanceBound,
                                 Sites.size() * Sites.size()));
+  // Positions of receiver events within one history; hoisted so the buffer
+  // is allocated once per graph, not once per history.
+  std::vector<std::pair<size_t, uint32_t>> RecvAt; // (index, site idx)
   for (ObjectId Obj = 0; Obj < R->Histories.size(); ++Obj) {
     for (const History &H : R->Histories[Obj]) {
-      // Positions of receiver events within this history.
-      std::vector<std::pair<size_t, uint32_t>> RecvAt; // (index, site idx)
+      RecvAt.clear();
       for (size_t I = 0; I < H.size(); ++I) {
         const Event &Ev = R->Events.get(H[I]);
         if (Ev.Kind != EventKind::ApiCall || Ev.Pos != PosReceiver)
@@ -204,7 +267,7 @@ EventGraph::receiverPairs(unsigned DistanceBound) const {
           // (Later, Earlier) = (m1, m2).
           uint64_t Key = (static_cast<uint64_t>(RecvAt[B].second) << 32) |
                          RecvAt[A].second;
-          if (!Seen.insert(Key).second)
+          if (!Seen.insert(Key))
             continue;
           Pairs.emplace_back(RecvAt[B].second, RecvAt[A].second);
         }

@@ -19,15 +19,21 @@
 /// It also groups events back into call sites, which candidate extraction
 /// (Alg. 1) iterates over.
 ///
+/// Storage is struct-of-arrays: every per-event list (parents, children,
+/// alloc sets, values, participants) lives in one contiguous pool with a
+/// compressed-sparse-row offset table, handed out as Span views. Feature
+/// extraction walks these lists for every candidate pair, so the win from
+/// contiguity lands on the hottest read path of learn().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef USPEC_EVENTGRAPH_EVENTGRAPH_H
 #define USPEC_EVENTGRAPH_EVENTGRAPH_H
 
 #include "pointsto/Analysis.h"
+#include "support/FlatMap.h"
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace uspec {
@@ -56,26 +62,20 @@ public:
 
   const AnalysisResult &analysis() const { return *R; }
 
-  size_t numEvents() const { return Parents.size(); }
+  size_t numEvents() const { return NumEvents; }
   const Event &event(EventId Id) const { return R->Events.get(Id); }
 
-  const std::vector<EventId> &parents(EventId Id) const {
-    return Parents[Id];
-  }
-  const std::vector<EventId> &children(EventId Id) const {
-    return Children[Id];
-  }
+  Span<EventId> parents(EventId Id) const { return Parents.row(Id); }
+  Span<EventId> children(EventId Id) const { return Children.row(Id); }
 
   /// True iff the edge (From, To) exists.
   bool hasEdge(EventId From, EventId To) const;
 
   /// allocG(e): the points-to set of the event, as allocation events.
-  const std::vector<EventId> &allocOf(EventId Id) const {
-    return AllocSets[Id];
-  }
+  Span<EventId> allocOf(EventId Id) const { return AllocSets.row(Id); }
 
   /// valG(e): sorted value tags reaching the event.
-  const std::vector<uint64_t> &valOf(EventId Id) const { return Vals[Id]; }
+  Span<uint64_t> valOf(EventId Id) const { return Vals.row(Id); }
 
   /// equalG: do the two events share a value? (§5.1)
   bool equalVals(EventId A, EventId B) const;
@@ -84,8 +84,8 @@ public:
   bool mayAlias(EventId A, EventId B) const;
 
   /// Abstract objects whose histories contain the event.
-  const std::vector<ObjectId> &participants(EventId Id) const {
-    return Participants[Id];
+  Span<ObjectId> participants(EventId Id) const {
+    return Participants.row(Id);
   }
 
   /// All API call sites with at least one event.
@@ -93,8 +93,7 @@ public:
 
   /// Index into callSites() for the site owning \p Id, or -1.
   int callSiteOf(EventId Id) const {
-    auto It = EventToSite.find(Id);
-    return It == EventToSite.end() ? -1 : static_cast<int>(It->second);
+    return Id < EventToSite.size() ? EventToSite[Id] : -1;
   }
 
   /// Call-site index pairs (Later, Earlier) whose receiver events co-occur
@@ -104,14 +103,26 @@ public:
   receiverPairs(unsigned DistanceBound) const;
 
 private:
+  /// Compressed-sparse-row list-of-lists: row I is Pool[Off[I], Off[I+1]).
+  template <typename T> struct CsrRows {
+    std::vector<T> Pool;
+    std::vector<uint32_t> Off; ///< NumRows + 1 offsets.
+
+    Span<T> row(size_t I) const {
+      return Span<T>(Pool.data() + Off[I], Off[I + 1] - Off[I]);
+    }
+  };
+
   const AnalysisResult *R = nullptr;
-  std::vector<std::vector<EventId>> Parents;
-  std::vector<std::vector<EventId>> Children;
-  std::vector<std::vector<EventId>> AllocSets;
-  std::vector<std::vector<uint64_t>> Vals;
-  std::vector<std::vector<ObjectId>> Participants;
+  size_t NumEvents = 0;
+  CsrRows<EventId> Parents;
+  CsrRows<EventId> Children;
+  CsrRows<EventId> AllocSets;
+  CsrRows<uint64_t> Vals;
+  CsrRows<ObjectId> Participants;
   std::vector<CallSite> Sites;
-  std::unordered_map<EventId, uint32_t> EventToSite;
+  /// Dense event → call-site index map (-1 = none).
+  std::vector<int32_t> EventToSite;
 };
 
 } // namespace uspec

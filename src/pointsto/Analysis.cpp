@@ -6,7 +6,9 @@
 
 #include "pointsto/Analysis.h"
 
+#include "support/Arena.h"
 #include "support/FaultInject.h"
+#include "support/FlatMap.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -54,11 +56,18 @@ namespace {
 /// Synthetic site ids for root allocation events live above real site ids.
 constexpr uint32_t SyntheticSiteBase = 0x40000000;
 
+/// The interpreter's flow state is data-oriented: variable frames and the
+/// working field store hold arena-backed PtsSets (inline small sets /
+/// dense bitsets), so branch joins and field unions run without heap
+/// traffic and the per-program teardown is one arena reset. History
+/// tracking (order-sensitive, feeds the event graph) stays on STL vectors
+/// untouched. Working stores are materialized into the STL result maps
+/// exactly once, when the run finishes.
 class AnalysisDriver {
 public:
   AnalysisDriver(const IRProgram &Program, const StringInterner &Strings,
-                 const AnalysisOptions &Options)
-      : Program(Program), Strings(Strings), Opts(Options) {
+                 const AnalysisOptions &Options, Arena &Scratch)
+      : Program(Program), Strings(Strings), Opts(Options), A(Scratch) {
     assert((!Opts.ApiAware || Opts.Specs) &&
            "API-aware mode requires a specification set");
   }
@@ -88,12 +97,12 @@ public:
             mergeIntoResult(F);
           if (Exhausted) {
             R.Bounded = true;
-            return std::move(R);
+            return finish();
           }
         }
       }
     }
-    return std::move(R);
+    return finish();
   }
 
 private:
@@ -113,13 +122,25 @@ private:
     }
   };
 
-  /// One method activation (entry or inlined call).
+  /// One method activation (entry or inlined call). Move-only (PtsSets);
+  /// branch-join copies go through cloneFrame.
   struct Frame {
     const IRMethod *Method = nullptr;
-    std::vector<ObjSet> Vars;
-    ObjSet Ret;
+    std::vector<PtsSet> Vars;
+    PtsSet Ret;
     uint32_t Ctx = 0;
   };
+
+  Frame cloneFrame(const Frame &Fr) {
+    Frame C;
+    C.Method = Fr.Method;
+    C.Ctx = Fr.Ctx;
+    C.Vars.reserve(Fr.Vars.size());
+    for (const PtsSet &S : Fr.Vars)
+      C.Vars.push_back(S.clone(A));
+    C.Ret = Fr.Ret.clone(A);
+    return C;
+  }
 
   Frame setupEntryFrame(const IRClass &Class, const IRMethod &Method,
                         Flow &F) {
@@ -133,12 +154,12 @@ private:
     // Root-event labels reuse already-interned symbols so the analysis never
     // mutates the interner (enables parallel corpus analysis).
     seedRoot(F, This, Class.Name);
-    Entry.Vars[0] = {This};
+    Entry.Vars[0].assignSingle(This);
 
     for (uint32_t P = 0; P < Method.NumParams; ++P) {
       ObjectId Param = R.Objects.getParamObject(Class.Name, Method.Name, P);
       seedRoot(F, Param, Method.Name);
-      Entry.Vars[1 + P] = {Param};
+      Entry.Vars[1 + P].assignSingle(Param);
     }
     seedExternals(Method, Entry, F);
     return Entry;
@@ -150,7 +171,7 @@ private:
       seedRoot(F, Ext, Name);
       if (Slot >= Fr.Vars.size())
         Fr.Vars.resize(Slot + 1);
-      Fr.Vars[Slot] = {Ext};
+      Fr.Vars[Slot].assignSingle(Ext);
     }
   }
 
@@ -207,10 +228,10 @@ private:
     }
   }
 
-  void joinVars(std::vector<ObjSet> &Into, const std::vector<ObjSet> &Other) {
+  void joinVars(std::vector<PtsSet> &Into, const std::vector<PtsSet> &Other) {
     assert(Into.size() == Other.size() && "frame size mismatch at join");
     for (size_t I = 0; I < Into.size(); ++I)
-      objSetUnion(Into[I], Other[I]);
+      Into[I].unionWith(Other[I], A);
   }
 
   void mergeIntoResult(const Flow &F) {
@@ -225,6 +246,20 @@ private:
     }
   }
 
+  /// Materializes the arena-backed working stores into the STL result maps
+  /// (both run() exits go through here). Keys created but never grown —
+  /// e.g. a store of an empty set — materialize as empty sets, matching
+  /// what operator[] on the result maps used to produce.
+  AnalysisResult finish() {
+    FieldsW.forEach([this](uint64_t Key, const PtsSet &S) {
+      R.Fields.emplace(Key, S.toObjSet());
+    });
+    RetW.forEach([this](uint64_t Key, const PtsSet &S) {
+      R.RetPointsTo.emplace(static_cast<EventId>(Key), S.toObjSet());
+    });
+    return std::move(R);
+  }
+
   //===--------------------------------------------------------------------===//
   // Values and fields
   //===--------------------------------------------------------------------===//
@@ -235,23 +270,24 @@ private:
 
   /// The paper's valG over a points-to set: value tags of all valued objects
   /// (literals, New, This). Sorted and deduplicated.
-  std::vector<uint64_t> valuesOf(const ObjSet &Set) const {
+  std::vector<uint64_t> valuesOf(const PtsSet &Set) const {
     std::vector<uint64_t> Values;
-    for (ObjectId Obj : Set) {
+    Set.forEach([&](ObjectId Obj) {
       auto It = R.ObjectValues.find(Obj);
       if (It != R.ObjectValues.end())
         Values.push_back(It->second);
-    }
+    });
     std::sort(Values.begin(), Values.end());
     Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
     return Values;
   }
 
-  ObjSet &fieldSet(uint64_t Key) { return R.Fields[Key]; }
+  /// Working field store entry. The returned reference is invalidated by
+  /// the next fieldSet() call (flat-map rehash) — use it immediately.
+  PtsSet &fieldSet(uint64_t Key) { return FieldsW.getOrCreate(Key); }
 
-  const ObjSet *fieldSetIfPresent(uint64_t Key) const {
-    auto It = R.Fields.find(Key);
-    return It == R.Fields.end() ? nullptr : &It->second;
+  const PtsSet *fieldSetIfPresent(uint64_t Key) const {
+    return FieldsW.find(Key);
   }
 
   //===--------------------------------------------------------------------===//
@@ -294,7 +330,7 @@ private:
       HistorySet &His = F.of(Obj);
       if (His.empty())
         His.push_back({AO.AllocEvent});
-      Fr.Vars[I.Dst] = {Obj};
+      Fr.Vars[I.Dst].assignSingle(Obj);
       return;
     }
     case Instr::Kind::Literal: {
@@ -324,52 +360,55 @@ private:
       HistorySet &His = F.of(Obj);
       if (His.empty())
         His.push_back({AO.AllocEvent});
-      Fr.Vars[I.Dst] = {Obj};
+      Fr.Vars[I.Dst].assignSingle(Obj);
       return;
     }
     case Instr::Kind::Copy:
-      Fr.Vars[I.Dst] = Fr.Vars[I.Src];
+      if (I.Dst != I.Src)
+        Fr.Vars[I.Dst] = Fr.Vars[I.Src].clone(A);
       return;
     case Instr::Kind::LoadField: {
-      ObjSet Result;
-      for (ObjectId Obj : Fr.Vars[I.Base])
-        if (const ObjSet *S = fieldSetIfPresent(regularFieldKey(Obj, I.Name)))
-          objSetUnion(Result, *S);
+      PtsSet Result;
+      Fr.Vars[I.Base].forEach([&](ObjectId Obj) {
+        if (const PtsSet *S = fieldSetIfPresent(regularFieldKey(Obj, I.Name)))
+          Result.unionWith(*S, A);
+      });
       Fr.Vars[I.Dst] = std::move(Result);
       return;
     }
     case Instr::Kind::StoreField: {
-      const ObjSet &Value = Fr.Vars[I.Src];
-      for (ObjectId Obj : Fr.Vars[I.Base])
-        objSetUnion(fieldSet(regularFieldKey(Obj, I.Name)), Value);
+      const PtsSet &Value = Fr.Vars[I.Src];
+      Fr.Vars[I.Base].forEach([&](ObjectId Obj) {
+        fieldSet(regularFieldKey(Obj, I.Name)).unionWith(Value, A);
+      });
       return;
     }
     case Instr::Kind::Call:
       analyzeCall(I, Fr, F, Depth);
       return;
     case Instr::Kind::If: {
-      Frame ElseFrame = Fr; // copy vars
+      Frame ElseFrame = cloneFrame(Fr);
       Flow ElseFlow = F;
       analyzeBody(I.Inner1, Fr, F, Depth);
       analyzeBody(I.Inner2, ElseFrame, ElseFlow, Depth);
       joinVars(Fr.Vars, ElseFrame.Vars);
-      objSetUnion(Fr.Ret, ElseFrame.Ret);
+      Fr.Ret.unionWith(ElseFrame.Ret, A);
       joinFlow(F, ElseFlow);
       return;
     }
     case Instr::Kind::While: {
       // Single loop unrolling (§3.2): join the skip path with one body pass.
-      Frame OnceFrame = Fr;
+      Frame OnceFrame = cloneFrame(Fr);
       Flow OnceFlow = F;
       analyzeBody(I.Inner1, OnceFrame, OnceFlow, Depth);
       joinVars(Fr.Vars, OnceFrame.Vars);
-      objSetUnion(Fr.Ret, OnceFrame.Ret);
+      Fr.Ret.unionWith(OnceFrame.Ret, A);
       joinFlow(F, OnceFlow);
       return;
     }
     case Instr::Kind::Return:
       if (I.Src != InvalidVar)
-        objSetUnion(Fr.Ret, Fr.Vars[I.Src]);
+        Fr.Ret.unionWith(Fr.Vars[I.Src], A);
       return;
     }
   }
@@ -380,26 +419,34 @@ private:
 
   /// Determines the receiver class: the unique allocation class if all
   /// receiver objects are New/This of one class, empty Symbol otherwise.
-  Symbol receiverClass(const ObjSet &RecvSet) const {
+  Symbol receiverClass(const PtsSet &RecvSet) const {
     Symbol Class;
-    for (ObjectId Obj : RecvSet) {
+    bool Mixed = false;
+    RecvSet.forEach([&](ObjectId Obj) {
+      if (Mixed)
+        return;
       const AbstractObject &AO = R.Objects.get(Obj);
-      if (AO.Kind != ObjectKind::New && AO.Kind != ObjectKind::This)
-        return Symbol();
+      if (AO.Kind != ObjectKind::New && AO.Kind != ObjectKind::This) {
+        Mixed = true;
+        return;
+      }
       if (Class.isEmpty())
         Class = AO.Class;
       else if (Class != AO.Class)
-        return Symbol();
-    }
-    return Class;
+        Mixed = true;
+    });
+    return Mixed ? Symbol() : Class;
   }
 
   void analyzeCall(const Instr &I, Frame &Fr, Flow &F, unsigned Depth) {
-    const ObjSet &RecvSet = Fr.Vars[I.Base];
-    std::vector<ObjSet> ArgSets;
+    const PtsSet &RecvSet = Fr.Vars[I.Base];
+    // Argument sets stay where they live (no per-call copies); Fr.Vars is
+    // not resized or reassigned until the call completes, so the pointers
+    // stay valid through inlineCall/apiCall.
+    std::vector<const PtsSet *> ArgSets;
     ArgSets.reserve(I.Args.size());
     for (VarId Arg : I.Args)
-      ArgSets.push_back(Fr.Vars[Arg]);
+      ArgSets.push_back(&Fr.Vars[Arg]);
 
     // Try to resolve to a program-defined method (inlined, no events).
     Symbol Class = receiverClass(RecvSet);
@@ -417,7 +464,8 @@ private:
   }
 
   void inlineCall(const Instr &I, Frame &Fr, Flow &F, unsigned Depth,
-                  const ObjSet &RecvSet, const std::vector<ObjSet> &ArgSets,
+                  const PtsSet &RecvSet,
+                  const std::vector<const PtsSet *> &ArgSets,
                   const IRMethod &Target) {
     Frame Callee;
     Callee.Method = &Target;
@@ -425,9 +473,9 @@ private:
         static_cast<uint32_t>(hashValues(Fr.Ctx, I.SiteId) & 0x3FFFFFFF);
     Callee.Ctx = Ctx32 ? Ctx32 : 1;
     Callee.Vars.resize(Target.NumVars);
-    Callee.Vars[0] = RecvSet;
+    Callee.Vars[0] = RecvSet.clone(A);
     for (uint32_t P = 0; P < Target.NumParams && P < ArgSets.size(); ++P)
-      Callee.Vars[1 + P] = ArgSets[P];
+      Callee.Vars[1 + P] = ArgSets[P]->clone(A);
     seedExternals(Target, Callee, F);
     analyzeBody(Target.Body, Callee, F, Depth + 1);
     if (I.Dst != InvalidVar)
@@ -435,7 +483,8 @@ private:
   }
 
   void apiCall(const Instr &I, Frame &Fr, Flow &F, Symbol Class,
-               const ObjSet &RecvSet, const std::vector<ObjSet> &ArgSets) {
+               const PtsSet &RecvSet,
+               const std::vector<const PtsSet *> &ArgSets) {
     MethodId Mid;
     Mid.Class = Class;
     Mid.Name = I.Name;
@@ -455,12 +504,11 @@ private:
     };
 
     EventId RecvEvent = MakeEvent(PosReceiver);
-    for (ObjectId Obj : RecvSet)
-      appendEvent(F, Obj, RecvEvent);
-    for (size_t A = 0; A < ArgSets.size(); ++A) {
-      EventId ArgEvent = MakeEvent(static_cast<EventPos>(A + 1));
-      for (ObjectId Obj : ArgSets[A])
-        appendEvent(F, Obj, ArgEvent);
+    RecvSet.forEach([&](ObjectId Obj) { appendEvent(F, Obj, RecvEvent); });
+    for (size_t Pos = 0; Pos < ArgSets.size(); ++Pos) {
+      EventId ArgEvent = MakeEvent(static_cast<EventPos>(Pos + 1));
+      ArgSets[Pos]->forEach(
+          [&](ObjectId Obj) { appendEvent(F, Obj, ArgEvent); });
     }
 
     // Ghost writes (GhostW, Tab. 2) in API-aware mode.
@@ -469,13 +517,13 @@ private:
 
     // Return value (GhostR / fresh object).
     EventId RetEvent = MakeEvent(PosRet);
-    ObjSet Ret;
+    PtsSet Ret;
     if (Opts.ApiAware) {
       Ret = ghostReads(Mid, RecvSet, ArgSets);
       // Experimental RetRecv pattern (§5.3): the call may return its
       // receiver.
       if (Opts.Specs->hasRetRecv(Mid))
-        objSetUnion(Ret, RecvSet);
+        Ret.unionWith(RecvSet, A);
     }
     if (Ret.empty()) {
       ObjectId Fresh =
@@ -484,13 +532,12 @@ private:
       AbstractObject &AO = R.Objects.get(Fresh);
       if (AO.AllocEvent == InvalidEvent)
         AO.AllocEvent = RetEvent;
-      Ret = {Fresh};
+      Ret.assignSingle(Fresh);
     }
-    for (ObjectId Obj : Ret)
-      appendEvent(F, Obj, RetEvent);
+    Ret.forEach([&](ObjectId Obj) { appendEvent(F, Obj, RetEvent); });
+    RetW.getOrCreate(RetEvent).unionWith(Ret, A);
     if (I.Dst != InvalidVar)
-      Fr.Vars[I.Dst] = Ret;
-    objSetUnion(R.RetPointsTo[RetEvent], Ret);
+      Fr.Vars[I.Dst] = std::move(Ret);
   }
 
   //===--------------------------------------------------------------------===//
@@ -523,63 +570,64 @@ private:
     return true;
   }
 
-  void ghostWrites(const MethodId &Mid, const ObjSet &RecvSet,
-                   const std::vector<ObjSet> &ArgSets) {
+  void ghostWrites(const MethodId &Mid, const PtsSet &RecvSet,
+                   const std::vector<const PtsSet *> &ArgSets) {
     for (const Spec &S : Opts.Specs->retArgsBySource(Mid)) {
       unsigned X = S.ArgPos;
       if (X < 1 || X > ArgSets.size())
         continue;
-      const ObjSet &Stored = ArgSets[X - 1];
+      const PtsSet &Stored = *ArgSets[X - 1];
       if (Stored.empty())
         continue;
 
       // F(m, x, t): tuples over the values of the other arguments.
       std::vector<std::vector<uint64_t>> Per;
-      for (size_t A = 0; A < ArgSets.size(); ++A)
-        if (A != X - 1)
-          Per.push_back(valuesOf(ArgSets[A]));
+      for (size_t Pos = 0; Pos < ArgSets.size(); ++Pos)
+        if (Pos != X - 1)
+          Per.push_back(valuesOf(*ArgSets[Pos]));
       std::vector<std::vector<uint64_t>> Tuples;
       bool Resolvable = nameTuples(Per, Tuples);
 
-      for (ObjectId Recv : RecvSet) {
+      RecvSet.forEach([&](ObjectId Recv) {
         if (Resolvable)
           for (const auto &T : Tuples)
-            objSetUnion(fieldSet(ghostFieldKey(Recv, S.Target, T)), Stored);
+            fieldSet(ghostFieldKey(Recv, S.Target, T)).unionWith(Stored, A);
         if (Opts.CoverageExtension) {
           if (!Resolvable)
-            objSetUnion(fieldSet(ghostTopKey(Recv, S.Target)), Stored);
-          objSetUnion(fieldSet(ghostBotKey(Recv, S.Target)), Stored);
+            fieldSet(ghostTopKey(Recv, S.Target)).unionWith(Stored, A);
+          fieldSet(ghostBotKey(Recv, S.Target)).unionWith(Stored, A);
         }
-      }
+      });
     }
   }
 
-  ObjSet ghostReads(const MethodId &Mid, const ObjSet &RecvSet,
-                    const std::vector<ObjSet> &ArgSets) {
+  PtsSet ghostReads(const MethodId &Mid, const PtsSet &RecvSet,
+                    const std::vector<const PtsSet *> &ArgSets) {
     if (!Opts.Specs->hasRetSame(Mid))
       return {};
 
     std::vector<std::vector<uint64_t>> Per;
     Per.reserve(ArgSets.size());
-    for (const ObjSet &Arg : ArgSets)
-      Per.push_back(valuesOf(Arg));
+    for (const PtsSet *Arg : ArgSets)
+      Per.push_back(valuesOf(*Arg));
     std::vector<std::vector<uint64_t>> Tuples;
     bool Resolvable = nameTuples(Per, Tuples);
 
-    ObjSet Ret;
+    PtsSet Ret;
     if (Resolvable) {
-      for (ObjectId Recv : RecvSet) {
+      RecvSet.forEach([&](ObjectId Recv) {
         for (const auto &T : Tuples) {
           uint64_t Key = ghostFieldKey(Recv, Mid, T);
-          ObjSet &S = fieldSet(Key);
+          PtsSet &S = fieldSet(Key);
           if (S.empty())
-            S = {R.Objects.getGhostObject(Recv, Key)}; // GhostR allocation
-          objSetUnion(Ret, S);
+            S.assignSingle(
+                R.Objects.getGhostObject(Recv, Key)); // GhostR allocation
+          Ret.unionWith(S, A);
         }
         if (Opts.CoverageExtension)
-          if (const ObjSet *Top = fieldSetIfPresent(ghostTopKey(Recv, Mid)))
-            objSetUnion(Ret, *Top);
-      }
+          if (const PtsSet *Top = fieldSetIfPresent(ghostTopKey(Recv, Mid)))
+            Ret.unionWith(*Top, A);
+      });
       return Ret;
     }
 
@@ -587,13 +635,13 @@ private:
     // enabled; otherwise no ghost read applies.
     if (!Opts.CoverageExtension)
       return {};
-    for (ObjectId Recv : RecvSet) {
+    RecvSet.forEach([&](ObjectId Recv) {
       uint64_t Key = ghostBotKey(Recv, Mid);
-      ObjSet &S = fieldSet(Key);
+      PtsSet &S = fieldSet(Key);
       if (S.empty())
-        S = {R.Objects.getGhostObject(Recv, Key)};
-      objSetUnion(Ret, S);
-    }
+        S.assignSingle(R.Objects.getGhostObject(Recv, Key));
+      Ret.unionWith(S, A);
+    });
     return Ret;
   }
 
@@ -601,6 +649,9 @@ private:
   const StringInterner &Strings;
   AnalysisOptions Opts;
   AnalysisResult R;
+  Arena &A;                  ///< Per-thread scratch; reset per program.
+  FlatMap64<PtsSet> FieldsW; ///< Working field store (materialized at end).
+  FlatMap64<PtsSet> RetW;    ///< Working ret-event points-to store.
   bool Exhausted = false;
 };
 
@@ -609,6 +660,12 @@ private:
 AnalysisResult uspec::analyzeProgram(const IRProgram &Program,
                                      const StringInterner &Strings,
                                      const AnalysisOptions &Options) {
-  AnalysisDriver Driver(Program, Strings, Options);
+  // One arena per worker thread, rewound between programs: after the first
+  // few programs a thread's analyses run entirely allocation-free on the
+  // points-to side. Slabs persist for the thread's lifetime (bounded by the
+  // largest program analyzed on it).
+  thread_local Arena ScratchArena;
+  ScratchArena.reset();
+  AnalysisDriver Driver(Program, Strings, Options, ScratchArena);
   return Driver.run();
 }

@@ -6,11 +6,10 @@
 
 #include "pointsto/ConstraintSolver.h"
 
+#include "support/Arena.h"
 #include "support/FaultInject.h"
+#include "support/FlatMap.h"
 #include "support/Trace.h"
-
-#include <deque>
-#include <unordered_set>
 
 using namespace uspec;
 
@@ -22,6 +21,14 @@ using NodeId = uint32_t;
 /// method slot, context-insensitive), field cells (object × field), and a
 /// per-method return collector. Complex constraints (field access, method
 /// dispatch) add edges dynamically as points-to sets grow.
+///
+/// Data layout (struct-of-arrays): points-to sets and successor sets are
+/// parallel vectors of arena-backed PtsSets indexed by NodeId; node lookup
+/// goes through open-addressed flat maps; the worklist is a flat vector
+/// with a head cursor (same FIFO order as the old deque, no per-block
+/// allocation). Propagation unions whole sets word-at-a-time instead of
+/// re-inserting object-by-object — the fixpoint (and any budget-bounded
+/// prefix of it, which stops only at pop boundaries) is unchanged.
 class Solver {
 public:
   Solver(const IRProgram &Program, const StringInterner &Strings,
@@ -42,10 +49,12 @@ public:
     Out.NumEdges = EdgeCount;
     Out.Propagations = Propagations;
     Out.Bounded = Bounded;
-    for (const auto &[Site, Node] : RetNodes)
-      Out.RetPointsTo[Site] = Pts[Node];
-    for (const auto &[Site, Node] : RecvNodes)
-      Out.RecvPointsTo[Site] = Pts[Node];
+    RetNodes.forEach([&](uint64_t Site, NodeId Node) {
+      Out.RetPointsTo[static_cast<uint32_t>(Site)] = Pts[Node].toObjSet();
+    });
+    RecvNodes.forEach([&](uint64_t Site, NodeId Node) {
+      Out.RecvPointsTo[static_cast<uint32_t>(Site)] = Pts[Node].toObjSet();
+    });
     return Out;
   }
 
@@ -60,41 +69,33 @@ private:
     return static_cast<NodeId>(Pts.size() - 1);
   }
 
-  NodeId varNode(uint32_t ClassIdx, uint32_t MethodIdx, VarId Slot) {
-    uint64_t Key = hashValues(1, ClassIdx, MethodIdx, Slot);
-    auto It = NodeIndex.find(Key);
-    if (It != NodeIndex.end())
-      return It->second;
+  NodeId namedNode(uint64_t Key) {
+    bool Inserted = false;
+    NodeId &Slot = NodeIndex.getOrCreate(Key, &Inserted);
+    if (!Inserted)
+      return Slot;
     NodeId N = newNode();
-    NodeIndex.emplace(Key, N);
+    Slot = N;
     return N;
   }
 
+  NodeId varNode(uint32_t ClassIdx, uint32_t MethodIdx, VarId Slot) {
+    return namedNode(hashValues(1, ClassIdx, MethodIdx, Slot));
+  }
+
   NodeId fieldNode(ObjectId Obj, Symbol Field) {
-    uint64_t Key = hashValues(2, Obj, Field.id());
-    auto It = NodeIndex.find(Key);
-    if (It != NodeIndex.end())
-      return It->second;
-    NodeId N = newNode();
-    NodeIndex.emplace(Key, N);
-    return N;
+    return namedNode(hashValues(2, Obj, Field.id()));
   }
 
   /// Return-collector node of a program method.
   NodeId returnNode(uint32_t ClassIdx, uint32_t MethodIdx) {
-    uint64_t Key = hashValues(3, ClassIdx, MethodIdx);
-    auto It = NodeIndex.find(Key);
-    if (It != NodeIndex.end())
-      return It->second;
-    NodeId N = newNode();
-    NodeIndex.emplace(Key, N);
-    return N;
+    return namedNode(hashValues(3, ClassIdx, MethodIdx));
   }
 
   void addEdge(NodeId From, NodeId To) {
     if (From == To)
       return;
-    if (!objSetInsert(Succ[From], To))
+    if (!Succ[From].insert(To, Scratch))
       return; // Succ reused as sorted NodeId set
     ++EdgeCount;
     if (!Pts[From].empty())
@@ -102,7 +103,7 @@ private:
   }
 
   void addObject(NodeId Node, ObjectId Obj) {
-    if (objSetInsert(Pts[Node], Obj))
+    if (Pts[Node].insert(Obj, Scratch))
       enqueue(Node);
   }
 
@@ -197,13 +198,20 @@ private:
         // API fallback object: every call may be an API call (if any
         // receiver is not a program class); created lazily in dispatch.
         Calls.push_back(Call);
-        RecvNodes.emplace(I.SiteId, Call.Recv);
-        if (RetNodes.find(I.SiteId) == RetNodes.end()) {
-          NodeId RetNode = newNode();
-          RetNodes.emplace(I.SiteId, RetNode);
+        {
+          bool Inserted = false;
+          NodeId &Slot = RecvNodes.getOrCreate(I.SiteId, &Inserted);
+          if (Inserted)
+            Slot = Call.Recv;
         }
-        if (Call.Dst != ~0u)
-          addEdge(RetNodes[I.SiteId], Call.Dst);
+        {
+          bool Inserted = false;
+          NodeId &Slot = RetNodes.getOrCreate(I.SiteId, &Inserted);
+          if (Inserted)
+            Slot = newNode();
+          if (Call.Dst != ~0u)
+            addEdge(Slot, Call.Dst);
+        }
         enqueue(Call.Recv);
         break;
       }
@@ -245,7 +253,7 @@ private:
   /// get parameter/return edges; anything else makes the site an API call.
   void dispatch(const PendingCall &Call, ObjectId Recv) {
     uint64_t Done = hashValues(Call.Site, Recv, Call.Method.id());
-    if (!Dispatched.insert(Done).second)
+    if (!Dispatched.insert(Done))
       return;
 
     const AbstractObject &AO = Objects.get(Recv);
@@ -255,7 +263,7 @@ private:
     const IRMethod *Target =
         Callee ? Callee->findMethod(Call.Method) : nullptr;
 
-    NodeId RetNode = RetNodes[Call.Site];
+    NodeId RetNode = *RetNodes.find(Call.Site);
     if (!Target) {
       // API call: fresh object per site (context-insensitive).
       addObject(RetNode, Objects.getSiteObject(ObjectKind::ApiRet, Call.Site,
@@ -292,7 +300,7 @@ private:
       TraceSpan RoundSpan("solver.round");
       ++Rounds;
       Changed = false;
-      while (!Worklist.empty()) {
+      while (WorklistHead < Worklist.size()) {
         // Cooperative bound: stop mid-fixpoint when the budget runs out or
         // the `solver.step` site injects simulated exhaustion. The partial
         // sets stay in the result but Bounded forces ⊤ answers.
@@ -301,35 +309,45 @@ private:
           Bounded = true;
           return;
         }
-        NodeId Node = Worklist.front();
-        Worklist.pop_front();
+        NodeId Node = Worklist[WorklistHead++];
         InList[Node] = false;
         ++Propagations;
 
-        // Copy edges.
-        for (NodeId To : Succ[Node])
-          for (ObjectId Obj : Pts[Node])
-            addObject(To, Obj);
+        // Copy edges: union the whole source set into each successor. No
+        // newNode() runs here, so Pts/Succ never reallocate mid-iteration.
+        const PtsSet &SuccSet = Succ[Node];
+        SuccSet.forEach([&](NodeId To) {
+          if (Pts[To].unionWith(Pts[Node], Scratch))
+            enqueue(To);
+        });
         Changed = true;
       }
-      // Complex constraints: re-examine with current points-to sets.
-      for (const PendingLoad &L : Loads)
-        for (ObjectId Obj : Pts[L.Base])
+      Worklist.clear();
+      WorklistHead = 0;
+      // Complex constraints: re-examine with current points-to sets. The
+      // bases are snapshotted because fieldNode/dispatch may create nodes,
+      // reallocating the Pts vector (and with it inline small-set storage).
+      for (const PendingLoad &L : Loads) {
+        snapshot(Pts[L.Base]);
+        for (ObjectId Obj : Snapshot)
           addEdge(fieldNode(Obj, L.Field), L.Dst);
-      for (const PendingStore &St : Stores)
-        for (ObjectId Obj : Pts[St.Base])
+      }
+      for (const PendingStore &St : Stores) {
+        snapshot(Pts[St.Base]);
+        for (ObjectId Obj : Snapshot)
           addEdge(St.Src, fieldNode(Obj, St.Field));
+      }
       for (const PendingCall &Call : Calls) {
         if (Pts[Call.Recv].empty()) {
           // Unknown receiver (e.g. null): still an API call.
           dispatchApiOnly(Call);
           continue;
         }
-        ObjSet Snapshot = Pts[Call.Recv];
+        snapshot(Pts[Call.Recv]);
         for (ObjectId Obj : Snapshot)
           dispatch(Call, Obj);
       }
-      if (!Worklist.empty())
+      if (WorklistHead < Worklist.size())
         Changed = true;
     }
     if (FixpointSpan.active()) {
@@ -340,27 +358,35 @@ private:
 
   void dispatchApiOnly(const PendingCall &Call) {
     uint64_t Done = hashValues(Call.Site, 0xFFFFFFFFu, Call.Method.id());
-    if (!Dispatched.insert(Done).second)
+    if (!Dispatched.insert(Done))
       return;
-    addObject(RetNodes[Call.Site],
+    addObject(*RetNodes.find(Call.Site),
               Objects.getSiteObject(ObjectKind::ApiRet, Call.Site, 0,
                                     Symbol()));
+  }
+
+  void snapshot(const PtsSet &Set) {
+    Snapshot.clear();
+    Set.appendTo(Snapshot);
   }
 
   const IRProgram &Program;
   const StringInterner &Strings;
 
   ObjectTable Objects;
-  std::vector<ObjSet> Pts;                ///< Per-node points-to sets.
-  std::vector<std::vector<NodeId>> Succ;  ///< Copy edges (sorted).
-  std::unordered_map<uint64_t, NodeId> NodeIndex;
-  std::unordered_map<uint32_t, NodeId> RetNodes;
-  std::unordered_map<uint32_t, NodeId> RecvNodes;
+  Arena Scratch;                 ///< Owns all PtsSet storage below.
+  std::vector<PtsSet> Pts;       ///< Per-node points-to sets.
+  std::vector<PtsSet> Succ;      ///< Copy edges (sorted NodeId sets).
+  FlatMap64<NodeId> NodeIndex;
+  FlatMap64<NodeId> RetNodes;    ///< Keyed by call SiteId.
+  FlatMap64<NodeId> RecvNodes;   ///< Keyed by call SiteId.
   std::vector<PendingLoad> Loads;
   std::vector<PendingStore> Stores;
   std::vector<PendingCall> Calls;
-  std::unordered_set<uint64_t> Dispatched;
-  std::deque<NodeId> Worklist;
+  FlatSet64 Dispatched;
+  std::vector<NodeId> Worklist;  ///< FIFO via head cursor.
+  size_t WorklistHead = 0;
+  std::vector<ObjectId> Snapshot; ///< Reused base-set snapshot buffer.
   std::vector<bool> InList;
   size_t EdgeCount = 0;
   size_t Propagations = 0;

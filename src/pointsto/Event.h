@@ -17,11 +17,11 @@
 #define USPEC_POINTSTO_EVENT_H
 
 #include "specs/Spec.h"
+#include "support/FlatMap.h"
 #include "support/Hashing.h"
 
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace uspec {
@@ -72,19 +72,20 @@ class EventTable {
 public:
   EventId getOrCreate(const Event &E) {
     uint64_t Key = hashValues(E.Site, E.Ctx, E.Pos);
-    auto It = Index.find(Key);
-    if (It != Index.end())
-      return It->second;
+    bool Inserted = false;
+    EventId &Slot = Index.getOrCreate(Key, &Inserted);
+    if (!Inserted)
+      return Slot;
     EventId Id = static_cast<EventId>(Events.size());
     Events.push_back(E);
-    Index.emplace(Key, Id);
+    Slot = Id;
     return Id;
   }
 
   /// Looks up an existing event; returns InvalidEvent if absent.
   EventId find(uint32_t Site, uint32_t Ctx, EventPos Pos) const {
-    auto It = Index.find(hashValues(Site, Ctx, Pos));
-    return It == Index.end() ? InvalidEvent : It->second;
+    const EventId *Slot = Index.find(hashValues(Site, Ctx, Pos));
+    return Slot ? *Slot : InvalidEvent;
   }
 
   const Event &get(EventId Id) const {
@@ -96,7 +97,7 @@ public:
 
 private:
   std::vector<Event> Events;
-  std::unordered_map<uint64_t, EventId> Index;
+  FlatMap64<EventId> Index;
 };
 
 /// A set of concrete histories for one abstract object: each history is an

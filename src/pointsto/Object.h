@@ -18,20 +18,31 @@
 ///   Ghost     — object allocated by the GhostR rule (§6.3) when a ghost
 ///               field is read before any write.
 ///
-/// Points-to sets are sorted, deduplicated vectors of dense ObjectIds.
+/// Two points-to set representations coexist:
+///
+///   ObjSet — sorted, deduplicated std::vector<ObjectId>. The result-facing
+///            type: AnalysisResult/ConstraintResult keep these so clients
+///            and tests see plain STL containers.
+///   PtsSet — the analysis-internal small-set: up to SmallCap ids inline
+///            (sorted array), promoted to a dense arena-backed bitset above
+///            that. No heap traffic on the fixpoint path; whole-set union
+///            is word-parallel in dense mode. Move-only; deep copies are
+///            explicit via clone(Arena&).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef USPEC_POINTSTO_OBJECT_H
 #define USPEC_POINTSTO_OBJECT_H
 
+#include "support/Arena.h"
+#include "support/FlatMap.h"
 #include "support/Hashing.h"
 #include "support/StringInterner.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 namespace uspec {
@@ -54,11 +65,13 @@ enum class ObjectKind : uint8_t {
 /// One abstract object.
 struct AbstractObject {
   ObjectKind Kind = ObjectKind::New;
-  /// Class name for New/This; empty otherwise.
+  /// Class name for New/This; the owning class for Param; empty otherwise.
   Symbol Class;
-  /// Literal text for literals; the source name for External.
+  /// Literal text for literals; the source name for External; the method
+  /// name for Param.
   Symbol Value;
-  /// Allocation site for New/ApiRet/Literal objects (0 otherwise).
+  /// Allocation site for New/ApiRet/Literal objects; the parameter index
+  /// for Param (0 otherwise).
   uint32_t Site = 0;
   /// Calling context of the allocation (0 = entry context).
   uint32_t Ctx = 0;
@@ -84,21 +97,25 @@ inline bool objSetInsert(ObjSet &Set, ObjectId Obj) {
   return true;
 }
 
-/// Unions \p From into \p Into; returns true if \p Into grew.
+/// Unions \p From into \p Into; returns true if \p Into grew. The common
+/// fixpoint case is From ⊆ Into (re-propagation of already-known facts): it
+/// is detected with one sorted scan and causes no allocation. Safe when
+/// \p Into and \p From alias the same set (a self-union never grows).
 inline bool objSetUnion(ObjSet &Into, const ObjSet &From) {
-  if (From.empty())
+  if (From.empty() || &Into == &From)
     return false;
   if (Into.empty()) {
     Into = From;
     return true;
   }
+  if (std::includes(Into.begin(), Into.end(), From.begin(), From.end()))
+    return false;
   ObjSet Merged;
   Merged.reserve(Into.size() + From.size());
   std::set_union(Into.begin(), Into.end(), From.begin(), From.end(),
                  std::back_inserter(Merged));
-  bool Grew = Merged.size() != Into.size();
   Into = std::move(Merged);
-  return Grew;
+  return true;
 }
 
 /// True iff the two sets share an element (may-alias check).
@@ -115,14 +132,262 @@ inline bool objSetIntersects(const ObjSet &A, const ObjSet &B) {
   return false;
 }
 
+//===----------------------------------------------------------------------===//
+// PtsSet — arena-backed small-set representation
+//===----------------------------------------------------------------------===//
+
+/// Analysis-internal points-to set. Representation:
+///
+///   small (Words == 0): Count ids sorted ascending in the inline array —
+///     covers the overwhelming majority of sets (most variables point to
+///     one or two abstract objects), with zero indirection;
+///   dense (Words > 0): an arena-owned bitset of Words × 64 bits with
+///     Count tracking the population, entered on the first insert past
+///     SmallCap and never left.
+///
+/// All iteration is ascending-id order in both modes, so any sequence the
+/// driver derives from a PtsSet matches what the sorted-vector ObjSet
+/// produced — the bit-identity contract of the refactor rests on this.
+/// Memory is arena-owned: PtsSet never frees; dropping a set is O(1) and
+/// reclaim happens at arena reset. Move-only; copies must be explicit
+/// (clone) because a shallow copy would share dense words.
+class PtsSet {
+public:
+  static constexpr uint32_t SmallCap = 6;
+
+  PtsSet() { U.Bits = nullptr; }
+  PtsSet(const PtsSet &) = delete;
+  PtsSet &operator=(const PtsSet &) = delete;
+
+  PtsSet(PtsSet &&O) noexcept : U(O.U), Count(O.Count), Words(O.Words) {
+    O.Count = 0;
+    O.Words = 0;
+  }
+  PtsSet &operator=(PtsSet &&O) noexcept {
+    U = O.U;
+    Count = O.Count;
+    Words = O.Words;
+    O.Count = 0;
+    O.Words = 0;
+    return *this;
+  }
+
+  uint32_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  bool isDense() const { return Words != 0; }
+
+  /// Drops all elements. Dense storage is abandoned to the arena.
+  void clear() {
+    Count = 0;
+    Words = 0;
+  }
+
+  /// Makes this the singleton {Obj} (the dominant assignment in the
+  /// driver: x = new T(), x = literal, fresh API returns).
+  void assignSingle(ObjectId Obj) {
+    Count = 1;
+    Words = 0;
+    U.Small[0] = Obj;
+  }
+
+  bool contains(ObjectId Obj) const {
+    if (Words == 0) {
+      for (uint32_t I = 0; I < Count; ++I)
+        if (U.Small[I] == Obj)
+          return true;
+      return false;
+    }
+    uint32_t W = Obj >> 6;
+    return W < Words && (U.Bits[W] >> (Obj & 63)) & 1;
+  }
+
+  /// Inserts \p Obj; returns true if it was new.
+  bool insert(ObjectId Obj, Arena &A) {
+    if (Words == 0) {
+      uint32_t I = 0;
+      while (I < Count && U.Small[I] < Obj)
+        ++I;
+      if (I < Count && U.Small[I] == Obj)
+        return false;
+      if (Count < SmallCap) {
+        for (uint32_t J = Count; J > I; --J)
+          U.Small[J] = U.Small[J - 1];
+        U.Small[I] = Obj;
+        ++Count;
+        return true;
+      }
+      promote(Obj + 1, A);
+    }
+    ensureBits(Obj, A);
+    uint64_t &W = U.Bits[Obj >> 6];
+    uint64_t Bit = uint64_t(1) << (Obj & 63);
+    if (W & Bit)
+      return false;
+    W |= Bit;
+    ++Count;
+    return true;
+  }
+
+  /// Unions \p From into this set; returns true if this set grew. Dense ∪
+  /// dense is word-parallel. A self-union is a no-op.
+  bool unionWith(const PtsSet &From, Arena &A) {
+    if (From.Count == 0 || this == &From)
+      return false;
+    if (From.Words == 0) {
+      bool Grew = false;
+      for (uint32_t I = 0; I < From.Count; ++I)
+        Grew |= insert(From.U.Small[I], A);
+      return Grew;
+    }
+    if (Words == 0)
+      promote(From.Words * 64, A);
+    else if (Words < From.Words)
+      ensureBits(From.Words * 64 - 1, A);
+    bool Grew = false;
+    for (uint32_t W = 0; W < From.Words; ++W) {
+      uint64_t Added = From.U.Bits[W] & ~U.Bits[W];
+      if (Added) {
+        U.Bits[W] |= Added;
+        Count += static_cast<uint32_t>(__builtin_popcountll(Added));
+        Grew = true;
+      }
+    }
+    return Grew;
+  }
+
+  /// True iff the two sets share an element (may-alias check).
+  bool intersects(const PtsSet &Other) const {
+    if (Count == 0 || Other.Count == 0)
+      return false;
+    if (Words != 0 && Other.Words != 0) {
+      uint32_t W = Words < Other.Words ? Words : Other.Words;
+      for (uint32_t I = 0; I < W; ++I)
+        if (U.Bits[I] & Other.U.Bits[I])
+          return true;
+      return false;
+    }
+    // At least one side is small: probe it against the other.
+    const PtsSet &Small = Words == 0 ? *this : Other;
+    const PtsSet &Big = Words == 0 ? Other : *this;
+    for (uint32_t I = 0; I < Small.Count; ++I)
+      if (Big.contains(Small.U.Small[I]))
+        return true;
+    return false;
+  }
+
+  /// Visits elements in ascending id order (both modes).
+  template <typename Fn> void forEach(Fn F) const {
+    if (Words == 0) {
+      for (uint32_t I = 0; I < Count; ++I)
+        F(U.Small[I]);
+      return;
+    }
+    for (uint32_t W = 0; W < Words; ++W) {
+      uint64_t Bits = U.Bits[W];
+      while (Bits) {
+        F(static_cast<ObjectId>((W << 6) +
+                                static_cast<uint32_t>(__builtin_ctzll(Bits))));
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+  /// Appends the elements, ascending, to \p Out.
+  void appendTo(ObjSet &Out) const {
+    forEach([&Out](ObjectId Obj) { Out.push_back(Obj); });
+  }
+
+  /// Materializes to the result-facing sorted-vector representation.
+  ObjSet toObjSet() const {
+    ObjSet Out;
+    Out.reserve(Count);
+    appendTo(Out);
+    return Out;
+  }
+
+  /// Explicit deep copy; dense words are duplicated into \p A.
+  PtsSet clone(Arena &A) const {
+    PtsSet C;
+    C.Count = Count;
+    C.Words = Words;
+    if (Words == 0)
+      C.U = U;
+    else {
+      C.U.Bits = A.allocArray<uint64_t>(Words);
+      std::memcpy(C.U.Bits, U.Bits, size_t(Words) * sizeof(uint64_t));
+    }
+    return C;
+  }
+
+private:
+  /// Switches to dense mode with room for at least \p NeedBits bits.
+  void promote(uint32_t NeedBits, Arena &A) {
+    ObjectId Tmp[SmallCap];
+    std::memcpy(Tmp, U.Small, sizeof(Tmp));
+    uint32_t MaxBit = NeedBits;
+    if (Count && Tmp[Count - 1] + 1 > MaxBit)
+      MaxBit = Tmp[Count - 1] + 1;
+    uint32_t W = (MaxBit + 63) / 64;
+    if (W < 4)
+      W = 4; // ≥256 bits so a typical program never regrows
+    U.Bits = A.allocArrayZeroed<uint64_t>(W);
+    Words = W;
+    for (uint32_t I = 0; I < Count; ++I)
+      U.Bits[Tmp[I] >> 6] |= uint64_t(1) << (Tmp[I] & 63);
+  }
+
+  /// Grows the dense bitset to cover \p Obj. Old words are abandoned to the
+  /// arena (reclaimed at reset).
+  void ensureBits(ObjectId Obj, Arena &A) {
+    uint32_t Need = (Obj >> 6) + 1;
+    if (Need <= Words)
+      return;
+    uint32_t W = Words * 2;
+    if (W < Need)
+      W = Need;
+    uint64_t *Bits = A.allocArrayZeroed<uint64_t>(W);
+    std::memcpy(Bits, U.Bits, size_t(Words) * sizeof(uint64_t));
+    U.Bits = Bits;
+    Words = W;
+  }
+
+  union Rep {
+    ObjectId Small[SmallCap];
+    uint64_t *Bits;
+  } U;
+  uint32_t Count = 0;
+  uint32_t Words = 0; ///< 0 = small mode; else dense word count.
+};
+
+/// objSet* overloads so ConstraintSolver/Analysis switch representations
+/// without changing call shapes.
+inline bool objSetInsert(PtsSet &Set, ObjectId Obj, Arena &A) {
+  return Set.insert(Obj, A);
+}
+inline bool objSetUnion(PtsSet &Into, const PtsSet &From, Arena &A) {
+  return Into.unionWith(From, A);
+}
+inline bool objSetIntersects(const PtsSet &A, const PtsSet &B) {
+  return A.intersects(B);
+}
+
+//===----------------------------------------------------------------------===//
+// ObjectTable
+//===----------------------------------------------------------------------===//
+
 /// Deduplicating table of abstract objects. Objects are keyed so that
 /// re-analysis (outer field fixpoint iterations) reuses identical ids.
 class ObjectTable {
 public:
-  /// New/Literal/ApiRet objects: keyed by (kind, site, ctx).
+  /// New/Literal/ApiRet objects: keyed by (kind, site, ctx, symbol). The
+  /// symbol is part of the key so two creations at the same site cannot
+  /// silently merge under different class/value labels; site ids are unique
+  /// per instruction, so for well-formed IR this allocates exactly the same
+  /// ids as the old (kind, site, ctx) key.
   ObjectId getSiteObject(ObjectKind Kind, uint32_t Site, uint32_t Ctx,
                          Symbol ClassOrValue) {
-    uint64_t Key = hashValues(static_cast<uint64_t>(Kind), Site, Ctx);
+    uint64_t Key =
+        hashValues(static_cast<uint64_t>(Kind), Site, Ctx, ClassOrValue.id());
     return getOrCreate(Key, [&] {
       AbstractObject Obj;
       Obj.Kind = Kind;
@@ -158,12 +423,19 @@ public:
     });
   }
 
-  /// Unknown parameter \p Index of entry method \p Class::\p Method.
+  /// Unknown parameter \p Index of entry method \p Class::\p Method. The
+  /// object records its origin (Class/Value=method/Site=index) so
+  /// diagnostics and toDot can distinguish parameter objects; dispatch
+  /// never consults these fields for Param objects (receiverClass and the
+  /// reference solver both gate on Kind ∈ {New, This} first).
   ObjectId getParamObject(Symbol Class, Symbol Method, uint32_t Index) {
     uint64_t Key = hashValues(1003, Class.id(), Method.id(), Index);
     return getOrCreate(Key, [&] {
       AbstractObject Obj;
       Obj.Kind = ObjectKind::Param;
+      Obj.Class = Class;
+      Obj.Value = Method;
+      Obj.Site = Index;
       return Obj;
     });
   }
@@ -192,17 +464,18 @@ public:
 
 private:
   template <typename MakeFn> ObjectId getOrCreate(uint64_t Key, MakeFn Make) {
-    auto It = Index.find(Key);
-    if (It != Index.end())
-      return It->second;
+    bool Inserted = false;
+    ObjectId &Slot = Index.getOrCreate(Key, &Inserted);
+    if (!Inserted)
+      return Slot;
     ObjectId Id = static_cast<ObjectId>(Objects.size());
     Objects.push_back(Make());
-    Index.emplace(Key, Id);
+    Slot = Id;
     return Id;
   }
 
   std::vector<AbstractObject> Objects;
-  std::unordered_map<uint64_t, ObjectId> Index;
+  FlatMap64<ObjectId> Index;
 };
 
 } // namespace uspec

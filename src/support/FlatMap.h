@@ -1,0 +1,231 @@
+//===- FlatMap.h - Open-addressed flat hash containers ---------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-friendly replacements for the node-per-allocation
+/// `std::unordered_map<uint64_t, V>` lookups on the learn() worklist path:
+///
+///   Span<T>       — a trivially-copyable (pointer, size) view over
+///                   contiguous elements; what the struct-of-arrays event
+///                   graph hands out instead of `const std::vector<T> &`.
+///   FlatMap64<V>  — open-addressed linear-probe map keyed by uint64_t
+///                   (pre-hashed keys: hashValues/hashString outputs). One
+///                   flat slot array, no per-node allocation, no erase.
+///   FlatSet64     — membership-only variant (dispatch dedup, seen-pair
+///                   sets).
+///
+/// Keys are expected to already be well-mixed 64-bit hashes; the containers
+/// re-mix with mix64 before probing so adversarially aligned keys (dense
+/// site ids shifted into the high word) still spread. Determinism: probing
+/// affects only lookup cost, never iteration-visible state — all pipeline
+/// orderings derive from dense ids or explicit sorts, not from map order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_SUPPORT_FLATMAP_H
+#define USPEC_SUPPORT_FLATMAP_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace uspec {
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+/// Minimal contiguous view (the project builds with C++17; std::span is not
+/// available). Supports everything the event-graph consumers use: ranged
+/// for, size/empty, indexing, begin/end for the <algorithm> predicates, and
+/// element-wise equality.
+template <typename T> class Span {
+public:
+  Span() = default;
+  Span(const T *Data, size_t Size) : Data_(Data), Size_(Size) {}
+
+  const T *begin() const { return Data_; }
+  const T *end() const { return Data_ + Size_; }
+  const T *data() const { return Data_; }
+  size_t size() const { return Size_; }
+  bool empty() const { return Size_ == 0; }
+  const T &operator[](size_t I) const {
+    assert(I < Size_ && "span index out of range");
+    return Data_[I];
+  }
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Size_ - 1]; }
+
+  friend bool operator==(Span A, Span B) {
+    if (A.Size_ != B.Size_)
+      return false;
+    for (size_t I = 0; I < A.Size_; ++I)
+      if (!(A.Data_[I] == B.Data_[I]))
+        return false;
+    return true;
+  }
+  friend bool operator!=(Span A, Span B) { return !(A == B); }
+  friend bool operator==(Span A, const std::vector<T> &B) {
+    return A == Span(B.data(), B.size());
+  }
+  friend bool operator==(const std::vector<T> &A, Span B) {
+    return Span(A.data(), A.size()) == B;
+  }
+
+private:
+  const T *Data_ = nullptr;
+  size_t Size_ = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// FlatMap64
+//===----------------------------------------------------------------------===//
+
+/// Open-addressed map from pre-hashed uint64_t keys to V. Insert-only (the
+/// analysis tables never erase), power-of-two capacity, linear probing,
+/// grows at ~70% load. Values must be movable; slots for absent entries
+/// hold default-constructed V.
+template <typename V> class FlatMap64 {
+public:
+  FlatMap64() = default;
+
+  void reserve(size_t N) {
+    size_t Want = nextPow2(N + N / 2 + 1);
+    if (Want > Slots.size())
+      rehash(Want);
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  V *find(uint64_t Key) {
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = mix64(Key) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (!S.Used)
+        return nullptr;
+      if (S.Key == Key)
+        return &S.Value;
+    }
+  }
+
+  const V *find(uint64_t Key) const {
+    return const_cast<FlatMap64 *>(this)->find(Key);
+  }
+
+  /// Returns the value slot for \p Key, default-constructing it on first
+  /// sight. \p Inserted (optional) reports whether the key was new.
+  V &getOrCreate(uint64_t Key, bool *Inserted = nullptr) {
+    if (Slots.size() - Count * 10 / 7 <= Count || Slots.empty())
+      rehash(Slots.empty() ? 16 : Slots.size() * 2);
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = mix64(Key) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (!S.Used) {
+        S.Used = true;
+        S.Key = Key;
+        ++Count;
+        if (Inserted)
+          *Inserted = true;
+        return S.Value;
+      }
+      if (S.Key == Key) {
+        if (Inserted)
+          *Inserted = false;
+        return S.Value;
+      }
+    }
+  }
+
+  /// Visits every (key, value) pair. Order is the probe-table order —
+  /// callers needing determinism must sort or use dense ids.
+  template <typename Fn> void forEach(Fn F) const {
+    for (const Slot &S : Slots)
+      if (S.Used)
+        F(S.Key, S.Value);
+  }
+
+  template <typename Fn> void forEachMutable(Fn F) {
+    for (Slot &S : Slots)
+      if (S.Used)
+        F(S.Key, S.Value);
+  }
+
+  void clear() {
+    Slots.clear();
+    Count = 0;
+  }
+
+private:
+  struct Slot {
+    uint64_t Key = 0;
+    V Value{};
+    bool Used = false;
+  };
+
+  static size_t nextPow2(size_t N) {
+    size_t P = 16;
+    while (P < N)
+      P *= 2;
+    return P;
+  }
+
+  void rehash(size_t NewCap) {
+    std::vector<Slot> Old;
+    Old.swap(Slots);
+    Slots.resize(NewCap);
+    size_t Mask = NewCap - 1;
+    for (Slot &S : Old) {
+      if (!S.Used)
+        continue;
+      for (size_t I = mix64(S.Key) & Mask;; I = (I + 1) & Mask) {
+        if (!Slots[I].Used) {
+          Slots[I] = std::move(S);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// FlatSet64
+//===----------------------------------------------------------------------===//
+
+/// Membership-only companion of FlatMap64 (dispatch-dedup and seen-pair
+/// tracking on the solver/extraction hot paths).
+class FlatSet64 {
+public:
+  void reserve(size_t N) { Map.reserve(N); }
+  size_t size() const { return Map.size(); }
+
+  /// Returns true when \p Key was newly inserted.
+  bool insert(uint64_t Key) {
+    bool Inserted = false;
+    Map.getOrCreate(Key, &Inserted);
+    return Inserted;
+  }
+
+  bool contains(uint64_t Key) const { return Map.find(Key) != nullptr; }
+  void clear() { Map.clear(); }
+
+private:
+  struct Empty {};
+  FlatMap64<Empty> Map;
+};
+
+} // namespace uspec
+
+#endif // USPEC_SUPPORT_FLATMAP_H

@@ -16,13 +16,15 @@
 #ifndef USPEC_SUPPORT_STRINGINTERNER_H
 #define USPEC_SUPPORT_STRINGINTERNER_H
 
+#include "support/Hashing.h"
+
 #include <cassert>
 #include <cstdint>
 #include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 namespace uspec {
 
@@ -54,9 +56,9 @@ class StringInterner {
 public:
   StringInterner() { Storage.emplace_back(); /* Symbol 0 = "" */ }
 
-  // Copying would leave the copy's Index keys viewing the original's
-  // Storage. Moving is fine: deque/unordered_map moves steal the chunks, so
-  // element addresses (and thus views and str() references) survive.
+  // Copying is still disabled to keep move-only semantics uniform across
+  // call sites. Moving steals the deque chunks and the index vector, so
+  // element addresses (and thus str() references) survive.
   StringInterner(const StringInterner &) = delete;
   StringInterner &operator=(const StringInterner &) = delete;
   StringInterner(StringInterner &&) = default;
@@ -68,15 +70,18 @@ public:
   Symbol intern(std::string_view Str) {
     if (Str.empty())
       return Symbol();
-    auto It = Index.find(Str);
-    if (It != Index.end())
-      return Symbol(It->second);
+    if (Index.empty() || IndexCount * 10 >= Index.size() * 7)
+      rehash(Index.empty() ? 64 : Index.size() * 2);
+    uint64_t Hash = hashBytesWide(Str);
+    size_t SlotIdx = probe(Str, Hash);
+    if (Index[SlotIdx].Id != 0)
+      return Symbol(Index[SlotIdx].Id);
     uint32_t Id = static_cast<uint32_t>(Storage.size());
-    // Deque storage never relocates existing elements, so both the Index
-    // keys and every reference handed out by str() stay valid across
-    // arbitrary later intern() calls.
+    // Deque storage never relocates existing elements, so every reference
+    // handed out by str() stays valid across arbitrary later intern() calls.
     Storage.emplace_back(Str);
-    Index.emplace(std::string_view(Storage.back()), Id);
+    Index[SlotIdx] = IndexSlot{Hash, Id};
+    ++IndexCount;
     return Symbol(Id);
   }
 
@@ -87,10 +92,12 @@ public:
   std::optional<Symbol> lookup(std::string_view Str) const {
     if (Str.empty())
       return Symbol();
-    auto It = Index.find(Str);
-    if (It == Index.end())
+    if (Index.empty())
       return std::nullopt;
-    return Symbol(It->second);
+    size_t SlotIdx = probe(Str, hashBytesWide(Str));
+    if (Index[SlotIdx].Id == 0)
+      return std::nullopt;
+    return Symbol(Index[SlotIdx].Id);
   }
 
   /// Returns the string for \p Sym. The reference is stable for the lifetime
@@ -105,9 +112,48 @@ public:
   size_t size() const { return Storage.size(); }
 
 private:
+  /// One open-addressed slot: cached wide hash (so rehash and most probe
+  /// misses never touch Storage) plus the symbol id. Id 0 is the vacant
+  /// marker — the empty string short-circuits before reaching the table, so
+  /// Symbol 0 never occupies a slot.
+  struct IndexSlot {
+    uint64_t Hash = 0;
+    uint32_t Id = 0;
+  };
+
+  /// Returns the slot holding \p Str, or the first vacant slot on its probe
+  /// sequence. Requires a non-empty table. Linear probing over a
+  /// power-of-two table; string comparison only runs on a full 64-bit hash
+  /// match, so collisions are overwhelmingly resolved on the flat array.
+  size_t probe(std::string_view Str, uint64_t Hash) const {
+    size_t Mask = Index.size() - 1;
+    for (size_t I = Hash & Mask;; I = (I + 1) & Mask) {
+      const IndexSlot &S = Index[I];
+      if (S.Id == 0 || (S.Hash == Hash && Storage[S.Id] == Str))
+        return I;
+    }
+  }
+
+  void rehash(size_t NewCap) {
+    std::vector<IndexSlot> Old;
+    Old.swap(Index);
+    Index.resize(NewCap);
+    size_t Mask = NewCap - 1;
+    for (const IndexSlot &S : Old) {
+      if (S.Id == 0)
+        continue;
+      size_t I = S.Hash & Mask;
+      while (Index[I].Id != 0)
+        I = (I + 1) & Mask;
+      Index[I] = S;
+    }
+  }
+
   std::deque<std::string> Storage;
-  /// Keys view into Storage (stable addresses); probes never allocate.
-  std::unordered_map<std::string_view, uint32_t> Index;
+  /// Flat open-addressed (hash, id) table; probes touch one contiguous
+  /// array instead of chasing unordered_map buckets.
+  std::vector<IndexSlot> Index;
+  size_t IndexCount = 0;
 };
 
 } // namespace uspec

@@ -10,6 +10,7 @@
 
 #include "ir/Lowering.h"
 #include "pointsto/Analysis.h"
+#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
@@ -505,4 +506,170 @@ TEST(PointsToCoverage, MissingWriteKeepsTopReadsSeparate) {
   // Both read ⊥(get) — they alias with each other through the ⊥ ghost, which
   // is the documented may-alias trade-off of §6.4 (coverage over precision).
   EXPECT_TRUE(R.retMayAlias(retEvent(R, S, "get", 0), retEvent(R, S, "get", 1)));
+}
+
+//===----------------------------------------------------------------------===//
+// PtsSet (arena-backed small-set representation)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ObjSet toSorted(const PtsSet &S) { return S.toObjSet(); }
+
+} // namespace
+
+TEST(PtsSet, SmallModeInsertKeepsSortedUnique) {
+  Arena A;
+  PtsSet S;
+  EXPECT_TRUE(S.insert(5, A));
+  EXPECT_TRUE(S.insert(1, A));
+  EXPECT_TRUE(S.insert(3, A));
+  EXPECT_FALSE(S.insert(3, A));
+  EXPECT_FALSE(S.isDense());
+  EXPECT_EQ(toSorted(S), (ObjSet{1, 3, 5}));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(4));
+}
+
+TEST(PtsSet, PromotesToDensePastSmallCap) {
+  Arena A;
+  PtsSet S;
+  // Insert in descending order so the small path shifts, then promotes.
+  for (ObjectId Obj = 2 * PtsSet::SmallCap; Obj > 0; --Obj)
+    EXPECT_TRUE(S.insert(Obj * 10, A));
+  EXPECT_TRUE(S.isDense());
+  EXPECT_EQ(S.size(), 2 * PtsSet::SmallCap);
+  ObjSet Expect;
+  for (ObjectId Obj = 1; Obj <= 2 * PtsSet::SmallCap; ++Obj)
+    Expect.push_back(Obj * 10);
+  // forEach must stay ascending after promotion — the bit-identity contract.
+  EXPECT_EQ(toSorted(S), Expect);
+  // Large ids force bitset growth; earlier bits survive the regrow.
+  EXPECT_TRUE(S.insert(100000, A));
+  EXPECT_TRUE(S.contains(10));
+  EXPECT_TRUE(S.contains(100000));
+}
+
+TEST(PtsSet, UnionWithMirrorsObjSetUnion) {
+  Arena A;
+  Rng R(1234);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    PtsSet P1, P2;
+    ObjSet V1, V2;
+    for (int I = 0, N = static_cast<int>(R.below(20)); I < N; ++I) {
+      ObjectId Obj = static_cast<ObjectId>(R.below(300));
+      P1.insert(Obj, A);
+      objSetInsert(V1, Obj);
+    }
+    for (int I = 0, N = static_cast<int>(R.below(20)); I < N; ++I) {
+      ObjectId Obj = static_cast<ObjectId>(R.below(300));
+      P2.insert(Obj, A);
+      objSetInsert(V2, Obj);
+    }
+    EXPECT_EQ(toSorted(P1), V1);
+    EXPECT_EQ(objSetIntersects(P1, P2), objSetIntersects(V1, V2));
+    bool GrewP = P1.unionWith(P2, A);
+    bool GrewV = objSetUnion(V1, V2);
+    EXPECT_EQ(GrewP, GrewV);
+    EXPECT_EQ(toSorted(P1), V1);
+  }
+}
+
+TEST(PtsSet, SelfUnionIsNoOp) {
+  Arena A;
+  PtsSet S;
+  for (ObjectId Obj = 0; Obj < 10; ++Obj)
+    S.insert(Obj * 7, A);
+  EXPECT_FALSE(S.unionWith(S, A));
+  EXPECT_EQ(S.size(), 10u);
+}
+
+TEST(PtsSet, CloneIsDeepForDenseSets) {
+  Arena A;
+  PtsSet S;
+  for (ObjectId Obj = 0; Obj < 20; ++Obj)
+    S.insert(Obj, A);
+  ASSERT_TRUE(S.isDense());
+  PtsSet C = S.clone(A);
+  C.insert(500, A);
+  EXPECT_FALSE(S.contains(500));
+  EXPECT_TRUE(C.contains(500));
+  EXPECT_EQ(S.size(), 20u);
+}
+
+//===----------------------------------------------------------------------===//
+// objSetUnion subset fast path (regression: no-growth union must not
+// allocate, and must return false)
+//===----------------------------------------------------------------------===//
+
+TEST(ObjSetUnion, SubsetUnionDoesNotGrowOrReallocate) {
+  ObjSet Into{1, 3, 5, 7, 9};
+  ObjSet From{3, 7};
+  const ObjectId *Data = Into.data();
+  EXPECT_FALSE(objSetUnion(Into, From));
+  EXPECT_EQ(Into.data(), Data) << "subset union must not touch storage";
+  EXPECT_EQ(Into, (ObjSet{1, 3, 5, 7, 9}));
+}
+
+TEST(ObjSetUnion, GrowingUnionMergesSorted) {
+  ObjSet Into{2, 4};
+  ObjSet From{1, 4, 9};
+  EXPECT_TRUE(objSetUnion(Into, From));
+  EXPECT_EQ(Into, (ObjSet{1, 2, 4, 9}));
+  // Union into empty copies.
+  ObjSet Empty;
+  EXPECT_TRUE(objSetUnion(Empty, Into));
+  EXPECT_EQ(Empty, Into);
+  // Empty From never grows.
+  ObjSet None;
+  EXPECT_FALSE(objSetUnion(Into, None));
+}
+
+TEST(ObjSetUnion, AliasedSelfUnionIsSafe) {
+  ObjSet S{1, 2, 3};
+  EXPECT_FALSE(objSetUnion(S, S));
+  EXPECT_EQ(S, (ObjSet{1, 2, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// ObjectTable identity regressions
+//===----------------------------------------------------------------------===//
+
+TEST(ObjectTable, SiteObjectKeyIncludesSymbol) {
+  // Regression: two creations at the same (kind, site, ctx) with different
+  // class/value symbols must be distinct objects — the symbol is part of
+  // the identity, not a first-writer-wins label.
+  StringInterner Strings;
+  ObjectTable T;
+  Symbol File = Strings.intern("File");
+  Symbol Sock = Strings.intern("Socket");
+  ObjectId O1 = T.getSiteObject(ObjectKind::New, 7, 0, File);
+  ObjectId O2 = T.getSiteObject(ObjectKind::New, 7, 0, Sock);
+  EXPECT_NE(O1, O2);
+  EXPECT_EQ(T.get(O1).Class, File);
+  EXPECT_EQ(T.get(O2).Class, Sock);
+  // Same symbol → same object (dedup still works).
+  EXPECT_EQ(T.getSiteObject(ObjectKind::New, 7, 0, File), O1);
+  // Kind is also part of the key.
+  ObjectId O3 = T.getSiteObject(ObjectKind::ApiRet, 7, 0, File);
+  EXPECT_NE(O3, O1);
+  EXPECT_EQ(T.get(O3).Value, File);
+}
+
+TEST(ObjectTable, ParamObjectRecordsOrigin) {
+  // Regression: Param objects used to drop their class/method/index, making
+  // every parameter object indistinguishable in diagnostics.
+  StringInterner Strings;
+  ObjectTable T;
+  Symbol Cls = Strings.intern("Main");
+  Symbol Mth = Strings.intern("handle");
+  ObjectId P0 = T.getParamObject(Cls, Mth, 0);
+  ObjectId P1 = T.getParamObject(Cls, Mth, 1);
+  EXPECT_NE(P0, P1);
+  const AbstractObject &AO = T.get(P1);
+  EXPECT_EQ(AO.Kind, ObjectKind::Param);
+  EXPECT_EQ(AO.Class, Cls);
+  EXPECT_EQ(AO.Value, Mth);
+  EXPECT_EQ(AO.Site, 1u);
+  EXPECT_EQ(T.getParamObject(Cls, Mth, 1), P1);
 }

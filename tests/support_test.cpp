@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
+#include "support/FlatMap.h"
 #include "support/Hashing.h"
 #include "support/Random.h"
 #include "support/Stats.h"
@@ -215,4 +217,153 @@ TEST(TextTable, RendersAlignedColumns) {
 TEST(TextTable, FormatReal) {
   EXPECT_EQ(TextTable::formatReal(0.12345, 3), "0.123");
   EXPECT_EQ(TextTable::formatReal(2.0, 1), "2.0");
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena A(64); // tiny first slab to force growth
+  uint32_t *P1 = A.allocArray<uint32_t>(8);
+  uint64_t *P2 = A.allocArray<uint64_t>(8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % alignof(uint64_t), 0u);
+  for (int I = 0; I < 8; ++I)
+    P1[I] = 0x11111111u * (I + 1);
+  for (int I = 0; I < 8; ++I)
+    P2[I] = ~uint64_t(0);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(P1[I], 0x11111111u * (I + 1));
+}
+
+TEST(Arena, GrowsAcrossSlabs) {
+  Arena A(64);
+  // Allocate far past the first slab; every byte must stay addressable.
+  std::vector<unsigned char *> Ptrs;
+  for (int I = 0; I < 100; ++I) {
+    unsigned char *P = A.allocArray<unsigned char>(40);
+    std::memset(P, I, 40);
+    Ptrs.push_back(P);
+  }
+  for (int I = 0; I < 100; ++I)
+    for (int J = 0; J < 40; ++J)
+      EXPECT_EQ(Ptrs[I][J], static_cast<unsigned char>(I));
+  EXPECT_GE(A.bytesReserved(), A.bytesUsed());
+  EXPECT_GE(A.bytesUsed(), size_t(100 * 40));
+}
+
+TEST(Arena, ResetReusesSlabsWithoutShrinking) {
+  Arena A(64);
+  for (int I = 0; I < 100; ++I)
+    A.allocArray<uint64_t>(16);
+  size_t Reserved = A.bytesReserved();
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+  // Refill: no new slab needed for the same workload.
+  for (int I = 0; I < 100; ++I)
+    A.allocArray<uint64_t>(16);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+}
+
+TEST(Arena, ZeroedArrayIsZero) {
+  Arena A;
+  uint64_t *P = A.allocArrayZeroed<uint64_t>(64);
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(P[I], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// FlatMap64 / FlatSet64
+//===----------------------------------------------------------------------===//
+
+TEST(FlatMap64, GetOrCreateFindRoundTrip) {
+  FlatMap64<uint32_t> M;
+  for (uint64_t K = 1; K <= 1000; ++K)
+    M.getOrCreate(K * 0x9e3779b9ULL) = static_cast<uint32_t>(K);
+  EXPECT_EQ(M.size(), 1000u);
+  for (uint64_t K = 1; K <= 1000; ++K) {
+    const uint32_t *V = M.find(K * 0x9e3779b9ULL);
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(*V, static_cast<uint32_t>(K));
+  }
+  EXPECT_EQ(M.find(0xdeadbeefULL), nullptr);
+}
+
+TEST(FlatMap64, InsertedFlagDistinguishesNewKeys) {
+  FlatMap64<int> M;
+  bool Inserted = false;
+  M.getOrCreate(42, &Inserted) = 7;
+  EXPECT_TRUE(Inserted);
+  int &V = M.getOrCreate(42, &Inserted);
+  EXPECT_FALSE(Inserted);
+  EXPECT_EQ(V, 7);
+}
+
+TEST(FlatMap64, ZeroKeyIsAValidKey) {
+  FlatMap64<int> M;
+  M.getOrCreate(0) = 99;
+  const int *V = M.find(0);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(*V, 99);
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(FlatMap64, ForEachVisitsEveryEntryOnce) {
+  FlatMap64<uint64_t> M;
+  for (uint64_t K = 1; K <= 257; ++K)
+    M.getOrCreate(K) = K * 2;
+  std::set<uint64_t> Keys;
+  uint64_t Sum = 0;
+  M.forEach([&](uint64_t K, uint64_t V) {
+    EXPECT_EQ(V, K * 2);
+    Keys.insert(K);
+    Sum += V;
+  });
+  EXPECT_EQ(Keys.size(), 257u);
+  EXPECT_EQ(Sum, 257u * 258u); // 2 * (1 + ... + 257)
+}
+
+TEST(FlatSet64, InsertReportsNewness) {
+  FlatSet64 S;
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_FALSE(S.insert(5));
+  EXPECT_TRUE(S.insert(6));
+  EXPECT_TRUE(S.contains(5));
+  EXPECT_FALSE(S.contains(7));
+  // Survives growth.
+  for (uint64_t K = 100; K < 600; ++K)
+    EXPECT_TRUE(S.insert(K));
+  for (uint64_t K = 100; K < 600; ++K)
+    EXPECT_FALSE(S.insert(K));
+  EXPECT_TRUE(S.contains(5));
+}
+
+//===----------------------------------------------------------------------===//
+// hashBytesWide
+//===----------------------------------------------------------------------===//
+
+TEST(Hashing, HashBytesWideMatchesContentNotIdentity) {
+  std::string A = "interned-string-one";
+  std::string B = "interned-string-one";
+  EXPECT_EQ(hashBytesWide(A), hashBytesWide(B));
+  EXPECT_NE(hashBytesWide("interned-string-one"),
+            hashBytesWide("interned-string-two"));
+}
+
+TEST(Hashing, HashBytesWideLengthSensitive) {
+  // Tail bytes must not collide with the 8-byte-padded prefix.
+  EXPECT_NE(hashBytesWide(std::string_view("abc")),
+            hashBytesWide(std::string_view("abc\0", 4)));
+  EXPECT_NE(hashBytesWide(""), hashBytesWide(std::string_view("\0", 1)));
+}
+
+TEST(Hashing, HashBytesWideCoversAllLengths) {
+  // Every length 0..32 hashes distinctly for a fixed alphabet (smoke test
+  // for the word-at-a-time loop + tail handling).
+  std::string S = "abcdefghijklmnopqrstuvwxyzABCDEF";
+  std::set<uint64_t> Seen;
+  for (size_t N = 0; N <= S.size(); ++N)
+    Seen.insert(hashBytesWide(std::string_view(S.data(), N)));
+  EXPECT_EQ(Seen.size(), S.size() + 1);
 }
