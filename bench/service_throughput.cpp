@@ -14,19 +14,30 @@
 //  - default: google-benchmark micro harnesses;
 //  - --uspec_service_json[=N]: one JSON trajectory document over worker
 //    counts {1, 2, 4, 8} with cold/warm QPS, hit rates, and p50 latency —
-//    the repo's machine-readable BENCH format.
+//    the repo's machine-readable BENCH format. The document also carries a
+//    replica-scaling section ("router_runs"): the same request corpus
+//    pushed through the consistent-hash router (src/distrib/Router.h) in
+//    front of 1/2/4 serve replicas on Unix sockets, measuring the routed
+//    end-to-end path (connect + forward + analyze + envelope). Because the
+//    ring partitions programs across shared-nothing caches, warm routed QPS
+//    should scale with replicas while the aggregate cache footprint stays
+//    flat.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "distrib/Router.h"
 #include "service/Server.h"
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <future>
 #include <map>
+#include <thread>
+#include <unistd.h>
 
 using namespace uspec;
 using namespace uspec::bench;
@@ -147,6 +158,105 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
+//===----------------------------------------------------------------------===//
+// Replica scaling: the routed serving path
+//===----------------------------------------------------------------------===//
+
+/// One in-process serve replica behind a real Unix socket, exactly the
+/// process shape of `uspec serve --socket` minus the fork.
+struct BenchReplica {
+  std::unique_ptr<Server> S;
+  volatile int Stop = 0;
+  std::thread T;
+  std::string Path;
+
+  bool start(std::string SockPath, const ServiceSpecs &Specs, size_t Batch) {
+    Path = std::move(SockPath);
+    ServerConfig Cfg = configFor(2, Batch);
+    Cfg.AcceptPollMs = 20;
+    S = std::make_unique<Server>(Cfg, Specs);
+    T = std::thread([this] { S->serveUnixSocket(Path, &Stop, nullptr); });
+    for (int I = 0; I < 500 && access(Path.c_str(), F_OK) != 0; ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return access(Path.c_str(), F_OK) == 0;
+  }
+
+  ~BenchReplica() {
+    Stop = 1;
+    if (T.joinable())
+      T.join();
+  }
+};
+
+/// Pushes every request through the router once from \p Clients concurrent
+/// client threads (Router::handleLine is thread-safe; each forward opens
+/// its own connection, like independent CLI clients). Returns wall seconds.
+double routedPass(distrib::Router &R,
+                  const std::vector<std::string> &Requests,
+                  unsigned Clients) {
+  auto Start = std::chrono::steady_clock::now();
+  std::atomic<size_t> Next{0};
+  std::vector<std::thread> Threads;
+  Threads.reserve(Clients);
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1); I < Requests.size();
+           I = Next.fetch_add(1))
+        benchmark::DoNotOptimize(R.handleLine(Requests[I]));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  return secondsSince(Start);
+}
+
+/// Emits the "router_runs" array: cold + warm routed passes at 1/2/4
+/// replicas. Returns false if a replica socket failed to come up.
+bool runRouterScaling(RequestCorpus &RC) {
+  const unsigned ReplicaCounts[] = {1, 2, 4};
+  const unsigned Clients = 8;
+  std::printf("  \"router_runs\": [\n");
+  for (size_t I = 0; I < std::size(ReplicaCounts); ++I) {
+    unsigned N = ReplicaCounts[I];
+    std::vector<std::unique_ptr<BenchReplica>> Fleet;
+    distrib::RouterConfig RCfg;
+    for (unsigned R = 0; R < N; ++R) {
+      auto Rep = std::make_unique<BenchReplica>();
+      std::string Path = "/tmp/uspec_bench_rt" + std::to_string(getpid()) +
+                         "_" + std::to_string(N) + "_" + std::to_string(R) +
+                         ".sock";
+      if (!Rep->start(Path, RC.Specs, RC.Requests.size())) {
+        std::fprintf(stderr, "error: replica socket %s never came up\n",
+                     Path.c_str());
+        return false;
+      }
+      RCfg.Replicas.push_back(Rep->Path);
+      Fleet.push_back(std::move(Rep));
+    }
+    distrib::Router Router(RCfg);
+
+    double ColdSec = routedPass(Router, RC.Requests, Clients);
+    double WarmSec = routedPass(Router, RC.Requests, Clients);
+
+    uint64_t Hits = 0, Misses = 0;
+    for (const auto &Rep : Fleet) {
+      Hits += Rep->S->metrics().cacheHitCount();
+      Misses += Rep->S->metrics().cacheMissCount();
+    }
+    double HitRate =
+        Hits + Misses ? static_cast<double>(Hits) / (Hits + Misses) : 0;
+    double Num = static_cast<double>(RC.Requests.size());
+    std::printf("    {\"replicas\": %u, \"cold_qps\": %.1f, "
+                "\"warm_qps\": %.1f, \"warm_speedup\": %.2f, "
+                "\"hit_rate\": %.4f}%s\n",
+                N, ColdSec > 0 ? Num / ColdSec : 0,
+                WarmSec > 0 ? Num / WarmSec : 0,
+                WarmSec > 0 ? ColdSec / WarmSec : 0, HitRate,
+                I + 1 < std::size(ReplicaCounts) ? "," : "");
+  }
+  std::printf("  ]\n");
+  return true;
+}
+
 /// One JSON document: for each worker count, cold-pass QPS (fresh server,
 /// all misses), warm-pass QPS (same server, all hits), hit rate and p50.
 int runServiceJson(size_t NumPrograms) {
@@ -182,7 +292,10 @@ int runServiceJson(size_t NumPrograms) {
                 S.metrics().p50LatencySeconds() * 1e3,
                 I + 1 < std::size(WorkerCounts) ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  std::printf("  ],\n");
+  if (!runRouterScaling(RC))
+    return 1;
+  std::printf("}\n");
   return 0;
 }
 

@@ -99,6 +99,17 @@ for run in cs["runs"]:
     check(f"cold_qps@{w}w", base_runs[w]["cold_qps"], run["cold_qps"], "rate")
     check(f"warm_qps@{w}w", base_runs[w]["warm_qps"], run["warm_qps"], "rate")
 
+print("router (routed cold/warm QPS per replica count):")
+base_router = {r["replicas"]: r for r in bs.get("router_runs", [])}
+for run in cs.get("router_runs", []):
+    n = run["replicas"]
+    if n not in base_router:
+        continue
+    check(f"router_cold_qps@{n}r", base_router[n]["cold_qps"],
+          run["cold_qps"], "rate")
+    check(f"router_warm_qps@{n}r", base_router[n]["warm_qps"],
+          run["warm_qps"], "rate")
+
 if failures:
     print(f"bench regression past tolerance: {', '.join(failures)}")
     sys.exit(1)

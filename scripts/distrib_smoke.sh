@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+#===- distrib_smoke.sh - Distributed train + routed serving smoke --------===#
+#
+# Part of the USpec reproduction (PLDI 2019). MIT license.
+#
+# End-to-end smoke of the DESIGN.md §14 subsystem through the real binary:
+#
+#   1. `train --distributed 4` (self-spawned workers over Unix sockets) is
+#      byte-identical to single-process `train` on the same corpus+seed.
+#   2. A worker killed mid-analyze (USPEC_FAULT=distrib.worker.analyze:0:kill)
+#      still converges to the identical bytes via shard reassignment.
+#   3. `uspec route` in front of two serve replicas: routed `query analyze`
+#      responses are byte-identical to one-shot `analyze --json`; stats fan
+#      out; a broadcast `reload` swaps both replicas live.
+#   4. kill -9 of a replica: the routed query answers `replica_down` once,
+#      and `query --retries` deterministically fails over to the survivor.
+#   5. A routed `shutdown` broadcast drains replicas and router cleanly.
+#
+# Usage: scripts/distrib_smoke.sh [path/to/uspec]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+USPEC=${1:-build/tools/uspec}
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do
+    kill "$p" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail=0
+
+echo "== corpus + single-process baseline"
+"$USPEC" gen --profile java -n 20 -o "$WORK/corpus" --seed 23
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/single.uspb" --seed 23
+
+echo "== train --distributed 4: byte-identity"
+"$USPEC" train "$WORK/corpus"/*.mini -o "$WORK/dist.uspb" --seed 23 \
+  --distributed 4 > "$WORK/dist.log" 2>&1
+grep -q "distributed:" "$WORK/dist.log" || {
+  echo "FAIL: no distributed summary line" >&2
+  fail=1
+}
+if ! cmp -s "$WORK/single.uspb" "$WORK/dist.uspb"; then
+  echo "FAIL: 4-worker artifact differs from single-process bytes" >&2
+  fail=1
+else
+  echo "   4 workers byte-identical"
+fi
+
+echo "== worker killed mid-analyze: reassignment converges"
+USPEC_FAULT=distrib.worker.analyze:0:kill "$USPEC" train \
+  "$WORK/corpus"/*.mini -o "$WORK/killed.uspb" --seed 23 --distributed 2 \
+  > "$WORK/killed.log" 2>&1
+if ! cmp -s "$WORK/single.uspb" "$WORK/killed.uspb"; then
+  echo "FAIL: artifact after worker kill differs from baseline" >&2
+  fail=1
+else
+  echo "   kill -> reassignment byte-identical"
+fi
+
+echo "== routed serving: 2 replicas behind uspec route"
+for i in 0 1; do
+  "$USPEC" serve --model "$WORK/single.uspb" --socket "$WORK/r$i.sock" \
+    --workers 2 2>/dev/null &
+  PIDS+=("$!")
+done
+R0=${PIDS[0]}
+R1=${PIDS[1]}
+for _ in $(seq 100); do
+  [ -S "$WORK/r0.sock" ] && [ -S "$WORK/r1.sock" ] && break
+  sleep 0.1
+done
+"$USPEC" route --socket "$WORK/router.sock" \
+  --replicas "$WORK/r0.sock,$WORK/r1.sock" 2>/dev/null &
+ROUTER=$!
+PIDS+=("$ROUTER")
+for _ in $(seq 100); do
+  [ -S "$WORK/router.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/router.sock" ] || {
+  echo "FAIL: router socket never appeared" >&2
+  exit 1
+}
+
+echo "== routed queries match one-shot analyze --json"
+for i in 0 1 2 3; do
+  "$USPEC" analyze "$WORK/corpus/prog$i.mini" --model "$WORK/single.uspb" \
+    --json > "$WORK/expected.$i.json"
+  "$USPEC" query --socket "$WORK/router.sock" \
+    analyze "$WORK/corpus/prog$i.mini" > "$WORK/routed.$i.json"
+  if ! cmp -s "$WORK/expected.$i.json" "$WORK/routed.$i.json"; then
+    echo "FAIL: routed response $i differs from analyze --json" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] && echo "   4 routed responses byte-identical"
+
+echo "== stats fan-out"
+stats=$("$USPEC" query --socket "$WORK/router.sock" stats)
+echo "$stats" | grep -q '"router"' || {
+  echo "FAIL: aggregated stats missing router section" >&2
+  fail=1
+}
+echo "$stats" | grep -q "r1.sock" || {
+  echo "FAIL: aggregated stats missing replica entry" >&2
+  fail=1
+}
+
+echo "== broadcast reload (live model swap on every replica)"
+reload=$("$USPEC" query --socket "$WORK/router.sock" reload \
+  "$WORK/single.uspb")
+echo "$reload" | grep -q '"reloaded":2' || {
+  echo "FAIL: broadcast reload did not confirm both replicas: $reload" >&2
+  fail=1
+}
+
+echo "== replica kill -9: structured replica_down + deterministic failover"
+kill -9 "$R1" 2>/dev/null || true
+wait "$R1" 2>/dev/null || true
+# With --retries, the transient replica_down answer is retried and the ring
+# walk (now skipping the dead replica) lands every program on the survivor.
+for i in 0 1 2 3; do
+  "$USPEC" query --socket "$WORK/router.sock" --retries 3 \
+    analyze "$WORK/corpus/prog$i.mini" > "$WORK/failover.$i.json"
+  if ! cmp -s "$WORK/expected.$i.json" "$WORK/failover.$i.json"; then
+    echo "FAIL: post-failover response $i differs" >&2
+    fail=1
+  fi
+done
+stats=$("$USPEC" query --socket "$WORK/router.sock" stats)
+echo "$stats" | grep -q '"down":\[1\]' || {
+  echo "FAIL: router stats do not report the dead replica: $stats" >&2
+  fail=1
+}
+[ "$fail" -eq 0 ] && echo "   failover byte-identical, dead replica reported"
+
+echo "== routed shutdown drains the fleet"
+"$USPEC" query --socket "$WORK/router.sock" shutdown > /dev/null
+rc=0
+wait "$ROUTER" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: router exited with status $rc after shutdown" >&2
+  fail=1
+fi
+rc=0
+wait "$R0" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: replica exited with status $rc after broadcast shutdown" >&2
+  fail=1
+fi
+PIDS=()
+
+if [ "$fail" -ne 0 ]; then
+  echo "distrib smoke FAILED" >&2
+  exit 1
+fi
+echo "distrib smoke OK"

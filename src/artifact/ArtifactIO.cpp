@@ -319,6 +319,13 @@ std::string uspec::encodeManifest(const CorpusManifest &Manifest) {
     W.writeU64(E.Fingerprint);
   }
   W.writeVarint(Manifest.Generation);
+  // Distributed-training provenance trails the generation and is written
+  // only when present, keeping plain artifacts byte-identical to the
+  // pre-field encoding (a pinned golden checksum).
+  if (Manifest.DistWorkers != 0) {
+    W.writeVarint(Manifest.DistWorkers);
+    W.writeU64(Manifest.DistShardChecksum);
+  }
   return W.take();
 }
 
@@ -339,6 +346,10 @@ std::optional<CorpusManifest> uspec::decodeManifest(std::string_view Bytes,
   // absent bytes (an older artifact) decode as generation 0.
   if (R.ok() && R.remaining() > 0)
     Manifest.Generation = R.readVarint();
+  if (R.ok() && R.remaining() > 0) {
+    Manifest.DistWorkers = R.readVarint();
+    Manifest.DistShardChecksum = R.readU64();
+  }
   return finish(R, std::move(Manifest), Err);
 }
 

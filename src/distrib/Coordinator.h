@@ -1,0 +1,97 @@
+//===- Coordinator.h - Distributed training coordinator --------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator side of distributed training (DESIGN.md §14). The
+/// coordinator owns everything that must be globally consistent — the
+/// interner, the shard plan, Phase 2b model training, the left-to-right
+/// ledger merge, and Phases 4–5 (scoring, selection) — while N worker
+/// processes run the per-program phases 1–3 over contiguous corpus shards.
+///
+/// Byte-identity at any worker count follows from four facts: (1) shards
+/// are contiguous corpus ranges processed with *global* indices (seeds,
+/// program ids, fault indices), (2) workers replay the coordinator's
+/// interner snapshot so feature hashes agree bit-for-bit, (3) training
+/// samples concatenate in shard order = corpus order, and (4) the per-shard
+/// candidate ledgers fold left-to-right with CandidateLedger::extendWith,
+/// whose semantics equal the in-process collector merge (PR 2). A shard
+/// whose worker dies is reassigned with bounded retries and finally demoted
+/// to in-process execution at the coordinator — the demotion path runs the
+/// exact same analyzeShard/extractShard code, so convergence is always to
+/// the same bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_DISTRIB_COORDINATOR_H
+#define USPEC_DISTRIB_COORDINATOR_H
+
+#include "distrib/Wire.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uspec {
+namespace distrib {
+
+/// How a distributed train run is provisioned.
+struct DistribOptions {
+  /// Worker processes (the N of `train --distributed N`).
+  unsigned NumWorkers = 1;
+  /// When empty, the coordinator spawns its own workers (self-exec `uspec
+  /// worker --connect` over a private Unix socket). Otherwise it listens on
+  /// this address and waits for NumWorkers externally-launched workers.
+  std::string ListenAddress;
+  /// Phase-1 parallelism inside each worker (0 = hardware concurrency).
+  unsigned WorkerThreads = 1;
+  /// Total attempts per shard (first assignment + reassignments) before the
+  /// shard is demoted to in-process execution at the coordinator.
+  unsigned MaxAttempts = 3;
+  /// How long to wait for workers to connect before running degraded.
+  unsigned AcceptTimeoutMs = 30000;
+};
+
+/// What happened operationally (byte-identity means none of this shows up
+/// in the artifact unless --provenance asks for it).
+struct DistStats {
+  unsigned WorkersRequested = 0;
+  unsigned WorkersConnected = 0;
+  unsigned WorkersDied = 0;
+  size_t Shards = 0;
+  size_t ShardsReassigned = 0;
+  size_t ShardsDemoted = 0;
+  /// Fingerprint of the shard plan (corpus size, shard count, boundaries) —
+  /// recorded as artifact provenance under `--provenance`.
+  uint64_t ShardMapChecksum = 0;
+  /// Human-readable, quantified notes (worker deaths, reassignments,
+  /// demotions, degraded provisioning).
+  std::vector<std::string> Notes;
+};
+
+/// Runs the full pipeline over \p Sources distributed across worker
+/// processes, returning a LearnResult equal — byte-for-byte after artifact
+/// encoding — to USpecLearner::learn (or learnIncrement when \p Warm is
+/// set) over the same corpus slice.
+///
+/// \p Sources are the raw program texts in corpus order; the caller (CLI)
+/// has already parsed them into \p Strings, so the interner snapshot
+/// shipped to workers is complete. With \p Warm, \p Sources are the delta
+/// programs and global indices continue from Warm->BasePrograms.
+///
+/// Returns nullopt only on infrastructure failure that prevents any result
+/// (listen failure, bad address); worker deaths never fail the run — shards
+/// are reassigned (bounded by Opts.MaxAttempts) and finally demoted to
+/// in-process execution, with quantified notes in \p Stats.
+std::optional<LearnResult>
+distributedLearn(const std::vector<ProgramSource> &Sources,
+                 const LearnerConfig &Config, StringInterner &Strings,
+                 const DistribOptions &Opts, std::optional<WarmStart> Warm,
+                 DistStats &Stats, std::string *Err = nullptr);
+
+} // namespace distrib
+} // namespace uspec
+
+#endif // USPEC_DISTRIB_COORDINATOR_H

@@ -1,0 +1,394 @@
+//===- Router.cpp - Consistent-hash serving router ------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "distrib/Router.h"
+
+#include "distrib/Wire.h"
+#include "service/Protocol.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace uspec;
+using namespace uspec::distrib;
+
+Router::Router(RouterConfig C) : Config(std::move(C)) {
+  size_t N = Config.Replicas.size();
+  Down = std::make_unique<std::atomic<bool>[]>(N ? N : 1);
+  for (size_t I = 0; I < N; ++I)
+    Down[I].store(false, std::memory_order_relaxed);
+  // The ring is a pure function of (replica addresses, vnode count):
+  // restarts and every router instance over the same fleet agree on
+  // ownership. Removing a replica only reassigns the keys it owned — the
+  // consistent-hashing property the stability test pins.
+  Ring.reserve(N * Config.VirtualNodes);
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t AddrHash = hashString(Config.Replicas[I]);
+    for (unsigned V = 0; V < Config.VirtualNodes; ++V)
+      Ring.push_back({hashValues(AddrHash, uint64_t(V)),
+                      static_cast<uint32_t>(I)});
+  }
+  std::sort(Ring.begin(), Ring.end(), [](const RingPoint &A,
+                                         const RingPoint &B) {
+    return A.Point != B.Point ? A.Point < B.Point : A.Replica < B.Replica;
+  });
+}
+
+size_t Router::ringBegin(std::string_view Program) const {
+  uint64_t Key = hashString(Program);
+  size_t Lo = 0, Hi = Ring.size();
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Ring[Mid].Point < Key)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo == Ring.size() ? 0 : Lo; // wrap past the last point
+}
+
+size_t Router::ownerOf(std::string_view Program) const {
+  if (Ring.empty())
+    return numReplicas();
+  return Ring[ringBegin(Program)].Replica;
+}
+
+size_t Router::liveOwnerOf(std::string_view Program) const {
+  if (Ring.empty())
+    return numReplicas();
+  size_t Start = ringBegin(Program);
+  for (size_t Step = 0; Step < Ring.size(); ++Step) {
+    const RingPoint &P = Ring[(Start + Step) % Ring.size()];
+    if (!Down[P.Replica].load(std::memory_order_relaxed))
+      return P.Replica;
+  }
+  return numReplicas();
+}
+
+void Router::markDown(size_t Replica) {
+  if (Replica < numReplicas())
+    Down[Replica].store(true, std::memory_order_relaxed);
+}
+
+void Router::markUp(size_t Replica) {
+  if (Replica < numReplicas())
+    Down[Replica].store(false, std::memory_order_relaxed);
+}
+
+bool Router::isDown(size_t Replica) const {
+  return Replica < numReplicas() &&
+         Down[Replica].load(std::memory_order_relaxed);
+}
+
+std::string Router::statsJson() const {
+  std::string Out = "{\"replicas\":" + std::to_string(numReplicas());
+  Out += ",\"down\":[";
+  bool First = true;
+  for (size_t I = 0; I < numReplicas(); ++I) {
+    if (!isDown(I))
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += std::to_string(I);
+  }
+  Out += "],\"requests\":" + std::to_string(Requests.load());
+  Out += ",\"forwarded\":" + std::to_string(Forwarded.load());
+  Out += ",\"fanouts\":" + std::to_string(FanOuts.load());
+  Out += ",\"broadcasts\":" + std::to_string(Broadcasts.load());
+  Out += ",\"replica_down_errors\":" + std::to_string(ReplicaDownErrors.load());
+  Out += ",\"bad_requests\":" + std::to_string(BadRequests.load());
+  Out += '}';
+  return Out;
+}
+
+namespace {
+
+/// Recovers the byte-exact result payload from a serve envelope (the probe
+/// requests below carry no id, so the envelope prefix is fixed).
+bool stripOkEnvelope(const std::string &Response, std::string &Payload) {
+  static const std::string Prefix = "{\"ok\":true,\"result\":";
+  if (Response.size() <= Prefix.size() + 1 ||
+      Response.compare(0, Prefix.size(), Prefix) != 0 ||
+      Response.back() != '}')
+    return false;
+  Payload.assign(Response, Prefix.size(),
+                 Response.size() - Prefix.size() - 1);
+  return true;
+}
+
+} // namespace
+
+std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
+                           bool Metrics) {
+  FanOuts.fetch_add(1, std::memory_order_relaxed);
+  // Probe *every* replica, including down ones: fan-out doubles as the
+  // health re-probe, and a success clears the down flag so routing recovers
+  // without operator action.
+  std::string Probe =
+      Metrics ? "{\"verb\":\"metrics\"}" : "{\"verb\":\"stats\"}";
+  std::vector<std::pair<bool, std::string>> Results(numReplicas());
+  for (size_t I = 0; I < numReplicas(); ++I) {
+    std::string Response, Err;
+    if (clientRoundTrip(Config.Replicas[I], Probe, Response, &Err)) {
+      markUp(I);
+      Results[I] = {true, std::move(Response)};
+    } else {
+      markDown(I);
+      Results[I] = {false, std::move(Err)};
+    }
+  }
+
+  if (Metrics) {
+    // Aggregate exposition: the router's own counters, then each live
+    // replica's text (their uspec_service_* series carry no instance label;
+    // consumers scrape per-replica sockets when they need the split).
+    std::string Text;
+    auto Counter = [&Text](const char *Name, uint64_t V) {
+      Text += "# TYPE ";
+      Text += Name;
+      Text += " counter\n";
+      Text += Name;
+      Text += ' ';
+      Text += std::to_string(V);
+      Text += '\n';
+    };
+    Counter("uspec_router_requests_total", Requests.load());
+    Counter("uspec_router_forwarded_total", Forwarded.load());
+    Counter("uspec_router_replica_down_errors_total",
+            ReplicaDownErrors.load());
+    Text += "# TYPE uspec_router_replicas_down gauge\n";
+    size_t NumDown = 0;
+    for (size_t I = 0; I < numReplicas(); ++I)
+      NumDown += isDown(I) ? 1 : 0;
+    Text += "uspec_router_replicas_down " + std::to_string(NumDown) + "\n";
+    for (size_t I = 0; I < numReplicas(); ++I) {
+      if (!Results[I].first)
+        continue;
+      service::JsonValue Doc;
+      std::string Err;
+      if (!service::parseJson(Results[I].second, Doc, &Err))
+        continue;
+      const service::JsonValue *Result = Doc.find("result");
+      if (Result && Result->isString())
+        Text += Result->StringValue;
+    }
+    std::string Payload;
+    service::appendJsonString(Payload, Text);
+    return service::okResponse(Id, Payload, TraceId);
+  }
+
+  std::string Payload = "{\"router\":" + statsJson() + ",\"replicas\":[";
+  for (size_t I = 0; I < numReplicas(); ++I) {
+    if (I)
+      Payload += ',';
+    Payload += "{\"addr\":";
+    service::appendJsonString(Payload, Config.Replicas[I]);
+    std::string Inner;
+    if (Results[I].first && stripOkEnvelope(Results[I].second, Inner)) {
+      Payload += ",\"ok\":true,\"stats\":" + Inner;
+    } else {
+      Payload += ",\"ok\":false";
+    }
+    Payload += '}';
+  }
+  Payload += "]}";
+  return service::okResponse(Id, Payload, TraceId);
+}
+
+std::string Router::broadcastReload(const std::string &Line,
+                                    const std::string &Id,
+                                    std::string_view TraceId) {
+  Broadcasts.fetch_add(1, std::memory_order_relaxed);
+  // Forward the original request so a `path` member reaches every replica.
+  // Each replica swaps independently (zero-downtime per PR 6); the
+  // aggregate reports who confirmed.
+  size_t Reloaded = 0;
+  std::string Payload = "{\"replicas\":[";
+  for (size_t I = 0; I < numReplicas(); ++I) {
+    std::string Response, Err;
+    bool Ok = clientRoundTrip(Config.Replicas[I], Line, Response, &Err) &&
+              Response.find("\"ok\":true") != std::string::npos;
+    if (Ok) {
+      markUp(I);
+      ++Reloaded;
+    } else {
+      markDown(I);
+    }
+    if (I)
+      Payload += ',';
+    Payload += "{\"addr\":";
+    service::appendJsonString(Payload, Config.Replicas[I]);
+    Payload += ",\"ok\":";
+    Payload += Ok ? "true" : "false";
+    Payload += '}';
+  }
+  Payload += "],\"reloaded\":" + std::to_string(Reloaded) + "}";
+  if (numReplicas() != 0 && Reloaded == 0)
+    return service::errorResponse(Id, "reload_failed",
+                                  "no replica confirmed the reload", TraceId);
+  return service::okResponse(Id, Payload, TraceId);
+}
+
+std::string Router::handleLine(const std::string &Line) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  service::Request Req;
+  std::string Err;
+  if (!service::parseRequest(Line, Req, &Err)) {
+    BadRequests.fetch_add(1, std::memory_order_relaxed);
+    return service::errorResponse(Req.Id, "bad_request", Err, Req.TraceId);
+  }
+
+  switch (Req.TheVerb) {
+  case service::Verb::Stats:
+    return fanOut(Req.Id, Req.TraceId, /*Metrics=*/false);
+  case service::Verb::Metrics:
+    return fanOut(Req.Id, Req.TraceId, /*Metrics=*/true);
+  case service::Verb::Reload:
+    return broadcastReload(Line, Req.Id, Req.TraceId);
+  case service::Verb::Shutdown: {
+    Broadcasts.fetch_add(1, std::memory_order_relaxed);
+    for (size_t I = 0; I < numReplicas(); ++I) {
+      std::string Response, E2;
+      clientRoundTrip(Config.Replicas[I], "{\"verb\":\"shutdown\"}", Response,
+                      &E2);
+    }
+    StopRequested.store(true, std::memory_order_release);
+    return service::okResponse(Req.Id, "{\"stopping\":true}", Req.TraceId);
+  }
+  default:
+    break;
+  }
+
+  // Program-carrying verbs (and `specs`, which routes by the empty key):
+  // forward the raw line to the live ring owner, so the response — id echo,
+  // trace id, result bytes — is exactly what a direct client would see.
+  size_t R = liveOwnerOf(Req.Program);
+  if (R >= numReplicas()) {
+    ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
+    return service::errorResponse(
+        Req.Id, "replica_down",
+        "all " + std::to_string(numReplicas()) + " replicas down",
+        Req.TraceId);
+  }
+  std::string Response;
+  if (clientRoundTrip(Config.Replicas[R], Line, Response, &Err)) {
+    Forwarded.fetch_add(1, std::memory_order_relaxed);
+    return Response;
+  }
+  // Mark down *before* answering: the client's retry walks the ring past
+  // this replica, which is the deterministic failover the tests pin.
+  markDown(R);
+  ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
+  return service::errorResponse(Req.Id, "replica_down",
+                                "replica " + Config.Replicas[R] +
+                                    " unreachable; marked down, retry routes "
+                                    "to the next live owner",
+                                Req.TraceId);
+}
+
+//===----------------------------------------------------------------------===//
+// Socket serving (modeled on service::Server's accept loop)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool sendAllBytes(int Fd, const char *Data, size_t Len) {
+  size_t Sent = 0;
+  while (Sent < Len) {
+    ssize_t N = ::send(Fd, Data + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+int Router::serveUnixSocket(const std::string &Path,
+                            const volatile int *StopFlag) {
+  std::string Err;
+  Address Addr;
+  Addr.Tcp = false;
+  Addr.Path = Path;
+  int ListenFd = wireListen(Addr, &Err);
+  if (ListenFd < 0) {
+    return 1;
+  }
+
+  std::mutex ConnMu;
+  std::vector<int> ConnFds;
+  std::vector<std::thread> Threads;
+
+  auto Stopped = [&] {
+    return (StopFlag && *StopFlag) ||
+           StopRequested.load(std::memory_order_acquire);
+  };
+
+  while (!Stopped()) {
+    int Client = wireAccept(ListenFd, static_cast<int>(Config.AcceptPollMs));
+    if (Client == -1)
+      continue; // poll timeout: re-check the stop flags
+    if (Client < 0)
+      break;
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      ConnFds.push_back(Client);
+    }
+    Threads.emplace_back([this, Client, &ConnMu, &ConnFds] {
+      std::string Buffer;
+      char Chunk[65536];
+      for (;;) {
+        ssize_t N = ::recv(Client, Chunk, sizeof(Chunk), 0);
+        if (N < 0 && errno == EINTR)
+          continue;
+        if (N <= 0)
+          break;
+        Buffer.append(Chunk, static_cast<size_t>(N));
+        size_t Pos;
+        while ((Pos = Buffer.find('\n')) != std::string::npos) {
+          std::string Line = Buffer.substr(0, Pos);
+          Buffer.erase(0, Pos + 1);
+          if (!Line.empty() && Line.back() == '\r')
+            Line.pop_back();
+          if (Line.empty())
+            continue;
+          std::string Response = handleLine(Line);
+          Response += '\n';
+          if (!sendAllBytes(Client, Response.data(), Response.size()))
+            break;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> Lock(ConnMu);
+        ConnFds.erase(std::remove(ConnFds.begin(), ConnFds.end(), Client),
+                      ConnFds.end());
+      }
+      ::close(Client);
+    });
+  }
+
+  // Wake blocked readers so their threads observe EOF and exit.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RD);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  ::close(ListenFd);
+  ::unlink(Path.c_str());
+  return 0;
+}

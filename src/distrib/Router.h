@@ -1,0 +1,108 @@
+//===- Router.h - Consistent-hash serving router ---------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `uspec route`: a consistent-hash router in front of N `uspec serve`
+/// replicas (DESIGN.md §14). Program-carrying verbs (analyze/alias/
+/// typestate/taint) are forwarded to the replica owning the program's
+/// position on a 64-virtual-node hash ring keyed by hashString(source) —
+/// the same source text always lands on the same replica, so the
+/// shared-nothing per-replica LRU caches partition the fingerprint keyspace
+/// instead of duplicating it. `stats`/`metrics` fan out to every replica
+/// (re-probing down ones) and aggregate; `reload` broadcasts for
+/// zero-downtime fleet-wide model swaps; a dead replica yields a structured
+/// `replica_down` error (transient — `uspec query --retries` retries it)
+/// and deterministic failover: the ring walk skips down replicas, so the
+/// retry lands on the next live owner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_DISTRIB_ROUTER_H
+#define USPEC_DISTRIB_ROUTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uspec {
+namespace distrib {
+
+struct RouterConfig {
+  /// Unix socket paths of the serve replicas, in ring order (the ring is a
+  /// pure function of these strings, so a restart reproduces it).
+  std::vector<std::string> Replicas;
+  /// Ring points per replica. More points smooth the keyspace split;
+  /// ownership stays deterministic at any value.
+  unsigned VirtualNodes = 64;
+  /// Accept-loop poll interval (bounds stop-flag latency), milliseconds.
+  unsigned AcceptPollMs = 200;
+};
+
+/// The router. Health state (down flags) is test-visible: consistent-hash
+/// stability under replica removal is a pinned property, not an emergent
+/// one.
+class Router {
+public:
+  explicit Router(RouterConfig Config);
+
+  size_t numReplicas() const { return Config.Replicas.size(); }
+
+  /// Ring owner of \p Program ignoring health — the stable assignment.
+  size_t ownerOf(std::string_view Program) const;
+
+  /// Ring owner skipping down replicas (deterministic failover order).
+  /// Returns numReplicas() when every replica is down.
+  size_t liveOwnerOf(std::string_view Program) const;
+
+  void markDown(size_t Replica);
+  void markUp(size_t Replica);
+  bool isDown(size_t Replica) const;
+
+  /// Handles one request line, returning one response line (no trailing
+  /// newline). Forwarding, fan-out and broadcast happen synchronously.
+  std::string handleLine(const std::string &Line);
+
+  /// The router's own counters as a JSON object.
+  std::string statsJson() const;
+
+  /// Serves newline-delimited JSON on a Unix socket until \p StopFlag is
+  /// set (or a `shutdown` request arrives, which also broadcasts to the
+  /// replicas). Returns a process exit code.
+  int serveUnixSocket(const std::string &Path, const volatile int *StopFlag);
+
+private:
+  struct RingPoint {
+    uint64_t Point;
+    uint32_t Replica;
+  };
+
+  size_t ringBegin(std::string_view Program) const;
+  std::string fanOut(const std::string &Id, std::string_view TraceId,
+                     bool Metrics);
+  std::string broadcastReload(const std::string &Line, const std::string &Id,
+                              std::string_view TraceId);
+
+  RouterConfig Config;
+  std::vector<RingPoint> Ring;
+  std::unique_ptr<std::atomic<bool>[]> Down;
+  std::atomic<bool> StopRequested{false};
+
+  // Counters (rendered by statsJson and the metrics aggregation).
+  mutable std::atomic<uint64_t> Requests{0};
+  mutable std::atomic<uint64_t> Forwarded{0};
+  mutable std::atomic<uint64_t> FanOuts{0};
+  mutable std::atomic<uint64_t> Broadcasts{0};
+  mutable std::atomic<uint64_t> ReplicaDownErrors{0};
+  mutable std::atomic<uint64_t> BadRequests{0};
+};
+
+} // namespace distrib
+} // namespace uspec
+
+#endif // USPEC_DISTRIB_ROUTER_H

@@ -1,0 +1,77 @@
+//===- Worker.h - Distributed training worker ------------------*- C++ -*-===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker side of distributed training (DESIGN.md §14): a process that
+/// connects to the coordinator, replays its interner snapshot, and runs the
+/// learn() pipeline phases 1–3 over the corpus shards it is handed. The
+/// shard-processing functions are free functions shared with the
+/// coordinator, which runs them in-process when it demotes a shard after a
+/// worker death exhausts its retries — both paths execute the exact same
+/// code, which is half of the byte-identity argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef USPEC_DISTRIB_WORKER_H
+#define USPEC_DISTRIB_WORKER_H
+
+#include "distrib/Wire.h"
+#include "ir/IR.h"
+#include "pointsto/Analysis.h"
+
+#include <memory>
+
+namespace uspec {
+namespace distrib {
+
+/// Per-shard state cached between the analyze and extract rounds. On shard
+/// reassignment (the analyzing worker died) the replacement rebuilds it from
+/// re-sent sources; analysis is deterministic, so the rebuilt graphs and
+/// quarantine decisions are identical.
+struct ShardState {
+  uint64_t Base = 0;
+  std::vector<IRProgram> Programs;
+  /// Kept alive alongside the graphs, mirroring learn()'s lifetime
+  /// discipline.
+  std::vector<std::unique_ptr<AnalysisResult>> Analyses;
+  std::vector<EventGraph> Graphs;
+  std::vector<std::string> QReason; ///< "" = healthy; learn() reason codes.
+};
+
+/// learn() Phase 1 + 2a over one shard: parse each source (a failure keeps
+/// an empty corpus slot, matching the journal pipeline's in-place
+/// quarantine), analyze with the per-program step budget, build the event
+/// graph, and collect training samples seeded by the *global* corpus index
+/// (hashValues(Seed, Base + I)) — exactly the per-slot behavior of a
+/// single-process learn() over the whole corpus. The fault site
+/// "learn.analyze" fires on global indices here too, so an armed schedule
+/// quarantines the same program distributed or not.
+AnalyzedResult analyzeShard(const AnalyzeTask &Task, const WireConfig &Config,
+                            StringInterner &Strings, ShardState &State);
+
+/// learn() Phase 3 over a cached shard with the globally trained model:
+/// serial Alg. 1 per graph (all-or-nothing under a step budget, staging
+/// through a scratch collector exactly as learn() does), into one collector
+/// snapshotted as the shard's ledger. Collector merge is shard-boundary
+/// invariant, so the coordinator folding these ledgers left-to-right
+/// reproduces the single-process candidate table bit for bit.
+ExtractedResult extractShard(ShardState &State, const EdgeModel &Model,
+                             const WireConfig &Config);
+
+/// Worker main loop: connect to \p Coordinator, send Hello, then serve
+/// Init/Analyze/Model/Extract until Done. \p ThreadsOverride, when nonzero,
+/// wins over the Init-supplied worker parallelism. Fault sites
+/// "distrib.worker.analyze" / "distrib.worker.extract" fire on the
+/// coordinator-assigned worker id at task receipt, so a USPEC_FAULT
+/// schedule inherited by every spawned worker still kills exactly one.
+/// Returns a process exit code.
+int runWorker(const Address &Coordinator, unsigned ThreadsOverride,
+              std::string *Err = nullptr);
+
+} // namespace distrib
+} // namespace uspec
+
+#endif // USPEC_DISTRIB_WORKER_H

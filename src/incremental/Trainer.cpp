@@ -165,7 +165,8 @@ incremental::trainFromJournal(const CorpusJournal &J,
                               const LearnerConfig &Config,
                               StringInterner &Strings,
                               std::string_view PrevArtifactBytes,
-                              bool ForceReplay, std::string *Err) {
+                              bool ForceReplay, std::string *Err,
+                              const PipelineEngine *Engine) {
   if (J.Entries.empty()) {
     if (Err)
       *Err = "journal is empty; ingest programs first";
@@ -214,8 +215,12 @@ incremental::trainFromJournal(const CorpusJournal &J,
       Span.arg("mode", std::string(trainModeName(Out.Mode)));
       Span.arg("programs", std::to_string(Corpus.size()));
     }
-    USpecLearner Learner(Strings, Config);
-    Out.Result = Learner.learn(Corpus);
+    if (Engine && Engine->Full) {
+      Out.Result = Engine->Full(Corpus);
+    } else {
+      USpecLearner Learner(Strings, Config);
+      Out.Result = Learner.learn(Corpus);
+    }
     appendManifestEntries(Out.Manifest, J, 0, Corpus);
     Out.ProgramsTrained = Corpus.size();
     return Out;
@@ -249,9 +254,13 @@ incremental::trainFromJournal(const CorpusJournal &J,
   Seed.BasePrograms = Base;
   Seed.BaseTrainingSamples = Prev->Result.NumTrainingSamples;
 
-  USpecLearner Learner(Strings, Config);
   Out.Mode = TrainMode::Warm;
-  Out.Result = Learner.learnIncrement(Delta, std::move(Seed));
+  if (Engine && Engine->Increment) {
+    Out.Result = Engine->Increment(Delta, std::move(Seed));
+  } else {
+    USpecLearner Learner(Strings, Config);
+    Out.Result = Learner.learnIncrement(Delta, std::move(Seed));
+  }
   Out.Manifest.Entries = Prev->Manifest.Entries;
   appendManifestEntries(Out.Manifest, J, Base, Delta);
   Out.ProgramsTrained = Delta.size();

@@ -79,6 +79,27 @@
 //       retries transient failures (connection errors, `overloaded`) with
 //       deterministic seeded exponential backoff.
 //
+//   uspec train   ... --distributed N [--listen ADDR] [--worker-threads N]
+//                 [--provenance]
+//       Fan the training pipeline out across N worker processes
+//       (self-spawned, or externally launched `uspec worker` instances
+//       when --listen is given). The artifact is byte-identical to the
+//       single-process run at any worker count — including after worker
+//       deaths, which reassign shards with bounded retries and demote to
+//       in-process execution. --provenance records the worker count and
+//       shard-map checksum in the manifest (shown by `uspec info`).
+//
+//   uspec worker  --connect ADDR [--threads N]
+//       One training worker: connect to a coordinator, process shards
+//       until Done.
+//
+//   uspec route   --socket PATH --replicas SOCK1,SOCK2,... [--vnodes N]
+//       Consistent-hash router over N `uspec serve --socket` replicas:
+//       program-carrying verbs go to the ring owner of the program text,
+//       stats/metrics fan out and aggregate, reload broadcasts, and a dead
+//       replica answers `replica_down` (transient for `query --retries`)
+//       with deterministic ring-walk failover.
+//
 //   uspec check   FILES...
 //       Parse and lower files, reporting diagnostics.
 //
@@ -93,6 +114,9 @@
 #include "corpus/Dedup.h"
 #include "corpus/Generator.h"
 #include "corpus/Profiles.h"
+#include "distrib/Coordinator.h"
+#include "distrib/Router.h"
+#include "distrib/Worker.h"
 #include "eventgraph/Dot.h"
 #include "incremental/Journal.h"
 #include "incremental/Trainer.h"
@@ -134,6 +158,11 @@ int usage() {
       "  uspec train --journal corpus.uspj -o run.uspb [--replay]\n"
       "              [--tau X] [--seed S] [--threads N] [--stats]\n"
       "              [--step-budget N] [--trace t.json]\n"
+      "  uspec train ... --distributed N [--listen ADDR]\n"
+      "              [--worker-threads N] [--provenance]\n"
+      "  uspec worker --connect ADDR [--threads N]\n"
+      "  uspec route --socket PATH --replicas SOCK1,SOCK2,...\n"
+      "              [--vnodes N]\n"
       "  uspec ingest FILES... -j corpus.uspj\n"
       "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
       "  uspec info run.uspb\n"
@@ -297,7 +326,8 @@ int cmdGen(Args &A) {
 /// behavior (`learn/train --strict`).
 bool loadCorpus(const std::vector<std::string> &Files, StringInterner &Strings,
                 std::vector<IRProgram> &Corpus, CorpusManifest &Manifest,
-                bool Strict, std::vector<QuarantineRecord> &Quarantined) {
+                bool Strict, std::vector<QuarantineRecord> &Quarantined,
+                std::vector<distrib::ProgramSource> *Sources = nullptr) {
   for (size_t I = 0; I < Files.size(); ++I) {
     const std::string &Path = Files[I];
     auto Source = readFile(Path);
@@ -322,6 +352,8 @@ bool loadCorpus(const std::vector<std::string> &Files, StringInterner &Strings,
     }
     Manifest.Entries.push_back({Path, programFingerprint(*P)});
     Corpus.push_back(std::move(*P));
+    if (Sources)
+      Sources->push_back({Path, std::move(*Source)});
   }
   if (Corpus.empty()) {
     std::fprintf(stderr, "error: no loadable programs in the corpus\n");
@@ -352,8 +384,10 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   uint64_t Seed = 0xC0FFEE;
   uint64_t Threads = 0; // 0 = hardware concurrency
   uint64_t StepBudget = 0;
+  uint64_t Distributed = 0, WorkerThreads = 1;
+  std::string ListenAddr;
   bool Dedup = false, Stats = false, Strict = false, Resume = false;
-  bool Replay = false;
+  bool Replay = false, Provenance = false;
   const char *Cmd = Train ? "train" : "learn";
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--dedup")) {
@@ -364,6 +398,30 @@ int cmdLearnOrTrain(Args &A, bool Train) {
       Strict = true;
     } else if (Train && !std::strcmp(Arg, "--resume")) {
       Resume = true;
+    } else if (Train && !std::strcmp(Arg, "--distributed")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue(Cmd, Arg);
+      if (!parseUInt("--distributed", V, Distributed))
+        return 2;
+      if (!Distributed) {
+        std::fprintf(stderr, "error: --distributed expects at least 1 "
+                             "worker\n");
+        return 2;
+      }
+    } else if (Train && !std::strcmp(Arg, "--listen")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue(Cmd, Arg);
+      ListenAddr = V;
+    } else if (Train && !std::strcmp(Arg, "--worker-threads")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue(Cmd, Arg);
+      if (!parseUInt("--worker-threads", V, WorkerThreads))
+        return 2;
+    } else if (Train && !std::strcmp(Arg, "--provenance")) {
+      Provenance = true;
     } else if (Train && !std::strcmp(Arg, "--journal")) {
       const char *V = A.next();
       if (!V)
@@ -430,6 +488,27 @@ int cmdLearnOrTrain(Args &A, bool Train) {
     std::fprintf(stderr, "error: --replay requires --journal\n");
     return 2;
   }
+  if (!Distributed && (Provenance || !ListenAddr.empty())) {
+    std::fprintf(stderr, "error: %s requires --distributed N\n",
+                 Provenance ? "--provenance" : "--listen");
+    return 2;
+  }
+  distrib::DistribOptions DOpts;
+  DOpts.NumWorkers = static_cast<unsigned>(Distributed);
+  DOpts.ListenAddress = ListenAddr;
+  DOpts.WorkerThreads = static_cast<unsigned>(WorkerThreads);
+  distrib::DistStats DStats;
+  auto PrintDistSummary = [&] {
+    for (const std::string &Note : DStats.Notes)
+      std::fprintf(stderr, "note: %s\n", Note.c_str());
+    std::fprintf(stderr,
+                 "distributed: %u/%u workers (%u died), %zu shards "
+                 "(%zu reassigned, %zu demoted), shard map %016llx\n",
+                 DStats.WorkersConnected, DStats.WorkersRequested,
+                 DStats.WorkersDied, DStats.Shards, DStats.ShardsReassigned,
+                 DStats.ShardsDemoted,
+                 static_cast<unsigned long long>(DStats.ShardMapChecksum));
+  };
   if (!TracePath.empty()) {
     std::string Err;
     if (!trace::startToFile(TracePath, &Err)) {
@@ -463,14 +542,67 @@ int cmdLearnOrTrain(Args &A, bool Train) {
     Cfg.Seed = Seed;
     Cfg.Threads = static_cast<unsigned>(Threads);
     Cfg.ProgramStepBudget = StepBudget;
-    auto Outcome = incremental::trainFromJournal(J, Cfg, Strings, PrevBytes,
-                                                 Replay, &Err);
+    // --distributed swaps the pipeline engine under the journal layer: mode
+    // decisions, lineage and diffs are unchanged, only learn()/
+    // learnIncrement() fan out to worker processes. The closures slice the
+    // journal itself into shard payloads (the parsed corpus they receive
+    // already populated the interner, which is all distributedLearn needs
+    // from it) and fall back to the in-process learner if provisioning
+    // fails outright.
+    incremental::PipelineEngine Engine;
+    if (Distributed) {
+      Engine.Full = [&](const std::vector<IRProgram> &Corpus) -> LearnResult {
+        std::vector<distrib::ProgramSource> Sources;
+        Sources.reserve(J.Entries.size());
+        for (const auto &E : J.Entries)
+          Sources.push_back({E.Name, E.Source});
+        std::string DErr;
+        auto R = distrib::distributedLearn(Sources, Cfg, Strings, DOpts,
+                                           std::nullopt, DStats, &DErr);
+        if (R)
+          return std::move(*R);
+        std::fprintf(stderr,
+                     "warning: distributed run unavailable (%s); training "
+                     "in-process\n",
+                     DErr.c_str());
+        USpecLearner Learner(Strings, Cfg);
+        return Learner.learn(Corpus);
+      };
+      Engine.Increment = [&](const std::vector<IRProgram> &Delta,
+                             WarmStart Seed) -> LearnResult {
+        std::vector<distrib::ProgramSource> Sources;
+        Sources.reserve(J.Entries.size() - Seed.BasePrograms);
+        for (size_t I = Seed.BasePrograms; I < J.Entries.size(); ++I)
+          Sources.push_back({J.Entries[I].Name, J.Entries[I].Source});
+        std::string DErr;
+        auto R = distrib::distributedLearn(Sources, Cfg, Strings, DOpts,
+                                           Seed, DStats, &DErr);
+        if (R)
+          return std::move(*R);
+        std::fprintf(stderr,
+                     "warning: distributed run unavailable (%s); training "
+                     "in-process\n",
+                     DErr.c_str());
+        USpecLearner Learner(Strings, Cfg);
+        return Learner.learnIncrement(Delta, std::move(Seed));
+      };
+    }
+    auto Outcome = incremental::trainFromJournal(
+        J, Cfg, Strings, PrevBytes, Replay, &Err,
+        Distributed ? &Engine : nullptr);
     if (!Outcome) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
     }
     for (const std::string &Note : Outcome->Notes)
       std::fprintf(stderr, "note: %s\n", Note.c_str());
+    if (Distributed && Outcome->Mode != incremental::TrainMode::UpToDate) {
+      PrintDistSummary();
+      if (Provenance) {
+        Outcome->Manifest.DistWorkers = Distributed;
+        Outcome->Manifest.DistShardChecksum = DStats.ShardMapChecksum;
+      }
+    }
     if (Outcome->Mode == incremental::TrainMode::UpToDate) {
       std::fprintf(stderr,
                    "%s is up to date with %s (generation %llu, %zu entries); "
@@ -513,14 +645,19 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   std::vector<IRProgram> Corpus;
   CorpusManifest Manifest;
   std::vector<QuarantineRecord> ParseQuarantine;
-  if (!loadCorpus(Files, Strings, Corpus, Manifest, Strict, ParseQuarantine))
+  std::vector<distrib::ProgramSource> RawSources;
+  if (!loadCorpus(Files, Strings, Corpus, Manifest, Strict, ParseQuarantine,
+                  Distributed ? &RawSources : nullptr))
     return 1;
 
   if (Dedup) {
     std::vector<size_t> Dups = duplicateIndices(Corpus);
-    for (size_t I = Dups.size(); I-- > 0;)
+    for (size_t I = Dups.size(); I-- > 0;) {
       Manifest.Entries.erase(Manifest.Entries.begin() +
                              static_cast<long>(Dups[I]));
+      if (Distributed)
+        RawSources.erase(RawSources.begin() + static_cast<long>(Dups[I]));
+    }
     size_t Removed = dedupeCorpus(Corpus);
     std::fprintf(stderr, "dedup: removed %zu duplicate program(s)\n",
                  Removed);
@@ -561,7 +698,28 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   Cfg.Threads = static_cast<unsigned>(Threads);
   Cfg.ProgramStepBudget = StepBudget;
   USpecLearner Learner(Strings, Cfg);
-  LearnResult Result = Learner.learn(Corpus);
+  LearnResult Result;
+  if (Distributed) {
+    std::string DErr;
+    auto R = distrib::distributedLearn(RawSources, Cfg, Strings, DOpts,
+                                       std::nullopt, DStats, &DErr);
+    if (R) {
+      Result = std::move(*R);
+    } else {
+      std::fprintf(stderr,
+                   "warning: distributed run unavailable (%s); training "
+                   "in-process\n",
+                   DErr.c_str());
+      Result = Learner.learn(Corpus);
+    }
+    PrintDistSummary();
+    if (Provenance) {
+      Manifest.DistWorkers = Distributed;
+      Manifest.DistShardChecksum = DStats.ShardMapChecksum;
+    }
+  } else {
+    Result = Learner.learn(Corpus);
+  }
   printCandidates(Strings, Corpus.size(), Result.Candidates,
                   Result.Selected.size(), Tau);
   // Specs/artifacts go to stdout or -o; stats stay on stderr so pipelines
@@ -770,6 +928,13 @@ int cmdInfo(Args &A) {
                 static_cast<unsigned long long>(L.ChainChecksum),
                 Artifacts->Ledger ? ", evidence ledger present" : "");
   }
+  if (Artifacts->Manifest.DistWorkers != 0)
+    std::printf("distributed training: %llu worker(s), shard map checksum "
+                "%016llx\n",
+                static_cast<unsigned long long>(
+                    Artifacts->Manifest.DistWorkers),
+                static_cast<unsigned long long>(
+                    Artifacts->Manifest.DistShardChecksum));
   return 0;
 }
 
@@ -1151,6 +1316,111 @@ int cmdServe(Args &A) {
 }
 
 //===----------------------------------------------------------------------===//
+// worker / route (distributed training + routed serving, DESIGN.md §14)
+//===----------------------------------------------------------------------===//
+
+/// `uspec worker --connect ADDR [--threads N]`: one externally-launched (or
+/// coordinator-spawned) training worker. Connects, serves shards, exits
+/// when the coordinator says Done or goes away.
+int cmdWorker(Args &A) {
+  std::string Connect;
+  uint64_t Threads = 0;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "--connect")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("worker", Arg);
+      Connect = V;
+    } else if (!std::strcmp(Arg, "--threads")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("worker", Arg);
+      if (!parseUInt("--threads", V, Threads))
+        return 2;
+    } else {
+      return unknownToken("worker", Arg);
+    }
+  }
+  if (Connect.empty()) {
+    std::fprintf(stderr, "error: worker requires --connect ADDR\n");
+    return 2;
+  }
+  std::string Err;
+  auto Addr = distrib::parseAddress(Connect, &Err);
+  if (!Addr) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  int Rc = distrib::runWorker(*Addr, static_cast<unsigned>(Threads), &Err);
+  if (Rc != 0 && !Err.empty())
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+  return Rc;
+}
+
+/// `uspec route --socket PATH --replicas SOCK1,SOCK2,... [--vnodes N]`: the
+/// consistent-hash router in front of N `uspec serve --socket` replicas.
+int cmdRoute(Args &A) {
+  std::string SocketPath, ReplicaList;
+  uint64_t Vnodes = 64;
+  while (const char *Arg = A.next()) {
+    if (!std::strcmp(Arg, "--socket")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      SocketPath = V;
+    } else if (!std::strcmp(Arg, "--replicas")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      ReplicaList = V;
+    } else if (!std::strcmp(Arg, "--vnodes")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      if (!parseUInt("--vnodes", V, Vnodes))
+        return 2;
+      if (!Vnodes) {
+        std::fprintf(stderr, "error: --vnodes must be at least 1\n");
+        return 2;
+      }
+    } else {
+      return unknownToken("route", Arg);
+    }
+  }
+  distrib::RouterConfig Cfg;
+  Cfg.VirtualNodes = static_cast<unsigned>(Vnodes);
+  for (size_t Pos = 0; Pos <= ReplicaList.size();) {
+    size_t Comma = ReplicaList.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = ReplicaList.size();
+    if (Comma > Pos)
+      Cfg.Replicas.push_back(ReplicaList.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  if (SocketPath.empty() || Cfg.Replicas.empty()) {
+    std::fprintf(stderr, "error: route requires --socket PATH and "
+                         "--replicas SOCK1,SOCK2,...\n");
+    return 2;
+  }
+
+  distrib::Router Router(Cfg);
+  GStopRequested = 0;
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+  std::fprintf(stderr,
+               "uspec route: %zu replicas, %llu vnodes each, listening on "
+               "%s\n",
+               Cfg.Replicas.size(), static_cast<unsigned long long>(Vnodes),
+               SocketPath.c_str());
+  return Router.serveUnixSocket(SocketPath, &GStopRequested);
+}
+
+//===----------------------------------------------------------------------===//
 // query
 //===----------------------------------------------------------------------===//
 
@@ -1403,27 +1673,34 @@ int cmdQuery(Args &A) {
     }
   }
 
-  // Transient failures — a connect/send/recv error (server restarting) or a
-  // structured `overloaded` rejection (queue full) — are retried with
-  // deterministic exponential backoff: the delay for a given (seed, attempt)
-  // is always the same (service::retryDelayMs), so retry traces reproduce.
+  // Transient failures — a connect/send/recv error (server restarting), a
+  // structured `overloaded` rejection (queue full), or a router's
+  // `replica_down` (the replica is marked down on the way out, so the retry
+  // deterministically fails over to the next live ring owner) — are retried
+  // with deterministic exponential backoff: the delay for a given
+  // (seed, attempt) is always the same (service::retryDelayMs), so retry
+  // traces reproduce.
   std::string Response;
   for (unsigned Attempt = 0;; ++Attempt) {
     bool Ok = roundTrip(SocketPath, Request, Response);
-    bool Transient =
-        !Ok || (Response.find("\"kind\":\"overloaded\"") != std::string::npos);
-    if (Ok && !Transient)
+    const char *Reason = nullptr;
+    if (!Ok)
+      Reason = "connection failed";
+    else if (Response.find("\"kind\":\"overloaded\"") != std::string::npos)
+      Reason = "overloaded";
+    else if (Response.find("\"kind\":\"replica_down\"") != std::string::npos)
+      Reason = "replica down";
+    if (!Reason)
       break;
     if (Attempt >= Retries) {
       if (!Ok)
         return 1;
-      break; // Overloaded with no retries left: fall through and print it.
+      break; // Transient error with no retries left: fall through, print it.
     }
     uint64_t DelayMs = service::retryDelayMs(Attempt, RetrySeed);
     std::fprintf(stderr, "retry %u/%llu in %llu ms (%s)\n", Attempt + 1,
                  static_cast<unsigned long long>(Retries),
-                 static_cast<unsigned long long>(DelayMs),
-                 Ok ? "overloaded" : "connection failed");
+                 static_cast<unsigned long long>(DelayMs), Reason);
     std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
   }
 
@@ -1486,6 +1763,10 @@ int runSubcommand(Args &A, const char *Cmd) {
     return cmdAnalyze(A);
   if (!std::strcmp(Cmd, "serve"))
     return cmdServe(A);
+  if (!std::strcmp(Cmd, "worker"))
+    return cmdWorker(A);
+  if (!std::strcmp(Cmd, "route"))
+    return cmdRoute(A);
   if (!std::strcmp(Cmd, "query"))
     return cmdQuery(A);
   if (!std::strcmp(Cmd, "check"))
