@@ -21,16 +21,22 @@
 //    end-to-end path (connect + forward + analyze + envelope). Because the
 //    ring partitions programs across shared-nothing caches, warm routed QPS
 //    should scale with replicas while the aggregate cache footprint stays
-//    flat.
+//    flat. A third section ("hedged_runs") measures the tail-latency story:
+//    one of two replicas sits behind a fixed-delay proxy (a slow peer), and
+//    the routed p99 is recorded with hedging off and on — the hedge leg to
+//    the fast replica should cap the tail near the hedge delay instead of
+//    the injected slowness.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include "distrib/Router.h"
+#include "distrib/Wire.h"
 #include "service/Server.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -253,6 +259,148 @@ bool runRouterScaling(RequestCorpus &RC) {
                 WarmSec > 0 ? ColdSec / WarmSec : 0, HitRate,
                 I + 1 < std::size(ReplicaCounts) ? "," : "");
   }
+  std::printf("  ],\n");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Hedged tail: one slow replica, p99 with and without request hedging
+//===----------------------------------------------------------------------===//
+
+/// A Unix-socket proxy that fronts one replica and delays every request by
+/// a fixed amount — a deterministic "slow peer" for the tail measurement.
+/// Each accepted connection is served on its own thread so hedged primary
+/// legs that are still sleeping never queue behind fresh requests.
+struct DelayProxy {
+  std::string Path;
+  std::string Backend;
+  unsigned DelayMs = 0;
+  int ListenFd = -1;
+  volatile int Stop = 0;
+  std::thread Acceptor;
+  std::vector<std::thread> Conns;
+  std::mutex ConnMu;
+
+  bool start(std::string SockPath, std::string BackendPath, unsigned Ms) {
+    Path = std::move(SockPath);
+    Backend = std::move(BackendPath);
+    DelayMs = Ms;
+    distrib::Address Addr;
+    Addr.Path = Path;
+    ListenFd = distrib::wireListen(Addr);
+    if (ListenFd < 0)
+      return false;
+    Acceptor = std::thread([this] { acceptLoop(); });
+    return true;
+  }
+
+  void acceptLoop() {
+    while (!Stop) {
+      int Fd = distrib::wireAccept(ListenFd, 50);
+      if (Fd < 0)
+        continue;
+      std::lock_guard<std::mutex> G(ConnMu);
+      Conns.emplace_back([this, Fd] { serveOne(Fd); });
+    }
+  }
+
+  void serveOne(int Fd) {
+    std::string Line;
+    char C;
+    while (read(Fd, &C, 1) == 1 && C != '\n')
+      Line.push_back(C);
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    std::string Resp;
+    if (!Line.empty() && distrib::clientRoundTrip(Backend, Line, Resp)) {
+      Resp.push_back('\n');
+      size_t Off = 0;
+      while (Off < Resp.size()) {
+        ssize_t W = write(Fd, Resp.data() + Off, Resp.size() - Off);
+        if (W <= 0)
+          break;
+        Off += static_cast<size_t>(W);
+      }
+    }
+    close(Fd);
+  }
+
+  ~DelayProxy() {
+    Stop = 1;
+    if (Acceptor.joinable())
+      Acceptor.join();
+    std::lock_guard<std::mutex> G(ConnMu);
+    for (std::thread &T : Conns)
+      T.join();
+    if (ListenFd >= 0)
+      close(ListenFd);
+    unlink(Path.c_str());
+  }
+};
+
+/// One sequential pass recording per-request wall latency. Single-client on
+/// purpose: the tail being measured is per-request service latency, not
+/// queueing under load.
+std::vector<double> latencyPass(distrib::Router &R,
+                                const std::vector<std::string> &Requests) {
+  std::vector<double> Seconds;
+  Seconds.reserve(Requests.size());
+  for (const std::string &Req : Requests) {
+    auto Start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(R.handleLine(Req));
+    Seconds.push_back(secondsSince(Start));
+  }
+  return Seconds;
+}
+
+double percentileMs(std::vector<double> Seconds, double P) {
+  if (Seconds.empty())
+    return 0;
+  std::sort(Seconds.begin(), Seconds.end());
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Seconds.size()));
+  if (Idx >= Seconds.size())
+    Idx = Seconds.size() - 1;
+  return Seconds[Idx] * 1e3;
+}
+
+/// Emits the "hedged_runs" array: two replicas, one behind a DelayProxy,
+/// p50/p99 of the routed path with hedging off then on. Returns false if a
+/// socket failed to come up.
+bool runHedgedTail(RequestCorpus &RC) {
+  const unsigned SlowMs = 25, HedgeMs = 5;
+  std::string Base =
+      "/tmp/uspec_bench_hg" + std::to_string(getpid());
+
+  BenchReplica Fast, SlowBackend;
+  if (!Fast.start(Base + "_fast.sock", RC.Specs, RC.Requests.size()) ||
+      !SlowBackend.start(Base + "_slowb.sock", RC.Specs,
+                         RC.Requests.size())) {
+    std::fprintf(stderr, "error: hedged-tail replica never came up\n");
+    return false;
+  }
+  DelayProxy Slow;
+  if (!Slow.start(Base + "_slow.sock", SlowBackend.Path, SlowMs)) {
+    std::fprintf(stderr, "error: hedged-tail proxy never came up\n");
+    return false;
+  }
+
+  distrib::RouterConfig Cfg;
+  Cfg.Replicas = {Fast.Path, Slow.Path};
+  std::printf("  \"hedged_runs\": [\n");
+  for (int Hedged = 0; Hedged <= 1; ++Hedged) {
+    Cfg.HedgeMs = Hedged ? HedgeMs : 0;
+    distrib::Router Router(Cfg);
+    latencyPass(Router, RC.Requests); // prime both replica caches
+    std::vector<double> Seconds = latencyPass(Router, RC.Requests);
+    std::printf("    {\"mode\": \"%s\", \"slow_replica_delay_ms\": %u, "
+                "\"hedge_ms\": %u, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"hedged\": %llu, \"hedged_wins\": %llu}%s\n",
+                Hedged ? "hedged" : "unhedged", SlowMs,
+                Hedged ? HedgeMs : 0, percentileMs(Seconds, 0.50),
+                percentileMs(Seconds, 0.99),
+                static_cast<unsigned long long>(Router.hedgedCount()),
+                static_cast<unsigned long long>(Router.hedgedWinsCount()),
+                Hedged ? "" : ",");
+  }
   std::printf("  ]\n");
   return true;
 }
@@ -294,6 +442,8 @@ int runServiceJson(size_t NumPrograms) {
   }
   std::printf("  ],\n");
   if (!runRouterScaling(RC))
+    return 1;
+  if (!runHedgedTail(RC))
     return 1;
   std::printf("}\n");
   return 0;

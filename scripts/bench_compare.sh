@@ -10,7 +10,12 @@
 #   BENCH_pipeline.json  phase_seconds.total per thread count must not grow
 #                        by more than the tolerance.
 #   BENCH_service.json   cold_qps and warm_qps per worker count must not
-#                        shrink by more than the tolerance.
+#                        shrink by more than the tolerance; the hedged-tail
+#                        rows must keep hedged p99 <= unhedged p99 (the
+#                        candidate's own rows — the injected slow replica
+#                        makes the margin structural, not noise), and per-
+#                        mode p99 must not grow past the tolerance against
+#                        the baseline.
 #
 # The gate is noise-aware, not a microbenchmark judge: shared CI runners
 # jitter real time by double-digit percentages, so the default tolerance is
@@ -109,6 +114,28 @@ for run in cs.get("router_runs", []):
           run["cold_qps"], "rate")
     check(f"router_warm_qps@{n}r", base_router[n]["warm_qps"],
           run["warm_qps"], "rate")
+
+print("hedged tail (routed p99 with one slow replica):")
+# Keyed lookups skip modes absent from the baseline, so documents recorded
+# before the hedged rows existed still gate cleanly.
+base_hedged = {r["mode"]: r for r in bs.get("hedged_runs", [])}
+cand_hedged = {r["mode"]: r for r in cs.get("hedged_runs", [])}
+for mode, run in sorted(cand_hedged.items()):
+    if mode in base_hedged:
+        check(f"p99@{mode}", base_hedged[mode]["p99_ms"] / 1e3,
+              run["p99_ms"] / 1e3, "time")
+if "hedged" in cand_hedged and "unhedged" in cand_hedged:
+    hedged = cand_hedged["hedged"]
+    unhedged = cand_hedged["unhedged"]
+    bad = hedged["p99_ms"] > unhedged["p99_ms"]
+    mark = "FAIL" if bad else "ok"
+    print(f"  {mark:4} {'hedged p99 <= unhedged p99':40} "
+          f"unhedged={unhedged['p99_ms']:g}ms hedged={hedged['p99_ms']:g}ms")
+    if bad:
+        failures.append("hedged_p99_vs_unhedged")
+    if hedged.get("hedged_wins", 0) <= 0:
+        print("  FAIL hedged run recorded no hedged_wins")
+        failures.append("hedged_wins")
 
 if failures:
     print(f"bench regression past tolerance: {', '.join(failures)}")

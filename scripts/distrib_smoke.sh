@@ -15,6 +15,10 @@
 #   4. kill -9 of a replica: the routed query answers `replica_down` once,
 #      and `query --retries` deterministically fails over to the survivor.
 #   5. A routed `shutdown` broadcast drains replicas and router cleanly.
+#   6. `route --supervise --respawn-cmd`: the supervisor cold-starts the
+#      replica, survives a kill -9 (respawn + warm rejoin, byte-identical
+#      answers before/after), and the final shutdown drains the respawned
+#      replica it owns.
 #
 # Usage: scripts/distrib_smoke.sh [path/to/uspec]
 #
@@ -156,6 +160,94 @@ if [ "$rc" -ne 0 ]; then
   fail=1
 fi
 PIDS=()
+
+echo "== supervised router: cold start -> kill -9 -> respawn -> rejoin"
+# The supervisor owns the replica outright: no replica process exists yet;
+# the first failed probe respawns it via the {socket} command template.
+RESPAWN_CMD="$USPEC serve --socket {socket} --model $WORK/single.uspb"
+"$USPEC" route --socket "$WORK/sup_router.sock" \
+  --replicas "$WORK/sup0.sock" --supervise \
+  --respawn-cmd "$RESPAWN_CMD" --probe-interval-ms 100 --respawn-seed 7 \
+  2>/dev/null &
+SUP=$!
+PIDS+=("$SUP")
+for _ in $(seq 100); do
+  [ -S "$WORK/sup_router.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/sup_router.sock" ] || {
+  echo "FAIL: supervised router socket never appeared" >&2
+  exit 1
+}
+# Routed answers must converge to the baseline bytes once the supervisor
+# brings the replica up.
+ok=0
+for _ in $(seq 100); do
+  if "$USPEC" query --socket "$WORK/sup_router.sock" --retries 3 \
+      analyze "$WORK/corpus/prog0.mini" > "$WORK/sup.before.json" \
+      2>/dev/null &&
+      cmp -s "$WORK/expected.0.json" "$WORK/sup.before.json"; then
+    ok=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+  echo "FAIL: supervisor never brought the replica up" >&2
+  fail=1
+else
+  echo "   cold start: supervisor spawned the replica, bytes match"
+fi
+
+# kill -9 the supervised replica (found by its socket argument); the
+# supervisor must respawn it and answers must stay byte-identical.
+pkill -9 -f "serve --socket $WORK/sup0.sock" || true
+sleep 0.2
+ok=0
+for _ in $(seq 100); do
+  if "$USPEC" query --socket "$WORK/sup_router.sock" --retries 3 \
+      analyze "$WORK/corpus/prog0.mini" > "$WORK/sup.after.json" \
+      2>/dev/null &&
+      cmp -s "$WORK/expected.0.json" "$WORK/sup.after.json"; then
+    ok=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+  echo "FAIL: supervisor did not recover the killed replica" >&2
+  fail=1
+else
+  echo "   kill -9: respawned + rejoined, bytes identical"
+fi
+stats=$("$USPEC" query --socket "$WORK/sup_router.sock" stats)
+echo "$stats" | grep -Eq '"respawns":[1-9]' || {
+  echo "FAIL: router stats report no respawns: $stats" >&2
+  fail=1
+}
+echo "$stats" | grep -Eq '"rejoins":[1-9]' || {
+  echo "FAIL: router stats report no rejoins: $stats" >&2
+  fail=1
+}
+
+"$USPEC" query --socket "$WORK/sup_router.sock" shutdown > /dev/null
+rc=0
+wait "$SUP" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: supervised router exited with status $rc" >&2
+  fail=1
+fi
+# The broadcast shutdown drains the supervised replica too (it is not our
+# child — poll its socket until it unlinks on clean exit).
+for _ in $(seq 50); do
+  [ -S "$WORK/sup0.sock" ] || break
+  sleep 0.1
+done
+if [ -S "$WORK/sup0.sock" ]; then
+  echo "FAIL: supervised replica still alive after broadcast shutdown" >&2
+  pkill -9 -f "serve --socket $WORK/sup0.sock" || true
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "distrib smoke FAILED" >&2

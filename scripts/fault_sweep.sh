@@ -20,6 +20,11 @@
 #   service.reload.load  a failed hot-swap load answers `reload_failed`
 #                    and keeps serving the old model; the next reload
 #                    succeeds.
+#   router.respawn   a soft fault swallows the supervisor's first respawn
+#                    attempt; the deterministic backoff schedule retries
+#                    and the second attempt cold-starts the replica, after
+#                    which routed answers are byte-identical to one-shot
+#                    analyze.
 #
 # solver.step is exercised in-process by the Fault ctest suites (the
 # constraint solver has no standalone CLI path).
@@ -242,6 +247,75 @@ if ! grep -q "reassigned\|demoted\|in-process" "$WORK/distrib_fault.log"; then
   echo "FAIL: distrib fault left no recovery note in the summary" >&2
   fail=1
 fi
+
+echo "== router.respawn fault: supervisor backoff survives a lost attempt"
+# No replica process exists at $WORK/f0.sock; the supervisor must create
+# it. router.respawn:1:soft swallows the first attempt, so recovery proves
+# the backoff rescheduled and the second attempt did the spawn.
+RESPAWN_CMD="$USPEC serve --socket {socket} --model $WORK/run.uspb"
+USPEC_FAULT=router.respawn:1:soft "$USPEC" route \
+  --socket "$WORK/frouter.sock" --replicas "$WORK/f0.sock" \
+  --supervise --respawn-cmd "$RESPAWN_CMD" --probe-interval-ms 100 \
+  --respawn-seed 11 2>/dev/null &
+SERVER=$!
+for _ in $(seq 100); do
+  [ -S "$WORK/frouter.sock" ] && break
+  sleep 0.1
+done
+[ -S "$WORK/frouter.sock" ] || {
+  echo "FAIL: supervised router socket never appeared" >&2
+  exit 1
+}
+"$USPEC" analyze "$WORK/corpus/prog0.mini" --model "$WORK/run.uspb" --json \
+  > "$WORK/frouter.expected.json"
+ok=0
+for _ in $(seq 100); do
+  if "$USPEC" query --socket "$WORK/frouter.sock" --retries 3 \
+      analyze "$WORK/corpus/prog0.mini" > "$WORK/frouter.got.json" \
+      2>/dev/null &&
+      cmp -s "$WORK/frouter.expected.json" "$WORK/frouter.got.json"; then
+    ok=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+  echo "FAIL: router.respawn: supervisor never recovered the replica" >&2
+  fail=1
+fi
+stats=$("$USPEC" query --socket "$WORK/frouter.sock" stats)
+# The swallowed attempt still counts, so recovery implies at least two.
+if ! echo "$stats" | grep -Eq '"respawns":[2-9]'; then
+  echo "FAIL: router.respawn: expected >= 2 respawn attempts: $stats" >&2
+  fail=1
+fi
+if ! echo "$stats" | grep -Eq '"rejoins":[1-9]'; then
+  echo "FAIL: router.respawn: replica never rejoined the ring: $stats" >&2
+  fail=1
+fi
+if ! echo "$stats" | grep -Eq '"probe_failures":[1-9]'; then
+  echo "FAIL: router.respawn: down replica produced no probe failures" >&2
+  fail=1
+fi
+"$USPEC" query --socket "$WORK/frouter.sock" shutdown >/dev/null
+rc=0
+wait "$SERVER" || rc=$?
+SERVER=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: router.respawn: router exited with status $rc" >&2
+  fail=1
+fi
+# The broadcast shutdown drains the respawned replica (not our child).
+for _ in $(seq 50); do
+  [ -S "$WORK/f0.sock" ] || break
+  sleep 0.1
+done
+if [ -S "$WORK/f0.sock" ]; then
+  echo "FAIL: router.respawn: replica still alive after shutdown" >&2
+  pkill -9 -f "serve --socket $WORK/f0.sock" || true
+  fail=1
+fi
+[ "$fail" -eq 0 ] && echo "   router.respawn: lost attempt -> backoff -> recovery OK"
 
 if [ "$fail" -eq 0 ]; then
   echo "fault sweep: OK"

@@ -183,8 +183,10 @@ echo "$stats" | grep -q '"reloads":4' || {
   echo "FAIL: stats did not count 4 reloads (3 verbs + SIGHUP): $stats" >&2
   fail=1
 }
-"$USPEC" query --socket "$WORK/uspec.sock" metrics |
-  grep -q '^uspec_model_reloads_total 4' || {
+# Capture first, grep second: `query | grep -q` under pipefail is flaky —
+# grep exits at the first match and the client dies of EPIPE mid-write.
+metrics=$("$USPEC" query --socket "$WORK/uspec.sock" metrics)
+echo "$metrics" | grep -q '^uspec_model_reloads_total 4' || {
   echo "FAIL: metrics missing uspec_model_reloads_total 4" >&2
   fail=1
 }

@@ -8,13 +8,16 @@
 
 #include "distrib/Wire.h"
 #include "service/Protocol.h"
+#include "support/FaultInject.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace uspec;
@@ -25,10 +28,15 @@ Router::Router(RouterConfig C) : Config(std::move(C)) {
   Down = std::make_unique<std::atomic<bool>[]>(N ? N : 1);
   for (size_t I = 0; I < N; ++I)
     Down[I].store(false, std::memory_order_relaxed);
+  Warm.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Warm.push_back(std::make_unique<WarmSet>());
+  Sup.resize(N);
   // The ring is a pure function of (replica addresses, vnode count):
   // restarts and every router instance over the same fleet agree on
   // ownership. Removing a replica only reassigns the keys it owned — the
-  // consistent-hashing property the stability test pins.
+  // consistent-hashing property the stability test pins — and re-adding it
+  // restores the exact original assignment (the rejoin inverse).
   Ring.reserve(N * Config.VirtualNodes);
   for (size_t I = 0; I < N; ++I) {
     uint64_t AddrHash = hashString(Config.Replicas[I]);
@@ -73,6 +81,21 @@ size_t Router::liveOwnerOf(std::string_view Program) const {
   return numReplicas();
 }
 
+size_t Router::nextLiveOwnerAfter(std::string_view Program,
+                                  size_t Exclude) const {
+  if (Ring.empty())
+    return numReplicas();
+  size_t Start = ringBegin(Program);
+  for (size_t Step = 0; Step < Ring.size(); ++Step) {
+    const RingPoint &P = Ring[(Start + Step) % Ring.size()];
+    if (P.Replica == Exclude ||
+        Down[P.Replica].load(std::memory_order_relaxed))
+      continue;
+    return P.Replica;
+  }
+  return numReplicas();
+}
+
 void Router::markDown(size_t Replica) {
   if (Replica < numReplicas())
     Down[Replica].store(true, std::memory_order_relaxed);
@@ -106,6 +129,12 @@ std::string Router::statsJson() const {
   Out += ",\"broadcasts\":" + std::to_string(Broadcasts.load());
   Out += ",\"replica_down_errors\":" + std::to_string(ReplicaDownErrors.load());
   Out += ",\"bad_requests\":" + std::to_string(BadRequests.load());
+  Out += ",\"hedged\":" + std::to_string(Hedged.load());
+  Out += ",\"hedged_wins\":" + std::to_string(HedgedWins.load());
+  Out += ",\"respawns\":" + std::to_string(Respawns.load());
+  Out += ",\"rejoins\":" + std::to_string(Rejoins.load());
+  Out += ",\"warm_replays\":" + std::to_string(WarmReplays.load());
+  Out += ",\"probe_failures\":" + std::to_string(ProbeFailures.load());
   Out += '}';
   return Out;
 }
@@ -125,21 +154,201 @@ bool stripOkEnvelope(const std::string &Response, std::string &Payload) {
   return true;
 }
 
+bool responseOk(const std::string &Response) {
+  return Response.find("\"ok\":true") != std::string::npos;
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Warm-cache handoff
+//===----------------------------------------------------------------------===//
+
+void Router::recordHotLine(size_t Replica, const service::Request &Req,
+                           const std::string &Line) {
+  if (Config.WarmKeys == 0 || Replica >= Warm.size())
+    return;
+  // Key on (program, options), not the raw line: the same program under a
+  // different id is the same cache entry on the replica.
+  uint64_t Key = hashValues(hashString(Req.Program),
+                            Req.Coverage ? 1ull : 0ull);
+  WarmSet &W = *Warm[Replica];
+  std::lock_guard<std::mutex> Lock(W.Mu);
+  for (auto It = W.Lru.begin(); It != W.Lru.end(); ++It) {
+    if (It->Key == Key) {
+      W.Lru.splice(W.Lru.begin(), W.Lru, It); // bump recency
+      return;
+    }
+  }
+  W.Lru.push_front({Key, Line});
+  while (W.Lru.size() > Config.WarmKeys)
+    W.Lru.pop_back();
+}
+
+size_t Router::replayWarmKeys(size_t Replica) {
+  if (Config.WarmKeys == 0 || Replica >= Warm.size())
+    return 0;
+  std::vector<std::string> Lines;
+  {
+    WarmSet &W = *Warm[Replica];
+    std::lock_guard<std::mutex> Lock(W.Mu);
+    Lines.reserve(W.Lru.size());
+    for (const HotEntry &E : W.Lru)
+      Lines.push_back(E.Line);
+  }
+  size_t Replayed = 0;
+  for (const std::string &Line : Lines) {
+    std::string Response, Err;
+    if (clientRoundTrip(Config.Replicas[Replica], Line, Response, &Err))
+      ++Replayed;
+  }
+  WarmReplays.fetch_add(Replayed, std::memory_order_relaxed);
+  return Replayed;
+}
+
+//===----------------------------------------------------------------------===//
+// Supervisor: probe → respawn (backoff) → warm replay → rejoin
+//===----------------------------------------------------------------------===//
+
+bool Router::recoverReplica(size_t Replica) {
+  if (Replica >= numReplicas())
+    return false;
+  std::string Response, Err;
+  bool ProbeOk =
+      clientRoundTrip(Config.Replicas[Replica], "{\"verb\":\"stats\"}",
+                      Response, &Err) &&
+      responseOk(Response);
+  if (!ProbeOk) {
+    markDown(Replica);
+    return false;
+  }
+  if (isDown(Replica)) {
+    // Ring re-add discipline: replay the hot set BEFORE taking traffic, so
+    // the rejoined replica serves warm from its first routed request.
+    replayWarmKeys(Replica);
+    markUp(Replica);
+    Rejoins.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(SupMu);
+    Sup[Replica].Attempts = 0;
+  }
+  return true;
+}
+
+void Router::spawnReplica(size_t Replica) {
+  std::string Cmd = Config.RespawnCmd;
+  const std::string Placeholder = "{socket}";
+  for (size_t Pos = 0;
+       (Pos = Cmd.find(Placeholder, Pos)) != std::string::npos;) {
+    Cmd.replace(Pos, Placeholder.size(), Config.Replicas[Replica]);
+    Pos += Config.Replicas[Replica].size();
+  }
+  // Double fork: the grandchild execs and is orphaned to init, so the
+  // router never accumulates zombies and never installs a SIGCHLD handler
+  // (which would break popen/pclose in embedding processes).
+  pid_t Child = ::fork();
+  if (Child == 0) {
+    pid_t Grand = ::fork();
+    if (Grand == 0) {
+      // Don't leak the router's listen/connection fds into the replica.
+      for (int Fd = 3; Fd < 256; ++Fd)
+        ::close(Fd);
+      ::execl("/bin/sh", "sh", "-c", Cmd.c_str(), (char *)nullptr);
+      ::_exit(127);
+    }
+    ::_exit(Grand < 0 ? 126 : 0);
+  }
+  if (Child > 0) {
+    int Status = 0;
+    ::waitpid(Child, &Status, 0);
+  }
+}
+
+void Router::superviseTick() {
+  using Clock = std::chrono::steady_clock;
+  for (size_t I = 0; I < numReplicas(); ++I) {
+    // A shutdown broadcast must never race a respawn back to life.
+    if (StopRequested.load(std::memory_order_acquire))
+      return;
+    // Probe (fault site `router.probe`: soft/throw = this probe fails,
+    // kill = the router dies at exactly this point).
+    bool ProbeOk = false;
+    try {
+      if (!USPEC_FAULT_SOFT("router.probe")) {
+        std::string Response, Err;
+        ProbeOk = clientRoundTrip(Config.Replicas[I], "{\"verb\":\"stats\"}",
+                                  Response, &Err) &&
+                  responseOk(Response);
+      }
+    } catch (const FaultInjected &) {
+      ProbeOk = false;
+    }
+
+    if (ProbeOk) {
+      if (isDown(I)) {
+        replayWarmKeys(I);
+        markUp(I);
+        Rejoins.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> Lock(SupMu);
+      Sup[I].Attempts = 0;
+      continue;
+    }
+
+    ProbeFailures.fetch_add(1, std::memory_order_relaxed);
+    markDown(I);
+    if (Config.RespawnCmd.empty())
+      continue;
+
+    // Deterministic seeded backoff between respawn attempts: attempt k of
+    // replica i waits retryDelayMs(k, hash(seed, i)) — the same seed
+    // reproduces the same schedule. The first attempt is immediate.
+    auto Now = Clock::now();
+    {
+      std::lock_guard<std::mutex> Lock(SupMu);
+      SupState &St = Sup[I];
+      if (St.Attempts != 0 && Now < St.NextRespawn)
+        continue;
+      uint64_t Delay = service::retryDelayMs(
+          St.Attempts, hashValues(Config.RespawnSeed, uint64_t(I)));
+      St.NextRespawn = Now + std::chrono::milliseconds(Delay);
+      ++St.Attempts;
+    }
+    Respawns.fetch_add(1, std::memory_order_relaxed);
+    // Fault site `router.respawn`: soft/throw = this attempt fails (the
+    // backoff keeps advancing), kill = the router dies here.
+    try {
+      if (USPEC_FAULT_SOFT("router.respawn"))
+        continue;
+    } catch (const FaultInjected &) {
+      continue;
+    }
+    spawnReplica(I);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fan-out / broadcast
+//===----------------------------------------------------------------------===//
 
 std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
                            bool Metrics) {
   FanOuts.fetch_add(1, std::memory_order_relaxed);
   // Probe *every* replica, including down ones: fan-out doubles as the
-  // health re-probe, and a success clears the down flag so routing recovers
-  // without operator action.
+  // health re-probe, and a success re-adds the replica through the warm
+  // rejoin path so routing recovers without operator action.
   std::string Probe =
       Metrics ? "{\"verb\":\"metrics\"}" : "{\"verb\":\"stats\"}";
   std::vector<std::pair<bool, std::string>> Results(numReplicas());
   for (size_t I = 0; I < numReplicas(); ++I) {
     std::string Response, Err;
     if (clientRoundTrip(Config.Replicas[I], Probe, Response, &Err)) {
-      markUp(I);
+      if (isDown(I)) {
+        // Same rejoin discipline as the supervisor: warm replay before the
+        // replica takes traffic again.
+        replayWarmKeys(I);
+        markUp(I);
+        Rejoins.fetch_add(1, std::memory_order_relaxed);
+      }
       Results[I] = {true, std::move(Response)};
     } else {
       markDown(I);
@@ -165,11 +374,19 @@ std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
     Counter("uspec_router_forwarded_total", Forwarded.load());
     Counter("uspec_router_replica_down_errors_total",
             ReplicaDownErrors.load());
-    Text += "# TYPE uspec_router_replicas_down gauge\n";
+    Counter("uspec_router_hedged_total", Hedged.load());
+    Counter("uspec_router_hedged_wins_total", HedgedWins.load());
+    Counter("uspec_router_respawns_total", Respawns.load());
+    Counter("uspec_router_rejoins_total", Rejoins.load());
+    Counter("uspec_router_warm_replays_total", WarmReplays.load());
     size_t NumDown = 0;
     for (size_t I = 0; I < numReplicas(); ++I)
       NumDown += isDown(I) ? 1 : 0;
+    Text += "# TYPE uspec_router_replicas_down gauge\n";
     Text += "uspec_router_replicas_down " + std::to_string(NumDown) + "\n";
+    Text += "# TYPE uspec_router_replicas_up gauge\n";
+    Text += "uspec_router_replicas_up " +
+            std::to_string(numReplicas() - NumDown) + "\n";
     for (size_t I = 0; I < numReplicas(); ++I) {
       if (!Results[I].first)
         continue;
@@ -192,6 +409,11 @@ std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
       Payload += ',';
     Payload += "{\"addr\":";
     service::appendJsonString(Payload, Config.Replicas[I]);
+    // Health read at aggregation time, per replica: a replica marked down
+    // by a concurrent forward *after* its probe above is reported
+    // "down":true here instead of being silently listed as healthy.
+    Payload += ",\"down\":";
+    Payload += isDown(I) ? "true" : "false";
     std::string Inner;
     if (Results[I].first && stripOkEnvelope(Results[I].second, Inner)) {
       Payload += ",\"ok\":true,\"stats\":" + Inner;
@@ -210,14 +432,17 @@ std::string Router::broadcastReload(const std::string &Line,
   Broadcasts.fetch_add(1, std::memory_order_relaxed);
   // Forward the original request so a `path` member reaches every replica.
   // Each replica swaps independently (zero-downtime per PR 6); the
-  // aggregate reports who confirmed.
+  // aggregate reports who confirmed. After a confirmed swap the replica's
+  // cache partition is effectively cold (new-generation keys), so its warm
+  // set is replayed — the handoff that keeps a swapped fleet warm.
   size_t Reloaded = 0;
   std::string Payload = "{\"replicas\":[";
   for (size_t I = 0; I < numReplicas(); ++I) {
     std::string Response, Err;
     bool Ok = clientRoundTrip(Config.Replicas[I], Line, Response, &Err) &&
-              Response.find("\"ok\":true") != std::string::npos;
+              responseOk(Response);
     if (Ok) {
+      replayWarmKeys(I);
       markUp(I);
       ++Reloaded;
     } else {
@@ -238,6 +463,188 @@ std::string Router::broadcastReload(const std::string &Line,
   return service::okResponse(Id, Payload, TraceId);
 }
 
+//===----------------------------------------------------------------------===//
+// Forwarding (plain + hedged)
+//===----------------------------------------------------------------------===//
+
+unsigned Router::hedgeDelayMs() const {
+  if (Config.HedgeAuto) {
+    telemetry::HistogramSnapshot Snap = ForwardLatency.snapshot();
+    if (Snap.Count >= 32) {
+      double P95Ms = Snap.percentileSeconds(0.95) * 1e3;
+      if (P95Ms < 1)
+        P95Ms = 1;
+      if (P95Ms > 1000)
+        P95Ms = 1000;
+      return static_cast<unsigned>(P95Ms);
+    }
+    return Config.HedgeMs ? Config.HedgeMs : 50;
+  }
+  return Config.HedgeMs;
+}
+
+namespace {
+
+/// Shared slots for one hedged request. The handler thread owns decisions;
+/// the two round-trip threads only deposit results here, so the loser can
+/// be safely detached past the handler's (and even the Router's) lifetime.
+struct HedgeState {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  unsigned DoneMask = 0;
+  bool Ok[2] = {false, false};
+  std::string Response[2];
+};
+
+void launchLeg(const std::shared_ptr<HedgeState> &St, unsigned Slot,
+               std::string Addr, std::string Line) {
+  std::thread([St, Slot, Addr = std::move(Addr), Line = std::move(Line)] {
+    std::string Response, Err;
+    bool Ok = clientRoundTrip(Addr, Line, Response, &Err);
+    std::lock_guard<std::mutex> Lock(St->Mu);
+    St->Ok[Slot] = Ok;
+    St->Response[Slot] = std::move(Response);
+    St->DoneMask |= 1u << Slot;
+    St->Cv.notify_all();
+  }).detach();
+}
+
+/// The hedge leg carries `"no_cache":true`, the dedup rule: a non-owner
+/// replica computes the answer but never inserts it into its cache, so the
+/// shared-nothing partition of the fingerprint keyspace stays clean.
+std::string hedgeLineFor(const std::string &Line) {
+  size_t End = Line.find_last_of('}');
+  if (End == std::string::npos)
+    return Line;
+  return Line.substr(0, End) + ",\"no_cache\":true}";
+}
+
+} // namespace
+
+std::string Router::forwardHedged(const service::Request &Req,
+                                  const std::string &Line, size_t Primary,
+                                  size_t Secondary, unsigned DelayMs) {
+  auto Start = std::chrono::steady_clock::now();
+  auto St = std::make_shared<HedgeState>();
+  launchLeg(St, 0, Config.Replicas[Primary], Line);
+
+  std::unique_lock<std::mutex> Lock(St->Mu);
+  bool PrimaryDone = St->Cv.wait_for(
+      Lock, std::chrono::milliseconds(DelayMs),
+      [&] { return (St->DoneMask & 1u) != 0; });
+
+  if (PrimaryDone && St->Ok[0]) {
+    std::string Response = std::move(St->Response[0]);
+    Lock.unlock();
+    Forwarded.fetch_add(1, std::memory_order_relaxed);
+    ForwardLatency.recordSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count());
+    recordHotLine(Primary, Req, Line);
+    return Response;
+  }
+
+  // Primary slow (or already failed): fire the hedge at the next live ring
+  // owner and take the first byte-identical success.
+  Hedged.fetch_add(1, std::memory_order_relaxed);
+  launchLeg(St, 1, Config.Replicas[Secondary], hedgeLineFor(Line));
+  St->Cv.wait(Lock, [&] {
+    // Wake when either leg succeeded or both finished.
+    if (((St->DoneMask & 1u) && St->Ok[0]) ||
+        ((St->DoneMask & 2u) && St->Ok[1]))
+      return true;
+    return St->DoneMask == 3u;
+  });
+
+  bool PrimaryFinished = (St->DoneMask & 1u) != 0;
+  bool SecondaryFinished = (St->DoneMask & 2u) != 0;
+  // First success wins. When both are in, prefer the primary (owner) so
+  // its cache entry is the one recorded hot — the answers are
+  // byte-identical either way.
+  if (PrimaryFinished && St->Ok[0]) {
+    std::string Response = std::move(St->Response[0]);
+    Lock.unlock();
+    Forwarded.fetch_add(1, std::memory_order_relaxed);
+    ForwardLatency.recordSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count());
+    recordHotLine(Primary, Req, Line);
+    return Response;
+  }
+  if (SecondaryFinished && St->Ok[1]) {
+    std::string Response = std::move(St->Response[1]);
+    bool PrimaryFailed = PrimaryFinished && !St->Ok[0];
+    Lock.unlock();
+    Forwarded.fetch_add(1, std::memory_order_relaxed);
+    HedgedWins.fetch_add(1, std::memory_order_relaxed);
+    ForwardLatency.recordSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count());
+    if (PrimaryFailed)
+      markDown(Primary);
+    // Record under the owner: once it answers (or rejoins), these are the
+    // keys its cache partition should hold.
+    recordHotLine(Primary, Req, Line);
+    return Response;
+  }
+
+  // Both legs failed.
+  Lock.unlock();
+  markDown(Primary);
+  markDown(Secondary);
+  ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
+  return service::errorResponse(Req.Id, "replica_down",
+                                "replica " + Config.Replicas[Primary] +
+                                    " unreachable (hedge to " +
+                                    Config.Replicas[Secondary] +
+                                    " failed too); both marked down",
+                                Req.TraceId);
+}
+
+std::string Router::forward(const service::Request &Req,
+                            const std::string &Line) {
+  size_t R = liveOwnerOf(Req.Program);
+  if (R >= numReplicas()) {
+    ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
+    return service::errorResponse(
+        Req.Id, "replica_down",
+        "all " + std::to_string(numReplicas()) + " replicas down",
+        Req.TraceId);
+  }
+
+  unsigned DelayMs = hedgeDelayMs();
+  if (DelayMs != 0 && !Req.Program.empty()) {
+    size_t Secondary = nextLiveOwnerAfter(Req.Program, R);
+    if (Secondary < numReplicas())
+      return forwardHedged(Req, Line, R, Secondary, DelayMs);
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  std::string Response, Err;
+  if (clientRoundTrip(Config.Replicas[R], Line, Response, &Err)) {
+    Forwarded.fetch_add(1, std::memory_order_relaxed);
+    ForwardLatency.recordSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count());
+    if (!Req.Program.empty())
+      recordHotLine(R, Req, Line);
+    return Response;
+  }
+  // Mark down *before* answering: the client's retry walks the ring past
+  // this replica, which is the deterministic failover the tests pin.
+  markDown(R);
+  ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
+  return service::errorResponse(Req.Id, "replica_down",
+                                "replica " + Config.Replicas[R] +
+                                    " unreachable; marked down, retry routes "
+                                    "to the next live owner",
+                                Req.TraceId);
+}
+
 std::string Router::handleLine(const std::string &Line) {
   Requests.fetch_add(1, std::memory_order_relaxed);
   service::Request Req;
@@ -256,12 +663,14 @@ std::string Router::handleLine(const std::string &Line) {
     return broadcastReload(Line, Req.Id, Req.TraceId);
   case service::Verb::Shutdown: {
     Broadcasts.fetch_add(1, std::memory_order_relaxed);
+    // Stop first: the supervisor must not respawn replicas we are about to
+    // drain (superviseTick re-checks this flag before every action).
+    StopRequested.store(true, std::memory_order_release);
     for (size_t I = 0; I < numReplicas(); ++I) {
       std::string Response, E2;
       clientRoundTrip(Config.Replicas[I], "{\"verb\":\"shutdown\"}", Response,
                       &E2);
     }
-    StopRequested.store(true, std::memory_order_release);
     return service::okResponse(Req.Id, "{\"stopping\":true}", Req.TraceId);
   }
   default:
@@ -271,28 +680,7 @@ std::string Router::handleLine(const std::string &Line) {
   // Program-carrying verbs (and `specs`, which routes by the empty key):
   // forward the raw line to the live ring owner, so the response — id echo,
   // trace id, result bytes — is exactly what a direct client would see.
-  size_t R = liveOwnerOf(Req.Program);
-  if (R >= numReplicas()) {
-    ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
-    return service::errorResponse(
-        Req.Id, "replica_down",
-        "all " + std::to_string(numReplicas()) + " replicas down",
-        Req.TraceId);
-  }
-  std::string Response;
-  if (clientRoundTrip(Config.Replicas[R], Line, Response, &Err)) {
-    Forwarded.fetch_add(1, std::memory_order_relaxed);
-    return Response;
-  }
-  // Mark down *before* answering: the client's retry walks the ring past
-  // this replica, which is the deterministic failover the tests pin.
-  markDown(R);
-  ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
-  return service::errorResponse(Req.Id, "replica_down",
-                                "replica " + Config.Replicas[R] +
-                                    " unreachable; marked down, retry routes "
-                                    "to the next live owner",
-                                Req.TraceId);
+  return forward(Req, Line);
 }
 
 //===----------------------------------------------------------------------===//
@@ -337,6 +725,22 @@ int Router::serveUnixSocket(const std::string &Path,
            StopRequested.load(std::memory_order_acquire);
   };
 
+  // The supervisor thread: one superviseTick per ProbeIntervalMs, sleeping
+  // in short slices so shutdown is prompt.
+  std::thread Supervisor;
+  if (Config.Supervise)
+    Supervisor = std::thread([this, &Stopped] {
+      while (!Stopped()) {
+        superviseTick();
+        unsigned SleptMs = 0;
+        while (!Stopped() && SleptMs < Config.ProbeIntervalMs) {
+          unsigned Slice = std::min(50u, Config.ProbeIntervalMs - SleptMs);
+          std::this_thread::sleep_for(std::chrono::milliseconds(Slice));
+          SleptMs += Slice;
+        }
+      }
+    });
+
   while (!Stopped()) {
     int Client = wireAccept(ListenFd, static_cast<int>(Config.AcceptPollMs));
     if (Client == -1)
@@ -379,6 +783,9 @@ int Router::serveUnixSocket(const std::string &Path,
       ::close(Client);
     });
   }
+
+  if (Supervisor.joinable())
+    Supervisor.join();
 
   // Wake blocked readers so their threads observe EOF and exit.
   {

@@ -87,6 +87,20 @@ void AnalysisCache::aliasSource(uint64_t SourceKey, uint64_t FpKey) {
   S.SourceToFp[SourceKey] = FpKey;
 }
 
+std::vector<uint64_t> AnalysisCache::hotFingerprints(size_t Max) {
+  std::vector<uint64_t> Out;
+  Out.reserve(std::min(Max, PerShardCapacity * Shards.size()));
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    for (uint64_t Key : S->Lru) {
+      if (Out.size() >= Max)
+        return Out;
+      Out.push_back(Key);
+    }
+  }
+  return Out;
+}
+
 AnalysisCache::Stats AnalysisCache::stats() const {
   Stats Out;
   Out.Hits = Hits.load(std::memory_order_relaxed);

@@ -76,6 +76,12 @@ public:
   };
   Stats stats() const;
 
+  /// Resident fingerprint keys, hottest-first *within each shard* (shards
+  /// are concatenated, so cross-shard order is approximate), capped at
+  /// \p Max. Powers the `cachekeys` verb — the warm-cache handoff's
+  /// verification hook.
+  std::vector<uint64_t> hotFingerprints(size_t Max);
+
 private:
   struct Shard {
     std::mutex Mutex;

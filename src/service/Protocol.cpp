@@ -414,6 +414,8 @@ bool service::parseRequest(std::string_view Line, Request &Out,
     Out.TheVerb = Verb::Reload;
   } else if (Name == "shutdown") {
     Out.TheVerb = Verb::Shutdown;
+  } else if (Name == "cachekeys") {
+    Out.TheVerb = Verb::CacheKeys;
   } else if (EnableTestVerbs && Name == "test_block") {
     Out.TheVerb = Verb::TestBlock;
   } else {
@@ -441,6 +443,14 @@ bool service::parseRequest(std::string_view Line, Request &Out,
       return false;
     }
     Out.Coverage = Cov->BoolValue;
+  }
+  if (const JsonValue *Nc = Root.find("no_cache")) {
+    if (!Nc->isBool()) {
+      if (Err)
+        *Err = "field \"no_cache\" must be a boolean";
+      return false;
+    }
+    Out.NoCache = Nc->BoolValue;
   }
   if (const JsonValue *Dl = Root.find("deadline_ms")) {
     if (Dl->TheKind != JsonValue::Kind::Number || Dl->NumberValue < 0 ||
@@ -533,7 +543,8 @@ uint64_t service::retryDelayMs(unsigned Attempt, uint64_t Seed) {
   uint64_t Exp = Attempt < 6 ? Attempt : 6;
   uint64_t Delay = Base << Exp;
   Rng Jitter(hashValues(Seed, static_cast<uint64_t>(Attempt)));
-  return Delay + Jitter.below(Delay);
+  uint64_t Total = Delay + Jitter.below(Delay);
+  return Total < MaxRetryDelayMs ? Total : MaxRetryDelayMs;
 }
 
 //===----------------------------------------------------------------------===//

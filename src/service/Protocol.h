@@ -22,6 +22,7 @@
 ///   {"verb": "taint", "program": "...", "sources": ["source"],
 ///    "sinks": ["sink"], "sanitizers": []}
 ///   {"verb": "specs"}
+///   {"verb": "cachekeys"}
 ///   {"verb": "stats"}
 ///   {"verb": "metrics"}
 ///   {"verb": "reload", "path": "model.uspb"}
@@ -125,6 +126,9 @@ enum class Verb {
            ///< loaded at startup). Zero-downtime: in-flight requests finish
            ///< under their admission-time generation.
   Shutdown,
+  CacheKeys, ///< Exports the fingerprint keys resident in the result cache
+             ///< (hottest first, capped) — the router's warm-cache handoff
+             ///< uses it to verify a rejoined replica serves warm.
   TestBlock, ///< Test-only (ServerConfig::EnableTestVerbs): parks a worker
              ///< until Server::releaseTestGate(), for backpressure tests.
 };
@@ -138,6 +142,11 @@ struct Request {
   std::string Program; ///< MiniLang source (analyze/alias/typestate/taint).
   std::string Name;    ///< Optional program name for diagnostics.
   bool Coverage = false;
+  /// `"no_cache":true` — answer without inserting into the result cache.
+  /// The router's hedged requests carry it so a non-owner replica never
+  /// pollutes its cache partition (cache *hits* still apply: hits are
+  /// byte-identical by contract, only insertion is suppressed).
+  bool NoCache = false;
   std::string A, B;        ///< alias: method names to test.
   std::string Check, Use;  ///< typestate protocol.
   std::vector<std::string> Sources, Sinks, Sanitizers; ///< taint policy.
@@ -263,10 +272,16 @@ analyzeSource(std::string_view Source, std::string_view Name,
               const ServiceSpecs &Specs, bool Coverage, std::string *Error,
               Budget *B = nullptr);
 
+/// Hard ceiling on one retry/backoff delay: base + jitter never exceeds
+/// this, so a long retry loop (or a supervisor respawn schedule built on
+/// retryDelayMs) waits at most ~1 s between attempts.
+constexpr uint64_t MaxRetryDelayMs = 1000;
+
 /// Deterministic exponential backoff with seeded jitter for `uspec query
 /// --retries`: base 10 ms doubling per attempt (capped at 2^6), plus a
 /// jitter of up to the base delay drawn from Rng(hash(Seed, Attempt)) — the
-/// same (Seed, Attempt) always yields the same delay.
+/// same (Seed, Attempt) always yields the same delay. The total is clamped
+/// at MaxRetryDelayMs.
 uint64_t retryDelayMs(unsigned Attempt, uint64_t Seed);
 
 //===----------------------------------------------------------------------===//

@@ -43,6 +43,7 @@ const char *verbName(Verb V) {
   case Verb::Metrics: return "metrics";
   case Verb::Reload: return "reload";
   case Verb::Shutdown: return "shutdown";
+  case Verb::CacheKeys: return "cachekeys";
   case Verb::TestBlock: return "test_block";
   }
   return "?";
@@ -502,14 +503,14 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
   switch (R.TheVerb) {
   case Verb::Analyze: {
     std::string Err;
-    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, R.NoCache, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(R.Id, PA->AnalyzeJson, R.TraceId);
   }
   case Verb::Alias: {
     std::string Err;
-    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, R.NoCache, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(
@@ -518,7 +519,7 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
   }
   case Verb::Typestate: {
     std::string Err;
-    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, R.NoCache, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(
@@ -528,7 +529,7 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
   }
   case Verb::Taint: {
     std::string Err;
-    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, &Err, B);
+    auto PA = analysisFor(*M, R.Program, R.Name, R.Coverage, R.NoCache, &Err, B);
     if (!PA)
       return errorResponse(R.Id, "parse_error", Err, R.TraceId);
     return okResponse(R.Id, Serialized([&] {
@@ -566,6 +567,30 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
     }
     return okResponse(R.Id, Payload, R.TraceId);
   }
+  case Verb::CacheKeys: {
+    // Resident cache keys (hottest-first per shard), rendered as fixed-width
+    // hex — the router's warm-handoff verification reads these to check a
+    // rejoined replica was actually warmed.
+    return okResponse(R.Id, Serialized([&] {
+                        std::vector<uint64_t> Keys =
+                            Cache.hotFingerprints(256);
+                        std::string Payload =
+                            "{\"count\":" + std::to_string(Keys.size()) +
+                            ",\"keys\":[";
+                        char Buf[32];
+                        for (size_t I = 0; I < Keys.size(); ++I) {
+                          if (I)
+                            Payload += ',';
+                          std::snprintf(
+                              Buf, sizeof(Buf), "\"%016llx\"",
+                              static_cast<unsigned long long>(Keys[I]));
+                          Payload += Buf;
+                        }
+                        Payload += "]}";
+                        return Payload;
+                      }),
+                      R.TraceId);
+  }
   case Verb::Shutdown:
     beginDrain();
     return okResponse(R.Id, "{\"draining\":true}", R.TraceId);
@@ -580,7 +605,7 @@ std::string Server::handleParsed(const Request &R, Budget *B) {
 
 std::shared_ptr<const ProgramAnalysis>
 Server::analysisFor(const ModelState &M, const std::string &Program,
-                    const std::string &Name, bool Coverage,
+                    const std::string &Name, bool Coverage, bool NoCache,
                     std::string *Error, Budget *B) {
   // Keys mix program identity, the per-request analysis option and the
   // model checksum: entries computed under a swapped-out generation can
@@ -607,7 +632,8 @@ Server::analysisFor(const ModelState &M, const std::string &Program,
     if (auto PA = Cache.findByFingerprint(FpKey)) {
       // Textually new, structurally known: remember the alias so the next
       // byte-identical submission skips the parse too.
-      Cache.aliasSource(SourceKey, FpKey);
+      if (!NoCache)
+        Cache.aliasSource(SourceKey, FpKey);
       Metrics.recordCacheHit();
       return PA;
     }
@@ -626,6 +652,11 @@ Server::analysisFor(const ModelState &M, const std::string &Program,
   // this request's budget; caching it would poison later requests with
   // imprecise payloads.
   if (PA->Result->Bounded)
+    return PA;
+  // `no_cache` (the router's hedged-request dedup rule): answer, but leave
+  // this partition's cache untouched — a non-owner replica must not adopt
+  // keys the ring assigns elsewhere.
+  if (NoCache)
     return PA;
   return Cache.insert(SourceKey, FpKey, std::move(PA));
 }

@@ -263,10 +263,13 @@ private:
   /// Cache-or-analyze for verbs that carry a program, under one model
   /// generation snapshot \p M (cache keys mix M.Checksum). A Bounded
   /// result (budget exhausted mid-analysis) is returned but never cached.
+  /// \p NoCache answers without mutating the cache (hits still served):
+  /// the router's hedged requests carry it so non-owner replicas never
+  /// adopt foreign keys.
   std::shared_ptr<const ProgramAnalysis>
   analysisFor(const ModelState &M, const std::string &Program,
-              const std::string &Name, bool Coverage, std::string *Error,
-              Budget *B);
+              const std::string &Name, bool Coverage, bool NoCache,
+              std::string *Error, Budget *B);
 
   ServerConfig Config;
   /// The serving model; read through model(), replaced by swapModel().

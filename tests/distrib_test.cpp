@@ -26,6 +26,7 @@
 #include "distrib/Wire.h"
 #include "service/Protocol.h"
 #include "service/Server.h"
+#include "support/FaultInject.h"
 
 #include <gtest/gtest.h>
 
@@ -740,4 +741,325 @@ TEST(DistribRouter, DeadReplicaFailsOverAndRecovers) {
   std::string Stats = R.handleLine("{\"id\":\"s\",\"verb\":\"stats\"}");
   EXPECT_NE(Stats.find("\"down\":[1]"), std::string::npos) << Stats;
   EXPECT_NE(Stats.find("\"ok\":false"), std::string::npos) << Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// DistribSelfHeal: supervisor, ring rejoin, hedging, warm-cache handoff
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Directly queries a replica for its resident cache keys (the `cachekeys`
+/// verb) and returns the raw payload.
+std::string cacheKeysOf(const std::string &SockPath) {
+  std::string Response, Err;
+  if (!clientRoundTrip(SockPath, "{\"verb\":\"cachekeys\"}", Response, &Err)) {
+    ADD_FAILURE() << "cachekeys round trip failed: " << Err;
+    return "";
+  }
+  return Response;
+}
+
+} // namespace
+
+// The pure-function claim behind the rejoin discipline: removing a replica
+// from the ring and re-adding it restores the EXACT original key→replica
+// assignment — no key that stayed moves, every key that moved comes back.
+TEST(DistribSelfHeal, RingRemoveThenReaddRestoresExactAssignment) {
+  std::vector<std::string> Addrs = {"/tmp/a.sock", "/tmp/b.sock",
+                                    "/tmp/c.sock", "/tmp/d.sock"};
+  Router R(ringConfig(Addrs));
+  const unsigned Keys = 400;
+  std::vector<size_t> Original(Keys);
+  for (unsigned I = 0; I < Keys; ++I) {
+    Original[I] = R.liveOwnerOf(miniProgram(I));
+    ASSERT_LT(Original[I], Addrs.size());
+  }
+  for (size_t Dead = 0; Dead < Addrs.size(); ++Dead) {
+    R.markDown(Dead);
+    size_t Moved = 0;
+    for (unsigned I = 0; I < Keys; ++I) {
+      size_t Now = R.liveOwnerOf(miniProgram(I));
+      ASSERT_NE(Now, Dead) << "down replica still owns keys";
+      if (Original[I] == Dead)
+        ++Moved; // its keys must land elsewhere...
+      else
+        EXPECT_EQ(Now, Original[I]) << "removal moved a foreign key";
+    }
+    EXPECT_GT(Moved, 0u) << "replica " << Dead << " owned nothing";
+    R.markUp(Dead); // ...and come back exactly where they were.
+    for (unsigned I = 0; I < Keys; ++I)
+      ASSERT_EQ(R.liveOwnerOf(miniProgram(I)), Original[I])
+          << "re-add did not restore the original assignment (key " << I
+          << ", replica " << Dead << ")";
+  }
+}
+
+// Satellite: a replica marked down must be reported `"down":true` in the
+// stats aggregate (not silently listed as healthy), and the metrics
+// exposition must carry the `uspec_router_replicas_up` gauge.
+TEST(DistribSelfHeal, FanOutReportsPerReplicaDownAndUpGauge) {
+  std::string Dir = scratchDir("selfheal_downflag");
+  std::string SpecPath = Dir + "/specs.txt";
+  writeFile(SpecPath, "RetSame(Map.get/1)\n");
+
+  TestReplica RA;
+  ASSERT_TRUE(RA.start(Dir + "/ra.sock", SpecPath));
+  // Replica B is a dead socket path.
+  Router R(ringConfig({RA.Path, Dir + "/rb.sock"}));
+
+  std::string Stats = R.handleLine("{\"id\":\"s\",\"verb\":\"stats\"}");
+  // Entry order follows the replica list: RA first (up), RB second (down).
+  EXPECT_NE(Stats.find("\"down\":false,\"ok\":true"), std::string::npos)
+      << Stats;
+  EXPECT_NE(Stats.find("\"down\":true,\"ok\":false"), std::string::npos)
+      << Stats;
+
+  std::string Metrics = R.handleLine("{\"id\":\"m\",\"verb\":\"metrics\"}");
+  EXPECT_NE(Metrics.find("uspec_router_replicas_up 1"), std::string::npos)
+      << Metrics;
+  EXPECT_NE(Metrics.find("uspec_router_replicas_down 1"), std::string::npos)
+      << Metrics;
+}
+
+// The hedging dedup rule end to end: a request with `"no_cache":true` is
+// answered byte-identically but never inserts into the replica's cache.
+TEST(DistribSelfHeal, NoCacheRequestAnswersWithoutInserting) {
+  std::string Dir = scratchDir("selfheal_nocache");
+  std::string SpecPath = Dir + "/specs.txt";
+  writeFile(SpecPath, "RetSame(Map.get/1)\n");
+
+  TestReplica RA;
+  ASSERT_TRUE(RA.start(Dir + "/ra.sock", SpecPath));
+
+  EXPECT_NE(cacheKeysOf(RA.Path).find("\"count\":0"), std::string::npos);
+
+  std::string Prog = miniProgram(7);
+  std::string Plain = analyzeRequest("n1", Prog);
+  std::string Hedge = Plain;
+  Hedge.insert(Hedge.size() - 1, ",\"no_cache\":true");
+
+  std::string HedgeResp, PlainResp, Err;
+  ASSERT_TRUE(clientRoundTrip(RA.Path, Hedge, HedgeResp, &Err)) << Err;
+  EXPECT_NE(HedgeResp.find("\"ok\":true"), std::string::npos) << HedgeResp;
+  // Computed, answered — and the cache is still empty.
+  EXPECT_NE(cacheKeysOf(RA.Path).find("\"count\":0"), std::string::npos);
+
+  ASSERT_TRUE(clientRoundTrip(RA.Path, Plain, PlainResp, &Err)) << Err;
+  // Identical id → identical bytes: no_cache changes caching, not answers.
+  EXPECT_NE(Plain.find("n1"), std::string::npos);
+  std::string HedgeBody = HedgeResp, PlainBody = PlainResp;
+  EXPECT_EQ(HedgeBody, PlainBody);
+  EXPECT_NE(cacheKeysOf(RA.Path).find("\"count\":1"), std::string::npos);
+}
+
+// Warm-cache handoff: after a replica dies and comes back cold, the router
+// replays its hot request lines before marking it up, so the rejoined
+// replica holds the exact fingerprint keys it served before the incident.
+TEST(DistribSelfHeal, RejoinReplaysWarmKeysBeforeTakingTraffic) {
+  std::string Dir = scratchDir("selfheal_warm");
+  std::string SpecPath = Dir + "/specs.txt";
+  writeFile(SpecPath, "RetSame(Map.get/1)\n");
+
+  auto RA = std::make_unique<TestReplica>();
+  ASSERT_TRUE(RA->start(Dir + "/ra.sock", SpecPath));
+  TestReplica RB;
+  ASSERT_TRUE(RB.start(Dir + "/rb.sock", SpecPath));
+
+  RouterConfig Cfg = ringConfig({Dir + "/ra.sock", RB.Path});
+  Cfg.WarmKeys = 8;
+  Router R(Cfg);
+
+  // Serve a few programs owned by replica 0 through the router: each
+  // successful forward records the line in replica 0's warm set.
+  unsigned ServedByA = 0;
+  for (unsigned I = 0; I < 200 && ServedByA < 3; ++I) {
+    std::string P = miniProgram(I);
+    if (R.ownerOf(P) != 0)
+      continue;
+    std::string Resp =
+        R.handleLine(analyzeRequest("w" + std::to_string(I), P));
+    ASSERT_NE(Resp.find("\"ok\":true"), std::string::npos) << Resp;
+    ++ServedByA;
+  }
+  ASSERT_EQ(ServedByA, 3u);
+  // The salted programs are structurally identical, so the replica's
+  // fingerprint-keyed cache holds ONE entry for all three (the warm set
+  // still remembers all three request lines — replay count proves it).
+  std::string HotKeys = cacheKeysOf(Dir + "/ra.sock");
+  EXPECT_NE(HotKeys.find("\"count\":1"), std::string::npos) << HotKeys;
+
+  // Replica 0 dies; a forward notices and marks it down.
+  RA.reset();
+  std::string P0;
+  for (unsigned I = 0; I < 200; ++I)
+    if (R.ownerOf(miniProgram(I)) == 0) {
+      P0 = miniProgram(I);
+      break;
+    }
+  (void)R.handleLine(analyzeRequest("dead", P0));
+  ASSERT_TRUE(R.isDown(0));
+
+  // It comes back with a cold cache...
+  RA = std::make_unique<TestReplica>();
+  ASSERT_TRUE(RA->start(Dir + "/ra.sock", SpecPath));
+  EXPECT_NE(cacheKeysOf(Dir + "/ra.sock").find("\"count\":0"),
+            std::string::npos);
+
+  // ...and recoverReplica probes, replays the warm set, then marks up.
+  ASSERT_TRUE(R.recoverReplica(0));
+  EXPECT_FALSE(R.isDown(0));
+  EXPECT_GE(R.rejoinsCount(), 1u);
+  EXPECT_GE(R.warmReplaysCount(), 3u);
+  // The rejoined replica holds the exact keys it served before the death.
+  std::string Warmed = cacheKeysOf(Dir + "/ra.sock");
+  EXPECT_EQ(Warmed, HotKeys);
+}
+
+// Hedging: when the primary owner is wedged, the hedge fires at the next
+// ring owner after the delay and the answer is byte-identical to a direct
+// query — the determinism contract makes the two replicas interchangeable.
+TEST(DistribSelfHeal, HedgeWinsByteIdenticalWhenPrimaryIsWedged) {
+  std::string Dir = scratchDir("selfheal_hedge");
+  std::string SpecPath = Dir + "/specs.txt";
+  writeFile(SpecPath, "RetSame(Map.get/1)\n");
+
+  TestReplica RA, RB;
+  RA.Cfg.EnableTestVerbs = true;
+  RB.Cfg.EnableTestVerbs = true;
+  ASSERT_TRUE(RA.start(Dir + "/ra.sock", SpecPath));
+  ASSERT_TRUE(RB.start(Dir + "/rb.sock", SpecPath));
+
+  RouterConfig Cfg = ringConfig({RA.Path, RB.Path});
+  Cfg.HedgeMs = 25;
+  Router R(Cfg);
+
+  std::string Prog;
+  for (unsigned I = 0; I < 200; ++I)
+    if (R.ownerOf(miniProgram(I)) == 0) {
+      Prog = miniProgram(I);
+      break;
+    }
+  ASSERT_FALSE(Prog.empty());
+  std::string Line = analyzeRequest("h1", Prog);
+  std::string Direct, Err;
+  ASSERT_TRUE(clientRoundTrip(RB.Path, Line + "", Direct, &Err)) << Err;
+  // RB computed it with no_cache absent — clear its cache effect is fine;
+  // byte-identity holds regardless of hit/miss.
+
+  // Park BOTH of the primary's workers so the routed request cannot be
+  // answered there within the hedge delay.
+  service::Server *PrimaryServer =
+      R.ownerOf(Prog) == 0 ? RA.S.get() : RB.S.get();
+  TestReplica &Primary = R.ownerOf(Prog) == 0 ? RA : RB;
+  std::thread Block1([&] {
+    std::string Resp, E;
+    clientRoundTrip(Primary.Path, "{\"verb\":\"test_block\"}", Resp, &E);
+  });
+  std::thread Block2([&] {
+    std::string Resp, E;
+    clientRoundTrip(Primary.Path, "{\"verb\":\"test_block\"}", Resp, &E);
+  });
+  // Give the blockers time to occupy both workers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::string Routed = R.handleLine(Line);
+  EXPECT_EQ(Routed, Direct) << "hedged answer must be byte-identical";
+  EXPECT_GE(R.hedgedCount(), 1u);
+  EXPECT_GE(R.hedgedWinsCount(), 1u);
+
+  PrimaryServer->releaseTestGate();
+  Block1.join();
+  Block2.join();
+}
+
+// Fault sites: `router.probe` makes a healthy replica look dead for one
+// tick (throw handled as probe failure, not thread death); `router.respawn`
+// suppresses one spawn attempt while the backoff schedule advances.
+TEST(DistribSelfHeal, ProbeAndRespawnFaultSitesAreDeterministic) {
+  std::string Dir = scratchDir("selfheal_fault");
+  std::string SpecPath = Dir + "/specs.txt";
+  writeFile(SpecPath, "RetSame(Map.get/1)\n");
+
+  TestReplica RA;
+  ASSERT_TRUE(RA.start(Dir + "/ra.sock", SpecPath));
+  Router R(ringConfig({RA.Path}));
+
+  // First probe hits the armed throw → treated as a failed probe.
+  armFault("router.probe", 1, FaultAction::Throw);
+  R.superviseTick();
+  EXPECT_TRUE(R.isDown(0));
+  // Fault exhausted: the next tick probes for real and rejoins.
+  R.superviseTick();
+  EXPECT_FALSE(R.isDown(0));
+  EXPECT_GE(R.rejoinsCount(), 1u);
+  disarmFaults();
+
+  // A dead replica with a respawn command: the armed soft fault eats the
+  // first spawn attempt (attempt counted, nothing spawned).
+  RouterConfig Cfg2 = ringConfig({Dir + "/never.sock"});
+  Cfg2.RespawnCmd = "true"; // a no-op command; must not even run
+  Router R2(Cfg2);
+  armFault("router.respawn", 1, FaultAction::Soft);
+  R2.superviseTick();
+  EXPECT_EQ(R2.respawnsCount(), 1u);
+  EXPECT_TRUE(R2.isDown(0));
+  disarmFaults();
+}
+
+// End to end: kill -9 a real `uspec serve` replica; a supervising router
+// detects the death, respawns it via the {socket} command template, rejoins
+// it after a successful probe, and answers byte-identically throughout.
+TEST(DistribSelfHeal, SupervisorRespawnsKilledReplicaEndToEnd) {
+  std::string Dir = scratchDir("selfheal_respawn");
+  std::string SpecPath = Dir + "/specs.txt";
+  writeFile(SpecPath, "RetSame(Map.get/1)\n");
+  std::string Sock = Dir + "/replica.sock";
+  std::string PidFile = Dir + "/replica.pid";
+
+  std::string ServeCmd = std::string(USPEC_CLI_PATH) + " serve --socket " +
+                         Sock + " --specs " + SpecPath;
+  RunResult Launch = runShell(ServeCmd + " >/dev/null 2>&1 & echo $! > " +
+                              PidFile);
+  ASSERT_EQ(Launch.ExitCode, 0);
+  for (int I = 0; I < 200 && access(Sock.c_str(), F_OK) != 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(access(Sock.c_str(), F_OK), 0) << "replica never bound";
+
+  RouterConfig Cfg = ringConfig({Sock});
+  Cfg.RespawnCmd = ServeCmd; // {socket}-free: the path is fixed here
+  Cfg.RespawnSeed = 42;
+  Router R(Cfg);
+
+  std::string Prog = miniProgram(3);
+  std::string Line = analyzeRequest("e2e", Prog);
+  std::string Before = R.handleLine(Line);
+  ASSERT_NE(Before.find("\"ok\":true"), std::string::npos) << Before;
+
+  // kill -9 the replica process.
+  std::string Pid = readFile(PidFile);
+  ASSERT_FALSE(Pid.empty());
+  RunResult Kill = runShell("kill -9 " + Pid);
+  ASSERT_EQ(Kill.ExitCode, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The supervisor notices, respawns, and rejoins once the probe succeeds.
+  bool Recovered = false;
+  for (int TickNo = 0; TickNo < 100 && !Recovered; ++TickNo) {
+    R.superviseTick();
+    Recovered = !R.isDown(0);
+    if (!Recovered)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_TRUE(Recovered) << "supervisor never recovered the replica";
+  EXPECT_GE(R.respawnsCount(), 1u);
+  EXPECT_GE(R.rejoinsCount(), 1u);
+
+  // Byte-identical service after the incident.
+  std::string After = R.handleLine(Line);
+  EXPECT_EQ(After, Before);
+
+  // Drain the respawned replica (it is orphaned to init, not our child).
+  std::string Resp, Err;
+  clientRoundTrip(Sock, "{\"verb\":\"shutdown\"}", Resp, &Err);
 }

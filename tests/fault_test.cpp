@@ -569,6 +569,23 @@ TEST_F(FaultProtocol, RetryDelayIsDeterministicAndBounded) {
   EXPECT_TRUE(AnyDiffer);
 }
 
+TEST_F(FaultProtocol, RetryDelayClampsAtMax) {
+  // Past the exponent cap the base is 640 ms and base+jitter can reach
+  // 1279 ms unclamped; every delay must respect the documented ceiling.
+  bool SawClamp = false;
+  for (unsigned Attempt = 6; Attempt < 40; ++Attempt) {
+    for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+      uint64_t D = service::retryDelayMs(Attempt, Seed);
+      EXPECT_LE(D, service::MaxRetryDelayMs);
+      EXPECT_GE(D, 640u); // the clamp never pulls a delay below its base
+      SawClamp |= D == service::MaxRetryDelayMs;
+    }
+  }
+  // The ceiling is actually reachable (jitter >= 360 ms occurs), so the
+  // clamp is live, not dead code.
+  EXPECT_TRUE(SawClamp);
+}
+
 //===----------------------------------------------------------------------===//
 // Kill-at-every-site subprocess sweep over the real binary
 //===----------------------------------------------------------------------===//

@@ -71,8 +71,9 @@
 //                 [--trace-id ID]
 //                 (analyze FILE [--coverage] | alias FILE A B
 //                 | typestate FILE CHECK USE | taint FILE [--source M]...
-//                 [--sink M]... [--sanitizer M]... | specs | stats
-//                 | metrics | reload [ARTIFACT] | shutdown | --json REQUEST)
+//                 [--sink M]... [--sanitizer M]... | specs | cachekeys
+//                 | stats | metrics | reload [ARTIFACT] | shutdown
+//                 | --json REQUEST)
 //       One-shot client for a running `uspec serve --socket` instance.
 //       Prints the result payload (byte-identical to `analyze --json` for
 //       the analyze verb); errors go to stderr with exit 1. --retries N
@@ -94,11 +95,23 @@
 //       until Done.
 //
 //   uspec route   --socket PATH --replicas SOCK1,SOCK2,... [--vnodes N]
-//       Consistent-hash router over N `uspec serve --socket` replicas:
-//       program-carrying verbs go to the ring owner of the program text,
-//       stats/metrics fan out and aggregate, reload broadcasts, and a dead
-//       replica answers `replica_down` (transient for `query --retries`)
-//       with deterministic ring-walk failover.
+//                 [--supervise] [--respawn-cmd CMD | --model PATH]
+//                 [--probe-interval-ms N] [--respawn-seed S]
+//                 [--hedge-ms N | --hedge-auto] [--warm-keys K]
+//       Self-healing consistent-hash router over N `uspec serve --socket`
+//       replicas: program-carrying verbs go to the ring owner of the
+//       program text, stats/metrics fan out and aggregate, reload
+//       broadcasts, and a dead replica answers `replica_down` (transient
+//       for `query --retries`) with deterministic ring-walk failover.
+//       --supervise probes each replica every --probe-interval-ms and
+//       respawns dead ones (via CMD with `{socket}` substituted, or a
+//       synthesized `uspec serve` line when --model is given) with
+//       deterministic seeded backoff; a recovered replica rejoins the ring
+//       only after a successful probe + warm-cache replay. --hedge-ms (or
+//       --hedge-auto, p95-derived) fires slow requests at the next ring
+//       owner too and takes the first answer — byte-identical either way;
+//       the hedge carries no_cache so caches don't bleed. --warm-keys K
+//       bounds the per-replica hot-request LRU replayed on rejoin/reload.
 //
 //   uspec check   FILES...
 //       Parse and lower files, reporting diagnostics.
@@ -162,7 +175,10 @@ int usage() {
       "              [--worker-threads N] [--provenance]\n"
       "  uspec worker --connect ADDR [--threads N]\n"
       "  uspec route --socket PATH --replicas SOCK1,SOCK2,...\n"
-      "              [--vnodes N]\n"
+      "              [--vnodes N] [--supervise]\n"
+      "              [--respawn-cmd CMD | --model run.uspb]\n"
+      "              [--probe-interval-ms N] [--respawn-seed S]\n"
+      "              [--hedge-ms N | --hedge-auto] [--warm-keys K]\n"
       "  uspec ingest FILES... -j corpus.uspj\n"
       "  uspec select run.uspb [--tau X] [-o specs.txt]\n"
       "  uspec info run.uspb\n"
@@ -1357,11 +1373,20 @@ int cmdWorker(Args &A) {
   return Rc;
 }
 
-/// `uspec route --socket PATH --replicas SOCK1,SOCK2,... [--vnodes N]`: the
-/// consistent-hash router in front of N `uspec serve --socket` replicas.
+/// `uspec route --socket PATH --replicas SOCK1,SOCK2,... [--vnodes N]
+///  [--supervise] [--respawn-cmd CMD] [--model PATH]
+///  [--probe-interval-ms N] [--respawn-seed S]
+///  [--hedge-ms N | --hedge-auto] [--warm-keys K]`:
+/// the self-healing consistent-hash router in front of N `uspec serve
+/// --socket` replicas. `--supervise` probes replicas each interval and
+/// respawns dead ones: via CMD (every `{socket}` replaced by the replica's
+/// socket path), or — when only `--model` is given — via a synthesized
+/// `<this binary> serve --socket {socket} --model PATH`.
 int cmdRoute(Args &A) {
-  std::string SocketPath, ReplicaList;
-  uint64_t Vnodes = 64;
+  std::string SocketPath, ReplicaList, RespawnCmd, ModelPath;
+  uint64_t Vnodes = 64, ProbeIntervalMs = 500, RespawnSeed = 0, HedgeMs = 0,
+           WarmKeys = 32;
+  bool Supervise = false, HedgeAuto = false;
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--socket")) {
       const char *V = A.next();
@@ -1383,12 +1408,74 @@ int cmdRoute(Args &A) {
         std::fprintf(stderr, "error: --vnodes must be at least 1\n");
         return 2;
       }
+    } else if (!std::strcmp(Arg, "--supervise")) {
+      Supervise = true;
+    } else if (!std::strcmp(Arg, "--respawn-cmd")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      RespawnCmd = V;
+    } else if (!std::strcmp(Arg, "--model")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      ModelPath = V;
+    } else if (!std::strcmp(Arg, "--probe-interval-ms")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      if (!parseUInt("--probe-interval-ms", V, ProbeIntervalMs))
+        return 2;
+      if (!ProbeIntervalMs) {
+        std::fprintf(stderr,
+                     "error: --probe-interval-ms must be at least 1\n");
+        return 2;
+      }
+    } else if (!std::strcmp(Arg, "--respawn-seed")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      if (!parseUInt("--respawn-seed", V, RespawnSeed))
+        return 2;
+    } else if (!std::strcmp(Arg, "--hedge-ms")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      if (!parseUInt("--hedge-ms", V, HedgeMs))
+        return 2;
+    } else if (!std::strcmp(Arg, "--hedge-auto")) {
+      HedgeAuto = true;
+    } else if (!std::strcmp(Arg, "--warm-keys")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      if (!parseUInt("--warm-keys", V, WarmKeys))
+        return 2;
     } else {
       return unknownToken("route", Arg);
     }
   }
   distrib::RouterConfig Cfg;
   Cfg.VirtualNodes = static_cast<unsigned>(Vnodes);
+  Cfg.Supervise = Supervise;
+  Cfg.ProbeIntervalMs = static_cast<unsigned>(ProbeIntervalMs);
+  Cfg.RespawnSeed = RespawnSeed;
+  Cfg.HedgeMs = static_cast<unsigned>(HedgeMs);
+  Cfg.HedgeAuto = HedgeAuto;
+  Cfg.WarmKeys = static_cast<unsigned>(WarmKeys);
+  if (!RespawnCmd.empty()) {
+    Cfg.RespawnCmd = RespawnCmd;
+  } else if (Supervise && !ModelPath.empty()) {
+    // Own the replica processes outright: respawn them as this very binary.
+    char Self[4096];
+    ssize_t N = ::readlink("/proc/self/exe", Self, sizeof(Self) - 1);
+    if (N > 0) {
+      Self[N] = '\0';
+      Cfg.RespawnCmd = std::string("'") + Self +
+                       "' serve --socket '{socket}' --model '" + ModelPath +
+                       "' >/dev/null 2>&1";
+    }
+  }
   for (size_t Pos = 0; Pos <= ReplicaList.size();) {
     size_t Comma = ReplicaList.find(',', Pos);
     if (Comma == std::string::npos)
@@ -1414,9 +1501,18 @@ int cmdRoute(Args &A) {
   sigaction(SIGINT, &SA, nullptr);
   std::fprintf(stderr,
                "uspec route: %zu replicas, %llu vnodes each, listening on "
-               "%s\n",
+               "%s%s%s%s\n",
                Cfg.Replicas.size(), static_cast<unsigned long long>(Vnodes),
-               SocketPath.c_str());
+               SocketPath.c_str(),
+               Cfg.Supervise ? (Cfg.RespawnCmd.empty()
+                                    ? " (supervise: probe/rejoin)"
+                                    : " (supervise: respawn)")
+                             : "",
+               Cfg.HedgeAuto ? " (hedge: auto-p95)" : "",
+               !Cfg.HedgeAuto && Cfg.HedgeMs
+                   ? (" (hedge: " + std::to_string(Cfg.HedgeMs) + " ms)")
+                         .c_str()
+                   : "");
   return Router.serveUnixSocket(SocketPath, &GStopRequested);
 }
 
@@ -1573,8 +1669,8 @@ int cmdQuery(Args &A) {
   } else {
     if (Positional.empty()) {
       std::fprintf(stderr, "error: query requires a verb (analyze, alias, "
-                           "typestate, taint, specs, stats, metrics, "
-                           "reload, shutdown) or --json REQUEST\n");
+                           "typestate, taint, specs, cachekeys, stats, "
+                           "metrics, reload, shutdown) or --json REQUEST\n");
       return 2;
     }
     std::string VerbName = Positional.front();
@@ -1658,8 +1754,9 @@ int cmdQuery(Args &A) {
       if (Positional.size() == 2)
         appendField(Request, "path", Positional[1]);
       Request += "}";
-    } else if (VerbName == "specs" || VerbName == "stats" ||
-               VerbName == "metrics" || VerbName == "shutdown") {
+    } else if (VerbName == "specs" || VerbName == "cachekeys" ||
+               VerbName == "stats" || VerbName == "metrics" ||
+               VerbName == "shutdown") {
       if (!NeedArgs(0, (VerbName).c_str()))
         return 2;
       Request = "{\"verb\":\"" + VerbName + "\"}";
