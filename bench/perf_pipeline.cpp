@@ -14,11 +14,13 @@
 
 #include "BenchCommon.h"
 
+#include "support/EventLog.h"
 #include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <unistd.h>
 
 using namespace uspec;
 using namespace uspec::bench;
@@ -218,6 +220,43 @@ void BM_FullPipelineTraced(benchmark::State &State) {
 }
 BENCHMARK(BM_FullPipelineTraced)->Arg(0)->Arg(1);
 
+// Structured event log overhead (DESIGN.md §16): the same corpus learned
+// with the event log disarmed (Arg 0 — every events::emit call site in the
+// fleet code is one relaxed atomic load, and learn() itself emits nothing)
+// and armed to a scratch file (Arg 1, with one lifecycle emit per
+// iteration — fleet events are rare by design, so arming must not perturb
+// the pipeline either). Both Args must sit within noise of BM_FullPipeline
+// at the same size; a regression here means emission crept onto the hot
+// path.
+void BM_FullPipelineEvents(benchmark::State &State) {
+  bool Armed = State.range(0) != 0;
+  static StringInterner S;
+  GeneratedCorpus &Corpus = corpusOf(200, S);
+  LearnerConfig Cfg;
+  std::string Path =
+      "/tmp/uspec_bench_events_" + std::to_string(getpid()) + ".jsonl";
+  if (Armed) {
+    std::string Err;
+    if (!events::startToFile(Path, 0, &Err)) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+  }
+  for (auto _ : State) {
+    if (events::enabled())
+      events::emit("reload", {{"generation", "1"}});
+    USpecLearner Learner(S, Cfg);
+    benchmark::DoNotOptimize(Learner.learn(Corpus.Programs));
+  }
+  if (Armed) {
+    events::finish();
+    ::unlink(Path.c_str());
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.Programs.size());
+  State.SetLabel(Armed ? "event log armed" : "event log off");
+}
+BENCHMARK(BM_FullPipelineEvents)->Arg(0)->Arg(1);
+
 /// --uspec_phase_json[=N]: instead of google-benchmark, run the full
 /// pipeline over the default corpus profile (N programs, default 400) once
 /// per thread count in {1, 2, 4, 8} and print one JSON document with the
@@ -252,7 +291,36 @@ int runPhaseStatsJson(size_t NumPrograms) {
                 Result.Stats.json().c_str(), Speedup,
                 I + 1 < std::size(ThreadCounts) ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  std::printf("  ],\n");
+
+  // Event-log overhead rows (DESIGN.md §16), the committed counterpart of
+  // BM_FullPipelineEvents: one single-thread learn with the log disarmed
+  // and one armed to a scratch file (with a lifecycle emit, as a fleet
+  // process would produce). bench_compare.sh gates both against the
+  // baseline and the armed row against the candidate's own disarmed row —
+  // arming the event log must never cost learn() wall-clock.
+  double DisarmedSec = 0, ArmedSec = 0;
+  for (int Armed = 0; Armed < 2; ++Armed) {
+    std::string Path = "/tmp/uspec_bench_events_" +
+                       std::to_string(static_cast<long>(getpid())) +
+                       ".jsonl";
+    if (Armed && !events::startToFile(Path))
+      break;
+    if (events::enabled())
+      events::emit("reload", {{"generation", "1"}});
+    LearnerConfig Cfg;
+    Cfg.Threads = 1;
+    USpecLearner Learner(S, Cfg);
+    LearnResult Result = Learner.learn(Corpus.Programs);
+    (Armed ? ArmedSec : DisarmedSec) = Result.Stats.TotalSeconds;
+    if (Armed) {
+      events::finish();
+      ::unlink(Path.c_str());
+    }
+  }
+  std::printf("  \"events_overhead\": {\"disarmed_seconds\": %.6f, "
+              "\"armed_seconds\": %.6f}\n}\n",
+              DisarmedSec, ArmedSec);
   return 0;
 }
 

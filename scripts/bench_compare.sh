@@ -8,7 +8,11 @@
 # when the candidate regresses past the tolerance:
 #
 #   BENCH_pipeline.json  phase_seconds.total per thread count must not grow
-#                        by more than the tolerance.
+#                        by more than the tolerance; the events_overhead
+#                        rows must stay within tolerance of the baseline AND
+#                        the armed row within tolerance of the candidate's
+#                        own disarmed row (arming the event log must never
+#                        cost learn() wall-clock).
 #   BENCH_service.json   cold_qps and warm_qps per worker count must not
 #                        shrink by more than the tolerance; the hedged-tail
 #                        rows must keep hedged p99 <= unhedged p99 (the
@@ -92,6 +96,21 @@ for run in cp["runs"]:
     check(f"total@{th}t",
           base_runs[th]["stats"]["phase_seconds"]["total"],
           run["stats"]["phase_seconds"]["total"], "time")
+
+print("event log (learn total with the log disarmed/armed):")
+# Keyed get: documents recorded before the events_overhead rows existed
+# still gate cleanly.
+ev_b, ev_c = bp.get("events_overhead"), cp.get("events_overhead")
+if ev_c and ev_b:
+    check("events_disarmed_total", ev_b["disarmed_seconds"],
+          ev_c["disarmed_seconds"], "time")
+    check("events_armed_total", ev_b["armed_seconds"],
+          ev_c["armed_seconds"], "time")
+if ev_c:
+    # Structural, machine-independent: arming the event log must not cost
+    # learn() wall-clock beyond noise of the same document's disarmed run.
+    check("events_armed_vs_disarmed", ev_c["disarmed_seconds"],
+          ev_c["armed_seconds"], "time")
 
 print("service (cold/warm QPS per worker count):")
 bs = load(base_dir, "BENCH_service.json")

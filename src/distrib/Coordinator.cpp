@@ -8,6 +8,7 @@
 
 #include "core/Naming.h"
 #include "distrib/Worker.h"
+#include "support/EventLog.h"
 #include "support/FaultInject.h"
 #include "support/ParallelFor.h"
 #include "support/Trace.h"
@@ -101,6 +102,7 @@ private:
     T.Base = GlobalBase + P.Lo;
     T.Programs.assign(Sources.begin() + static_cast<ptrdiff_t>(P.Lo),
                       Sources.begin() + static_cast<ptrdiff_t>(P.Hi));
+    T.TraceContext = TraceCtx;
     return T;
   }
 
@@ -111,6 +113,9 @@ private:
   DistStats &Stats;
 
   WireConfig Wire;
+  /// Trace context shipped to workers on Init/Analyze/Extract so their
+  /// spans stitch under this run ("" when the coordinator is untraced).
+  std::string TraceCtx;
   size_t GlobalBase = 0;
   int ListenFd = -1;
   std::string OwnedSocketPath;
@@ -228,6 +233,7 @@ bool Coordinator::provision(std::string *Err) {
     Workers.resize(Fds.size());
   InitMsg Init;
   Init.Config = Wire;
+  Init.TraceContext = TraceCtx;
   Init.Symbols.reserve(Strings.size() - 1);
   for (uint32_t I = 1; I < Strings.size(); ++I)
     Init.Symbols.push_back(Strings.str(Symbol(I)));
@@ -266,6 +272,9 @@ void Coordinator::markDead(WorkerConn &W, const std::string &Why) {
                             Why);
     }
   }
+  if (First && events::enabled())
+    events::emit("worker_lost", {{"worker", std::to_string(W.Id)},
+                                 {"reason", Why}});
   if (First && W.Fd >= 0) {
     ::close(W.Fd);
     W.Fd = -1;
@@ -287,6 +296,10 @@ bool Coordinator::analyzeInProcess(const ShardPlan &P,
   note("shard " + std::to_string(P.Id) + " (" +
        std::to_string(P.Hi - P.Lo) + " programs) demoted to in-process "
        "execution at the coordinator: " + Why);
+  if (events::enabled())
+    events::emit("demotion", {{"shard", std::to_string(P.Id)},
+                              {"phase", "analyze"},
+                              {"reason", Why}});
   return true;
 }
 
@@ -339,6 +352,11 @@ void Coordinator::runAnalyzeRound() {
         }
       }
       markDead(W, IoErr + " (analyzing shard " + std::to_string(P.Id) + ")");
+      if (events::enabled())
+        events::emit("shard_reassignment",
+                     {{"shard", std::to_string(P.Id)},
+                      {"phase", "analyze"},
+                      {"attempt", std::to_string(T.Attempts + 1)}});
       {
         std::lock_guard<std::mutex> Lock(Mu);
         ++Stats.ShardsReassigned;
@@ -392,6 +410,10 @@ void Coordinator::extractInProcess(const ShardPlan &P, unsigned Attempts) {
     note("shard " + std::to_string(P.Id) + " (" +
          std::to_string(P.Hi - P.Lo) + " programs) extraction demoted to "
          "the coordinator after " + std::to_string(Attempts) + " attempt(s)");
+    if (events::enabled())
+      events::emit("demotion", {{"shard", std::to_string(P.Id)},
+                                {"phase", "extract"},
+                                {"attempts", std::to_string(Attempts)}});
   }
 }
 
@@ -447,6 +469,7 @@ void Coordinator::runExtractRound() {
       ExtractTask XT;
       XT.Shard = P.Id;
       XT.Base = GlobalBase + P.Lo;
+      XT.TraceContext = TraceCtx;
       if (T.NeedSources)
         XT.Programs.assign(Sources.begin() + static_cast<ptrdiff_t>(P.Lo),
                            Sources.begin() + static_cast<ptrdiff_t>(P.Hi));
@@ -474,6 +497,11 @@ void Coordinator::runExtractRound() {
       }
       markDead(W, IoErr + " (extracting shard " + std::to_string(P.Id) +
                       ")");
+      if (events::enabled())
+        events::emit("shard_reassignment",
+                     {{"shard", std::to_string(P.Id)},
+                      {"phase", "extract"},
+                      {"attempt", std::to_string(T.Attempts + 1)}});
       {
         std::lock_guard<std::mutex> Lock(Mu);
         ++Stats.ShardsReassigned;
@@ -537,6 +565,12 @@ void Coordinator::runExtractRound() {
 std::optional<LearnResult> Coordinator::run(std::optional<WarmStart> Warm,
                                             std::string *Err) {
   TraceSpan Span("distrib.coordinate");
+  // A traced run mints a trace context (stamped on every frame we send) so
+  // worker-side spans stitch under this coordinator in `uspec obs stitch`.
+  if (trace::enabled())
+    TraceCtx = "coord-" + std::to_string(static_cast<long>(::getpid()));
+  if (Span.active() && !TraceCtx.empty())
+    Span.arg("trace_ctx", TraceCtx);
   size_t N = Sources.size();
   GlobalBase = Warm ? Warm->BasePrograms : 0;
 
@@ -667,9 +701,13 @@ std::optional<LearnResult> Coordinator::run(std::optional<WarmStart> Warm,
   Result.Model = std::move(Model);
   Result.Ledger = std::move(Ledger);
   for (size_t I = 0; I < N; ++I)
-    if (!QReason[I].empty())
+    if (!QReason[I].empty()) {
       Result.Stats.Quarantined.push_back(
           QuarantineRecord{GlobalBase + I, Sources[I].Name, QReason[I]});
+      if (events::enabled())
+        events::emit("quarantine", {{"program", Sources[I].Name},
+                                    {"reason", QReason[I]}});
+    }
   Result.Stats.TotalSeconds = Total.lap();
 
   // Orderly shutdown; failures here are irrelevant to the result.

@@ -8,11 +8,16 @@
 
 #include "distrib/Wire.h"
 #include "service/Protocol.h"
+#include "support/EventLog.h"
 #include "support/FaultInject.h"
 #include "support/Hashing.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 #include <thread>
 
@@ -24,6 +29,13 @@ using namespace uspec;
 using namespace uspec::distrib;
 
 Router::Router(RouterConfig C) : Config(std::move(C)) {
+  {
+    struct timespec Ts;
+    ::clock_gettime(CLOCK_REALTIME, &Ts);
+    StartTimeUnix = static_cast<double>(Ts.tv_sec) +
+                    static_cast<double>(Ts.tv_nsec) / 1e9;
+    StartSteady = std::chrono::steady_clock::now();
+  }
   size_t N = Config.Replicas.size();
   Down = std::make_unique<std::atomic<bool>[]>(N ? N : 1);
   for (size_t I = 0; I < N; ++I)
@@ -135,22 +147,44 @@ std::string Router::statsJson() const {
   Out += ",\"rejoins\":" + std::to_string(Rejoins.load());
   Out += ",\"warm_replays\":" + std::to_string(WarmReplays.load());
   Out += ",\"probe_failures\":" + std::to_string(ProbeFailures.load());
+  {
+    double Uptime = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - StartSteady)
+                        .count();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), ",\"uptime_s\":%.3f", Uptime);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), ",\"start_time_unix\":%.3f",
+                  StartTimeUnix);
+    Out += Buf;
+  }
   Out += '}';
   return Out;
 }
 
 namespace {
 
-/// Recovers the byte-exact result payload from a serve envelope (the probe
-/// requests below carry no id, so the envelope prefix is fixed).
+/// Recovers the byte-exact result payload from a serve envelope. The probe
+/// requests below carry no id, so the envelope is either the fixed prefix
+/// or — when the fan-out propagated a client trace id — that prefix after
+/// a leading `"trace_id"` member.
 bool stripOkEnvelope(const std::string &Response, std::string &Payload) {
-  static const std::string Prefix = "{\"ok\":true,\"result\":";
-  if (Response.size() <= Prefix.size() + 1 ||
-      Response.compare(0, Prefix.size(), Prefix) != 0 ||
+  static const std::string Marker = "\"ok\":true,\"result\":";
+  if (Response.size() <= Marker.size() + 2 || Response.front() != '{' ||
       Response.back() != '}')
     return false;
-  Payload.assign(Response, Prefix.size(),
-                 Response.size() - Prefix.size() - 1);
+  size_t Pos;
+  if (Response.compare(1, Marker.size(), Marker) == 0) {
+    Pos = 1 + Marker.size();
+  } else if (Response.compare(1, 11, "\"trace_id\":") == 0) {
+    size_t At = Response.find("," + Marker, 12);
+    if (At == std::string::npos)
+      return false;
+    Pos = At + 1 + Marker.size();
+  } else {
+    return false;
+  }
+  Payload.assign(Response, Pos, Response.size() - Pos - 1);
   return true;
 }
 
@@ -206,28 +240,61 @@ size_t Router::replayWarmKeys(size_t Replica) {
   return Replayed;
 }
 
+void Router::noteReplicaDown(size_t Replica, const char *Cause) {
+  if (Replica >= numReplicas())
+    return;
+  bool Was = isDown(Replica);
+  markDown(Replica);
+  if (!Was && events::enabled())
+    events::emit("replica_down", {{"replica", std::to_string(Replica)},
+                                  {"addr", Config.Replicas[Replica]},
+                                  {"cause", Cause}});
+}
+
+void Router::rejoinReplica(size_t Replica, const char *Via) {
+  size_t Replayed = replayWarmKeys(Replica);
+  if (events::enabled())
+    events::emit("warm_replay", {{"replica", std::to_string(Replica)},
+                                 {"replayed", std::to_string(Replayed)},
+                                 {"via", Via}});
+  markUp(Replica);
+  Rejoins.fetch_add(1, std::memory_order_relaxed);
+  if (events::enabled()) {
+    events::emit("replica_up", {{"replica", std::to_string(Replica)},
+                                {"addr", Config.Replicas[Replica]}});
+    events::emit("rejoin", {{"replica", std::to_string(Replica)},
+                            {"via", Via}});
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Supervisor: probe → respawn (backoff) → warm replay → rejoin
 //===----------------------------------------------------------------------===//
+
+/// Probe line for replica \p I. Probes carry a router-minted trace id so a
+/// traced replica's request-lifecycle span attributes probe traffic to the
+/// supervisor rather than to an anonymous client.
+static std::string probeLineFor(size_t I) {
+  return "{\"verb\":\"stats\",\"trace_id\":\"router-probe-" +
+         std::to_string(I) + "\"}";
+}
 
 bool Router::recoverReplica(size_t Replica) {
   if (Replica >= numReplicas())
     return false;
   std::string Response, Err;
   bool ProbeOk =
-      clientRoundTrip(Config.Replicas[Replica], "{\"verb\":\"stats\"}",
+      clientRoundTrip(Config.Replicas[Replica], probeLineFor(Replica),
                       Response, &Err) &&
       responseOk(Response);
   if (!ProbeOk) {
-    markDown(Replica);
+    noteReplicaDown(Replica, "recover_probe");
     return false;
   }
   if (isDown(Replica)) {
     // Ring re-add discipline: replay the hot set BEFORE taking traffic, so
     // the rejoined replica serves warm from its first routed request.
-    replayWarmKeys(Replica);
-    markUp(Replica);
-    Rejoins.fetch_add(1, std::memory_order_relaxed);
+    rejoinReplica(Replica, "recover");
     std::lock_guard<std::mutex> Lock(SupMu);
     Sup[Replica].Attempts = 0;
   }
@@ -275,7 +342,7 @@ void Router::superviseTick() {
     try {
       if (!USPEC_FAULT_SOFT("router.probe")) {
         std::string Response, Err;
-        ProbeOk = clientRoundTrip(Config.Replicas[I], "{\"verb\":\"stats\"}",
+        ProbeOk = clientRoundTrip(Config.Replicas[I], probeLineFor(I),
                                   Response, &Err) &&
                   responseOk(Response);
       }
@@ -284,18 +351,18 @@ void Router::superviseTick() {
     }
 
     if (ProbeOk) {
-      if (isDown(I)) {
-        replayWarmKeys(I);
-        markUp(I);
-        Rejoins.fetch_add(1, std::memory_order_relaxed);
-      }
+      if (isDown(I))
+        rejoinReplica(I, "supervisor");
       std::lock_guard<std::mutex> Lock(SupMu);
       Sup[I].Attempts = 0;
       continue;
     }
 
     ProbeFailures.fetch_add(1, std::memory_order_relaxed);
-    markDown(I);
+    if (events::enabled())
+      events::emit("probe_failure", {{"replica", std::to_string(I)},
+                                     {"addr", Config.Replicas[I]}});
+    noteReplicaDown(I, "probe");
     if (Config.RespawnCmd.empty())
       continue;
 
@@ -314,6 +381,16 @@ void Router::superviseTick() {
       ++St.Attempts;
     }
     Respawns.fetch_add(1, std::memory_order_relaxed);
+    if (events::enabled()) {
+      unsigned Attempt;
+      {
+        std::lock_guard<std::mutex> Lock(SupMu);
+        Attempt = Sup[I].Attempts;
+      }
+      events::emit("respawn", {{"replica", std::to_string(I)},
+                               {"addr", Config.Replicas[I]},
+                               {"attempt", std::to_string(Attempt)}});
+    }
     // Fault site `router.respawn`: soft/throw = this attempt fails (the
     // backoff keeps advancing), kill = the router dies here.
     try {
@@ -338,6 +415,14 @@ std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
   // rejoin path so routing recovers without operator action.
   std::string Probe =
       Metrics ? "{\"verb\":\"metrics\"}" : "{\"verb\":\"stats\"}";
+  if (!TraceId.empty()) {
+    // Propagate the client's trace id onto every probe leg, so replica-side
+    // request spans for this fan-out stitch under the same trace.
+    Probe.pop_back();
+    Probe += ",\"trace_id\":";
+    service::appendJsonString(Probe, TraceId);
+    Probe += '}';
+  }
   std::vector<std::pair<bool, std::string>> Results(numReplicas());
   for (size_t I = 0; I < numReplicas(); ++I) {
     std::string Response, Err;
@@ -345,13 +430,11 @@ std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
       if (isDown(I)) {
         // Same rejoin discipline as the supervisor: warm replay before the
         // replica takes traffic again.
-        replayWarmKeys(I);
-        markUp(I);
-        Rejoins.fetch_add(1, std::memory_order_relaxed);
+        rejoinReplica(I, "fanout");
       }
       Results[I] = {true, std::move(Response)};
     } else {
-      markDown(I);
+      noteReplicaDown(I, "fanout_probe");
       Results[I] = {false, std::move(Err)};
     }
   }
@@ -387,6 +470,13 @@ std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
     Text += "# TYPE uspec_router_replicas_up gauge\n";
     Text += "uspec_router_replicas_up " +
             std::to_string(numReplicas() - NumDown) + "\n";
+    // Fleet process start: the minimum of the router's own start and every
+    // live replica's uspec_process_start_time_seconds — one fleet-level
+    // gauge, with the per-replica series dropped from the concatenation
+    // below so the aggregate exposition names it exactly once.
+    static const std::string StartSeries = "uspec_process_start_time_seconds";
+    double MinStart = StartTimeUnix;
+    std::vector<std::string> ReplicaTexts(numReplicas());
     for (size_t I = 0; I < numReplicas(); ++I) {
       if (!Results[I].first)
         continue;
@@ -395,9 +485,37 @@ std::string Router::fanOut(const std::string &Id, std::string_view TraceId,
       if (!service::parseJson(Results[I].second, Doc, &Err))
         continue;
       const service::JsonValue *Result = Doc.find("result");
-      if (Result && Result->isString())
-        Text += Result->StringValue;
+      if (!Result || !Result->isString())
+        continue;
+      const std::string &Exp = Result->StringValue;
+      std::string Kept;
+      Kept.reserve(Exp.size());
+      for (size_t Pos = 0; Pos < Exp.size();) {
+        size_t Nl = Exp.find('\n', Pos);
+        if (Nl == std::string::npos)
+          Nl = Exp.size() - 1;
+        std::string_view LineView(Exp.data() + Pos, Nl - Pos + 1);
+        if (LineView.substr(0, StartSeries.size() + 1) ==
+            StartSeries + " ") {
+          double V = std::strtod(Exp.c_str() + Pos + StartSeries.size() + 1,
+                                 nullptr);
+          if (V > 0 && V < MinStart)
+            MinStart = V;
+        } else if (LineView.find(StartSeries) == std::string_view::npos) {
+          Kept.append(LineView.data(), LineView.size());
+        }
+        Pos = Nl + 1;
+      }
+      ReplicaTexts[I] = std::move(Kept);
     }
+    Text += "# TYPE " + StartSeries + " gauge\n";
+    {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.9g", MinStart);
+      Text += StartSeries + " " + Buf + "\n";
+    }
+    for (size_t I = 0; I < numReplicas(); ++I)
+      Text += ReplicaTexts[I];
     std::string Payload;
     service::appendJsonString(Payload, Text);
     return service::okResponse(Id, Payload, TraceId);
@@ -457,6 +575,9 @@ std::string Router::broadcastReload(const std::string &Line,
     Payload += '}';
   }
   Payload += "],\"reloaded\":" + std::to_string(Reloaded) + "}";
+  if (events::enabled())
+    events::emit("reload", {{"reloaded", std::to_string(Reloaded)},
+                            {"replicas", std::to_string(numReplicas())}});
   if (numReplicas() != 0 && Reloaded == 0)
     return service::errorResponse(Id, "reload_failed",
                                   "no replica confirmed the reload", TraceId);
@@ -524,6 +645,13 @@ std::string hedgeLineFor(const std::string &Line) {
 std::string Router::forwardHedged(const service::Request &Req,
                                   const std::string &Line, size_t Primary,
                                   size_t Secondary, unsigned DelayMs) {
+  TraceSpan Span("router.forward");
+  if (Span.active()) {
+    Span.arg("replica", std::to_string(Primary));
+    Span.arg("hedge_replica", std::to_string(Secondary));
+    if (!Req.TraceId.empty())
+      Span.arg("trace_id", Req.TraceId);
+  }
   auto Start = std::chrono::steady_clock::now();
   auto St = std::make_shared<HedgeState>();
   launchLeg(St, 0, Config.Replicas[Primary], Line);
@@ -548,6 +676,10 @@ std::string Router::forwardHedged(const service::Request &Req,
   // Primary slow (or already failed): fire the hedge at the next live ring
   // owner and take the first byte-identical success.
   Hedged.fetch_add(1, std::memory_order_relaxed);
+  if (events::enabled())
+    events::emit("hedge_fired", {{"primary", std::to_string(Primary)},
+                                 {"secondary", std::to_string(Secondary)},
+                                 {"trace_id", Req.TraceId}});
   launchLeg(St, 1, Config.Replicas[Secondary], hedgeLineFor(Line));
   St->Cv.wait(Lock, [&] {
     // Wake when either leg succeeded or both finished.
@@ -579,12 +711,15 @@ std::string Router::forwardHedged(const service::Request &Req,
     Lock.unlock();
     Forwarded.fetch_add(1, std::memory_order_relaxed);
     HedgedWins.fetch_add(1, std::memory_order_relaxed);
+    if (events::enabled())
+      events::emit("hedge_won", {{"secondary", std::to_string(Secondary)},
+                                 {"trace_id", Req.TraceId}});
     ForwardLatency.recordSeconds(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count());
     if (PrimaryFailed)
-      markDown(Primary);
+      noteReplicaDown(Primary, "hedge_primary_failed");
     // Record under the owner: once it answers (or rejoins), these are the
     // keys its cache partition should hold.
     recordHotLine(Primary, Req, Line);
@@ -593,8 +728,8 @@ std::string Router::forwardHedged(const service::Request &Req,
 
   // Both legs failed.
   Lock.unlock();
-  markDown(Primary);
-  markDown(Secondary);
+  noteReplicaDown(Primary, "hedge_both_failed");
+  noteReplicaDown(Secondary, "hedge_both_failed");
   ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
   return service::errorResponse(Req.Id, "replica_down",
                                 "replica " + Config.Replicas[Primary] +
@@ -622,6 +757,12 @@ std::string Router::forward(const service::Request &Req,
       return forwardHedged(Req, Line, R, Secondary, DelayMs);
   }
 
+  TraceSpan Span("router.forward");
+  if (Span.active()) {
+    Span.arg("replica", std::to_string(R));
+    if (!Req.TraceId.empty())
+      Span.arg("trace_id", Req.TraceId);
+  }
   auto Start = std::chrono::steady_clock::now();
   std::string Response, Err;
   if (clientRoundTrip(Config.Replicas[R], Line, Response, &Err)) {
@@ -636,7 +777,7 @@ std::string Router::forward(const service::Request &Req,
   }
   // Mark down *before* answering: the client's retry walks the ring past
   // this replica, which is the deterministic failover the tests pin.
-  markDown(R);
+  noteReplicaDown(R, "forward_failed");
   ReplicaDownErrors.fetch_add(1, std::memory_order_relaxed);
   return service::errorResponse(Req.Id, "replica_down",
                                 "replica " + Config.Replicas[R] +
@@ -652,6 +793,13 @@ std::string Router::handleLine(const std::string &Line) {
   if (!service::parseRequest(Line, Req, &Err)) {
     BadRequests.fetch_add(1, std::memory_order_relaxed);
     return service::errorResponse(Req.Id, "bad_request", Err, Req.TraceId);
+  }
+  TraceSpan Span("router.request");
+  if (Span.active()) {
+    if (!Req.Id.empty())
+      Span.arg("id", Req.Id);
+    if (!Req.TraceId.empty())
+      Span.arg("trace_id", Req.TraceId);
   }
 
   switch (Req.TheVerb) {

@@ -197,6 +197,13 @@ private:
                      const std::string &Line);
   /// Replays \p Replica's warm set against it; returns replayed count.
   size_t replayWarmKeys(size_t Replica);
+  /// markDown plus a `replica_down` event on the up→down transition only
+  /// (\p Cause says which path noticed: probe, forward, hedge...).
+  void noteReplicaDown(size_t Replica, const char *Cause);
+  /// The ring re-add discipline in one place: warm replay, markUp, rejoin
+  /// counter — each step mirrored into the event log (\p Via = which path
+  /// recovered it: supervisor probe, fan-out probe, recoverReplica).
+  void rejoinReplica(size_t Replica, const char *Via);
   /// Double-forks `/bin/sh -c <RespawnCmd with {socket} substituted>` so
   /// the replica is orphaned to init (no zombies, no SIGCHLD handler).
   void spawnReplica(size_t Replica);
@@ -205,6 +212,12 @@ private:
   std::vector<RingPoint> Ring;
   std::unique_ptr<std::atomic<bool>[]> Down;
   std::atomic<bool> StopRequested{false};
+
+  /// Process start, wall clock (Unix seconds) for the
+  /// uspec_process_start_time_seconds aggregation and steady clock for
+  /// uptime_s in statsJson().
+  double StartTimeUnix = 0;
+  std::chrono::steady_clock::time_point StartSteady;
 
   std::vector<std::unique_ptr<WarmSet>> Warm; ///< One per replica.
   std::mutex SupMu;

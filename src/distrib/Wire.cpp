@@ -487,6 +487,10 @@ std::string uspec::distrib::encodeInit(const InitMsg &Msg) {
   W.writeVarint(Msg.Symbols.size());
   for (const std::string &S : Msg.Symbols)
     W.writeString(S);
+  // Optional trailing field: old decoders stop before it, new decoders read
+  // it only when bytes remain, so the protocol version stays 1.
+  if (!Msg.TraceContext.empty())
+    W.writeString(Msg.TraceContext);
   ArtifactWriter Art;
   Art.addSection(std::string(SecMsg), W.take());
   return finishMsg(Art);
@@ -515,6 +519,9 @@ bool uspec::distrib::decodeInit(std::string_view Frame, InitMsg &Out,
   Out.Symbols.reserve(static_cast<size_t>(N));
   for (uint64_t I = 0; I < N && R.ok(); ++I)
     Out.Symbols.push_back(std::string(R.readString()));
+  Out.TraceContext.clear();
+  if (R.ok() && !R.atEnd())
+    Out.TraceContext = std::string(R.readString());
   return R.ok() || failReader(R, Err);
 }
 
@@ -524,6 +531,8 @@ std::string uspec::distrib::encodeAnalyzeTask(const AnalyzeTask &Task) {
   W.writeVarint(Task.Shard);
   W.writeVarint(Task.Base);
   writePrograms(W, Task.Programs);
+  if (!Task.TraceContext.empty())
+    W.writeString(Task.TraceContext); // optional trailing field
   ArtifactWriter Art;
   Art.addSection(std::string(SecMsg), W.take());
   return finishMsg(Art);
@@ -541,7 +550,12 @@ bool uspec::distrib::decodeAnalyzeTask(std::string_view Frame,
   Out.Base = R.readVarint();
   if (!R.ok())
     return failReader(R, Err);
-  return readPrograms(R, Out.Programs, Err);
+  if (!readPrograms(R, Out.Programs, Err))
+    return false;
+  Out.TraceContext.clear();
+  if (R.ok() && !R.atEnd())
+    Out.TraceContext = std::string(R.readString());
+  return R.ok() || failReader(R, Err);
 }
 
 std::string
@@ -640,6 +654,8 @@ std::string uspec::distrib::encodeExtractTask(const ExtractTask &Task) {
   W.writeVarint(Task.Shard);
   W.writeVarint(Task.Base);
   writePrograms(W, Task.Programs);
+  if (!Task.TraceContext.empty())
+    W.writeString(Task.TraceContext); // optional trailing field
   ArtifactWriter Art;
   Art.addSection(std::string(SecMsg), W.take());
   return finishMsg(Art);
@@ -657,7 +673,12 @@ bool uspec::distrib::decodeExtractTask(std::string_view Frame,
   Out.Base = R.readVarint();
   if (!R.ok())
     return failReader(R, Err);
-  return readPrograms(R, Out.Programs, Err);
+  if (!readPrograms(R, Out.Programs, Err))
+    return false;
+  Out.TraceContext.clear();
+  if (R.ok() && !R.atEnd())
+    Out.TraceContext = std::string(R.readString());
+  return R.ok() || failReader(R, Err);
 }
 
 std::string

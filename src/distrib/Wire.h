@@ -138,10 +138,16 @@ struct WireConfig {
 
 /// Init payload: pipeline config + the coordinator's interner snapshot
 /// (every string in Symbol-id order, id 0 = "" omitted).
+///
+/// TraceContext is an optional trailing field (v1-compatible: absent frames
+/// decode with an empty context): the coordinator's trace/session id, which
+/// workers stamp onto their analyze/extract spans so `uspec obs stitch` can
+/// hang worker-side work under the coordinating run in one merged trace.
 struct InitMsg {
   WireConfig Config;
   std::vector<std::string> Symbols;
   uint32_t WorkerId = 0; ///< Index for distrib.worker.* fault sites.
+  std::string TraceContext; ///< Coordinator trace id ("" = untraced).
 };
 
 /// Analyze payload: a contiguous corpus shard.
@@ -149,6 +155,7 @@ struct AnalyzeTask {
   uint64_t Shard = 0; ///< Shard id, echoed in the reply.
   uint64_t Base = 0;  ///< Global corpus index of Programs[0].
   std::vector<ProgramSource> Programs;
+  std::string TraceContext; ///< Optional trailing per-task trace id.
 };
 
 /// Analyzed payload: everything Phase 1–2a produced for the shard.
@@ -169,6 +176,7 @@ struct ExtractTask {
   uint64_t Shard = 0;
   uint64_t Base = 0;
   std::vector<ProgramSource> Programs; ///< Empty: use cached shard state.
+  std::string TraceContext; ///< Optional trailing per-task trace id.
 };
 
 /// Extracted payload: the shard's candidate evidence plus workload counters

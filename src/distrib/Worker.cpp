@@ -11,6 +11,7 @@
 #include "support/Budget.h"
 #include "support/FaultInject.h"
 #include "support/ParallelFor.h"
+#include "support/Trace.h"
 
 #include <unistd.h>
 #include <unordered_map>
@@ -158,6 +159,20 @@ int uspec::distrib::runWorker(const Address &Coordinator,
   uint32_t WorkerId = 0;
   EdgeModel Model;
   std::unordered_map<uint64_t, ShardState> Shards;
+  // Coordinator trace context from Init (per-task contexts override); spans
+  // recorded here carry it so obs stitch hangs this worker's work under the
+  // coordinating run.
+  std::string TraceCtx;
+  auto TagSpan = [&](TraceSpan &Span, uint64_t Shard,
+                     const std::string &TaskCtx) {
+    if (!Span.active())
+      return;
+    Span.arg("shard", std::to_string(Shard));
+    Span.arg("worker", std::to_string(WorkerId));
+    const std::string &Ctx = TaskCtx.empty() ? TraceCtx : TaskCtx;
+    if (!Ctx.empty())
+      Span.arg("trace_ctx", Ctx);
+  };
 
   std::string Frame;
   while (recvFrame(Fd, Frame, Err)) {
@@ -174,6 +189,7 @@ int uspec::distrib::runWorker(const Address &Coordinator,
         if (ThreadsOverride != 0)
           Config.Threads = ThreadsOverride;
         WorkerId = Msg.WorkerId;
+        TraceCtx = Msg.TraceContext;
         // Replay the coordinator's interner: the snapshot ships ids
         // 1..size-1 in order, and this interner is fresh, so intern()
         // reassigns the identical dense ids — feature hashes (which fold in
@@ -188,8 +204,14 @@ int uspec::distrib::runWorker(const Address &Coordinator,
           return Bail(*Err);
         if (faultFiresAt("distrib.worker.analyze", WorkerId))
           throw FaultInjected("distrib.worker.analyze");
-        AnalyzedResult R = analyzeShard(Task, Config, Strings,
-                                        Shards[Task.Shard]);
+        AnalyzedResult R;
+        {
+          TraceSpan Span("worker.analyze");
+          TagSpan(Span, Task.Shard, Task.TraceContext);
+          R = analyzeShard(Task, Config, Strings, Shards[Task.Shard]);
+        }
+        TraceSpan IoSpan("worker.reply");
+        TagSpan(IoSpan, Task.Shard, Task.TraceContext);
         if (!sendFrame(Fd, encodeAnalyzedResult(R), Err)) {
           ::close(Fd);
           return 1;
@@ -208,20 +230,27 @@ int uspec::distrib::runWorker(const Address &Coordinator,
         if (faultFiresAt("distrib.worker.extract", WorkerId))
           throw FaultInjected("distrib.worker.extract");
         ShardState &State = Shards[Task.Shard];
-        if (!Task.Programs.empty()) {
-          // Reassigned shard: this worker never analyzed it. Rebuild the
-          // cached state from the re-sent sources (analysis is
-          // deterministic, so graphs and quarantine agree with the dead
-          // worker's run); the samples were already delivered and are
-          // discarded here.
-          AnalyzeTask Rebuild;
-          Rebuild.Shard = Task.Shard;
-          Rebuild.Base = Task.Base;
-          Rebuild.Programs = Task.Programs;
-          analyzeShard(Rebuild, Config, Strings, State);
+        ExtractedResult R;
+        {
+          TraceSpan Span("worker.extract");
+          TagSpan(Span, Task.Shard, Task.TraceContext);
+          if (!Task.Programs.empty()) {
+            // Reassigned shard: this worker never analyzed it. Rebuild the
+            // cached state from the re-sent sources (analysis is
+            // deterministic, so graphs and quarantine agree with the dead
+            // worker's run); the samples were already delivered and are
+            // discarded here.
+            AnalyzeTask Rebuild;
+            Rebuild.Shard = Task.Shard;
+            Rebuild.Base = Task.Base;
+            Rebuild.Programs = Task.Programs;
+            analyzeShard(Rebuild, Config, Strings, State);
+          }
+          R = extractShard(State, Model, Config);
         }
-        ExtractedResult R = extractShard(State, Model, Config);
         R.Shard = Task.Shard;
+        TraceSpan IoSpan("worker.reply");
+        TagSpan(IoSpan, Task.Shard, Task.TraceContext);
         if (!sendFrame(Fd, encodeExtractedResult(R, Strings), Err)) {
           ::close(Fd);
           return 1;

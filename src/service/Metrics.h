@@ -43,6 +43,9 @@ class ServiceMetrics {
 public:
   ServiceMetrics()
       : Start(std::chrono::steady_clock::now()),
+        StartUnix(std::chrono::duration<double>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count()),
         Received(Registry.counter("uspec_requests_admitted_total",
                                   "Requests admitted to the queue")),
         Completed(Registry.counter("uspec_requests_completed_total",
@@ -99,6 +102,11 @@ public:
         .count();
   }
 
+  /// Process start as Unix seconds (wall clock, captured at construction) —
+  /// the value behind uspec_process_start_time_seconds, which fleet fan-out
+  /// min-aggregates to the oldest process in the fleet.
+  double startTimeUnixSeconds() const { return StartUnix; }
+
   /// One JSON object; \p Workers / \p QueueDepth / \p Cache describe the
   /// server's current shape. Built on std::string — never truncates,
   /// however large the counters grow.
@@ -130,6 +138,8 @@ public:
       Append("%llu", static_cast<unsigned long long>(Value));
     };
     Append("{\"uptime_seconds\":%.3f", Uptime);
+    Append(",\"uptime_s\":%.3f", Uptime);
+    Append(",\"start_time_unix\":%.3f", StartUnix);
     Append(",\"workers\":%u", Workers);
     Append(",\"queue_depth\":%zu", QueueDepth);
     Append(",\"queue_capacity\":%zu", QueueCapacity);
@@ -176,6 +186,8 @@ public:
     using telemetry::appendPromGauge;
     appendPromGauge(Out, "uspec_uptime_seconds", "Server uptime",
                     uptimeSeconds());
+    appendPromGauge(Out, "uspec_process_start_time_seconds",
+                    "Process start, Unix seconds", StartUnix);
     appendPromGauge(Out, "uspec_workers", "Worker pool size", Workers);
     appendPromGauge(Out, "uspec_queue_depth", "Requests currently queued",
                     static_cast<double>(QueueDepth));
@@ -218,6 +230,7 @@ public:
 private:
   telemetry::MetricsRegistry Registry;
   std::chrono::steady_clock::time_point Start;
+  double StartUnix;
   telemetry::Counter &Received, &Completed, &Errored, &Overloaded,
       &RejectedDraining, &DeadlineExceeded, &WorkerDeaths, &ModelReloads,
       &CacheHits, &CacheMisses;

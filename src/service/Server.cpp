@@ -7,6 +7,7 @@
 #include "service/Server.h"
 
 #include "artifact/Checkpoint.h"
+#include "support/EventLog.h"
 #include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/ParallelFor.h"
@@ -230,11 +231,16 @@ std::shared_ptr<const ModelState> Server::model() const {
 
 void Server::swapModel(ModelState NewModel) {
   auto Fresh = std::make_shared<const ModelState>(std::move(NewModel));
+  uint64_t Generation = Fresh->Generation;
+  size_t Specs = Fresh->Specs.Lines.size();
   {
     std::lock_guard<std::mutex> Lock(ModelMutex);
     Model = std::move(Fresh);
   }
   Metrics.recordModelReload();
+  if (events::enabled())
+    events::emit("reload", {{"generation", std::to_string(Generation)},
+                            {"specs", std::to_string(Specs)}});
 }
 
 bool Server::reloadModel(std::string Path, std::string *Err) {
@@ -368,6 +374,8 @@ void Server::workerLoop() {
 
 void Server::replaceDeadWorker(Job &TheJob) {
   Metrics.recordWorkerDeath();
+  if (events::enabled())
+    events::emit("worker_death", {{"request", TheJob.State->Id}});
   TheJob.State->answer(errorResponse(
       TheJob.State->Id, "internal",
       "worker died while processing this request; a replacement was "

@@ -1,0 +1,180 @@
+//===- EventLog.cpp - Structured fleet event log --------------------------===//
+//
+// Part of the USpec reproduction (PLDI 2019). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include "support/JsonEscape.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <mutex>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace uspec;
+
+namespace {
+
+constexpr uint64_t DefaultMaxBytes = 8u << 20; // 8 MiB per live file
+
+/// The one armed log. The mutex serializes seq assignment, the size check,
+/// and rotation; the append itself is a single O_APPEND write so even an
+/// *external* process sharing the file cannot interleave bytes mid-line.
+struct LogState {
+  std::mutex Mutex;
+  int Fd = -1;
+  std::string Path;
+  uint64_t Seq = 0;
+  uint64_t Bytes = 0;
+  uint64_t MaxBytes = DefaultMaxBytes;
+};
+
+LogState &state() {
+  static LogState S;
+  return S;
+}
+
+/// Writes the whole buffer with one write(2) call, retrying only on EINTR.
+/// A short write (disk full) abandons the rest of the line; the next line
+/// starts with '\n'-terminated framing again, so readers resync by skipping
+/// the torn line (it fails to parse as JSON).
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Rotates PATH to PATH.1 (clobbering any previous .1) and reopens a fresh
+/// live file. Called with the state mutex held. On any failure the current
+/// fd keeps appending — losing rotation is better than losing events.
+void rotateLocked(LogState &S) {
+  std::string Rotated = S.Path + ".1";
+  if (::rename(S.Path.c_str(), Rotated.c_str()) != 0)
+    return;
+  int NewFd = ::open(S.Path.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (NewFd < 0) {
+    // Reopen failed: keep writing to the (now renamed) old file.
+    return;
+  }
+  ::close(S.Fd);
+  S.Fd = NewFd;
+  S.Bytes = 0;
+}
+
+uint64_t wallMs() {
+  struct timespec Ts;
+  ::clock_gettime(CLOCK_REALTIME, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000u +
+         static_cast<uint64_t>(Ts.tv_nsec) / 1000000u;
+}
+
+} // namespace
+
+std::atomic<bool> events::detail::EventsArmed{false};
+
+void events::detail::emitImpl(
+    const char *Type, std::vector<std::pair<const char *, std::string>> Fields) {
+  std::string Line;
+  Line.reserve(96 + Fields.size() * 32);
+
+  LogState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Fd < 0)
+    return; // disarmed between the enabled() gate and here
+
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"v\":%u,\"seq\":%" PRIu64 ",\"ts_ms\":%" PRIu64
+                ",\"pid\":%ld,\"type\":",
+                SchemaVersion, S.Seq, wallMs(),
+                static_cast<long>(::getpid()));
+  Line += Buf;
+  appendJsonQuoted(Line, Type);
+  for (const auto &KV : Fields) {
+    Line += ',';
+    appendJsonQuoted(Line, KV.first);
+    Line += ':';
+    appendJsonQuoted(Line, KV.second);
+  }
+  Line += "}\n";
+
+  if (S.Bytes + Line.size() > S.MaxBytes && S.Bytes > 0)
+    rotateLocked(S);
+  if (writeAll(S.Fd, Line.data(), Line.size())) {
+    ++S.Seq;
+    S.Bytes += Line.size();
+  }
+}
+
+bool events::startToFile(const std::string &Path, uint64_t MaxBytes,
+                         std::string *Err) {
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "cannot open event log '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  struct stat St;
+  uint64_t Existing =
+      (::fstat(Fd, &St) == 0) ? static_cast<uint64_t>(St.st_size) : 0;
+
+  LogState &S = state();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    if (S.Fd >= 0)
+      ::close(S.Fd);
+    S.Fd = Fd;
+    S.Path = Path;
+    S.Seq = 0;
+    S.Bytes = Existing;
+    if (MaxBytes)
+      S.MaxBytes = MaxBytes;
+  }
+  detail::EventsArmed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void events::finish() {
+  detail::EventsArmed.store(false, std::memory_order_relaxed);
+  LogState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Fd >= 0) {
+    ::close(S.Fd);
+    S.Fd = -1;
+  }
+  S.Path.clear();
+}
+
+void events::loadFromEnv() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    const char *Env = std::getenv("USPEC_EVENTS");
+    if (!Env || !*Env)
+      return;
+    uint64_t MaxBytes = 0;
+    if (const char *Cap = std::getenv("USPEC_EVENTS_MAX_BYTES"))
+      if (*Cap)
+        MaxBytes = std::strtoull(Cap, nullptr, 10);
+    std::string Err;
+    if (!startToFile(Env, MaxBytes, &Err))
+      std::fprintf(stderr, "uspec: warning: USPEC_EVENTS: %s\n", Err.c_str());
+  });
+}

@@ -7,6 +7,7 @@
 #include "support/Telemetry.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <deque>
 #include <mutex>
@@ -77,8 +78,15 @@ HistogramSnapshot ShardedHistogram::snapshot() const {
 //===----------------------------------------------------------------------===//
 
 void telemetry::appendPromValue(std::string &Out, double V) {
+  // Counters are integers that can exceed %.9g's mantissa: print every
+  // integral value exactly up to 2^53 so large counts round-trip through
+  // the exposition untruncated; only genuine fractions use %.9g.
   char Buf[64];
-  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  double Whole;
+  if (std::modf(V, &Whole) == 0.0 && std::fabs(V) < 9007199254740992.0)
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.9g", V);
   Out += Buf;
 }
 

@@ -124,7 +124,13 @@ void serialize(std::string &Out, std::vector<TraceEvent> &Events,
                        return A.EndNs > B.EndNs;
                      return A.Tid < B.Tid;
                    });
-  Out += "{\"traceEvents\":[";
+  // uspecBaseNs is the session epoch as absolute steady-clock nanoseconds.
+  // Chrome/Perfetto ignore unknown top-level keys; `uspec obs stitch` reads
+  // it to shift each process's session-relative timestamps onto the shared
+  // machine-wide steady timeline, aligning shards from different processes.
+  Out += "{\"uspecBaseNs\":";
+  Out += std::to_string(BaseNs);
+  Out += ",\"traceEvents\":[";
   char Buf[128];
   const long Pid = static_cast<long>(::getpid());
   bool First = true;

@@ -55,8 +55,11 @@ void start();
 /// *Err set) if the path is not writable; the session is not armed then.
 bool startToFile(const std::string &Path, std::string *Err = nullptr);
 
-/// Disarms the session and returns the serialized trace JSON. Buffers are
-/// cleared; returns "{\"traceEvents\":[]}" if no session was armed.
+/// Disarms the session and returns the serialized trace JSON (an empty
+/// traceEvents array if no session was armed). Buffers are cleared. The
+/// document carries a `uspecBaseNs` top-level key — the session epoch as
+/// absolute steady-clock nanoseconds — which `uspec obs stitch` uses to
+/// align shards from different processes onto one timeline.
 std::string stop();
 
 /// Disarms and, when the session was started with startToFile(), writes the

@@ -624,7 +624,12 @@ struct TestReplica {
   }
 
   ~TestReplica() {
-    Stop = 1;
+    // beginDrain() is mutex-synchronized with the accept loop's draining()
+    // check; writing the volatile Stop flag from this thread would be a
+    // data race (the flag exists for signal handlers, not cross-thread
+    // shutdown).
+    if (S)
+      S->beginDrain();
     if (T.joinable())
       T.join();
   }

@@ -113,6 +113,19 @@
 //       the hedge carries no_cache so caches don't bleed. --warm-keys K
 //       bounds the per-replica hot-request LRU replayed on rejoin/reload.
 //
+//   uspec obs     stitch OUT.json SHARD... | top --socket PATH [--watch]
+//                 | events FILE [--follow] [--type T]
+//       Fleet observability (DESIGN.md §16). `stitch` merges per-process
+//       Chrome-trace shards into one Perfetto-loadable trace: shards are
+//       aligned onto the shared steady-clock timeline via their uspecBaseNs
+//       epoch, every pid gets process_name metadata, and flow events link
+//       router forwards to the replica request spans (and coordinator runs
+//       to worker shard spans) that carry the same trace id. `top` renders
+//       a one-shot (or --watch, refreshing) fleet summary from a router or
+//       serve socket. `events` prints a structured event log (--events /
+//       USPEC_EVENTS), optionally filtered by --type and tailed by
+//       --follow.
+//
 //   uspec check   FILES...
 //       Parse and lower files, reporting diagnostics.
 //
@@ -135,17 +148,22 @@
 #include "incremental/Trainer.h"
 #include "service/Server.h"
 #include "specs/SpecIO.h"
+#include "support/EventLog.h"
 #include "support/Trace.h"
 
 #include <cerrno>
 #include <string_view>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <map>
 #include <sstream>
 #include <thread>
 
@@ -190,8 +208,13 @@ int usage() {
       "              [--trace t.json] [--slow-ms N]\n"
       "  uspec query --socket PATH [--retries N] [--trace-id ID]\n"
       "              VERB [ARGS...]\n"
+      "  uspec obs stitch OUT.json SHARD...\n"
+      "  uspec obs top --socket PATH [--watch] [--interval-ms N]\n"
+      "  uspec obs events FILE [--follow] [--type T]\n"
       "  uspec check FILES...\n"
-      "(USPEC_TRACE=t.json arms --trace for any subcommand)\n");
+      "(USPEC_TRACE=t.json arms --trace for any subcommand;\n"
+      " USPEC_EVENTS=e.jsonl arms --events the same way; serve, route and\n"
+      " learn/train also take --events FILE directly)\n");
   return 2;
 }
 
@@ -395,7 +418,7 @@ void printCandidates(const StringInterner &Strings, size_t NumPrograms,
 /// artifact out).
 int cmdLearnOrTrain(Args &A, bool Train) {
   std::vector<std::string> Files;
-  std::string OutPath, TracePath, JournalPath;
+  std::string OutPath, TracePath, EventsPath, JournalPath;
   double Tau = 0.6;
   uint64_t Seed = 0xC0FFEE;
   uint64_t Threads = 0; // 0 = hardware concurrency
@@ -450,6 +473,11 @@ int cmdLearnOrTrain(Args &A, bool Train) {
       if (!V)
         return missingValue(Cmd, Arg);
       TracePath = V;
+    } else if (!std::strcmp(Arg, "--events")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue(Cmd, Arg);
+      EventsPath = V;
     } else if (!std::strcmp(Arg, "--step-budget")) {
       const char *V = A.next();
       if (!V)
@@ -528,6 +556,13 @@ int cmdLearnOrTrain(Args &A, bool Train) {
   if (!TracePath.empty()) {
     std::string Err;
     if (!trace::startToFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  if (!EventsPath.empty()) {
+    std::string Err;
+    if (!events::startToFile(EventsPath, /*MaxBytes=*/0, &Err)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 2;
     }
@@ -1181,7 +1216,7 @@ volatile int GReloadRequested = 0;
 void onReloadSignal(int) { GReloadRequested = 1; }
 
 int cmdServe(Args &A) {
-  std::string ModelPath, SpecsPath, SocketPath, TracePath;
+  std::string ModelPath, SpecsPath, SocketPath, TracePath, EventsPath;
   service::ServerConfig Cfg;
   while (const char *Arg = A.next()) {
     if (!std::strcmp(Arg, "--trace")) {
@@ -1189,6 +1224,11 @@ int cmdServe(Args &A) {
       if (!V)
         return missingValue("serve", Arg);
       TracePath = V;
+    } else if (!std::strcmp(Arg, "--events")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("serve", Arg);
+      EventsPath = V;
     } else if (!std::strcmp(Arg, "--slow-ms")) {
       const char *V = A.next();
       if (!V)
@@ -1268,6 +1308,13 @@ int cmdServe(Args &A) {
   if (!TracePath.empty()) {
     std::string Err;
     if (!trace::startToFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  if (!EventsPath.empty()) {
+    std::string Err;
+    if (!events::startToFile(EventsPath, /*MaxBytes=*/0, &Err)) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 2;
     }
@@ -1367,6 +1414,18 @@ int cmdWorker(Args &A) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 2;
   }
+  // Coordinator-spawned workers inherit USPEC_TRACE; re-arm onto a per-pid
+  // shard so each worker writes its own file instead of the last exiting
+  // worker clobbering the coordinator's. `uspec obs stitch` merges them.
+  if (trace::enabled()) {
+    if (const char *Base = std::getenv("USPEC_TRACE")) {
+      std::string Shard = std::string(Base) + "." +
+                          std::to_string(static_cast<long>(::getpid()));
+      std::string TraceErr;
+      if (!Shard.empty() && !trace::startToFile(Shard, &TraceErr))
+        std::fprintf(stderr, "warning: %s\n", TraceErr.c_str());
+    }
+  }
   int Rc = distrib::runWorker(*Addr, static_cast<unsigned>(Threads), &Err);
   if (Rc != 0 && !Err.empty())
     std::fprintf(stderr, "error: %s\n", Err.c_str());
@@ -1383,7 +1442,8 @@ int cmdWorker(Args &A) {
 /// socket path), or — when only `--model` is given — via a synthesized
 /// `<this binary> serve --socket {socket} --model PATH`.
 int cmdRoute(Args &A) {
-  std::string SocketPath, ReplicaList, RespawnCmd, ModelPath;
+  std::string SocketPath, ReplicaList, RespawnCmd, ModelPath, TracePath,
+      EventsPath;
   uint64_t Vnodes = 64, ProbeIntervalMs = 500, RespawnSeed = 0, HedgeMs = 0,
            WarmKeys = 32;
   bool Supervise = false, HedgeAuto = false;
@@ -1451,8 +1511,32 @@ int cmdRoute(Args &A) {
         return missingValue("route", Arg);
       if (!parseUInt("--warm-keys", V, WarmKeys))
         return 2;
+    } else if (!std::strcmp(Arg, "--trace")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      TracePath = V;
+    } else if (!std::strcmp(Arg, "--events")) {
+      const char *V = A.next();
+      if (!V)
+        return missingValue("route", Arg);
+      EventsPath = V;
     } else {
       return unknownToken("route", Arg);
+    }
+  }
+  if (!TracePath.empty()) {
+    std::string Err;
+    if (!trace::startToFile(TracePath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  if (!EventsPath.empty()) {
+    std::string Err;
+    if (!events::startToFile(EventsPath, /*MaxBytes=*/0, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
     }
   }
   distrib::RouterConfig Cfg;
@@ -1843,6 +1927,483 @@ int cmdQuery(Args &A) {
   return 1;
 }
 
+//===----------------------------------------------------------------------===//
+// obs (fleet observability: stitch / top / events; DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+/// Serializes \p V back to JSON text. Member and array order are preserved
+/// (JsonValue keeps both as vectors); integral numbers print without a
+/// decimal point and everything else at the trace serializer's microsecond
+/// precision (%.3f), so a round-tripped trace shard keeps its shape.
+void writeJson(const service::JsonValue &V, std::string &Out) {
+  using service::JsonValue;
+  switch (V.TheKind) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    break;
+  case JsonValue::Kind::Bool:
+    Out += V.BoolValue ? "true" : "false";
+    break;
+  case JsonValue::Kind::Number: {
+    char Buf[64];
+    double Whole;
+    if (std::modf(V.NumberValue, &Whole) == 0.0 &&
+        std::fabs(Whole) < 9.0e15)
+      std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Whole));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%.3f", V.NumberValue);
+    Out += Buf;
+    break;
+  }
+  case JsonValue::Kind::String:
+    service::appendJsonString(Out, V.StringValue);
+    break;
+  case JsonValue::Kind::Array:
+    Out += '[';
+    for (size_t I = 0; I < V.Items.size(); ++I) {
+      if (I)
+        Out += ',';
+      writeJson(V.Items[I], Out);
+    }
+    Out += ']';
+    break;
+  case JsonValue::Kind::Object:
+    Out += '{';
+    for (size_t I = 0; I < V.Members.size(); ++I) {
+      if (I)
+        Out += ',';
+      service::appendJsonString(Out, V.Members[I].first);
+      Out += ':';
+      writeJson(V.Members[I].second, Out);
+    }
+    Out += '}';
+    break;
+  }
+}
+
+/// String member \p Key of the "args" object of trace event \p E ("" when
+/// absent) — where spans carry trace_id / trace_ctx correlation keys.
+std::string obsSpanArg(const service::JsonValue &E, const char *Key) {
+  const service::JsonValue *Args = E.find("args");
+  if (!Args || !Args->isObject())
+    return {};
+  const service::JsonValue *V = Args->find(Key);
+  return V && V->isString() ? V->StringValue : std::string();
+}
+
+/// `uspec obs stitch OUT.json SHARD...`: merge per-process Chrome-trace
+/// shards into one Perfetto-loadable document. Shards are aligned onto the
+/// shared machine-wide steady clock via their uspecBaseNs session epoch,
+/// each pid gets a process_name metadata record naming its role (inferred
+/// from span-name prefixes) and source shard, and flow events connect
+/// router.forward spans to the replica service.request spans — and
+/// distrib.coordinate spans to worker.* shard spans — that carry the same
+/// trace_id / trace_ctx.
+int cmdObsStitch(const std::vector<const char *> &Pos) {
+  if (Pos.size() < 3) {
+    std::fprintf(stderr,
+                 "error: usage: uspec obs stitch OUT.json SHARD...\n");
+    return 2;
+  }
+  struct Shard {
+    std::string Label; ///< Basename, shown in process_name metadata.
+    double ShiftUs = 0;
+    service::JsonValue Doc;
+  };
+  std::vector<Shard> Shards;
+  double MinBaseNs = -1;
+  for (size_t I = 2; I < Pos.size(); ++I) {
+    auto Text = readFile(Pos[I]);
+    if (!Text)
+      return 1;
+    Shard S;
+    std::string Err;
+    if (!service::parseJson(*Text, S.Doc, &Err) || !S.Doc.isObject()) {
+      std::fprintf(stderr, "error: %s: not a trace shard: %s\n", Pos[I],
+                   Err.empty() ? "not a JSON object" : Err.c_str());
+      return 1;
+    }
+    const service::JsonValue *Events = S.Doc.find("traceEvents");
+    if (!Events || !Events->isArray()) {
+      std::fprintf(stderr, "error: %s: no traceEvents array\n", Pos[I]);
+      return 1;
+    }
+    S.Label = Pos[I];
+    size_t Slash = S.Label.find_last_of('/');
+    if (Slash != std::string::npos)
+      S.Label.erase(0, Slash + 1);
+    if (const service::JsonValue *Base = S.Doc.find("uspecBaseNs"))
+      if (Base->TheKind == service::JsonValue::Kind::Number &&
+          Base->NumberValue > 0) {
+        S.ShiftUs = Base->NumberValue / 1e3;
+        if (MinBaseNs < 0 || Base->NumberValue < MinBaseNs)
+          MinBaseNs = Base->NumberValue;
+      }
+    Shards.push_back(std::move(S));
+  }
+  // Normalize: the earliest session epoch becomes t=0; shards without an
+  // epoch (foreign traces) keep their own timestamps.
+  for (Shard &S : Shards)
+    S.ShiftUs = S.ShiftUs > 0 ? S.ShiftUs - MinBaseNs / 1e3 : 0;
+
+  // Pass 1 over every event: shift timestamps in place, classify each pid's
+  // role by span-name prefix, and index flow sources / destinations by
+  // their correlation key.
+  struct SpanRef {
+    long Pid;
+    double Tid, Ts;
+  };
+  std::map<long, std::pair<std::string, int>> PidRole; // pid -> label, rank
+  std::map<std::string, std::vector<SpanRef>> FlowSrc, FlowDst;
+  static const std::pair<const char *, const char *> Roles[] = {
+      {"router.", "uspec route"},
+      {"worker.", "uspec worker"},
+      {"service.", "uspec serve"},
+      {"distrib.", "uspec train"},
+      {"learn.", "uspec train"},
+  };
+  for (Shard &S : Shards) {
+    // find() is const; locate the traceEvents member mutably.
+    for (auto &Member : S.Doc.Members) {
+      if (Member.first != "traceEvents" || !Member.second.isArray())
+        continue;
+      for (service::JsonValue &E : Member.second.Items) {
+        if (!E.isObject())
+          continue;
+        double Ts = 0;
+        for (auto &M : E.Members)
+          if (M.first == "ts" &&
+              M.second.TheKind == service::JsonValue::Kind::Number) {
+            M.second.NumberValue += S.ShiftUs;
+            Ts = M.second.NumberValue;
+          }
+        const service::JsonValue *NameV = E.find("name");
+        const service::JsonValue *PidV = E.find("pid");
+        if (!NameV || !NameV->isString() || !PidV)
+          continue;
+        const std::string &Name = NameV->StringValue;
+        long Pid = static_cast<long>(PidV->NumberValue);
+        for (int R = 0; R < static_cast<int>(std::size(Roles)); ++R) {
+          if (Name.compare(0, std::strlen(Roles[R].first), Roles[R].first))
+            continue;
+          auto It = PidRole.find(Pid);
+          if (It == PidRole.end() || R < It->second.second)
+            PidRole[Pid] = {std::string(Roles[R].second) + " — " +
+                                S.Label,
+                            R};
+          break;
+        }
+        const service::JsonValue *TidV = E.find("tid");
+        SpanRef Ref{Pid, TidV ? TidV->NumberValue : 0, Ts};
+        if (Name == "router.forward" || Name == "distrib.coordinate") {
+          std::string Key = obsSpanArg(E, "trace_id");
+          if (Key.empty())
+            Key = obsSpanArg(E, "trace_ctx");
+          if (!Key.empty())
+            FlowSrc[Key].push_back(Ref);
+        } else if (Name == "service.request" ||
+                   !Name.compare(0, 7, "worker.")) {
+          std::string Key = obsSpanArg(E, "trace_id");
+          if (Key.empty())
+            Key = obsSpanArg(E, "trace_ctx");
+          if (!Key.empty())
+            FlowDst[Key].push_back(Ref);
+        }
+      }
+    }
+    // Pids with no recognized span prefix still get named after the shard.
+    for (const service::JsonValue &E :
+         S.Doc.find("traceEvents")->Items) {
+      const service::JsonValue *PidV = E.isObject() ? E.find("pid") : nullptr;
+      if (!PidV)
+        continue;
+      long Pid = static_cast<long>(PidV->NumberValue);
+      if (!PidRole.count(Pid))
+        PidRole[Pid] = {std::string("uspec — ") + S.Label,
+                        static_cast<int>(std::size(Roles))};
+    }
+  }
+
+  // Pass 2: emit. Original events (shifted), then process_name metadata,
+  // then one s/f flow pair per (source span, cross-process matching span).
+  std::string Out;
+  Out.reserve(1 << 16);
+  Out += "{\"traceEvents\":[";
+  bool First = true;
+  for (const Shard &S : Shards)
+    for (const service::JsonValue &E :
+         S.Doc.find("traceEvents")->Items) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeJson(E, Out);
+    }
+  char Buf[192];
+  for (const auto &[Pid, Role] : PidRole) {
+    if (!First)
+      Out += ',';
+    First = false;
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%ld,"
+                  "\"tid\":0,\"args\":{\"name\":",
+                  Pid);
+    Out += Buf;
+    service::appendJsonString(Out, Role.first);
+    Out += "}}";
+  }
+  uint64_t FlowId = 0, Flows = 0;
+  for (const auto &[Key, Srcs] : FlowSrc) {
+    auto DstIt = FlowDst.find(Key);
+    if (DstIt == FlowDst.end())
+      continue;
+    for (const SpanRef &Src : Srcs)
+      for (const SpanRef &Dst : DstIt->second) {
+        if (Dst.Pid == Src.Pid)
+          continue;
+        ++FlowId;
+        ++Flows;
+        std::snprintf(Buf, sizeof(Buf),
+                      ",{\"name\":\"request\",\"cat\":\"uspec\",\"ph\":"
+                      "\"s\",\"id\":%llu,\"pid\":%ld,\"tid\":%u,"
+                      "\"ts\":%.3f}",
+                      static_cast<unsigned long long>(FlowId), Src.Pid,
+                      static_cast<unsigned>(Src.Tid), Src.Ts);
+        Out += Buf;
+        std::snprintf(Buf, sizeof(Buf),
+                      ",{\"name\":\"request\",\"cat\":\"uspec\",\"ph\":"
+                      "\"f\",\"bp\":\"e\",\"id\":%llu,\"pid\":%ld,"
+                      "\"tid\":%u,\"ts\":%.3f}",
+                      static_cast<unsigned long long>(FlowId), Dst.Pid,
+                      static_cast<unsigned>(Dst.Tid), Dst.Ts);
+        Out += Buf;
+      }
+  }
+  Out += "]}";
+  if (!writeFile(Pos[1], Out))
+    return 1;
+  std::fprintf(stderr,
+               "stitched %zu shards: %zu processes, %llu flow links -> %s\n",
+               Shards.size(), PidRole.size(),
+               static_cast<unsigned long long>(Flows), Pos[1]);
+  return 0;
+}
+
+/// Number member \p Key of object \p V (\p Dflt when absent).
+double obsNum(const service::JsonValue *V, const char *Key, double Dflt = 0) {
+  if (!V || !V->isObject())
+    return Dflt;
+  const service::JsonValue *M = V->find(Key);
+  return M && M->TheKind == service::JsonValue::Kind::Number ? M->NumberValue
+                                                            : Dflt;
+}
+
+/// Renders one fleet summary from a `stats` payload — the router fan-out
+/// shape ({"router":...,"replicas":[...]}) gets the per-replica table, a
+/// plain serve payload gets a single-process line.
+void renderObsTop(const service::JsonValue &Payload) {
+  const service::JsonValue *R = Payload.find("router");
+  if (!R) {
+    std::printf("serve: uptime %.1fs, %.0f completed (qps %.1f), "
+                "cache hit %.0f%%, p95 %.2f ms\n",
+                obsNum(&Payload, "uptime_s"),
+                obsNum(Payload.find("requests"), "completed"),
+                obsNum(&Payload, "qps"),
+                obsNum(Payload.find("cache"), "hit_rate") * 100,
+                obsNum(Payload.find("latency_ms"), "p95"));
+    return;
+  }
+  const service::JsonValue *Reps = Payload.find("replicas");
+  size_t Total = Reps && Reps->isArray() ? Reps->Items.size() : 0;
+  size_t NumDown = 0;
+  if (const service::JsonValue *D = R->find("down"))
+    if (D->isArray())
+      NumDown = D->Items.size();
+  std::printf("fleet: %zu replicas (%zu down), router uptime %.1fs\n",
+              Total, NumDown, obsNum(R, "uptime_s"));
+  std::printf("router: %.0f requests, %.0f forwarded, %.0f hedged "
+              "(%.0f wins), %.0f respawns, %.0f rejoins, %.0f warm "
+              "replays\n",
+              obsNum(R, "requests"), obsNum(R, "forwarded"),
+              obsNum(R, "hedged"), obsNum(R, "hedged_wins"),
+              obsNum(R, "respawns"), obsNum(R, "rejoins"),
+              obsNum(R, "warm_replays"));
+  if (!Reps || !Reps->isArray())
+    return;
+  for (size_t I = 0; I < Reps->Items.size(); ++I) {
+    const service::JsonValue &Rep = Reps->Items[I];
+    const service::JsonValue *Addr = Rep.find("addr");
+    const service::JsonValue *DownV = Rep.find("down");
+    bool IsDown = DownV && DownV->isBool() && DownV->BoolValue;
+    const service::JsonValue *Stats = Rep.find("stats");
+    if (Stats) {
+      std::printf("  [%zu] %-28s %-4s uptime %7.1fs  %6.0f done  "
+                  "hit %3.0f%%  p95 %7.2f ms\n",
+                  I, Addr && Addr->isString() ? Addr->StringValue.c_str()
+                                              : "?",
+                  IsDown ? "DOWN" : "up", obsNum(Stats, "uptime_s"),
+                  obsNum(Stats->find("requests"), "completed"),
+                  obsNum(Stats->find("cache"), "hit_rate") * 100,
+                  obsNum(Stats->find("latency_ms"), "p95"));
+    } else {
+      std::printf("  [%zu] %-28s %s\n", I,
+                  Addr && Addr->isString() ? Addr->StringValue.c_str() : "?",
+                  IsDown ? "DOWN (unreachable)" : "up (no stats)");
+    }
+  }
+}
+
+/// `uspec obs top --socket PATH [--watch] [--interval-ms N]`: one-shot (or
+/// refreshing) fleet summary over the router's stats fan-out — or a single
+/// serve socket's stats.
+int cmdObsTop(const std::vector<const char *> &Pos) {
+  std::string SocketPath;
+  bool Watch = false;
+  uint64_t IntervalMs = 2000;
+  for (size_t I = 1; I < Pos.size(); ++I) {
+    if (!std::strcmp(Pos[I], "--socket")) {
+      if (++I == Pos.size())
+        return missingValue("obs", "--socket");
+      SocketPath = Pos[I];
+    } else if (!std::strcmp(Pos[I], "--watch")) {
+      Watch = true;
+    } else if (!std::strcmp(Pos[I], "--interval-ms")) {
+      if (++I == Pos.size())
+        return missingValue("obs", "--interval-ms");
+      if (!parseUInt("--interval-ms", Pos[I], IntervalMs) || !IntervalMs)
+        return 2;
+    } else {
+      return unknownToken("obs", Pos[I]);
+    }
+  }
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "error: obs top requires --socket PATH\n");
+    return 2;
+  }
+  GStopRequested = 0;
+  if (Watch) {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onStopSignal;
+    sigemptyset(&SA.sa_mask);
+    sigaction(SIGTERM, &SA, nullptr);
+    sigaction(SIGINT, &SA, nullptr);
+  }
+  for (;;) {
+    std::string Response;
+    if (!roundTrip(SocketPath, "{\"verb\":\"stats\"}", Response))
+      return 1;
+    service::JsonValue Doc;
+    std::string Err;
+    const service::JsonValue *Ok = nullptr, *Result = nullptr;
+    if (service::parseJson(Response, Doc, &Err)) {
+      Ok = Doc.find("ok");
+      Result = Doc.find("result");
+    }
+    if (!Ok || !Ok->isBool() || !Ok->BoolValue || !Result) {
+      std::fprintf(stderr, "error: stats failed: %s\n", Response.c_str());
+      return 1;
+    }
+    if (Watch)
+      std::printf("\x1b[H\x1b[2J");
+    renderObsTop(*Result);
+    std::fflush(stdout);
+    if (!Watch)
+      return 0;
+    for (uint64_t Slept = 0; Slept < IntervalMs && !GStopRequested;
+         Slept += 100)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (GStopRequested)
+      return 0;
+  }
+}
+
+/// `uspec obs events FILE [--follow] [--type T]`: print (and optionally
+/// tail) a structured event log, filtered by event type. Torn or foreign
+/// lines are skipped, not fatal — the log is append-only JSONL from
+/// multiple processes.
+int cmdObsEvents(const std::vector<const char *> &Pos) {
+  std::string Path, Type;
+  bool Follow = false;
+  for (size_t I = 1; I < Pos.size(); ++I) {
+    if (!std::strcmp(Pos[I], "--follow")) {
+      Follow = true;
+    } else if (!std::strcmp(Pos[I], "--type")) {
+      if (++I == Pos.size())
+        return missingValue("obs", "--type");
+      Type = Pos[I];
+    } else if (Pos[I][0] == '-' && Pos[I][1] != '\0') {
+      return unknownToken("obs", Pos[I]);
+    } else if (Path.empty()) {
+      Path = Pos[I];
+    } else {
+      return unknownToken("obs", Pos[I]);
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr,
+                 "error: usage: uspec obs events FILE [--follow] "
+                 "[--type T]\n");
+    return 2;
+  }
+  errno = 0;
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", Path.c_str(),
+                 errno ? std::strerror(errno) : "unknown error");
+    return 1;
+  }
+  GStopRequested = 0;
+  if (Follow) {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = onStopSignal;
+    sigemptyset(&SA.sa_mask);
+    sigaction(SIGTERM, &SA, nullptr);
+    sigaction(SIGINT, &SA, nullptr);
+  }
+  std::string Line;
+  for (;;) {
+    while (std::getline(In, Line)) {
+      if (Line.empty())
+        continue;
+      service::JsonValue Doc;
+      if (!service::parseJson(Line, Doc, nullptr) || !Doc.isObject())
+        continue; // torn tail line or foreign text
+      if (!Type.empty()) {
+        const service::JsonValue *T = Doc.find("type");
+        if (!T || !T->isString() || T->StringValue != Type)
+          continue;
+      }
+      std::fwrite(Line.data(), 1, Line.size(), stdout);
+      std::fputc('\n', stdout);
+    }
+    if (!Follow || GStopRequested)
+      return 0;
+    std::fflush(stdout);
+    In.clear(); // new appends clear the EOF condition on the next read
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+/// `uspec obs (stitch|top|events) ...` dispatch.
+int cmdObs(Args &A) {
+  std::vector<const char *> Pos;
+  while (const char *Arg = A.next())
+    Pos.push_back(Arg);
+  if (Pos.empty()) {
+    std::fprintf(stderr,
+                 "error: obs requires a mode: stitch, top or events\n");
+    return 2;
+  }
+  if (!std::strcmp(Pos[0], "stitch"))
+    return cmdObsStitch(Pos);
+  if (!std::strcmp(Pos[0], "top"))
+    return cmdObsTop(Pos);
+  if (!std::strcmp(Pos[0], "events"))
+    return cmdObsEvents(Pos);
+  return unknownToken("obs", Pos[0]);
+}
+
 int runSubcommand(Args &A, const char *Cmd) {
   if (!std::strcmp(Cmd, "gen"))
     return cmdGen(A);
@@ -1866,6 +2427,8 @@ int runSubcommand(Args &A, const char *Cmd) {
     return cmdRoute(A);
   if (!std::strcmp(Cmd, "query"))
     return cmdQuery(A);
+  if (!std::strcmp(Cmd, "obs"))
+    return cmdObs(A);
   if (!std::strcmp(Cmd, "check"))
     return cmdCheck(A);
   std::fprintf(stderr, "error: unknown subcommand '%s'\n", Cmd);
@@ -1878,13 +2441,16 @@ int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
   // USPEC_TRACE=t.json arms tracing for any subcommand; an explicit --trace
-  // (learn/train/analyze/serve) re-arms with its own output path.
+  // (learn/train/analyze/serve/route) re-arms with its own output path.
+  // USPEC_EVENTS=e.jsonl arms the structured event log the same way.
   trace::loadFromEnv();
+  events::loadFromEnv();
   Args A{Argc, Argv};
   int Rc = runSubcommand(A, Argv[1]);
   std::string TraceErr;
   if (!trace::finish(&TraceErr))
     std::fprintf(stderr, "warning: failed to write trace: %s\n",
                  TraceErr.c_str());
+  events::finish();
   return Rc;
 }
